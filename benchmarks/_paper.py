@@ -1,0 +1,34 @@
+"""Paper-reported reference values and reporting helpers shared by the
+benchmark harness."""
+
+from __future__ import annotations
+
+#: Values reported in the paper's evaluation (§IV).
+PAPER = {
+    "corrupted_fraction": 0.32,
+    "unique_fraction": 0.08,
+    "periodic_write_single": 0.02,
+    "periodic_write_all": 0.08,
+    "read_single": {"read_insignificant": 0.85, "read_on_start": 0.09,
+                    "read_steady": 0.02, "others": 0.04},
+    "read_all": {"read_insignificant": 0.27, "read_on_start": 0.38,
+                 "read_steady": 0.30, "others": 0.05},
+    "write_single": {"write_insignificant": 0.87, "write_on_end": 0.08,
+                     "write_steady": 0.03, "others": 0.02},
+    "write_all": {"write_insignificant": 0.47, "write_on_end": 0.14,
+                  "write_steady": 0.37, "others": 0.02},
+    "metadata_all": {"metadata_high_spike": 0.60,
+                     "metadata_multiple_spikes": 0.459,
+                     "metadata_high_density": 0.13},
+    "corr_insig": 0.95,
+    "corr_rcw": 0.66,
+    "corr_periodic_low_busy": 0.96,
+    "accuracy": 0.92,
+}
+
+
+def report(title: str, lines: list[str]) -> None:
+    """Print a paper-vs-measured block (visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    for line in lines:
+        print(f"  {line}")

@@ -1,0 +1,49 @@
+"""Shared corpus and pipeline fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure from the same
+calibrated corpus.  The corpus scale is controlled by the
+``MOSAIC_REPRO_SCALE`` environment variable (number of unique
+applications; default 1200 ≈ 1:20 of the paper's 24,606).  Generation
+and the pipeline run once per session; individual benchmarks time their
+own stage and assert the paper's *shape* (who wins, by what rough
+factor) rather than exact values.
+
+CSV artifacts for every table/figure are written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import run_pipeline
+from repro.synth import FleetConfig, generate_fleet
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def corpus_scale() -> int:
+    return int(os.environ.get("MOSAIC_REPRO_SCALE", "1200"))
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The calibrated synthetic Blue Waters corpus."""
+    return generate_fleet(
+        FleetConfig(n_apps=corpus_scale(), mean_runs=12.5, seed=20190101)
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline(corpus):
+    """Full MOSAIC pipeline output over the corpus."""
+    return run_pipeline(corpus.traces)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,98 @@
+"""ABL-MERGE — event fusion ablation (design choice #1 in DESIGN.md).
+
+MOSAIC merges concurrent and neighboring operations *before* segmenting
+(paper §III-B2: "manage process desynchronization ... clarify the trace
+to enable the detection of periodic behavior").  The ablation removes
+fusion and measures periodicity detection on desynchronized
+checkpointing traces: without fusion, every checkpoint splinters into
+per-rank shards and the segment features turn to noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_CONFIG, detect_periodicity
+from repro.merge import preprocess_operations
+from repro.synth import PeriodicPhase, PhaseContext
+from repro.viz import rows_to_csv, write_csv
+
+from _paper import report
+
+
+def desynced_checkpointer(desync: float, seed: int):
+    """Write stream of a 16-rank checkpointer with the given desync."""
+    rng = np.random.default_rng(seed)
+    ctx = PhaseContext(rng=rng, run_time=12000.0, nprocs=16, volume_scale=1.0)
+    phase = PeriodicPhase(
+        direction="write",
+        period=600.0,
+        event_volume=2e9,
+        event_duration=15.0,
+        n_ranks=16,
+        desync=desync,
+    )
+    records = phase.emit(ctx)
+    starts, ends, vols = [], [], []
+    for r in records:
+        starts.append(r.write_start)
+        ends.append(r.write_end)
+        vols.append(float(r.bytes_written))
+    from repro.darshan.trace import OperationArray
+
+    return OperationArray(np.array(starts), np.array(ends), np.array(vols))
+
+
+def detection_rate(desync: float, merged: bool, n: int = 10) -> float:
+    hits = 0
+    for seed in range(n):
+        ops = desynced_checkpointer(desync, seed)
+        if merged:
+            ops = preprocess_operations(ops, 12000.0, DEFAULT_CONFIG.merge).ops
+        det = detect_periodicity(ops, 12000.0, "write", DEFAULT_CONFIG)
+        ok = det.periodic and abs(det.dominant.period - 600.0) / 600.0 < 0.2
+        hits += ok
+    return hits / n
+
+
+@pytest.mark.benchmark(group="ablation-merging")
+def test_merging_enables_periodicity_under_desync(benchmark, results_dir):
+    desyncs = [0.0, 2.0, 10.0, 30.0]
+    rows = []
+    for d in desyncs:
+        with_merge = detection_rate(d, merged=True)
+        without = detection_rate(d, merged=False)
+        rows.append([d, with_merge, without])
+
+    write_csv(
+        rows_to_csv(["desync_s", "with_merging", "without_merging"], rows),
+        results_dir / "ablation_merging.csv",
+    )
+    report(
+        "ABL-MERGE: periodic detection rate vs rank desynchronization",
+        [f"desync {d:5.1f}s: with merging {w:.0%}, without {wo:.0%}"
+         for d, w, wo in rows],
+    )
+
+    # with fusion, detection survives every desync level
+    assert all(w == 1.0 for _, w, _ in rows)
+    # without fusion, detection collapses once the desync noise floods
+    # the segment feature space (tiny inter-rank segments dominate the
+    # Mean Shift modes); sub-bandwidth desync survives by luck, which the
+    # CSV records rather than hides
+    assert all(wo < 0.5 for d, _, wo in rows if d >= 10.0)
+
+    benchmark.pedantic(
+        lambda: detection_rate(10.0, merged=True, n=4), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="ablation-merging")
+def test_merging_reduction_ratio(benchmark):
+    """Fusion must collapse per-rank shards by ~the rank count."""
+    ops = desynced_checkpointer(5.0, seed=0)
+
+    def run():
+        return preprocess_operations(ops, 12000.0, DEFAULT_CONFIG.merge)
+
+    result = benchmark(run)
+    assert result.reduction_ratio == pytest.approx(16.0, rel=0.2)

@@ -1,0 +1,208 @@
+"""ABL-PERIOD — periodicity detector comparison (design choice #2; paper
+§II-B criticism of frequency methods and §V future work).
+
+Compares MOSAIC's segmentation + Mean Shift against the DFT and
+autocorrelation baselines on four scenarios:
+
+1. clean checkpoint train — everyone should find the period;
+2. jittered train — robustness to timing noise;
+3. alternating volumes — two periodic operations with one cadence:
+   Mean Shift resolves two groups, spectral methods see one;
+4. interleaved cross-cadence mixture — the "intricate" case: the
+   frequency methods degrade, and MOSAIC's segmentation only recovers
+   the fast train (documented limitation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_CONFIG, detect_periodicity
+from repro.darshan.trace import OperationArray
+from repro.signalproc import (
+    build_activity_signal,
+    detect_periodicity_autocorr,
+    detect_periodicity_dft,
+)
+from repro.viz import rows_to_csv, write_csv
+
+from _paper import report
+
+GB = 1024**3
+
+
+def train(period, n, duration=8.0, volume=2 * GB, jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for k in range(n):
+        s = k * period + (rng.normal(0, jitter * period) if jitter else 0.0)
+        rows.append((max(s, 0.0), max(s, 0.0) + duration, volume))
+    return rows
+
+
+def evaluate(ops_rows, run_time, true_periods):
+    """Run all three detectors; return dict of (found, period_error)."""
+    ops = OperationArray.from_tuples(ops_rows)
+    out = {}
+
+    det = detect_periodicity(ops, run_time, "write", DEFAULT_CONFIG)
+    periods = [g.period for g in det.groups]
+    out["mosaic"] = (len(periods), _best_err(periods, true_periods))
+
+    sig = build_activity_signal(ops, run_time, n_bins=2048)
+    dft = detect_periodicity_dft(sig)
+    out["dft"] = (
+        int(dft.periodic),
+        _best_err([dft.period] if dft.periodic else [], true_periods),
+    )
+    ac = detect_periodicity_autocorr(sig)
+    out["autocorr"] = (
+        int(ac.periodic),
+        _best_err([ac.period] if ac.periodic else [], true_periods),
+    )
+    return out
+
+
+def _best_err(found, truths):
+    if not found:
+        return float("nan")
+    return min(abs(f - t) / t for f in found for t in truths)
+
+
+@pytest.mark.benchmark(group="ablation-periodicity")
+def test_detector_comparison(benchmark, results_dir):
+    scenarios = {
+        "clean": (train(600.0, 20), 12000.0, [600.0]),
+        "jittered_mild": (train(600.0, 20, jitter=0.02, seed=3), 12000.0, [600.0]),
+        "jittered_strong": (train(600.0, 20, jitter=0.05, seed=3), 12000.0, [600.0]),
+        "alternating_volumes": (
+            train(600.0, 20, volume=8 * GB)
+            + [(s + 300.0, e + 300.0, v) for s, e, v in
+               train(600.0, 20, volume=0.25 * GB, duration=4.0)],
+            12300.0,
+            [600.0],
+        ),
+        "interleaved_mixture": (
+            train(600.0, 20, volume=4 * GB) + train(97.0, 120, duration=2.0,
+                                                    volume=0.5 * GB, seed=2),
+            12000.0,
+            [600.0, 97.0],
+        ),
+    }
+
+    rows = []
+    lines = []
+    results = {}
+    for name, (ops_rows, run_time, truths) in scenarios.items():
+        res = evaluate(ops_rows, run_time, truths)
+        results[name] = res
+        for detector, (n_found, err) in res.items():
+            rows.append([name, detector, n_found, err])
+            lines.append(
+                f"{name:22s} {detector:9s}: {n_found} period(s), "
+                f"best rel. error {err if err == err else float('nan'):.3f}"
+            )
+    write_csv(
+        rows_to_csv(["scenario", "detector", "n_periods", "best_rel_error"], rows),
+        results_dir / "ablation_periodicity.csv",
+    )
+    report("ABL-PERIOD detector comparison", lines)
+
+    # clean + mild jitter: every detector finds the period accurately
+    for scen in ("clean", "jittered_mild"):
+        for detector in ("mosaic", "dft", "autocorr"):
+            n, err = results[scen][detector]
+            assert n >= 1 and err < 0.15, (scen, detector)
+
+    # strong jitter (5% of the period): MOSAIC's segmentation compares
+    # op-to-op spacing directly and survives; both signal-based
+    # detectors degrade (the DFT comb smears below its confidence floor,
+    # the ACF peak drops below threshold or locks onto a multiple) —
+    # timing-noise robustness is a real differentiator
+    n, err = results["jittered_strong"]["mosaic"]
+    assert n >= 1 and err < 0.15
+    for detector in ("dft", "autocorr"):
+        n, err = results["jittered_strong"][detector]
+        assert n == 0 or err > 0.15, detector
+
+    # alternating volumes: Mean Shift separates the two operations
+    # (two groups); the spectral detectors fuse them into one cadence
+    n_mosaic, _ = results["alternating_volumes"]["mosaic"]
+    assert n_mosaic >= 2
+    assert results["alternating_volumes"]["dft"][0] <= 1
+    assert results["alternating_volumes"]["autocorr"][0] <= 1
+
+    # interleaved mixture: the paper's "two intricate periodic
+    # behaviors" case.  The single-output spectral detectors can at best
+    # report ONE of the two true periods; MOSAIC recovers the fast
+    # cadence accurately, and its slow train is masked by the
+    # start-to-next-start segmentation — in MOSAIC proper the
+    # multi-period case is resolved across directions (periodic read +
+    # periodic write), which the corpus benches exercise
+    def coverage(found_periods, truths, tol=0.15):
+        return sum(
+            any(abs(f - t) / t < tol for f in found_periods) for t in truths
+        )
+
+    ops = OperationArray.from_tuples(scenarios["interleaved_mixture"][0])
+    det = detect_periodicity(ops, 12000.0, "write", DEFAULT_CONFIG)
+    mosaic_periods = [g.period for g in det.groups]
+    assert coverage(mosaic_periods, [97.0]) == 1
+    for detector in ("dft", "autocorr"):
+        n, err = results["interleaved_mixture"][detector]
+        assert n <= 1  # structurally unable to report both behaviours
+
+    benchmark.pedantic(
+        lambda: evaluate(*scenarios["interleaved_mixture"]),
+        rounds=3,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-periodicity")
+def test_corpus_method_comparison(benchmark, corpus, pipeline, results_dir):
+    """Periodic-write detection quality per method over the real corpus
+    mix — including the §V hybrid that backs Mean Shift with the DFT."""
+    from repro.core import Category, categorize_trace
+
+    traces = pipeline.preprocess.selected
+    truth = corpus.truth
+    labeled = [t for t in traces if t.meta.job_id in truth][:500]
+
+    def method_scores(method: str) -> tuple[float, float]:
+        cfg = DEFAULT_CONFIG.with_overrides(periodicity_method=method)
+        tp = fp = fn = 0
+        for t in labeled:
+            result = categorize_trace(t, cfg)
+            predicted = Category.PERIODIC_WRITE in result.categories
+            actual = truth[t.meta.job_id].periodic_write
+            tp += predicted and actual
+            fp += predicted and not actual
+            fn += actual and not predicted
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        recall = tp / (tp + fn) if (tp + fn) else 1.0
+        return precision, recall
+
+    rows = []
+    lines = []
+    scores = {}
+    for method in ("meanshift", "dft", "autocorr", "hybrid"):
+        p, r = method_scores(method)
+        scores[method] = (p, r)
+        rows.append([method, p, r])
+        lines.append(f"{method:10s} precision {p:.2f}  recall {r:.2f}")
+    write_csv(
+        rows_to_csv(["method", "precision", "recall"], rows),
+        results_dir / "ablation_periodicity_corpus.csv",
+    )
+    report("ABL-PERIOD: corpus-level periodic-write detection by method", lines)
+
+    # the paper's method and the hybrid must both be strong on the
+    # corpus (the hybrid can only add detections on top of Mean Shift)
+    for method in ("meanshift", "hybrid"):
+        p, r = scores[method]
+        assert p > 0.9 and r > 0.9, method
+    assert scores["hybrid"][1] >= scores["meanshift"][1]
+
+    benchmark.pedantic(
+        lambda: method_scores("meanshift"), rounds=1, iterations=1
+    )

@@ -1,0 +1,53 @@
+"""FIG5 — matrix of relevant Jaccard indices (paper Fig. 5).
+
+The paper renders the category×category Jaccard heatmap keeping pairs
+above 1%.  The bench times the matrix computation, exports the full
+matrix as CSV, renders the pruned ASCII heatmap, and checks the pairs
+the paper's correlations imply must surface.
+"""
+
+import pytest
+
+from repro.analysis import jaccard_matrix
+from repro.core import Category
+from repro.viz import matrix_to_csv, render_jaccard, write_csv
+
+from _paper import report
+
+
+@pytest.mark.benchmark(group="fig5-jaccard")
+def test_fig5_jaccard_heatmap(benchmark, pipeline, results_dir):
+    matrix = benchmark.pedantic(
+        jaccard_matrix, args=(pipeline.results,), rounds=3, iterations=1
+    )
+    write_csv(
+        matrix_to_csv(
+            matrix.values,
+            [c.value for c in matrix.categories],
+            [c.value for c in matrix.categories],
+        ),
+        results_dir / "fig5_jaccard.csv",
+    )
+    pairs = matrix.relevant_pairs(0.01)
+    report(
+        "Fig. 5 Jaccard heatmap (pairs > 1%)",
+        [render_jaccard(matrix)]
+        + [f"{a.value} ~ {b.value}: {v:.2f}" for a, b, v in pairs[:12]],
+    )
+
+    pair_set = {frozenset((a, b)) for a, b, _ in pairs}
+    # the read-compute-write pattern must be a visible pair
+    assert frozenset((Category.READ_ON_START, Category.WRITE_ON_END)) in pair_set
+    # silent applications: read & write insignificance co-occur strongly
+    j_insig = matrix.get(Category.READ_INSIGNIFICANT, Category.WRITE_INSIGNIFICANT)
+    assert j_insig > 0.7
+    # periodic writes co-occur with write_steady (checkpoints spread
+    # evenly across the runtime)
+    j_per = matrix.get(Category.PERIODIC_WRITE, Category.WRITE_STEADY)
+    assert j_per > 0.01
+    # metadata density co-occurs with read_on_start (the dense cohorts
+    # read their inputs at startup)
+    j_dense = matrix.get(Category.METADATA_HIGH_DENSITY, Category.READ_ON_START)
+    assert j_dense > 0.01
+    # temporality labels within one direction are mutually exclusive
+    assert matrix.get(Category.READ_ON_START, Category.READ_STEADY) == 0.0

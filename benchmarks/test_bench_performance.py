@@ -1,0 +1,109 @@
+"""PERF — workflow performance (paper §IV-E).
+
+Paper: the full dataset (462k traces, 300 GB RAM) processes in 165
+minutes on a 64-core EPYC with Dispy.  Absolute numbers are not
+comparable (different substrate, scaled corpus, this machine); the bench
+measures what transfers: per-trace categorization cost, stage breakdown,
+corpus throughput, and the serial-vs-pool comparison of the execution
+engine.
+"""
+
+import time
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, categorize_trace, run_pipeline
+from repro.parallel import ParallelConfig
+from repro.viz import rows_to_csv, write_csv
+
+from _paper import report
+
+
+@pytest.mark.benchmark(group="performance")
+def test_per_trace_categorization_cost(benchmark, pipeline):
+    # the heaviest selected traces dominate the corpus wall-clock (the
+    # paper notes 2 pathological files dominating load time)
+    heavy = sorted(
+        pipeline.preprocess.selected, key=lambda t: -len(t.records)
+    )[:20]
+
+    def categorize_heavy():
+        return [categorize_trace(t, DEFAULT_CONFIG) for t in heavy]
+
+    benchmark(categorize_heavy)
+
+
+@pytest.mark.benchmark(group="performance")
+def test_corpus_throughput(benchmark, corpus, results_dir):
+    t0 = time.perf_counter()
+    result = run_pipeline(corpus.traces)
+    elapsed = time.perf_counter() - t0
+    throughput = corpus.n_input / elapsed
+
+    rows = [
+        ["n_input_traces", corpus.n_input],
+        ["n_categorized", result.n_categorized],
+        ["preprocess_s", result.timings["preprocess_s"]],
+        ["categorize_s", result.timings["categorize_s"]],
+        ["total_s", result.timings["total_s"]],
+        ["traces_per_second", throughput],
+    ]
+    write_csv(
+        rows_to_csv(["metric", "value"], rows), results_dir / "performance.csv"
+    )
+    paper_throughput = 462_502 / (165 * 60)
+    report(
+        "SIV-E performance",
+        [f"{k}: {v:.2f}" if isinstance(v, float) else f"{k}: {v}" for k, v in rows]
+        + [
+            f"paper: 462502 traces / 165 min on 64 cores "
+            f"= {paper_throughput:.1f} traces/s",
+            "validity+dedup and categorization dominate; see stage split above",
+        ],
+    )
+
+    # time a single pipeline pass for the benchmark table
+    benchmark.pedantic(
+        run_pipeline, args=(corpus.traces,), rounds=1, iterations=1
+    )
+    # sanity: the scaled corpus processes orders of magnitude faster than
+    # wall-clock-relevant limits; categorization should dominate
+    # pre-processing for this workload mix
+    assert result.timings["categorize_s"] > 0
+    assert throughput > 10.0
+
+
+@pytest.mark.benchmark(group="performance")
+def test_engine_serial_vs_pool(benchmark, pipeline):
+    """Dispy-substitute check: the process pool must produce identical
+    results; on this single-core machine it may be slower (fork+pickle
+    overhead), which the bench records rather than hides."""
+    sample = pipeline.preprocess.selected[:60]
+
+    t0 = time.perf_counter()
+    serial = run_pipeline(sample, parallel=ParallelConfig(max_workers=0))
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_pipeline(sample, parallel=ParallelConfig(max_workers=2))
+    t_pool = time.perf_counter() - t0
+
+    assert len(serial.results) == len(pooled.results)
+    for a, b in zip(serial.results, pooled.results):
+        assert a.categories == b.categories
+
+    report(
+        "execution engine: serial vs 2-worker pool (60 traces)",
+        [
+            f"serial: {t_serial:.2f}s",
+            f"pool:   {t_pool:.2f}s",
+            "identical categorizations: yes",
+        ],
+    )
+    benchmark.pedantic(
+        run_pipeline,
+        args=(sample,),
+        kwargs={"parallel": ParallelConfig(max_workers=0)},
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare the three periodicity detectors in the repo.
+
+MOSAIC detects periodic behaviour by segmenting the operation stream and
+clustering segment features with Mean Shift.  The paper's related work
+[24] uses frequency techniques instead; the paper plans to integrate
+them (§V).  This example runs MOSAIC's detector, the DFT detector, and
+the autocorrelation detector side by side on progressively harder
+signals and prints what each one reports.
+
+Run:  python examples/periodicity_comparison.py
+"""
+
+import numpy as np
+
+from repro.core import DEFAULT_CONFIG, detect_periodicity
+from repro.darshan.trace import OperationArray
+from repro.signalproc import (
+    build_activity_signal,
+    detect_periodicity_autocorr,
+    detect_periodicity_dft,
+)
+
+GB = 1024**3
+
+
+def train(period, n, duration=8.0, volume=2 * GB, jitter=0.0, offset=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for k in range(n):
+        s = offset + k * period + (rng.normal(0, jitter * period) if jitter else 0.0)
+        s = max(s, 0.0)
+        rows.append((s, s + duration, volume))
+    return rows
+
+
+SCENARIOS = {
+    "clean checkpoint train (period 600s)": (train(600.0, 20), 12000.0),
+    "2% timing jitter": (train(600.0, 20, jitter=0.02, seed=3), 12000.0),
+    "5% timing jitter": (train(600.0, 20, jitter=0.05, seed=3), 12000.0),
+    "alternating big/small checkpoints (one cadence, two operations)": (
+        train(600.0, 20, volume=8 * GB)
+        + train(600.0, 20, volume=0.25 * GB, duration=4.0, offset=300.0),
+        12300.0,
+    ),
+    "interleaved 600s + 97s mixture": (
+        train(600.0, 20, volume=4 * GB)
+        + train(97.0, 120, duration=2.0, volume=0.5 * GB, seed=2),
+        12000.0,
+    ),
+}
+
+
+def describe_mosaic(ops, run_time):
+    det = detect_periodicity(ops, run_time, "write", DEFAULT_CONFIG)
+    if not det.periodic:
+        return "not periodic"
+    parts = [
+        f"{g.period:.0f}s x{g.n_occurrences} ({g.mean_volume / GB:.2f} GB)"
+        for g in det.groups[:3]
+    ]
+    return f"{len(det.groups)} group(s): " + ", ".join(parts)
+
+
+def describe_dft(sig):
+    det = detect_periodicity_dft(sig)
+    if not det.periodic:
+        return "abstains (comb confidence below floor)"
+    return f"{det.period:.0f}s (confidence {det.confidence:.2f})"
+
+
+def describe_autocorr(sig):
+    det = detect_periodicity_autocorr(sig)
+    if not det.periodic:
+        return "abstains (no significant ACF peak)"
+    return f"{det.period:.0f}s (strength {det.strength:.2f})"
+
+
+def main() -> None:
+    for name, (rows, run_time) in SCENARIOS.items():
+        ops = OperationArray.from_tuples(rows)
+        sig = build_activity_signal(ops, run_time, n_bins=2048)
+        print(f"\n## {name}")
+        print(f"  MOSAIC (segments + Mean Shift): {describe_mosaic(ops, run_time)}")
+        print(f"  DFT (harmonic comb):            {describe_dft(sig)}")
+        print(f"  autocorrelation:                {describe_autocorr(sig)}")
+
+    print(
+        "\ntakeaways: Mean Shift resolves co-cadenced operations of"
+        "\ndifferent volumes and survives timing jitter; spectral methods"
+        "\ngive precise single periods on clean signals but degrade under"
+        "\nphase noise, and none of the detectors separates an interleaved"
+        "\nsame-direction mixture (the paper resolves multi-periodicity"
+        "\nacross directions: periodic reads vs periodic writes)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Fig. 2 walkthrough: watch MOSAIC process traces step by step.
+
+Renders the paper's trace-processing panels (raw operations, merged
+operations, periodicity result, temporal chunks, metadata rate) for a
+few contrasting application archetypes, including the kept-open
+checkpointer whose periodicity Darshan hides (§IV-A).
+
+Run:  python examples/trace_anatomy.py [cohort ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.synth import cohort_by_name, generate_run
+from repro.viz import render_trace_anatomy
+
+DEFAULT_COHORTS = [
+    "rcw",                 # read input, compute, write result
+    "rcw_ckpt_periodic",   # file-per-checkpoint: periodicity detectable
+    "rcw_ckpt_hidden",     # kept-open checkpoints: flattened to steady
+    "sim_per_rw",          # periodic reads AND periodic writes
+]
+
+
+def main() -> None:
+    cohorts = sys.argv[1:] or DEFAULT_COHORTS
+    rng = np.random.default_rng(42)
+    for name in cohorts:
+        spec = cohort_by_name(name).build(1, rng)
+        trace = generate_run(spec, 1, rng, force_nominal=True)
+        print("=" * 100)
+        print(f"cohort: {name}")
+        print("=" * 100)
+        print(render_trace_anatomy(trace, width=90))
+        print()
+        if name == "rcw_ckpt_hidden":
+            print("note: this application checkpoints periodically, but its "
+                  "files stay open for the whole run, so Darshan flattens "
+                  "the events into one window -> MOSAIC (correctly, given "
+                  "its input) reports write_steady.  The paper estimates "
+                  "most of the 37% write_steady traffic is this case.\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The modern PEP 660 editable-install path requires the ``wheel`` package;
+this shim keeps ``pip install -e .`` / ``python setup.py develop`` working
+on minimal offline environments (like the one this reproduction targets)
+where only setuptools is available.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Corpus-level analysis: distribution tables, Jaccard correlations,
+sampling accuracy, and the pre-processing funnel — everything §IV of the
+paper reports."""
+
+from .accuracy import AccuracyReport, estimate_accuracy, wilson_interval
+from .correlations import CorrelationReport, mine_correlations, paper_correlations
+from .funnel import PAPER_FUNNEL, FunnelReport, FunnelStage, funnel_report
+from .jaccard import JaccardMatrix, conditional_probability, jaccard_matrix
+from .report import CorpusReport, build_report
+from .stats import (
+    CategoryShares,
+    category_shares,
+    metadata_table,
+    periodicity_table,
+    temporality_table,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "estimate_accuracy",
+    "wilson_interval",
+    "CorrelationReport",
+    "mine_correlations",
+    "paper_correlations",
+    "PAPER_FUNNEL",
+    "FunnelReport",
+    "FunnelStage",
+    "funnel_report",
+    "CorpusReport",
+    "build_report",
+    "JaccardMatrix",
+    "conditional_probability",
+    "jaccard_matrix",
+    "CategoryShares",
+    "category_shares",
+    "metadata_table",
+    "periodicity_table",
+    "temporality_table",
+]

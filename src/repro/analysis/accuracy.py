@@ -1,0 +1,102 @@
+"""Sampling-based accuracy estimation (§IV-E).
+
+The paper drew 512 random traces from a year of categorized output,
+validated them manually, found 42 misclassified, and reported 92%
+accuracy.  Here the generator's ground truth plays the validator's role;
+the sampling protocol is identical, and a Wilson interval quantifies
+what a 512-sample actually pins down.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.result import CategorizationResult
+from ..synth.groundtruth import GroundTruth, mismatch_axes
+
+__all__ = ["AccuracyReport", "estimate_accuracy", "wilson_interval"]
+
+
+def wilson_interval(k: int, n: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for ``k`` successes out of ``n``."""
+    if n == 0:
+        return (0.0, 1.0)
+    p = k / n
+    denom = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass(slots=True, frozen=True)
+class AccuracyReport:
+    """Outcome of one sampling validation."""
+
+    n_sampled: int
+    n_correct: int
+    #: axis name → number of sampled traces wrong on that axis.
+    errors_by_axis: dict[str, int] = field(default_factory=dict)
+    ci_low: float = 0.0
+    ci_high: float = 1.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.n_correct / self.n_sampled if self.n_sampled else 0.0
+
+    @property
+    def n_incorrect(self) -> int:
+        return self.n_sampled - self.n_correct
+
+    def dominant_error_axis(self) -> str | None:
+        """The axis causing most errors — the paper attributes its errors
+        "mainly" to temporality."""
+        if not self.errors_by_axis:
+            return None
+        return max(self.errors_by_axis.items(), key=lambda kv: kv[1])[0]
+
+
+def estimate_accuracy(
+    results: Sequence[CategorizationResult],
+    truth: Mapping[int, GroundTruth],
+    *,
+    sample_size: int = 512,
+    seed: int = 0,
+) -> AccuracyReport:
+    """Estimate accuracy by sampling ``sample_size`` categorized traces.
+
+    Sampling is uniform without replacement (with replacement only if the
+    corpus is smaller than the sample, so small test corpora still
+    exercise the protocol).  Results without ground truth are skipped —
+    they indicate corrupted traces that leaked through, which tests
+    assert never happens.
+    """
+    scored = [r for r in results if r.job_id in truth]
+    if not scored:
+        return AccuracyReport(n_sampled=0, n_correct=0)
+    rng = np.random.default_rng(seed)
+    replace = len(scored) < sample_size
+    idx = rng.choice(len(scored), size=sample_size, replace=replace)
+
+    n_correct = 0
+    axis_errors: Counter[str] = Counter()
+    for i in idx:
+        r = scored[int(i)]
+        axes = mismatch_axes(r, truth[r.job_id])
+        if not axes:
+            n_correct += 1
+        else:
+            for a in axes:
+                axis_errors[a] += 1
+    lo, hi = wilson_interval(n_correct, sample_size)
+    return AccuracyReport(
+        n_sampled=sample_size,
+        n_correct=n_correct,
+        errors_by_axis=dict(axis_errors),
+        ci_low=lo,
+        ci_high=hi,
+    )

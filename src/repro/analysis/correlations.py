@@ -1,0 +1,105 @@
+"""Noteworthy correlation mining (§IV-D).
+
+Checks the four correlations the paper highlights, plus a generic miner
+that surfaces strong conditional dependencies between categories — the
+signal a correlation-aware job scheduler would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.categories import Category
+from ..core.result import CategorizationResult
+from .jaccard import conditional_probability, jaccard_matrix
+
+__all__ = ["CorrelationReport", "paper_correlations", "mine_correlations"]
+
+
+@dataclass(slots=True, frozen=True)
+class CorrelationReport:
+    """The four §IV-D statements, measured on a corpus."""
+
+    #: P(write insignificant | read insignificant) — paper: ≈95%.
+    insig_read_implies_insig_write: float
+    #: P(write on end | read on start) — paper: ≈66%.
+    read_start_implies_write_end: float
+    #: Share of periodic-write traces below 25% busy time — paper: ≈96%.
+    periodic_writes_low_busy: float
+    #: P(read on start or write on end | metadata high density) —
+    #: paper: density+spike apps "are more likely to read on start
+    #: and/or write on end".
+    dense_metadata_reads_start_or_writes_end: float
+
+
+def paper_correlations(
+    results: Sequence[CategorizationResult],
+    run_weights: Sequence[int] | None = None,
+) -> CorrelationReport:
+    """Measure the paper's §IV-D correlations on ``results``."""
+    insig = conditional_probability(
+        results,
+        Category.READ_INSIGNIFICANT,
+        Category.WRITE_INSIGNIFICANT,
+        run_weights,
+    )
+    rcw = conditional_probability(
+        results, Category.READ_ON_START, Category.WRITE_ON_END, run_weights
+    )
+
+    weights = run_weights if run_weights is not None else [1] * len(results)
+    periodic_total = 0.0
+    periodic_low = 0.0
+    dense_total = 0.0
+    dense_hit = 0.0
+    for r, w in zip(results, weights):
+        if Category.PERIODIC_WRITE in r.categories:
+            periodic_total += w
+            groups = r.periodic_groups.get("write", [])
+            if groups and all(g.busy_fraction < 0.25 for g in groups):
+                periodic_low += w
+        if Category.METADATA_HIGH_DENSITY in r.categories:
+            dense_total += w
+            if (
+                Category.READ_ON_START in r.categories
+                or Category.WRITE_ON_END in r.categories
+            ):
+                dense_hit += w
+
+    return CorrelationReport(
+        insig_read_implies_insig_write=insig,
+        read_start_implies_write_end=rcw,
+        periodic_writes_low_busy=(
+            periodic_low / periodic_total if periodic_total else 0.0
+        ),
+        dense_metadata_reads_start_or_writes_end=(
+            dense_hit / dense_total if dense_total else 0.0
+        ),
+    )
+
+
+def mine_correlations(
+    results: Sequence[CategorizationResult],
+    *,
+    min_jaccard: float = 0.05,
+    min_conditional: float = 0.5,
+    run_weights: Sequence[int] | None = None,
+) -> list[tuple[Category, Category, float, float]]:
+    """Generic correlation miner.
+
+    Returns ``(given, then, P(then|given), jaccard)`` tuples for pairs
+    whose Jaccard index exceeds ``min_jaccard`` and whose conditional
+    probability exceeds ``min_conditional``, sorted by conditional
+    probability.  Pairs within the same temporality direction are
+    skipped (mutually exclusive labels correlate trivially at 0).
+    """
+    matrix = jaccard_matrix(results, run_weights=run_weights)
+    found: list[tuple[Category, Category, float, float]] = []
+    for a, b, j in matrix.relevant_pairs(min_jaccard):
+        for given, then in ((a, b), (b, a)):
+            p = conditional_probability(results, given, then, run_weights)
+            if p >= min_conditional:
+                found.append((given, then, p, j))
+    found.sort(key=lambda t: -t[2])
+    return found

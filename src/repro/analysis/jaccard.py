@@ -1,0 +1,105 @@
+"""Jaccard index matrix between categories (Fig. 5).
+
+MOSAIC compares "similarity and diversity between samples" with the
+Jaccard index (paper ref. [31]): for two categories A and B over a set of
+traces, ``J(A, B) = |A ∩ B| / |A ∪ B|`` where each category is the set of
+traces carrying it.  The heatmap of relevant pairs surfaces the §IV-D
+correlations used to motivate I/O-aware scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.categories import Category
+from ..core.result import CategorizationResult
+
+__all__ = ["JaccardMatrix", "jaccard_matrix", "conditional_probability"]
+
+
+@dataclass(slots=True, frozen=True)
+class JaccardMatrix:
+    """Symmetric Jaccard matrix over an ordered category list."""
+
+    categories: tuple[Category, ...]
+    values: np.ndarray
+
+    def get(self, a: Category, b: Category) -> float:
+        ia = self.categories.index(a)
+        ib = self.categories.index(b)
+        return float(self.values[ia, ib])
+
+    def relevant_pairs(
+        self, threshold: float = 0.01
+    ) -> list[tuple[Category, Category, float]]:
+        """Off-diagonal pairs with an index above ``threshold``, sorted
+        descending — the pairs Fig. 5 displays ("only values higher than
+        1% are shown")."""
+        pairs: list[tuple[Category, Category, float]] = []
+        n = len(self.categories)
+        for i in range(n):
+            for j in range(i + 1, n):
+                v = float(self.values[i, j])
+                if v > threshold:
+                    pairs.append((self.categories[i], self.categories[j], v))
+        pairs.sort(key=lambda t: -t[2])
+        return pairs
+
+
+def jaccard_matrix(
+    results: Sequence[CategorizationResult],
+    categories: Sequence[Category] | None = None,
+    run_weights: Sequence[int] | None = None,
+) -> JaccardMatrix:
+    """Compute the category × category Jaccard matrix.
+
+    With ``run_weights``, each trace counts as that many corpus elements
+    (the all-runs view); otherwise every unique application counts once.
+    """
+    cats = tuple(categories) if categories is not None else tuple(Category)
+    weights = (
+        np.asarray(run_weights, dtype=np.float64)
+        if run_weights is not None
+        else np.ones(len(results))
+    )
+    if len(weights) != len(results):
+        raise ValueError("run_weights must align with results")
+
+    # membership matrix: (n_traces, n_categories)
+    member = np.zeros((len(results), len(cats)), dtype=np.float64)
+    for i, r in enumerate(results):
+        for j, c in enumerate(cats):
+            if c in r.categories:
+                member[i, j] = 1.0
+    weighted = member * weights[:, None]
+    inter = weighted.T @ member  # |A ∩ B| with weights
+    sizes = weighted.sum(axis=0)
+    union = sizes[:, None] + sizes[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = np.where(union > 0, inter / union, 0.0)
+    return JaccardMatrix(categories=cats, values=values)
+
+
+def conditional_probability(
+    results: Sequence[CategorizationResult],
+    given: Category,
+    then: Category,
+    run_weights: Sequence[int] | None = None,
+) -> float:
+    """P(trace has ``then`` | trace has ``given``), optionally run-weighted.
+
+    The directional companion of the Jaccard index, used for the paper's
+    statements like "66% of applications reading on start write on end".
+    """
+    weights = run_weights if run_weights is not None else [1] * len(results)
+    denom = 0.0
+    num = 0.0
+    for r, w in zip(results, weights):
+        if given in r.categories:
+            denom += w
+            if then in r.categories:
+                num += w
+    return num / denom if denom else 0.0

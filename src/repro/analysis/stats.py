@@ -1,0 +1,176 @@
+"""Category distribution statistics (Tables II & III, Fig. 4).
+
+MOSAIC reports every distribution twice (§III-B4):
+
+* **single run** — one count per unique application, "analyzing the
+  behavior of the executed applications";
+* **all runs** — each application weighted by its number of valid
+  executions, "information about the load on the parallel file system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..core.categories import (
+    METADATA,
+    TEMPORALITY_READ,
+    TEMPORALITY_WRITE,
+    Category,
+)
+from ..core.result import CategorizationResult
+
+__all__ = [
+    "CategoryShares",
+    "category_shares",
+    "temporality_table",
+    "periodicity_table",
+    "metadata_table",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class CategoryShares:
+    """Share (0..1) of traces carrying each category, single vs all runs."""
+
+    single_run: dict[Category, float]
+    all_runs: dict[Category, float]
+    n_apps: int
+    n_runs: int
+
+    def single(self, cat: Category) -> float:
+        return self.single_run.get(cat, 0.0)
+
+    def all(self, cat: Category) -> float:
+        return self.all_runs.get(cat, 0.0)
+
+
+def category_shares(
+    results: Sequence[CategorizationResult],
+    run_weights: Sequence[int],
+    categories: Iterable[Category] | None = None,
+) -> CategoryShares:
+    """Compute single-run and all-runs shares of each category.
+
+    ``run_weights[i]`` is the number of valid executions of the
+    application behind ``results[i]`` (see
+    :meth:`~repro.core.pipeline.PipelineResult.run_weights`).
+    """
+    if len(results) != len(run_weights):
+        raise ValueError("results and run_weights must align")
+    cats = list(categories) if categories is not None else list(Category)
+    n_apps = len(results)
+    n_runs = int(sum(run_weights))
+    single: dict[Category, float] = {}
+    allr: dict[Category, float] = {}
+    for cat in cats:
+        hits_single = sum(1 for r in results if cat in r.categories)
+        hits_all = sum(
+            w for r, w in zip(results, run_weights) if cat in r.categories
+        )
+        single[cat] = hits_single / n_apps if n_apps else 0.0
+        allr[cat] = hits_all / n_runs if n_runs else 0.0
+    return CategoryShares(
+        single_run=single, all_runs=allr, n_apps=n_apps, n_runs=n_runs
+    )
+
+
+def _grouped_row(
+    shares: Mapping[Category, float],
+    named: Sequence[Category],
+    universe: frozenset[Category],
+) -> dict[str, float]:
+    """Named columns plus an 'others' bucket covering the rest of the axis."""
+    row = {c.value: shares.get(c, 0.0) for c in named}
+    others = sum(
+        v for c, v in shares.items() if c in universe and c not in named
+    )
+    row["others"] = others
+    return row
+
+
+def temporality_table(
+    results: Sequence[CategorizationResult], run_weights: Sequence[int]
+) -> dict[str, dict[str, float]]:
+    """Reproduce Table III: read/write × single/all with the paper's
+    column grouping (insignificant, on_start|on_end, steady, others)."""
+    shares = category_shares(
+        results, run_weights, TEMPORALITY_READ | TEMPORALITY_WRITE
+    )
+    read_cols = (
+        Category.READ_INSIGNIFICANT,
+        Category.READ_ON_START,
+        Category.READ_STEADY,
+    )
+    write_cols = (
+        Category.WRITE_INSIGNIFICANT,
+        Category.WRITE_ON_END,
+        Category.WRITE_STEADY,
+    )
+    return {
+        "read_single": _grouped_row(shares.single_run, read_cols, TEMPORALITY_READ),
+        "read_all": _grouped_row(shares.all_runs, read_cols, TEMPORALITY_READ),
+        "write_single": _grouped_row(shares.single_run, write_cols, TEMPORALITY_WRITE),
+        "write_all": _grouped_row(shares.all_runs, write_cols, TEMPORALITY_WRITE),
+    }
+
+
+def periodicity_table(
+    results: Sequence[CategorizationResult],
+    run_weights: Sequence[int],
+    direction: str = "write",
+) -> dict[str, dict[str, float]]:
+    """Reproduce Table II: periodic share and period-magnitude breakdown
+    for one direction, single-run vs all-runs."""
+    flag = (
+        Category.PERIODIC_WRITE if direction == "write" else Category.PERIODIC_READ
+    )
+    magnitudes = (
+        Category.PERIODIC_SECOND,
+        Category.PERIODIC_MINUTE,
+        Category.PERIODIC_HOUR,
+        Category.PERIODIC_DAY_OR_MORE,
+    )
+    out: dict[str, dict[str, float]] = {}
+    for label, weights in (
+        ("single_run", [1] * len(results)),
+        ("all_runs", list(run_weights)),
+    ):
+        total = sum(weights)
+        periodic = sum(
+            w for r, w in zip(results, weights) if flag in r.categories
+        )
+        row = {
+            "non_periodic": (total - periodic) / total if total else 0.0,
+            "periodic": periodic / total if total else 0.0,
+        }
+        for mag in magnitudes:
+            # magnitude labels are attributed to the direction via the
+            # per-direction groups stored in the result
+            hits = 0.0
+            for r, w in zip(results, weights):
+                groups = r.periodic_groups.get(direction, [])
+                if any(_magnitude_of(g.period) == mag for g in groups):
+                    hits += w
+            row[mag.value] = hits / total if total else 0.0
+        out[label] = row
+    return out
+
+
+def _magnitude_of(period: float) -> Category:
+    from ..core.periodicity import period_magnitude
+    from ..core.thresholds import DEFAULT_CONFIG
+
+    return period_magnitude(period, DEFAULT_CONFIG)
+
+
+def metadata_table(
+    results: Sequence[CategorizationResult], run_weights: Sequence[int]
+) -> dict[str, dict[str, float]]:
+    """Reproduce Fig. 4: metadata category shares, single vs all runs."""
+    shares = category_shares(results, run_weights, METADATA)
+    return {
+        "single_run": {c.value: shares.single_run[c] for c in sorted(METADATA)},
+        "all_runs": {c.value: shares.all_runs[c] for c in sorted(METADATA)},
+    }

@@ -1,0 +1,5 @@
+"""Related-work baseline categorizers used as comparison points."""
+
+from .aggregate import AggregateClass, AggregateResult, categorize_aggregate
+
+__all__ = ["AggregateClass", "AggregateResult", "categorize_aggregate"]

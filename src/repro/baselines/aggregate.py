@@ -1,0 +1,80 @@
+"""Aggregate-statistics baseline categorizer (related work, paper
+ref. [25] — Devarajan & Mohror style).
+
+Categorizes a trace using only whole-execution aggregate counters — total
+bytes, operation counts, mean request sizes — with **no temporal
+information**.  The paper's critique, which the ABL-AGG benchmark
+quantifies, is that "this type of categorization only makes it possible
+to establish very high-level patterns that do not provide temporal
+information": it can tell read-heavy from write-heavy, but not
+``read_on_start`` from ``read_on_end``, nor periodic from one-shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..darshan.statistics import TraceSummary, summarize
+from ..darshan.trace import Trace
+
+__all__ = ["AggregateClass", "AggregateResult", "categorize_aggregate"]
+
+
+class AggregateClass(str, Enum):
+    """The coarse classes reachable without temporal data."""
+
+    IO_INACTIVE = "io_inactive"
+    READ_HEAVY = "read_heavy"
+    WRITE_HEAVY = "write_heavy"
+    READ_WRITE_BALANCED = "read_write_balanced"
+    METADATA_HEAVY = "metadata_heavy"
+    SMALL_ACCESSES = "small_accesses"
+    LARGE_ACCESSES = "large_accesses"
+
+
+@dataclass(slots=True, frozen=True)
+class AggregateResult:
+    """Baseline output: coarse classes plus the summary that produced
+    them."""
+
+    classes: frozenset[AggregateClass]
+    summary: TraceSummary
+
+
+def categorize_aggregate(
+    trace: Trace,
+    *,
+    significance_bytes: int = 100 * 1024 * 1024,
+    balance_ratio: float = 3.0,
+    metadata_ops_per_rank: float = 100.0,
+    small_access_bytes: float = 64 * 1024,
+    large_access_bytes: float = 16 * 1024 * 1024,
+) -> AggregateResult:
+    """Classify a trace from aggregate counters only."""
+    s = summarize(trace)
+    classes: set[AggregateClass] = set()
+
+    if s.total_bytes < significance_bytes:
+        classes.add(AggregateClass.IO_INACTIVE)
+    else:
+        r, w = s.bytes_read, s.bytes_written
+        if w == 0 or (r > 0 and r / max(w, 1) >= balance_ratio):
+            classes.add(AggregateClass.READ_HEAVY)
+        elif r == 0 or (w > 0 and w / max(r, 1) >= balance_ratio):
+            classes.add(AggregateClass.WRITE_HEAVY)
+        else:
+            classes.add(AggregateClass.READ_WRITE_BALANCED)
+
+        sizes = [x for x in (s.mean_read_size, s.mean_write_size) if x > 0]
+        if sizes:
+            mean_size = sum(sizes) / len(sizes)
+            if mean_size <= small_access_bytes:
+                classes.add(AggregateClass.SMALL_ACCESSES)
+            elif mean_size >= large_access_bytes:
+                classes.add(AggregateClass.LARGE_ACCESSES)
+
+    if s.metadata_ops >= metadata_ops_per_rank * max(s.nprocs, 1):
+        classes.add(AggregateClass.METADATA_HEAVY)
+
+    return AggregateResult(classes=frozenset(classes), summary=s)

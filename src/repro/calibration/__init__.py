@@ -1,0 +1,16 @@
+"""Threshold calibration: the paper's set-on-one-month /
+validate-by-sampling methodology (§III-B3a, §IV-E) as a reusable
+experiment."""
+
+from .calibrate import CalibrationOutcome, calibrate_and_validate, month_subset
+from .sweep import AxisScores, SweepPoint, score_config, sweep_thresholds
+
+__all__ = [
+    "CalibrationOutcome",
+    "calibrate_and_validate",
+    "month_subset",
+    "AxisScores",
+    "SweepPoint",
+    "score_config",
+    "sweep_thresholds",
+]

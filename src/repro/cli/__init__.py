@@ -1,0 +1,6 @@
+"""Command-line interface (``mosaic generate / categorize / report /
+anatomy``)."""
+
+from .main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,301 @@
+"""``mosaic`` command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+``mosaic generate``
+    Produce a synthetic Blue Waters-style corpus on disk (binary MOSD or
+    JSON traces plus a ground-truth manifest).
+``mosaic categorize``
+    Run the full MOSAIC pipeline over a trace directory and save per-trace
+    JSON results (workflow step ④).
+``mosaic report``
+    Categorize (or load) and print the paper's tables: funnel (Fig. 3),
+    periodicity (Table II), temporality (Table III), metadata (Fig. 4),
+    Jaccard pairs (Fig. 5) and §IV-D correlations.
+``mosaic anatomy``
+    Render the Fig. 2-style processing view of one synthetic trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .. import __version__
+from ..analysis import (
+    funnel_report,
+    jaccard_matrix,
+    metadata_table,
+    paper_correlations,
+    periodicity_table,
+    temporality_table,
+)
+from ..core import run_pipeline, save_results_jsonl
+from ..core.thresholds import DEFAULT_CONFIG
+from ..darshan import Trace, load_binary, load_json, load_text, save_binary, save_json
+from ..parallel import ParallelConfig
+from ..synth import FleetConfig, cohort_by_name, generate_fleet, generate_run
+from ..viz import render_jaccard, render_shares_table, render_trace_anatomy
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mosaic",
+        description="MOSAIC: detection and categorization of I/O patterns "
+        "in HPC applications (reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic corpus")
+    gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument("--n-apps", type=int, default=400)
+    gen.add_argument("--mean-runs", type=float, default=12.5)
+    gen.add_argument("--seed", type=int, default=20190101)
+    gen.add_argument(
+        "--format", choices=("binary", "json"), default="binary",
+        help="trace encoding (binary MOSD is ~5x smaller)",
+    )
+
+    cat = sub.add_parser("categorize", help="categorize a trace directory")
+    cat.add_argument("--traces", required=True, help="trace directory")
+    cat.add_argument("--out", required=True, help="results JSONL path")
+    cat.add_argument("--workers", type=int, default=0,
+                     help="process-pool workers (0 = serial)")
+
+    rep = sub.add_parser("report", help="categorize and print paper tables")
+    rep.add_argument("--traces", help="trace directory (omit to synthesize)")
+    rep.add_argument("--n-apps", type=int, default=400,
+                     help="synthetic corpus size when --traces is omitted")
+    rep.add_argument("--seed", type=int, default=20190101)
+    rep.add_argument("--workers", type=int, default=0)
+
+    ana = sub.add_parser("anatomy", help="render one trace's processing view")
+    ana.add_argument("--cohort", default="rcw_ckpt_periodic",
+                     help="synthetic cohort name")
+    ana.add_argument("--seed", type=int, default=0)
+    ana.add_argument("--width", type=int, default=80)
+
+    acc = sub.add_parser(
+        "accuracy",
+        help="estimate categorization accuracy against a generated "
+        "corpus's ground-truth manifest (SIV-E protocol)",
+    )
+    acc.add_argument("--traces", required=True,
+                     help="directory written by `mosaic generate`")
+    acc.add_argument("--sample-size", type=int, default=512)
+    acc.add_argument("--seed", type=int, default=0)
+    acc.add_argument("--workers", type=int, default=0)
+
+    disc = sub.add_parser(
+        "discover",
+        help="discover temporality classes by clustering (SV future work)",
+    )
+    disc.add_argument("--traces", help="trace directory (omit to synthesize)")
+    disc.add_argument("--n-apps", type=int, default=400)
+    disc.add_argument("--seed", type=int, default=20190101)
+    disc.add_argument("--direction", choices=("read", "write"), default="write")
+    disc.add_argument("--k", type=int, help="cluster count (omit for elbow rule)")
+    return parser
+
+
+def _load_trace_dir(path: str) -> list[Trace]:
+    traces: list[Trace] = []
+    for name in sorted(os.listdir(path)):
+        full = os.path.join(path, name)
+        if name.endswith(".mosd"):
+            traces.append(load_binary(full))
+        elif name.endswith(".json") and name != "manifest.json":
+            traces.append(load_json(full))
+        elif name.endswith(".darshan.txt"):
+            traces.append(load_text(full))
+    if not traces:
+        raise SystemExit(f"no .mosd/.json/.darshan.txt traces found in {path!r}")
+    return traces
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    fleet = generate_fleet(
+        FleetConfig(n_apps=args.n_apps, mean_runs=args.mean_runs, seed=args.seed)
+    )
+    for trace in fleet.traces:
+        base = os.path.join(args.out, f"job{trace.meta.job_id:08d}")
+        if args.format == "binary":
+            save_binary(trace, base + ".mosd")
+        else:
+            save_json(trace, base + ".json")
+    manifest = {
+        "n_apps": args.n_apps,
+        "mean_runs": args.mean_runs,
+        "seed": args.seed,
+        "n_traces": fleet.n_input,
+        "n_valid": fleet.n_valid,
+        "n_corrupted": fleet.n_corrupted,
+        "cohorts": {k: list(v) for k, v in fleet.manifest.items()},
+        "truth": {str(j): t.to_dict() for j, t in fleet.truth.items()},
+    }
+    with open(os.path.join(args.out, "manifest.json"), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh)
+    print(
+        f"wrote {fleet.n_input} traces ({fleet.n_valid} valid, "
+        f"{fleet.n_corrupted} corrupted) to {args.out}"
+    )
+    return 0
+
+
+def _parallel(workers: int) -> ParallelConfig:
+    return ParallelConfig(max_workers=workers if workers >= 0 else None)
+
+
+def _cmd_categorize(args: argparse.Namespace) -> int:
+    traces = _load_trace_dir(args.traces)
+    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(args.workers))
+    n = save_results_jsonl(result.results, args.out)
+    weights_path = args.out + ".weights.json"
+    with open(weights_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {str(r.job_id): w for r, w in zip(result.results, result.run_weights())},
+            fh,
+        )
+    pre = result.preprocess
+    print(
+        f"categorized {n} unique applications out of {pre.n_input} traces "
+        f"({pre.corrupted_fraction:.0%} corrupted, "
+        f"{pre.unique_fraction:.0%} unique) in {result.timings['total_s']:.1f}s"
+    )
+    print(f"results: {args.out}\nall-runs weights: {weights_path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.traces:
+        traces = _load_trace_dir(args.traces)
+    else:
+        print(f"synthesizing corpus (n_apps={args.n_apps}, seed={args.seed})...")
+        traces = generate_fleet(
+            FleetConfig(n_apps=args.n_apps, seed=args.seed)
+        ).traces
+    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(args.workers))
+    weights = result.run_weights()
+
+    fun = funnel_report(result.preprocess)
+    print("\n== Pre-processing funnel (Fig. 3) ==")
+    for stage in fun.stages:
+        print(f"  {stage.name:>30}: {stage.count:>8} ({stage.retention:.0%} kept)")
+    print(f"  corrupted: {fun.corrupted_fraction:.0%}  unique: {fun.unique_fraction:.0%}")
+
+    print("\n== Periodic writes (Table II) ==")
+    print(render_shares_table(periodicity_table(result.results, weights, "write")))
+
+    print("\n== Temporality (Table III) ==")
+    print(render_shares_table(temporality_table(result.results, weights)))
+
+    print("\n== Metadata categories (Fig. 4) ==")
+    print(render_shares_table(metadata_table(result.results, weights)))
+
+    print("\n== Jaccard pairs (Fig. 5) ==")
+    print(render_jaccard(jaccard_matrix(result.results)))
+
+    corr = paper_correlations(result.results)
+    print("\n== Noteworthy correlations (SIV-D) ==")
+    print(f"  P(write insig | read insig)      = {corr.insig_read_implies_insig_write:.0%}")
+    print(f"  P(write on end | read on start)  = {corr.read_start_implies_write_end:.0%}")
+    print(f"  periodic writers < 25% busy      = {corr.periodic_writes_low_busy:.0%}")
+    print(f"  P(start/end | dense metadata)    = {corr.dense_metadata_reads_start_or_writes_end:.0%}")
+    return 0
+
+
+def _cmd_anatomy(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    spec = cohort_by_name(args.cohort).build(1, rng)
+    trace = generate_run(spec, 1, rng, force_nominal=True)
+    print(render_trace_anatomy(trace, width=args.width))
+    return 0
+
+
+def _cmd_accuracy(args: argparse.Namespace) -> int:
+    from ..analysis import estimate_accuracy
+    from ..synth import GroundTruth
+
+    manifest_path = os.path.join(args.traces, "manifest.json")
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read ground-truth manifest: {exc}") from exc
+    truth = {
+        int(job_id): GroundTruth.from_dict(d)
+        for job_id, d in manifest.get("truth", {}).items()
+    }
+    if not truth:
+        raise SystemExit("manifest carries no ground truth")
+
+    traces = _load_trace_dir(args.traces)
+    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(args.workers))
+    rep = estimate_accuracy(
+        result.results, truth, sample_size=args.sample_size, seed=args.seed
+    )
+    print(
+        f"accuracy over {rep.n_sampled} sampled traces: {rep.accuracy:.1%} "
+        f"[{rep.ci_low:.1%}, {rep.ci_high:.1%}] "
+        f"({rep.n_incorrect} wrong; paper: 92%, 42/512)"
+    )
+    if rep.errors_by_axis:
+        print("errors by axis: "
+              + ", ".join(f"{k}={v}" for k, v in rep.errors_by_axis.items()))
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    from ..discovery import discover_temporality
+
+    if args.traces:
+        traces = _load_trace_dir(args.traces)
+    else:
+        print(f"synthesizing corpus (n_apps={args.n_apps}, seed={args.seed})...")
+        traces = generate_fleet(
+            FleetConfig(n_apps=args.n_apps, seed=args.seed)
+        ).traces
+    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(0))
+    rep = discover_temporality(
+        result.results, args.direction, k=args.k, seed=args.seed
+    )
+    print(
+        f"discovered k={rep.k} {args.direction} clusters over "
+        f"{rep.n_traces} significant traces "
+        f"(purity {rep.overall_purity:.2f}, ARI vs rules {rep.ari:.2f})"
+    )
+    for c in rep.clusters:
+        shares = ", ".join(f"{s:.2f}" for s in c.centroid_shares)
+        print(
+            f"  cluster {c.cluster_id}: {c.size:4d} traces -> "
+            f"{c.majority_label.value} (purity {c.purity:.2f}) chunks [{shares}]"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "categorize": _cmd_categorize,
+    "report": _cmd_report,
+    "anatomy": _cmd_anatomy,
+    "accuracy": _cmd_accuracy,
+    "discover": _cmd_discover,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

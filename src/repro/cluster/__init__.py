@@ -1,0 +1,21 @@
+"""From-scratch Mean Shift clustering (paper ref. [29]) and cluster
+quality metrics used by the periodicity detector and its ablations."""
+
+from .bandwidth import estimate_bandwidth
+from .meanshift import MeanShiftResult, mean_shift
+from .metrics import (
+    adjusted_rand_index,
+    pair_confusion,
+    silhouette_mean,
+    within_cluster_spread,
+)
+
+__all__ = [
+    "estimate_bandwidth",
+    "MeanShiftResult",
+    "mean_shift",
+    "adjusted_rand_index",
+    "pair_confusion",
+    "silhouette_mean",
+    "within_cluster_spread",
+]

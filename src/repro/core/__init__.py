@@ -1,0 +1,59 @@
+"""MOSAIC core: the category taxonomy, the per-trace categorization
+algorithm (merging → segmentation → Mean Shift / chunk / spike analysis),
+and the corpus pipeline."""
+
+from .categories import (
+    METADATA,
+    PERIODICITY,
+    TEMPORALITY_READ,
+    TEMPORALITY_WRITE,
+    Axis,
+    Category,
+    axis_of,
+    parse_categories,
+)
+from .thresholds import DEFAULT_CONFIG, MosaicConfig
+from .temporality import TemporalityDetection, classify_temporality
+from .periodicity import (
+    PeriodicGroup,
+    PeriodicityDetection,
+    detect_periodicity,
+    period_magnitude,
+)
+from .metadata import MetadataDetection, classify_metadata
+from .preprocess import PreprocessResult, preprocess_corpus
+from .result import CategorizationResult, load_results_jsonl, save_results_jsonl
+from .categorizer import categorize_trace
+from .pipeline import PipelineResult, run_pipeline
+from .stream import AppEntry, ApplicationCatalog
+
+__all__ = [
+    "METADATA",
+    "PERIODICITY",
+    "TEMPORALITY_READ",
+    "TEMPORALITY_WRITE",
+    "Axis",
+    "Category",
+    "axis_of",
+    "parse_categories",
+    "DEFAULT_CONFIG",
+    "MosaicConfig",
+    "TemporalityDetection",
+    "classify_temporality",
+    "PeriodicGroup",
+    "PeriodicityDetection",
+    "detect_periodicity",
+    "period_magnitude",
+    "MetadataDetection",
+    "classify_metadata",
+    "PreprocessResult",
+    "preprocess_corpus",
+    "CategorizationResult",
+    "load_results_jsonl",
+    "save_results_jsonl",
+    "categorize_trace",
+    "PipelineResult",
+    "run_pipeline",
+    "AppEntry",
+    "ApplicationCatalog",
+]

@@ -1,0 +1,145 @@
+"""The MOSAIC category taxonomy (paper Table I).
+
+Categories are **non-exclusive**: one trace collects a set of labels
+drawn from three axes — temporality (per direction), periodicity, and
+metadata impact.  The ``insignificant`` labels exclude non-I/O-intensive
+directions from further characterization.
+
+Naming follows the paper.  One documented refinement: the paper's text
+discusses periodic *reads* and periodic *writes* separately (Table II is
+writes only), so this implementation emits direction-qualified
+``periodic_read`` / ``periodic_write`` in addition to the umbrella
+``periodic`` label from Table I.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable
+
+__all__ = [
+    "Axis",
+    "Category",
+    "TEMPORALITY_READ",
+    "TEMPORALITY_WRITE",
+    "PERIODICITY",
+    "METADATA",
+    "axis_of",
+    "parse_categories",
+]
+
+
+class Axis(str, Enum):
+    """The three characterization axes of Table I."""
+
+    TEMPORALITY = "temporality"
+    PERIODICITY = "periodicity"
+    METADATA = "metadata"
+
+
+class Category(str, Enum):
+    """All MOSAIC category labels."""
+
+    # -- temporality, read ------------------------------------------------
+    READ_ON_START = "read_on_start"
+    READ_ON_END = "read_on_end"
+    READ_AFTER_START = "read_after_start"
+    READ_BEFORE_END = "read_before_end"
+    READ_AFTER_START_BEFORE_END = "read_after_start_before_end"
+    READ_STEADY = "read_steady"
+    READ_INSIGNIFICANT = "read_insignificant"
+
+    # -- temporality, write -----------------------------------------------
+    WRITE_ON_START = "write_on_start"
+    WRITE_ON_END = "write_on_end"
+    WRITE_AFTER_START = "write_after_start"
+    WRITE_BEFORE_END = "write_before_end"
+    WRITE_AFTER_START_BEFORE_END = "write_after_start_before_end"
+    WRITE_STEADY = "write_steady"
+    WRITE_INSIGNIFICANT = "write_insignificant"
+
+    # -- periodicity --------------------------------------------------------
+    PERIODIC = "periodic"
+    PERIODIC_READ = "periodic_read"
+    PERIODIC_WRITE = "periodic_write"
+    PERIODIC_SECOND = "periodic_second"
+    PERIODIC_MINUTE = "periodic_minute"
+    PERIODIC_HOUR = "periodic_hour"
+    PERIODIC_DAY_OR_MORE = "periodic_day_or_more"
+    PERIODIC_LOW_BUSY_TIME = "periodic_low_busy_time"
+    PERIODIC_HIGH_BUSY_TIME = "periodic_high_busy_time"
+
+    # -- metadata impact ----------------------------------------------------
+    METADATA_HIGH_SPIKE = "metadata_high_spike"
+    METADATA_MULTIPLE_SPIKES = "metadata_multiple_spikes"
+    METADATA_HIGH_DENSITY = "metadata_high_density"
+    METADATA_INSIGNIFICANT_LOAD = "metadata_insignificant_load"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+TEMPORALITY_READ: frozenset[Category] = frozenset(
+    {
+        Category.READ_ON_START,
+        Category.READ_ON_END,
+        Category.READ_AFTER_START,
+        Category.READ_BEFORE_END,
+        Category.READ_AFTER_START_BEFORE_END,
+        Category.READ_STEADY,
+        Category.READ_INSIGNIFICANT,
+    }
+)
+
+TEMPORALITY_WRITE: frozenset[Category] = frozenset(
+    {
+        Category.WRITE_ON_START,
+        Category.WRITE_ON_END,
+        Category.WRITE_AFTER_START,
+        Category.WRITE_BEFORE_END,
+        Category.WRITE_AFTER_START_BEFORE_END,
+        Category.WRITE_STEADY,
+        Category.WRITE_INSIGNIFICANT,
+    }
+)
+
+PERIODICITY: frozenset[Category] = frozenset(
+    {
+        Category.PERIODIC,
+        Category.PERIODIC_READ,
+        Category.PERIODIC_WRITE,
+        Category.PERIODIC_SECOND,
+        Category.PERIODIC_MINUTE,
+        Category.PERIODIC_HOUR,
+        Category.PERIODIC_DAY_OR_MORE,
+        Category.PERIODIC_LOW_BUSY_TIME,
+        Category.PERIODIC_HIGH_BUSY_TIME,
+    }
+)
+
+METADATA: frozenset[Category] = frozenset(
+    {
+        Category.METADATA_HIGH_SPIKE,
+        Category.METADATA_MULTIPLE_SPIKES,
+        Category.METADATA_HIGH_DENSITY,
+        Category.METADATA_INSIGNIFICANT_LOAD,
+    }
+)
+
+
+def axis_of(category: Category) -> Axis:
+    """Axis (Table I row) a category belongs to."""
+    if category in PERIODICITY:
+        return Axis.PERIODICITY
+    if category in METADATA:
+        return Axis.METADATA
+    return Axis.TEMPORALITY
+
+
+def parse_categories(names: Iterable[str]) -> frozenset[Category]:
+    """Parse category names (e.g. from a result JSON) into a set.
+
+    Raises ``ValueError`` on unknown names — silent typos in saved result
+    files would corrupt every downstream statistic.
+    """
+    return frozenset(Category(name) for name in names)

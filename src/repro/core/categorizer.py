@@ -1,0 +1,71 @@
+"""Per-trace categorization: merging ② + categorization ③ + output ④.
+
+``categorize_trace`` is the unit of work the parallel engine distributes
+across the corpus; it is also the single-application entry point the
+paper envisions for feeding a job scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import get_args
+
+from ..darshan.trace import Direction, Trace
+from ..merge.pipeline import preprocess_operations
+from .metadata import classify_metadata
+from .periodicity import PeriodicityDetection, detect_periodicity
+from .result import CategorizationResult
+from .temporality import TemporalityDetection, classify_temporality
+from .thresholds import DEFAULT_CONFIG, MosaicConfig
+
+__all__ = ["categorize_trace"]
+
+_DIRECTIONS: tuple[Direction, ...] = get_args(Direction)
+
+
+def categorize_trace(
+    trace: Trace, config: MosaicConfig = DEFAULT_CONFIG
+) -> CategorizationResult:
+    """Run the full MOSAIC per-trace workflow.
+
+    Read and write streams are handled independently (§III-B2): each is
+    fused, chunked for temporality, and segmented for periodicity.  An
+    insignificant direction (< 100 MB) is excluded from periodicity
+    detection, mirroring the paper's use of the insignificant categories
+    to keep non-I/O-intensive activity out of the characterization.
+    Metadata impact is evaluated on the whole trace.
+    """
+    run_time = trace.meta.run_time
+    temporality: list[TemporalityDetection] = []
+    periodicity: list[PeriodicityDetection] = []
+
+    for direction in _DIRECTIONS:
+        merged = preprocess_operations(
+            trace.operations(direction), run_time, config.merge
+        ).ops
+        temp = classify_temporality(merged, run_time, direction, config)
+        temporality.append(temp)
+        significant = merged.total_volume >= config.insignificant_bytes
+        if significant:
+            periodicity.append(
+                detect_periodicity(merged, run_time, direction, config)
+            )
+        else:
+            periodicity.append(
+                PeriodicityDetection(
+                    direction=direction, groups=(), n_segments=0
+                )
+            )
+
+    metadata = classify_metadata(trace, config)
+
+    return CategorizationResult.build(
+        job_id=trace.meta.job_id,
+        uid=trace.meta.uid,
+        exe=trace.meta.exe,
+        nprocs=trace.meta.nprocs,
+        run_time=run_time,
+        temporality=temporality,
+        periodicity=periodicity,
+        metadata=metadata,
+        config=config,
+    )

@@ -1,0 +1,112 @@
+"""Incremental, application-by-application categorization.
+
+Beyond post-mortem corpus analysis, the paper notes MOSAIC "can also be
+used for application-by-application categorization to provide
+information to a job scheduler" (§IV-E).  This module provides that
+online mode: traces arrive one at a time (as jobs finish and their
+Darshan logs land), and the catalog maintains, per application, the
+categorization of its heaviest run seen so far — the same
+keep-heaviest semantics as the batch pipeline, incrementally.
+
+A scheduler queries :meth:`ApplicationCatalog.lookup` at submission time
+and receives the latest known categories (or nothing for first-time
+applications).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..darshan.trace import Trace
+from ..darshan.validate import validate_trace
+from .categorizer import categorize_trace
+from .result import CategorizationResult
+from .thresholds import DEFAULT_CONFIG, MosaicConfig
+
+__all__ = ["AppEntry", "ApplicationCatalog"]
+
+
+@dataclass(slots=True)
+class AppEntry:
+    """Catalog state for one (user, executable) application."""
+
+    result: CategorizationResult
+    #: io_weight of the trace behind `result` (keep-heaviest criterion).
+    weight: float
+    #: Valid runs observed so far.
+    n_runs: int = 1
+    #: Runs whose own categorization agreed with the catalog entry's
+    #: categories at ingest time (behaviour-stability estimate, cf. the
+    #: paper's 97%-of-LAMMPS observation).
+    n_agreeing: int = 1
+
+    @property
+    def stability(self) -> float:
+        """Fraction of runs matching the catalog categorization."""
+        return self.n_agreeing / self.n_runs if self.n_runs else 0.0
+
+
+@dataclass(slots=True)
+class ApplicationCatalog:
+    """Online per-application categorization store."""
+
+    config: MosaicConfig = DEFAULT_CONFIG
+    #: Re-categorize a run only when it is at least this much heavier
+    #: than the catalog entry (avoids churning on equal-weight runs).
+    min_weight_gain: float = 1.0
+    _entries: dict[tuple[int, str], AppEntry] = field(default_factory=dict)
+    n_ingested: int = 0
+    n_rejected: int = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def ingest(self, trace: Trace) -> AppEntry | None:
+        """Feed one finished job's trace.
+
+        Corrupted traces are rejected (counted, not raised — the stream
+        must keep flowing).  Returns the application's current entry, or
+        ``None`` if the trace was rejected.
+        """
+        self.n_ingested += 1
+        if not validate_trace(trace).valid:
+            self.n_rejected += 1
+            return None
+
+        key = trace.meta.app_key
+        weight = trace.io_weight()
+        entry = self._entries.get(key)
+
+        if entry is None:
+            result = categorize_trace(trace, self.config)
+            entry = AppEntry(result=result, weight=weight)
+            self._entries[key] = entry
+            return entry
+
+        entry.n_runs += 1
+        result = categorize_trace(trace, self.config)
+        if result.categories == entry.result.categories:
+            entry.n_agreeing += 1
+        if weight >= entry.weight * self.min_weight_gain and weight > entry.weight:
+            # heavier run: it becomes the application's reference
+            entry.result = result
+            entry.weight = weight
+        return entry
+
+    def lookup(self, uid: int, exe: str) -> AppEntry | None:
+        """Scheduler-side query: known categorization of an application."""
+        return self._entries.get((uid, exe))
+
+    def entries(self) -> list[AppEntry]:
+        """All catalog entries (stable order by application key)."""
+        return [self._entries[k] for k in sorted(self._entries)]
+
+    def results(self) -> list[CategorizationResult]:
+        """Current reference results, one per application — directly
+        consumable by :mod:`repro.analysis`."""
+        return [e.result for e in self.entries()]
+
+    def run_weights(self) -> list[int]:
+        """Valid-run counts aligned with :meth:`results`."""
+        return [e.n_runs for e in self.entries()]

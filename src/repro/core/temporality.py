@@ -1,0 +1,141 @@
+"""Temporality characterization (paper §III-B3b, workflow step ③b).
+
+The merged operation stream of one direction is split into four equal
+temporal chunks; the byte sums ``c1..c4`` decide the label:
+
+1. direction moved fewer than 100 MB → ``insignificant``;
+2. coefficient of variation of the chunk sums < 25% → ``steady``;
+3. a chunk holding more than twice the bytes of every other chunk is
+   dominant: c1 → ``on_start``, c2 → ``after_start``, c3 →
+   ``before_end``, c4 → ``on_end``;
+4. the two middle chunks jointly holding more than twice the bytes of
+   the two outer ones → ``after_start_before_end``;
+5. otherwise the largest chunk wins with *weak* evidence.  This fallback
+   is the error mode the paper's accuracy study identifies ("sub-optimal
+   detection of temporality in some cases where an operation is unequally
+   spread across multiple chunks") — keeping it is what makes the
+   reproduction's accuracy land near the paper's 92% rather than at 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..darshan.trace import Direction, OperationArray
+from ..segment.chunks import ChunkProfile, chunk_volumes
+from .categories import Category
+from .thresholds import MosaicConfig
+
+__all__ = ["TemporalityDetection", "classify_temporality"]
+
+_CHUNK_CATEGORY: dict[Direction, tuple[Category, Category, Category, Category]] = {
+    "read": (
+        Category.READ_ON_START,
+        Category.READ_AFTER_START,
+        Category.READ_BEFORE_END,
+        Category.READ_ON_END,
+    ),
+    "write": (
+        Category.WRITE_ON_START,
+        Category.WRITE_AFTER_START,
+        Category.WRITE_BEFORE_END,
+        Category.WRITE_ON_END,
+    ),
+}
+
+_STEADY: dict[Direction, Category] = {
+    "read": Category.READ_STEADY,
+    "write": Category.WRITE_STEADY,
+}
+_MIDDLE: dict[Direction, Category] = {
+    "read": Category.READ_AFTER_START_BEFORE_END,
+    "write": Category.WRITE_AFTER_START_BEFORE_END,
+}
+_INSIGNIFICANT: dict[Direction, Category] = {
+    "read": Category.READ_INSIGNIFICANT,
+    "write": Category.WRITE_INSIGNIFICANT,
+}
+
+
+@dataclass(slots=True, frozen=True)
+class TemporalityDetection:
+    """Temporality verdict for one direction of one trace."""
+
+    direction: Direction
+    category: Category
+    profile: ChunkProfile | None
+    #: True when the label came from the weak-evidence fallback (rule 5);
+    #: the accuracy analysis uses this to localize expected errors.
+    weak_evidence: bool = False
+
+
+def classify_temporality(
+    ops: OperationArray,
+    run_time: float,
+    direction: Direction,
+    config: MosaicConfig,
+) -> TemporalityDetection:
+    """Assign the temporality category of one direction.
+
+    ``ops`` must be the merged operation stream.  The chunk rules follow
+    the module docstring; with the paper's 4 chunks the dominance rules
+    generalize to any ``config.n_chunks >= 4`` by mapping interior chunks
+    onto ``after_start`` / ``before_end`` halves.
+    """
+    total = ops.total_volume
+    if total < config.insignificant_bytes:
+        return TemporalityDetection(
+            direction=direction,
+            category=_INSIGNIFICANT[direction],
+            profile=None,
+        )
+
+    profile = chunk_volumes(ops, run_time, config.n_chunks)
+    c = profile.volumes
+
+    # Rule 2: steady.
+    if profile.coefficient_of_variation() < config.steady_cv:
+        return TemporalityDetection(
+            direction=direction, category=_STEADY[direction], profile=profile
+        )
+
+    # Rule 3: single dominant chunk.
+    factor = config.dominance_factor
+    n = len(c)
+    for i in range(n):
+        others = np.delete(c, i)
+        if len(others) and c[i] > factor * others.max():
+            category = _position_category(i, n, direction)
+            return TemporalityDetection(
+                direction=direction, category=category, profile=profile
+            )
+
+    # Rule 4: middle half dominates the outer half.
+    mid_lo, mid_hi = n // 4, n - n // 4
+    middle = float(c[mid_lo:mid_hi].sum())
+    outer = float(c[:mid_lo].sum() + c[mid_hi:].sum())
+    if middle > factor * outer:
+        return TemporalityDetection(
+            direction=direction, category=_MIDDLE[direction], profile=profile
+        )
+
+    # Rule 5: weak-evidence fallback — largest chunk wins.
+    i = int(np.argmax(c))
+    return TemporalityDetection(
+        direction=direction,
+        category=_position_category(i, n, direction),
+        profile=profile,
+        weak_evidence=True,
+    )
+
+
+def _position_category(i: int, n: int, direction: Direction) -> Category:
+    """Map chunk index ``i`` of ``n`` chunks onto a positional category."""
+    on_start, after_start, before_end, on_end = _CHUNK_CATEGORY[direction]
+    if i == 0:
+        return on_start
+    if i == n - 1:
+        return on_end
+    return after_start if i < n / 2 else before_end

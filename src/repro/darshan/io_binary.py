@@ -1,0 +1,197 @@
+"""Compact binary codec for Darshan-equivalent traces.
+
+Real Darshan logs are binary for a reason: a year of Blue Waters is
+hundreds of thousands of files.  This codec packs a trace into a small
+struct-based container so that corpus-scale experiments do not pay JSON
+costs.  Layout (little endian):
+
+``header``
+    magic ``b"MOSD"`` · u16 version · u16 reserved · job struct ·
+    u32 record count · u32 string-table length
+``string table``
+    UTF-8 file names joined by ``\\x00``
+``records``
+    fixed 112-byte struct per record (see ``_RECORD``)
+
+The codec is deliberately strict: any truncation or bad magic raises
+:class:`~repro.darshan.errors.TraceFormatError`, which the validity stage
+counts as corruption — mirroring how MOSAIC evicts unreadable Darshan
+files.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import BinaryIO
+
+from .errors import TraceFormatError, TraceWriteError
+from .records import FileRecord, JobMeta
+from .trace import Trace
+
+__all__ = ["save_binary", "load_binary", "dumps_binary", "loads_binary"]
+
+MAGIC = b"MOSD"
+VERSION = 1
+
+_HEADER = struct.Struct("<4sHH")
+# job_id, uid, nprocs, start, end, exe_len, machine_len, partition_len
+_JOB = struct.Struct("<qqqddHHH")
+_COUNTS = struct.Struct("<II")
+# file_id rank opens closes seeks stats reads writes bytes_read bytes_written
+# open_start close_end read_start read_end write_start write_end
+# read_time write_time meta_time
+_RECORD = struct.Struct("<qiqqqqqqqq9d")
+
+
+def _pack_job(meta: JobMeta) -> bytes:
+    exe = meta.exe.encode("utf-8")
+    machine = meta.machine.encode("utf-8")
+    partition = meta.partition.encode("utf-8")
+    if max(len(exe), len(machine), len(partition)) > 0xFFFF:
+        raise TraceWriteError("job string field too long")
+    head = _JOB.pack(
+        meta.job_id,
+        meta.uid,
+        meta.nprocs,
+        meta.start_time,
+        meta.end_time,
+        len(exe),
+        len(machine),
+        len(partition),
+    )
+    return head + exe + machine + partition
+
+
+def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise TraceFormatError(f"truncated trace: expected {n} bytes for {what}")
+    return data
+
+
+def _unpack_job(fh: BinaryIO) -> JobMeta:
+    raw = _read_exact(fh, _JOB.size, "job header")
+    job_id, uid, nprocs, start, end, n_exe, n_mach, n_part = _JOB.unpack(raw)
+    exe = _read_exact(fh, n_exe, "exe string").decode("utf-8")
+    machine = _read_exact(fh, n_mach, "machine string").decode("utf-8")
+    partition = _read_exact(fh, n_part, "partition string").decode("utf-8")
+    return JobMeta(
+        job_id=job_id,
+        uid=uid,
+        exe=exe,
+        nprocs=nprocs,
+        start_time=start,
+        end_time=end,
+        machine=machine,
+        partition=partition,
+    )
+
+
+def _pack_record(rec: FileRecord, name_offset: int) -> bytes:
+    try:
+        return _RECORD.pack(
+            rec.file_id,
+            rec.rank,
+            rec.opens,
+            rec.closes,
+            rec.seeks,
+            rec.stats,
+            rec.reads,
+            rec.writes,
+            rec.bytes_read,
+            rec.bytes_written,
+            rec.open_start,
+            rec.close_end,
+            rec.read_start,
+            rec.read_end,
+            rec.write_start,
+            rec.write_end,
+            rec.read_time,
+            rec.write_time,
+            rec.meta_time,
+        )
+    except struct.error as exc:
+        raise TraceWriteError(f"counter out of range in record {rec.file_id}: {exc}") from exc
+
+
+def dumps_binary(trace: Trace) -> bytes:
+    """Serialize ``trace`` into the MOSD binary container."""
+    names = [rec.file_name for rec in trace.records]
+    table = "\x00".join(names).encode("utf-8")
+    parts = [
+        _HEADER.pack(MAGIC, VERSION, 0),
+        _pack_job(trace.meta),
+        _COUNTS.pack(len(trace.records), len(table)),
+        table,
+    ]
+    parts.extend(_pack_record(rec, 0) for rec in trace.records)
+    return b"".join(parts)
+
+
+def loads_binary(payload: bytes) -> Trace:
+    """Parse the MOSD binary container produced by :func:`dumps_binary`."""
+    import io as _io
+
+    fh = _io.BytesIO(payload)
+    raw = _read_exact(fh, _HEADER.size, "magic header")
+    magic, version, _ = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic: {magic!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported binary trace version: {version}")
+    meta = _unpack_job(fh)
+    n_records, n_table = _COUNTS.unpack(_read_exact(fh, _COUNTS.size, "counts"))
+    table = _read_exact(fh, n_table, "string table").decode("utf-8")
+    names = table.split("\x00") if table else []
+    if names and len(names) != n_records:
+        raise TraceFormatError(
+            f"string table holds {len(names)} names for {n_records} records"
+        )
+    records: list[FileRecord] = []
+    for i in range(n_records):
+        vals = _RECORD.unpack(_read_exact(fh, _RECORD.size, f"record {i}"))
+        records.append(
+            FileRecord(
+                file_id=vals[0],
+                file_name=names[i] if names else "",
+                rank=vals[1],
+                opens=vals[2],
+                closes=vals[3],
+                seeks=vals[4],
+                stats=vals[5],
+                reads=vals[6],
+                writes=vals[7],
+                bytes_read=vals[8],
+                bytes_written=vals[9],
+                open_start=vals[10],
+                close_end=vals[11],
+                read_start=vals[12],
+                read_end=vals[13],
+                write_start=vals[14],
+                write_end=vals[15],
+                read_time=vals[16],
+                write_time=vals[17],
+                meta_time=vals[18],
+            )
+        )
+    trailing = fh.read(1)
+    if trailing:
+        raise TraceFormatError("trailing bytes after last record")
+    return Trace(meta=meta, records=records)
+
+
+def save_binary(trace: Trace, path: str | os.PathLike[str]) -> None:
+    """Write ``trace`` to ``path`` in MOSD binary form."""
+    data = dumps_binary(trace)
+    with open(os.fspath(path), "wb") as fh:
+        fh.write(data)
+
+
+def load_binary(path: str | os.PathLike[str]) -> Trace:
+    """Read a trace written by :func:`save_binary`."""
+    try:
+        with open(os.fspath(path), "rb") as fh:
+            return loads_binary(fh.read())
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc

@@ -1,0 +1,80 @@
+"""JSON codec for Darshan-equivalent traces.
+
+The JSON layout mirrors ``darshan-parser --json``-style output: a ``job``
+header plus a list of POSIX records keyed by the canonical Darshan counter
+names from :mod:`repro.darshan.counters`.  This is the interchange format
+of the repo (human-inspectable, versioned); the binary codec in
+:mod:`repro.darshan.io_binary` is the bulk-storage format.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+from typing import Any
+
+from .errors import TraceFormatError
+from .trace import Trace
+
+__all__ = ["dumps", "loads", "save_json", "load_json"]
+
+FORMAT_NAME = "mosaic-darshan-json"
+FORMAT_VERSION = 1
+
+
+def dumps(trace: Trace, *, indent: int | None = None) -> str:
+    """Serialize ``trace`` to a JSON string."""
+    doc = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        **trace.to_dict(),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def loads(payload: str | bytes) -> Trace:
+    """Parse a trace from a JSON string produced by :func:`dumps`."""
+    try:
+        doc: dict[str, Any] = json.loads(payload)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"malformed JSON trace: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise TraceFormatError("JSON trace must be an object")
+    if doc.get("format") != FORMAT_NAME:
+        raise TraceFormatError(
+            f"not a {FORMAT_NAME} document (format={doc.get('format')!r})"
+        )
+    version = doc.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace version: {version!r}")
+    try:
+        return Trace.from_dict(doc)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"invalid trace payload: {exc}") from exc
+
+
+def save_json(trace: Trace, path: str | os.PathLike[str], *, indent: int | None = None) -> None:
+    """Write ``trace`` to ``path``; ``.gz`` suffix enables gzip."""
+    text = dumps(trace, indent=indent)
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(text)
+    else:
+        with io.open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+
+def load_json(path: str | os.PathLike[str]) -> Trace:
+    """Read a trace written by :func:`save_json`."""
+    path = os.fspath(path)
+    try:
+        if path.endswith(".gz"):
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                return loads(fh.read())
+        with io.open(path, "r", encoding="utf-8") as fh:
+            return loads(fh.read())
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc

@@ -1,0 +1,86 @@
+"""Descriptive statistics over a single trace.
+
+These summaries are what the aggregate-statistics baseline of related work
+consumes (Devarajan & Mohror style, paper ref. [25]) and what the report
+renderer shows next to MOSAIC's categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["TraceSummary", "summarize"]
+
+
+@dataclass(slots=True, frozen=True)
+class TraceSummary:
+    """Aggregate view of one trace (no temporal structure retained)."""
+
+    job_id: int
+    uid: int
+    exe: str
+    nprocs: int
+    run_time: float
+    n_records: int
+    n_files: int
+    bytes_read: int
+    bytes_written: int
+    reads: int
+    writes: int
+    metadata_ops: int
+    read_time: float
+    write_time: float
+    meta_time: float
+    ranks_doing_io: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def io_time(self) -> float:
+        return self.read_time + self.write_time + self.meta_time
+
+    @property
+    def io_time_fraction(self) -> float:
+        """Fraction of (nprocs × run_time) core-seconds spent in I/O."""
+        denom = self.nprocs * self.run_time
+        return self.io_time / denom if denom > 0 else 0.0
+
+    @property
+    def mean_read_size(self) -> float:
+        return self.bytes_read / self.reads if self.reads else 0.0
+
+    @property
+    def mean_write_size(self) -> float:
+        return self.bytes_written / self.writes if self.writes else 0.0
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """Compute the aggregate summary of ``trace``."""
+    files = {r.file_id for r in trace.records}
+    ranks = {r.rank for r in trace.records if r.total_bytes > 0 and r.rank >= 0}
+    shared = any(r.rank < 0 and r.total_bytes > 0 for r in trace.records)
+    ranks_doing_io = trace.meta.nprocs if shared else len(ranks)
+    return TraceSummary(
+        job_id=trace.meta.job_id,
+        uid=trace.meta.uid,
+        exe=trace.meta.exe,
+        nprocs=trace.meta.nprocs,
+        run_time=trace.meta.run_time,
+        n_records=len(trace.records),
+        n_files=len(files),
+        bytes_read=trace.total_bytes_read,
+        bytes_written=trace.total_bytes_written,
+        reads=sum(r.reads for r in trace.records),
+        writes=sum(r.writes for r in trace.records),
+        metadata_ops=trace.total_metadata_ops,
+        read_time=float(np.sum([r.read_time for r in trace.records])) if trace.records else 0.0,
+        write_time=float(np.sum([r.write_time for r in trace.records])) if trace.records else 0.0,
+        meta_time=float(np.sum([r.meta_time for r in trace.records])) if trace.records else 0.0,
+        ranks_doing_io=ranks_doing_io,
+    )

@@ -1,0 +1,154 @@
+"""Trace validity checking (workflow step ① of Fig. 1).
+
+The paper reports that 32% of the Blue Waters 2019 traces were corrupted
+and evicted before categorization, citing as an example records whose
+resources are deallocated before the end of the application's execution.
+This module defines the corruption taxonomy the validator detects and the
+vectorization-friendly checker used by the pre-processing stage.
+
+Every check is pure structural invariant checking — a *valid* trace may
+still be I/O-insignificant; that is a categorization outcome, not a
+validity failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .records import FileRecord
+from .trace import Trace
+
+__all__ = ["Violation", "ValidationReport", "validate_trace", "is_valid"]
+
+#: Slack (seconds) allowed past the nominal job end: Darshan flushes its
+#: log during MPI_Finalize, so the last timestamps can slightly exceed the
+#: scheduler-reported end time.
+END_SLACK = 1.0
+
+
+class Violation(str, Enum):
+    """Machine-readable corruption categories."""
+
+    NEGATIVE_RUNTIME = "negative_runtime"
+    BAD_NPROCS = "bad_nprocs"
+    TIMESTAMP_BEFORE_START = "timestamp_before_start"
+    TIMESTAMP_AFTER_END = "timestamp_after_end"
+    #: The paper's example: deallocation (close) recorded before the
+    #: matching activity window finished.
+    DEALLOC_BEFORE_END = "dealloc_before_end"
+    INVERTED_WINDOW = "inverted_window"
+    NEGATIVE_COUNTER = "negative_counter"
+    BYTES_WITHOUT_WINDOW = "bytes_without_window"
+    OPENS_WITHOUT_CLOSE_WINDOW = "opens_without_close_window"
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """Outcome of validating a single trace."""
+
+    valid: bool
+    violations: list[tuple[Violation, str]] = field(default_factory=list)
+
+    def reasons(self) -> list[str]:
+        return [f"{v.value}: {detail}" for v, detail in self.violations]
+
+    def categories(self) -> set[Violation]:
+        return {v for v, _ in self.violations}
+
+
+def _check_record(rec: FileRecord, run_time: float, out: list[tuple[Violation, str]]) -> None:
+    hi = run_time + END_SLACK
+    name = f"record file_id={rec.file_id} rank={rec.rank}"
+
+    for label, value in (
+        ("opens", rec.opens),
+        ("closes", rec.closes),
+        ("seeks", rec.seeks),
+        ("stats", rec.stats),
+        ("reads", rec.reads),
+        ("writes", rec.writes),
+        ("bytes_read", rec.bytes_read),
+        ("bytes_written", rec.bytes_written),
+    ):
+        if value < 0:
+            out.append((Violation.NEGATIVE_COUNTER, f"{name}: {label}={value}"))
+
+    windows = (
+        ("read", rec.read_start, rec.read_end, rec.bytes_read),
+        ("write", rec.write_start, rec.write_end, rec.bytes_written),
+    )
+    for label, lo_ts, hi_ts, nbytes in windows:
+        present = lo_ts >= 0.0 or hi_ts >= 0.0
+        if nbytes > 0 and not present:
+            out.append(
+                (Violation.BYTES_WITHOUT_WINDOW, f"{name}: {nbytes} {label} bytes, no window")
+            )
+            continue
+        if not present:
+            continue
+        if lo_ts < 0.0 or hi_ts < 0.0:
+            out.append((Violation.TIMESTAMP_BEFORE_START, f"{name}: half-open {label} window"))
+            continue
+        if hi_ts < lo_ts:
+            out.append(
+                (Violation.INVERTED_WINDOW, f"{name}: {label} window [{lo_ts}, {hi_ts}]")
+            )
+        if lo_ts > hi or hi_ts > hi:
+            out.append(
+                (Violation.TIMESTAMP_AFTER_END, f"{name}: {label} window beyond runtime {run_time}")
+            )
+
+    # metadata window
+    if rec.open_start >= 0.0 or rec.close_end >= 0.0:
+        if rec.open_start >= 0.0 and rec.close_end >= 0.0:
+            if rec.close_end < rec.open_start:
+                out.append(
+                    (Violation.INVERTED_WINDOW, f"{name}: close {rec.close_end} < open {rec.open_start}")
+                )
+            # the paper's flagship corruption: the file was deallocated
+            # (closed) while its recorded data window still extends past it
+            last_activity = max(rec.read_end, rec.write_end)
+            if last_activity >= 0.0 and rec.close_end + 1e-9 < last_activity:
+                out.append(
+                    (
+                        Violation.DEALLOC_BEFORE_END,
+                        f"{name}: closed at {rec.close_end} before activity end {last_activity}",
+                    )
+                )
+        if max(rec.open_start, rec.close_end) > hi:
+            out.append(
+                (Violation.TIMESTAMP_AFTER_END, f"{name}: metadata window beyond runtime")
+            )
+    elif rec.opens > 0:
+        out.append(
+            (Violation.OPENS_WITHOUT_CLOSE_WINDOW, f"{name}: {rec.opens} opens, no open/close timestamps")
+        )
+
+
+def validate_trace(trace: Trace) -> ValidationReport:
+    """Check every structural invariant of ``trace``.
+
+    Returns a report carrying all violations found (not just the first),
+    so the funnel analysis can histogram corruption causes.
+    """
+    violations: list[tuple[Violation, str]] = []
+
+    run_time = trace.meta.run_time
+    if run_time <= 0.0:
+        violations.append(
+            (Violation.NEGATIVE_RUNTIME, f"run_time={run_time}")
+        )
+    if trace.meta.nprocs <= 0:
+        violations.append((Violation.BAD_NPROCS, f"nprocs={trace.meta.nprocs}"))
+
+    if run_time > 0.0:
+        for rec in trace.records:
+            _check_record(rec, run_time, violations)
+
+    return ValidationReport(valid=not violations, violations=violations)
+
+
+def is_valid(trace: Trace) -> bool:
+    """Fast boolean form of :func:`validate_trace`."""
+    return validate_trace(trace).valid

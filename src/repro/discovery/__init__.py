@@ -1,0 +1,18 @@
+"""Automatic category discovery (paper §V): from-scratch k-means over
+chunk-share features, compared against the rule-based Table I taxonomy."""
+
+from .discover import DiscoveredCluster, DiscoveryReport, discover_temporality
+from .features import FeatureSpec, feature_names, temporality_features
+from .kmeans import KMeansResult, kmeans, select_k
+
+__all__ = [
+    "DiscoveredCluster",
+    "DiscoveryReport",
+    "discover_temporality",
+    "FeatureSpec",
+    "feature_names",
+    "temporality_features",
+    "KMeansResult",
+    "kmeans",
+    "select_k",
+]

@@ -1,0 +1,122 @@
+"""Automatic temporality-category discovery (paper §V).
+
+Clusters traces in chunk-share space and compares the discovered
+partition to MOSAIC's rule-based labels: cluster purity and the majority
+label per cluster show how far unsupervised structure reproduces
+Table I's hand-designed taxonomy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.metrics import adjusted_rand_index
+from ..core.categories import TEMPORALITY_READ, TEMPORALITY_WRITE, Category
+from ..core.result import CategorizationResult
+from .features import FeatureSpec, temporality_features
+from .kmeans import kmeans, select_k
+
+__all__ = ["DiscoveredCluster", "DiscoveryReport", "discover_temporality"]
+
+
+@dataclass(slots=True, frozen=True)
+class DiscoveredCluster:
+    """One discovered group of traces."""
+
+    cluster_id: int
+    size: int
+    #: Rule-based label most common in the cluster.
+    majority_label: Category
+    #: Fraction of members carrying the majority label.
+    purity: float
+    #: Mean chunk-share profile of the cluster (length 4).
+    centroid_shares: tuple[float, ...]
+
+
+@dataclass(slots=True, frozen=True)
+class DiscoveryReport:
+    """Comparison of discovered clusters against the rule-based taxonomy."""
+
+    direction: str
+    k: int
+    clusters: tuple[DiscoveredCluster, ...]
+    #: Overall purity: weighted mean of per-cluster purities.
+    overall_purity: float
+    #: Adjusted Rand index between discovered and rule-based partitions.
+    ari: float
+    n_traces: int
+
+    def labels_recovered(self) -> set[Category]:
+        """Distinct rule-based labels appearing as cluster majorities."""
+        return {c.majority_label for c in self.clusters}
+
+
+def _rule_label(result: CategorizationResult, direction: str) -> Category | None:
+    universe = TEMPORALITY_READ if direction == "read" else TEMPORALITY_WRITE
+    labels = result.categories & universe
+    return next(iter(labels)) if labels else None
+
+
+def discover_temporality(
+    results: list[CategorizationResult],
+    direction: str = "write",
+    *,
+    k: int | None = None,
+    k_max: int = 8,
+    seed: int = 0,
+) -> DiscoveryReport:
+    """Discover temporality classes by clustering chunk-share profiles.
+
+    ``k=None`` selects the cluster count with the elbow rule — the
+    "more automatic" determination the paper sketches.
+    """
+    X, kept = temporality_features(results, direction, FeatureSpec(log_volume=False))
+    if len(kept) < 2:
+        return DiscoveryReport(
+            direction=direction, k=0, clusters=(), overall_purity=0.0,
+            ari=0.0, n_traces=len(kept),
+        )
+    if k is None:
+        k = select_k(X, k_max=min(k_max, len(kept)), seed=seed)
+    fit = kmeans(X, k, seed=seed)
+
+    rule_labels = [
+        _rule_label(results[i], direction) or Category.READ_INSIGNIFICANT
+        for i in kept
+    ]
+    clusters: list[DiscoveredCluster] = []
+    weighted_purity = 0.0
+    for j in range(fit.k):
+        members = np.flatnonzero(fit.labels == j)
+        if len(members) == 0:
+            continue
+        counts = Counter(rule_labels[int(m)] for m in members)
+        majority, hits = counts.most_common(1)[0]
+        purity = hits / len(members)
+        weighted_purity += purity * len(members)
+        clusters.append(
+            DiscoveredCluster(
+                cluster_id=j,
+                size=int(len(members)),
+                majority_label=majority,
+                purity=purity,
+                centroid_shares=tuple(float(v) for v in fit.centers[j][:4]),
+            )
+        )
+    clusters.sort(key=lambda c: -c.size)
+
+    rule_ids = {lab: i for i, lab in enumerate(sorted({*rule_labels}, key=str))}
+    ari = adjusted_rand_index(
+        np.array([rule_ids[l] for l in rule_labels]), fit.labels
+    )
+    return DiscoveryReport(
+        direction=direction,
+        k=fit.k,
+        clusters=tuple(clusters),
+        overall_purity=weighted_purity / len(kept),
+        ari=float(ari),
+        n_traces=len(kept),
+    )

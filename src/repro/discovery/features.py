@@ -1,0 +1,86 @@
+"""Per-trace feature vectors for automatic category discovery.
+
+The paper's fixed chunk rules (§III-B3b) hand-define the temporality
+classes; §V proposes discovering them with clustering instead.  The
+natural feature space is exactly what the rules consume: the normalized
+temporal chunk shares of each direction, plus activity-shape scalars
+(coverage, operation count, periodicity evidence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.result import CategorizationResult
+
+__all__ = ["FeatureSpec", "temporality_features", "feature_names"]
+
+
+@dataclass(slots=True, frozen=True)
+class FeatureSpec:
+    """Which feature blocks to include."""
+
+    chunk_shares: bool = True
+    log_volume: bool = True
+    periodicity: bool = False
+
+
+def feature_names(direction: str, spec: FeatureSpec | None = None) -> list[str]:
+    """Column names of :func:`temporality_features` output."""
+    spec = spec or FeatureSpec()
+    names: list[str] = []
+    if spec.chunk_shares:
+        names += [f"{direction}_chunk{i}" for i in range(4)]
+    if spec.log_volume:
+        names.append(f"{direction}_log_volume")
+    if spec.periodicity:
+        names.append(f"{direction}_n_periodic_groups")
+    return names
+
+
+def temporality_features(
+    results: list[CategorizationResult],
+    direction: str,
+    spec: FeatureSpec | None = None,
+) -> tuple[np.ndarray, list[int]]:
+    """Build the feature matrix for one direction.
+
+    Returns ``(X, kept)`` where ``kept`` holds the indices of results
+    with significant activity in ``direction`` (insignificant traces
+    have no temporal structure to discover and are excluded, mirroring
+    the paper's use of the insignificant categories).
+    """
+    spec = spec or FeatureSpec()
+    rows: list[list[float]] = []
+    kept: list[int] = []
+    for i, r in enumerate(results):
+        chunks = r.chunk_volumes.get(direction)
+        if not chunks:
+            continue
+        total = float(sum(chunks))
+        if total <= 0:
+            continue
+        row: list[float] = []
+        if spec.chunk_shares:
+            row += [float(c) / total for c in chunks]
+        if spec.log_volume:
+            row.append(float(np.log10(max(total, 1.0))))
+        if spec.periodicity:
+            row.append(float(len(r.periodic_groups.get(direction, []))))
+        rows.append(row)
+        kept.append(i)
+    if not rows:
+        return np.empty((0, len(feature_names(direction, spec)))), []
+    X = np.asarray(rows, dtype=np.float64)
+    # z-score the non-share columns so chunk shares (already in [0, 1])
+    # and volumes live on comparable scales
+    n_share = 4 if spec.chunk_shares else 0
+    for col in range(n_share, X.shape[1]):
+        std = X[:, col].std()
+        if std > 0:
+            X[:, col] = (X[:, col] - X[:, col].mean()) / std
+        else:
+            X[:, col] = 0.0
+    return X, kept

@@ -1,0 +1,29 @@
+"""PFS contention simulation and category-aware scheduling — the
+evaluation substrate for the paper's long-term goal (§V): using MOSAIC
+categories to limit I/O interference between jobs."""
+
+from .profiles import IOPhase, IOProfile, profile_from_result, profile_from_trace
+from .schedulers import (
+    Schedule,
+    evaluate_schedule,
+    schedule_category_aware,
+    schedule_random,
+    schedule_together,
+)
+from .simulator import SimJob, SimulationResult, isolated_time, simulate
+
+__all__ = [
+    "IOPhase",
+    "IOProfile",
+    "profile_from_result",
+    "profile_from_trace",
+    "Schedule",
+    "evaluate_schedule",
+    "schedule_category_aware",
+    "schedule_random",
+    "schedule_together",
+    "SimJob",
+    "SimulationResult",
+    "isolated_time",
+    "simulate",
+]

@@ -1,0 +1,185 @@
+"""I/O demand profiles: the bridge from MOSAIC categories to scheduling.
+
+The paper's long-term goal (§V) is concurrency-aware job scheduling: use
+each application's categories to predict *when* it will pressure the
+parallel file system, and place jobs so those windows do not collide.
+This module turns a :class:`~repro.core.result.CategorizationResult`
+into an :class:`IOProfile` — an alternating sequence of compute and I/O
+phases — and, for evaluation, extracts the *exact* profile from a trace
+so the prediction quality of the category-derived profile can be
+measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..core.categories import Category
+from ..core.result import CategorizationResult
+from ..darshan.trace import Trace
+from ..merge.pipeline import preprocess_operations
+
+__all__ = ["IOPhase", "IOProfile", "profile_from_result", "profile_from_trace"]
+
+PhaseKind = Literal["read", "write"]
+
+
+@dataclass(slots=True, frozen=True)
+class IOPhase:
+    """One I/O demand window of a job (times relative to job start)."""
+
+    start: float
+    end: float
+    volume: float
+    kind: PhaseKind
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("phase must have positive duration")
+        if self.volume < 0:
+            raise ValueError("volume must be non-negative")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Demand rate in bytes/second under no contention."""
+        return self.volume / self.duration
+
+
+@dataclass(slots=True, frozen=True)
+class IOProfile:
+    """Expected I/O behaviour of one job: phases over its runtime."""
+
+    name: str
+    run_time: float
+    phases: tuple[IOPhase, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "phases", tuple(sorted(self.phases, key=lambda p: p.start))
+        )
+
+    @property
+    def total_volume(self) -> float:
+        return sum(p.volume for p in self.phases)
+
+    def demand_at(self, t: float) -> float:
+        """Instantaneous demand rate at relative time ``t``."""
+        return sum(p.rate for p in self.phases if p.start <= t < p.end)
+
+    def demand_series(self, n_bins: int = 256) -> np.ndarray:
+        """Binned demand rate over the runtime (bytes/second per bin)."""
+        series = np.zeros(n_bins)
+        width = self.run_time / n_bins
+        for p in self.phases:
+            b0 = int(np.clip(p.start / width, 0, n_bins - 1))
+            b1 = int(np.clip(np.ceil(p.end / width), b0 + 1, n_bins))
+            series[b0:b1] += p.rate
+        return series
+
+
+#: Fraction of the runtime a start/end burst is assumed to occupy when
+#: only the category (not the trace) is known.
+BURST_SPAN = 0.05
+
+
+def profile_from_result(
+    result: CategorizationResult, run_time: float | None = None
+) -> IOProfile:
+    """Predict a job's demand profile from its MOSAIC categories.
+
+    This is what a scheduler would do for an *incoming* job whose
+    application has been categorized before: it knows the labels, the
+    chunk byte sums, and the detected periods — not the exact trace.
+    """
+    rt = run_time if run_time is not None else result.run_time
+    phases: list[IOPhase] = []
+
+    for direction in ("read", "write"):
+        chunks = result.chunk_volumes.get(direction)
+        if not chunks:
+            continue
+        total = float(sum(chunks))
+        if total <= 0:
+            continue
+        kind: PhaseKind = direction  # type: ignore[assignment]
+
+        groups = result.periodic_groups.get(direction, [])
+        if groups:
+            # periodic: one phase per expected occurrence of each group
+            for g in groups:
+                n_events = max(1, int(rt // g.period))
+                busy = max(g.busy_fraction, 0.01) * g.period
+                for k in range(n_events):
+                    t0 = min(k * g.period + 0.02 * rt, rt - busy)
+                    phases.append(
+                        IOPhase(
+                            start=max(t0, 0.0),
+                            end=max(t0, 0.0) + busy,
+                            volume=g.mean_volume,
+                            kind=kind,
+                        )
+                    )
+            continue
+
+        steady = (
+            Category.READ_STEADY if direction == "read" else Category.WRITE_STEADY
+        )
+        on_start = (
+            Category.READ_ON_START if direction == "read" else Category.WRITE_ON_START
+        )
+        on_end = (
+            Category.READ_ON_END if direction == "read" else Category.WRITE_ON_END
+        )
+        if steady in result.categories:
+            phases.append(IOPhase(start=0.0, end=rt, volume=total, kind=kind))
+        elif on_start in result.categories:
+            phases.append(
+                IOPhase(start=0.0, end=BURST_SPAN * rt, volume=total, kind=kind)
+            )
+        elif on_end in result.categories:
+            phases.append(
+                IOPhase(start=(1 - BURST_SPAN) * rt, end=rt, volume=total, kind=kind)
+            )
+        else:
+            # other temporal labels: place the volume according to the
+            # chunk profile (one phase per non-empty chunk)
+            n = len(chunks)
+            for i, vol in enumerate(chunks):
+                if vol <= 0:
+                    continue
+                phases.append(
+                    IOPhase(
+                        start=i * rt / n,
+                        end=(i + 1) * rt / n,
+                        volume=float(vol),
+                        kind=kind,
+                    )
+                )
+
+    return IOProfile(name=result.exe, run_time=rt, phases=tuple(phases))
+
+
+def profile_from_trace(trace: Trace) -> IOProfile:
+    """Exact demand profile from a trace's merged operations.
+
+    Evaluation ground truth: how the job actually loaded the system.
+    """
+    rt = trace.meta.run_time
+    phases: list[IOPhase] = []
+    for direction in ("read", "write"):
+        merged = preprocess_operations(
+            trace.operations(direction), rt  # type: ignore[arg-type]
+        ).ops
+        for s, e, v in merged:
+            if v <= 0:
+                continue
+            e = max(e, s + 1e-3)
+            phases.append(IOPhase(start=s, end=e, volume=v, kind=direction))  # type: ignore[arg-type]
+    return IOProfile(name=trace.meta.exe, run_time=rt, phases=tuple(phases))

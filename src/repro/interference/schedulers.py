@@ -1,0 +1,115 @@
+"""Launch-time scheduling policies evaluated under PFS contention.
+
+Three policies, evaluated by :func:`evaluate_schedule`:
+
+* ``schedule_together`` — the contention-blind baseline: everything
+  launches at once (a burst of queued jobs released by the batch
+  scheduler);
+* ``schedule_random`` — naive staggering over a window, category-blind;
+* ``schedule_category_aware`` — the paper's proposal: use each job's
+  MOSAIC-*predicted* demand profile to pick start offsets that minimize
+  predicted demand overlap (greedy packing of demand series).
+
+The category-aware policy only sees what MOSAIC provides (categories,
+chunk sums, periods); the evaluation simulates the *true* trace-derived
+profiles, so prediction error counts against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .profiles import IOProfile
+from .simulator import SimJob, SimulationResult, simulate
+
+__all__ = [
+    "Schedule",
+    "schedule_together",
+    "schedule_random",
+    "schedule_category_aware",
+    "evaluate_schedule",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class Schedule:
+    """Start-time assignment for a set of jobs."""
+
+    offsets: dict[str, float]
+    policy: str
+
+    def start_of(self, name: str) -> float:
+        return self.offsets.get(name, 0.0)
+
+
+def schedule_together(profiles: list[IOProfile]) -> Schedule:
+    """Everything at t=0 — the interference worst case."""
+    return Schedule(offsets={p.name: 0.0 for p in profiles}, policy="together")
+
+
+def schedule_random(
+    profiles: list[IOProfile], window: float, seed: int = 0
+) -> Schedule:
+    """Uniform random staggering over ``window`` seconds."""
+    rng = np.random.default_rng(seed)
+    return Schedule(
+        offsets={p.name: float(rng.uniform(0.0, window)) for p in profiles},
+        policy="random",
+    )
+
+
+def schedule_category_aware(
+    predicted: list[IOProfile],
+    window: float,
+    *,
+    n_candidates: int = 16,
+    n_bins: int = 512,
+) -> Schedule:
+    """Greedy demand packing from MOSAIC-predicted profiles.
+
+    Jobs are placed in order of decreasing predicted I/O volume; each
+    takes the candidate offset minimizing the overlap between its
+    predicted demand series and the demand already accumulated — the
+    concrete form of "two jobs reading large volumes at the start should
+    not overlap" (paper §V).
+    """
+    horizon = window + max((p.run_time for p in predicted), default=0.0)
+    width = horizon / n_bins
+    accumulated = np.zeros(n_bins)
+    candidates = np.linspace(0.0, window, n_candidates)
+    offsets: dict[str, float] = {}
+
+    for profile in sorted(predicted, key=lambda p: -p.total_volume):
+        series = profile.demand_series(max(int(profile.run_time / width), 1))
+        best_offset = 0.0
+        best_cost = np.inf
+        for off in candidates:
+            b0 = int(off / width)
+            b1 = min(b0 + len(series), n_bins)
+            seg = accumulated[b0:b1]
+            cost = float(np.dot(seg, series[: b1 - b0]))
+            # tie-break toward earlier starts
+            cost += 1e-9 * off
+            if cost < best_cost:
+                best_cost = cost
+                best_offset = float(off)
+        offsets[profile.name] = best_offset
+        b0 = int(best_offset / width)
+        b1 = min(b0 + len(series), n_bins)
+        accumulated[b0:b1] += series[: b1 - b0]
+
+    return Schedule(offsets=offsets, policy="category_aware")
+
+
+def evaluate_schedule(
+    schedule: Schedule,
+    true_profiles: list[IOProfile],
+    bandwidth: float,
+) -> SimulationResult:
+    """Simulate a schedule against the *true* job profiles."""
+    jobs = [
+        SimJob.from_profile(p, schedule.start_of(p.name)) for p in true_profiles
+    ]
+    return simulate(jobs, bandwidth)

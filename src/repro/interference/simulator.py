@@ -1,0 +1,255 @@
+"""Discrete-event simulation of parallel-file-system contention.
+
+Evaluates what the paper's conclusion proposes: scheduling decisions
+based on I/O categories.  Each job is an alternating sequence of compute
+segments (fixed duration) and I/O segments (fixed byte volume); the PFS
+grants bandwidth by progressive filling (max-min fair share, capped at
+each job's uncontended solo rate).  Contention stretches I/O segments,
+which delays everything after them — exactly the slowdown
+interference-aware scheduling tries to avoid.
+
+The model follows the classical online I/O-scheduling abstraction
+(Gainaru et al., paper ref. [7]): a single shared bandwidth resource,
+jobs alternating compute and I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .profiles import IOProfile
+
+__all__ = ["SimJob", "SimulationResult", "simulate", "isolated_time"]
+
+#: Numerical slack for event times.
+EPS = 1e-9
+
+
+@dataclass(slots=True)
+class _Segment:
+    """One phase of a job's lifetime."""
+
+    compute: float  # seconds of compute before the I/O
+    volume: float   # bytes of I/O after the compute (0 = trailing compute)
+    solo_rate: float  # uncontended I/O rate (bytes/s)
+
+
+@dataclass(slots=True)
+class SimJob:
+    """A job instance in the simulation."""
+
+    name: str
+    start_time: float
+    segments: list[_Segment]
+
+    @classmethod
+    def from_profile(cls, profile: IOProfile, start_time: float) -> "SimJob":
+        """Serialize a profile's (possibly overlapping) phases into an
+        alternating compute/I-O segment list.
+
+        Overlapping phases (e.g. concurrent read+write) are merged into
+        one I/O segment with summed volume and rates — the PFS sees
+        aggregate demand anyway.
+        """
+        segments: list[_Segment] = []
+        cursor = 0.0
+        merged: list[tuple[float, float, float, float]] = []
+        for p in sorted(profile.phases, key=lambda p: p.start):
+            if merged and p.start < merged[-1][1]:
+                s, e, v, r = merged[-1]
+                merged[-1] = (s, max(e, p.end), v + p.volume, r + p.rate)
+            else:
+                merged.append((p.start, p.end, p.volume, p.rate))
+        for s, e, v, r in merged:
+            compute = max(s - cursor, 0.0)
+            segments.append(_Segment(compute=compute, volume=v, solo_rate=max(r, 1.0)))
+            cursor = e
+        tail = max(profile.run_time - cursor, 0.0)
+        if tail > 0 or not segments:
+            segments.append(_Segment(compute=tail, volume=0.0, solo_rate=1.0))
+        return cls(name=profile.name, start_time=start_time, segments=segments)
+
+
+@dataclass(slots=True, frozen=True)
+class SimulationResult:
+    """Outcome of one contention simulation."""
+
+    #: job name → completion time (absolute).
+    completion: dict[str, float]
+    #: job name → stretch = contended duration / isolated duration.
+    stretch: dict[str, float]
+    #: seconds during which aggregate demand exceeded the PFS bandwidth.
+    congested_time: float
+    #: makespan of the whole schedule.
+    makespan: float
+
+    @property
+    def mean_stretch(self) -> float:
+        return float(np.mean(list(self.stretch.values()))) if self.stretch else 1.0
+
+    @property
+    def max_stretch(self) -> float:
+        return float(max(self.stretch.values())) if self.stretch else 1.0
+
+
+def isolated_time(profile: IOProfile) -> float:
+    """Duration of a job running alone (its nominal runtime)."""
+    return profile.run_time
+
+
+def _fair_share(demands: list[float], capacity: float) -> list[float]:
+    """Max-min fair (progressive filling) allocation of ``capacity``."""
+    n = len(demands)
+    if n == 0:
+        return []
+    alloc = [0.0] * n
+    remaining = capacity
+    active = sorted(range(n), key=lambda i: demands[i])
+    unsatisfied = list(active)
+    while unsatisfied and remaining > EPS:
+        share = remaining / len(unsatisfied)
+        progressed = False
+        for i in list(unsatisfied):
+            need = demands[i] - alloc[i]
+            if need <= share + EPS:
+                alloc[i] = demands[i]
+                remaining -= need
+                unsatisfied.remove(i)
+                progressed = True
+        if not progressed:
+            for i in unsatisfied:
+                alloc[i] += share
+            remaining = 0.0
+    return alloc
+
+
+def simulate(
+    jobs: list[SimJob],
+    bandwidth: float,
+    *,
+    max_events: int = 1_000_000,
+) -> SimulationResult:
+    """Run the contention simulation.
+
+    ``bandwidth`` is the PFS aggregate bandwidth in bytes/second.
+    Returns completion times and per-job stretch relative to the job's
+    isolated duration.
+    """
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+
+    # per-job state
+    idx = [0] * len(jobs)                  # current segment index
+    phase_left = [0.0] * len(jobs)         # remaining compute seconds
+    bytes_left = [0.0] * len(jobs)         # remaining I/O bytes
+    in_io = [False] * len(jobs)
+    done = [False] * len(jobs)
+    completion: dict[str, float] = {}
+    isolated: dict[str, float] = {}
+
+    for j, job in enumerate(jobs):
+        if job.segments:
+            phase_left[j] = job.segments[0].compute
+            bytes_left[j] = job.segments[0].volume
+        else:
+            done[j] = True
+        isolated[job.name] = sum(
+            s.compute + (s.volume / s.solo_rate if s.volume else 0.0)
+            for s in job.segments
+        )
+
+    t = 0.0
+    congested = 0.0
+    for _ in range(max_events):
+        if all(done):
+            break
+
+        # set of running jobs and their current mode
+        active_io: list[int] = []
+        demands: list[float] = []
+        next_event = np.inf
+        for j, job in enumerate(jobs):
+            if done[j]:
+                continue
+            if t + EPS < job.start_time:
+                next_event = min(next_event, job.start_time - t)
+                continue
+            if in_io[j]:
+                active_io.append(j)
+                demands.append(job.segments[idx[j]].solo_rate)
+            else:
+                next_event = min(next_event, max(phase_left[j], EPS))
+
+        rates = _fair_share(demands, bandwidth)
+        total_demand = sum(demands)
+        for j, rate in zip(active_io, rates):
+            if rate > EPS:
+                next_event = min(next_event, bytes_left[j] / rate)
+            # a starved job (rate 0) waits for the next state change
+
+        if not np.isfinite(next_event):
+            break  # only starved I/O left; cannot progress (degenerate)
+        dt = max(next_event, EPS)
+
+        # advance time
+        if total_demand > bandwidth + EPS:
+            congested += dt
+        for j, job in enumerate(jobs):
+            if done[j] or t + EPS < job.start_time:
+                continue
+            if in_io[j]:
+                pass  # handled below with rates
+            else:
+                phase_left[j] -= dt
+        for j, rate in zip(active_io, rates):
+            bytes_left[j] -= rate * dt
+        t += dt
+
+        # state transitions
+        for j, job in enumerate(jobs):
+            if done[j] or t + EPS < job.start_time:
+                continue
+            seg = job.segments[idx[j]]
+            if not in_io[j] and phase_left[j] <= EPS:
+                if bytes_left[j] > EPS:
+                    in_io[j] = True
+                else:
+                    _advance(job, j, idx, phase_left, bytes_left, in_io, done, completion, t)
+            elif in_io[j] and bytes_left[j] <= EPS:
+                in_io[j] = False
+                _advance(job, j, idx, phase_left, bytes_left, in_io, done, completion, t)
+
+    # any jobs still unfinished at event cap: record current time
+    for j, job in enumerate(jobs):
+        if not done[j]:
+            completion[job.name] = t
+
+    stretch = {
+        job.name: max(
+            (completion[job.name] - job.start_time) / max(isolated[job.name], EPS),
+            1.0,
+        )
+        for job in jobs
+    }
+    makespan = max(completion.values(), default=0.0)
+    return SimulationResult(
+        completion=completion,
+        stretch=stretch,
+        congested_time=congested,
+        makespan=makespan,
+    )
+
+
+def _advance(job, j, idx, phase_left, bytes_left, in_io, done, completion, t):
+    """Move job ``j`` to its next segment (or finish it)."""
+    idx[j] += 1
+    if idx[j] >= len(job.segments):
+        done[j] = True
+        completion[job.name] = t
+        return
+    seg = job.segments[idx[j]]
+    phase_left[j] = seg.compute
+    bytes_left[j] = seg.volume
+    in_io[j] = False

@@ -1,0 +1,124 @@
+"""Neighbor merging (paper §III-B2b, workflow step ②b).
+
+After concurrent fusion the trace holds disjoint operations.  MOSAIC then
+merges *nearby* operations when the gap between them is negligible:
+
+    "less than 0.1% of the total execution time or less than 1% of the
+    duration of the nearby merged operation"
+
+This second pass retains only the data needed for a correct
+categorization and absorbs slow process desynchronization: operations
+that slid apart until they no longer overlap still fuse if the gap is
+small relative to either scale.
+
+The scan is greedy left-to-right with a growing current operation (so a
+long checkpoint absorbs a trail of short post-writes), repeated until a
+fixpoint — each pass strictly reduces the operation count, so the loop
+terminates in at most ``n`` passes and in practice in one or two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..darshan.trace import OperationArray
+
+__all__ = ["NeighborMergeConfig", "NeighborMergeResult", "merge_neighbors"]
+
+
+@dataclass(slots=True, frozen=True)
+class NeighborMergeConfig:
+    """Thresholds of the neighbor-merge rule.
+
+    Defaults are the paper's: a gap is negligible when it is under 0.1% of
+    the runtime *or* under 1% of the duration of the operation being
+    grown.
+    """
+
+    runtime_fraction: float = 0.001
+    op_fraction: float = 0.01
+    #: Safety bound on fixpoint iterations (n passes always suffice).
+    max_passes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.runtime_fraction < 0 or self.op_fraction < 0:
+            raise ValueError("merge fractions must be non-negative")
+        if self.max_passes < 1:
+            raise ValueError("max_passes must be >= 1")
+
+
+@dataclass(slots=True, frozen=True)
+class NeighborMergeResult:
+    ops: OperationArray
+    n_input: int
+    n_output: int
+    n_passes: int
+
+    @property
+    def n_fused(self) -> int:
+        return self.n_input - self.n_output
+
+
+def _one_pass(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    volumes: np.ndarray,
+    abs_gap: float,
+    op_fraction: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+    """Single greedy scan; returns (starts, ends, volumes, changed)."""
+    out_s: list[float] = [float(starts[0])]
+    out_e: list[float] = [float(ends[0])]
+    out_v: list[float] = [float(volumes[0])]
+    changed = False
+    for i in range(1, len(starts)):
+        gap = float(starts[i]) - out_e[-1]
+        cur_duration = out_e[-1] - out_s[-1]
+        if gap <= abs_gap or gap <= op_fraction * cur_duration:
+            out_e[-1] = max(out_e[-1], float(ends[i]))
+            out_v[-1] += float(volumes[i])
+            changed = True
+        else:
+            out_s.append(float(starts[i]))
+            out_e.append(float(ends[i]))
+            out_v.append(float(volumes[i]))
+    return (
+        np.asarray(out_s),
+        np.asarray(out_e),
+        np.asarray(out_v),
+        changed,
+    )
+
+
+def merge_neighbors(
+    ops: OperationArray,
+    run_time: float,
+    config: NeighborMergeConfig | None = None,
+) -> NeighborMergeResult:
+    """Merge operations separated by negligible gaps.
+
+    ``ops`` should already be concurrent-merged (disjoint); overlapping
+    input is tolerated and simply fuses.  ``run_time`` anchors the
+    absolute gap threshold.
+    """
+    cfg = config or NeighborMergeConfig()
+    n_input = len(ops)
+    if n_input <= 1:
+        return NeighborMergeResult(ops=ops, n_input=n_input, n_output=n_input, n_passes=0)
+
+    abs_gap = cfg.runtime_fraction * max(run_time, 0.0)
+    starts, ends, volumes = ops.starts, ops.ends, ops.volumes
+    passes = 0
+    for _ in range(cfg.max_passes):
+        starts, ends, volumes, changed = _one_pass(
+            starts, ends, volumes, abs_gap, cfg.op_fraction
+        )
+        passes += 1
+        if not changed:
+            break
+    merged = OperationArray(starts, ends, volumes)
+    return NeighborMergeResult(
+        ops=merged, n_input=n_input, n_output=len(merged), n_passes=passes
+    )

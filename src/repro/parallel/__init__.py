@@ -1,0 +1,14 @@
+"""Single-node parallel execution engine: fault-isolated process-pool map
+with cost-aware (LPT) scheduling — the reproduction's Dispy substitute."""
+
+from .executor import MapOutcome, ParallelConfig, TaskFailure, parallel_map
+from .scheduling import chunk_evenly, lpt_order
+
+__all__ = [
+    "MapOutcome",
+    "ParallelConfig",
+    "TaskFailure",
+    "parallel_map",
+    "chunk_evenly",
+    "lpt_order",
+]

@@ -1,0 +1,155 @@
+"""Process-pool execution engine (the repo's Dispy substitute).
+
+The paper runs per-trace categorization in parallel across a 64-core
+node using the Dispy library; offline and single-node here, we provide
+the same contract on top of :mod:`concurrent.futures`:
+
+* per-item isolation — one failing trace never aborts the corpus run;
+  failures are captured as :class:`TaskFailure` results;
+* cost-aware ordering (LPT) so heavy traces do not become stragglers;
+* a serial in-process mode (``max_workers=0``) used for tests,
+  debugging, and tiny inputs where fork overhead dominates.
+
+The mapped function must be a module-level picklable callable, the usual
+multiprocessing constraint.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+from .scheduling import lpt_order
+
+__all__ = ["TaskFailure", "MapOutcome", "ParallelConfig", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(slots=True, frozen=True)
+class TaskFailure:
+    """Captured exception from one work item."""
+
+    index: int
+    error_type: str
+    message: str
+    traceback_text: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"item {self.index}: {self.error_type}: {self.message}"
+
+
+@dataclass(slots=True, frozen=True)
+class MapOutcome(Generic[R]):
+    """Results of a fault-isolated parallel map, in input order.
+
+    ``results[i]`` is ``None`` exactly when item ``i`` failed; the
+    failure detail is in :attr:`failures`.
+    """
+
+    results: list[R | None]
+    failures: list[TaskFailure]
+
+    @property
+    def n_ok(self) -> int:
+        return len(self.results) - len(self.failures)
+
+    def successful(self) -> list[R]:
+        return [r for r in self.results if r is not None]
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)} task(s) failed; first: {first}"
+            )
+
+
+@dataclass(slots=True, frozen=True)
+class ParallelConfig:
+    """Execution knobs for :func:`parallel_map`."""
+
+    #: 0 = serial in-process; None = os.cpu_count().
+    max_workers: int | None = None
+    #: Items per pickled task batch (amortizes IPC for cheap items).
+    chunksize: int = 8
+    #: Optional cost estimator enabling LPT ordering.
+    cost: Callable[[Any], float] | None = None
+
+    def resolved_workers(self) -> int:
+        if self.max_workers is None:
+            return os.cpu_count() or 1
+        if self.max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        return self.max_workers
+
+
+def _guarded(fn: Callable[[T], R], index: int, item: T) -> tuple[int, R | None, TaskFailure | None]:
+    try:
+        return index, fn(item), None
+    except Exception as exc:  # noqa: BLE001 - isolation boundary
+        return (
+            index,
+            None,
+            TaskFailure(
+                index=index,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback_text=traceback.format_exc(),
+            ),
+        )
+
+
+def _guarded_star(args: tuple[Callable[[T], R], int, T]) -> tuple[int, R | None, TaskFailure | None]:
+    return _guarded(*args)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    config: ParallelConfig | None = None,
+) -> MapOutcome[R]:
+    """Apply ``fn`` to every item with fault isolation.
+
+    Results come back in input order regardless of scheduling.  With
+    ``max_workers=0`` (or a single item) everything runs in-process,
+    which also means ``fn`` need not be picklable in that mode.
+    """
+    cfg = config or ParallelConfig()
+    n = len(items)
+    results: list[R | None] = [None] * n
+    failures: list[TaskFailure] = []
+    if n == 0:
+        return MapOutcome(results=results, failures=failures)
+
+    order = (
+        lpt_order(items, cfg.cost) if cfg.cost is not None else list(range(n))
+    )
+    workers = cfg.resolved_workers()
+
+    if workers <= 1 or n == 1:
+        triples = (_guarded(fn, i, items[i]) for i in order)
+    else:
+        pool = ProcessPoolExecutor(max_workers=min(workers, n))
+        try:
+            triples = list(
+                pool.map(
+                    _guarded_star,
+                    [(fn, i, items[i]) for i in order],
+                    chunksize=max(1, cfg.chunksize),
+                )
+            )
+        finally:
+            pool.shutdown(wait=True)
+
+    for index, result, failure in triples:
+        if failure is not None:
+            failures.append(failure)
+        else:
+            results[index] = result
+    failures.sort(key=lambda f: f.index)
+    return MapOutcome(results=results, failures=failures)

@@ -1,0 +1,40 @@
+"""Cost-aware work ordering for corpus processing.
+
+The paper parallelizes per-trace categorization with Dispy on a 64-core
+node and reports that two pathological traces dominate load time.  The
+classical mitigation — also what makes our pool efficient — is Longest
+Processing Time first: sort work items by estimated cost descending so
+stragglers start early, then interleave across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["lpt_order", "chunk_evenly"]
+
+T = TypeVar("T")
+
+
+def lpt_order(items: Sequence[T], cost: Callable[[T], float]) -> list[int]:
+    """Indices of ``items`` in Longest-Processing-Time-first order.
+
+    Stable for equal costs so results remain deterministic.
+    """
+    return sorted(range(len(items)), key=lambda i: (-cost(items[i]), i))
+
+
+def chunk_evenly(n_items: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_items)`` into up to ``n_chunks`` contiguous ranges
+    whose sizes differ by at most one."""
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n_chunks = min(n_chunks, max(n_items, 1))
+    base, extra = divmod(n_items, n_chunks)
+    ranges: list[range] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges

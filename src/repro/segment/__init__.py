@@ -1,0 +1,13 @@
+"""Trace segmentation: per-operation segments for periodicity detection
+and equal temporal chunks for temporality (workflow step ③)."""
+
+from .op_segments import SegmentSet, segment_operations
+from .chunks import ChunkProfile, N_CHUNKS, chunk_volumes
+
+__all__ = [
+    "SegmentSet",
+    "segment_operations",
+    "ChunkProfile",
+    "N_CHUNKS",
+    "chunk_volumes",
+]

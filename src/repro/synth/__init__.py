@@ -1,0 +1,41 @@
+"""Synthetic Blue Waters corpus generator: application archetypes with
+ground truth, a calibrated population profile, heavy-tailed run counts,
+and corruption injection — the repo's substitute for the paper's 2019
+Darshan dataset."""
+
+from .appmodel import AppSpec, generate_run
+from .cohorts import BLUE_WATERS_2019, CohortSpec, cohort_by_name
+from .corruption import CORRUPTION_KINDS, corrupt_trace
+from .fleet import FleetConfig, FleetResult, apportion, generate_fleet
+from .groundtruth import GroundTruth, mismatch_axes, trace_matches
+from .phases import (
+    BurstPhase,
+    KeptOpenPhase,
+    MetadataBurstPhase,
+    MetadataLoadPhase,
+    PeriodicPhase,
+    PhaseContext,
+)
+
+__all__ = [
+    "AppSpec",
+    "generate_run",
+    "BLUE_WATERS_2019",
+    "CohortSpec",
+    "cohort_by_name",
+    "CORRUPTION_KINDS",
+    "corrupt_trace",
+    "FleetConfig",
+    "FleetResult",
+    "apportion",
+    "generate_fleet",
+    "GroundTruth",
+    "mismatch_axes",
+    "trace_matches",
+    "BurstPhase",
+    "KeptOpenPhase",
+    "MetadataBurstPhase",
+    "MetadataLoadPhase",
+    "PeriodicPhase",
+    "PhaseContext",
+]

@@ -1,0 +1,127 @@
+"""Corruption injection.
+
+32% of the Blue Waters 2019 traces were corrupted and evicted by
+MOSAIC's validity check (Fig. 3); the paper's example cause is a
+deallocation recorded before the end of the execution.  This module
+mutates valid traces into corrupted ones covering the whole
+:class:`~repro.darshan.validate.Violation` taxonomy, so the funnel
+experiment exercises every eviction path.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+import numpy as np
+
+from ..darshan.records import FileRecord
+from ..darshan.trace import Trace
+
+__all__ = ["corrupt_trace", "CORRUPTION_KINDS"]
+
+
+def _pick_record(trace: Trace, rng: np.random.Generator) -> FileRecord | None:
+    if not trace.records:
+        return None
+    return trace.records[int(rng.integers(0, len(trace.records)))]
+
+
+def _dealloc_before_end(trace: Trace, rng: np.random.Generator) -> bool:
+    """The paper's flagship case: close the file before its activity ends."""
+    for rec in trace.records:
+        last = max(rec.read_end, rec.write_end)
+        if last > 0 and rec.close_end >= last:
+            rec.close_end = last * float(rng.uniform(0.2, 0.8))
+            rec.open_start = min(rec.open_start, rec.close_end)
+            if rec.open_start < 0:
+                rec.open_start = 0.0
+            return True
+    return False
+
+
+def _negative_runtime(trace: Trace, rng: np.random.Generator) -> bool:
+    trace.meta.end_time = trace.meta.start_time - float(rng.uniform(1.0, 100.0))
+    return True
+
+
+def _inverted_window(trace: Trace, rng: np.random.Generator) -> bool:
+    rec = _pick_record(trace, rng)
+    if rec is None:
+        return False
+    if rec.read_start >= 0:
+        rec.read_start, rec.read_end = rec.read_end + 1.0, rec.read_start
+        return True
+    if rec.write_start >= 0:
+        rec.write_start, rec.write_end = rec.write_end + 1.0, rec.write_start
+        return True
+    rec.open_start, rec.close_end = rec.close_end + 1.0, max(rec.open_start, 0.0)
+    return True
+
+
+def _negative_counter(trace: Trace, rng: np.random.Generator) -> bool:
+    rec = _pick_record(trace, rng)
+    if rec is None:
+        return False
+    rec.bytes_written = -abs(rec.bytes_written) - 1
+    return True
+
+
+def _timestamp_after_end(trace: Trace, rng: np.random.Generator) -> bool:
+    rec = _pick_record(trace, rng)
+    if rec is None:
+        return False
+    overshoot = trace.meta.run_time * float(rng.uniform(1.5, 3.0))
+    if rec.write_start >= 0:
+        rec.write_end = overshoot
+        rec.close_end = max(rec.close_end, overshoot)
+    elif rec.read_start >= 0:
+        rec.read_end = overshoot
+        rec.close_end = max(rec.close_end, overshoot)
+    else:
+        rec.close_end = overshoot
+    return True
+
+
+def _bytes_without_window(trace: Trace, rng: np.random.Generator) -> bool:
+    rec = _pick_record(trace, rng)
+    if rec is None:
+        return False
+    rec.bytes_written = max(rec.bytes_written, 1)
+    rec.write_start = -1.0
+    rec.write_end = -1.0
+    return True
+
+
+CORRUPTION_KINDS: dict[str, Callable[[Trace, np.random.Generator], bool]] = {
+    "dealloc_before_end": _dealloc_before_end,
+    "negative_runtime": _negative_runtime,
+    "inverted_window": _inverted_window,
+    "negative_counter": _negative_counter,
+    "timestamp_after_end": _timestamp_after_end,
+    "bytes_without_window": _bytes_without_window,
+}
+
+
+def corrupt_trace(
+    trace: Trace, rng: np.random.Generator, kind: str | None = None
+) -> Trace:
+    """Return a corrupted deep copy of ``trace``.
+
+    ``kind`` selects a specific corruption; ``None`` picks one at random,
+    weighted toward the paper's dealloc-before-end example.  Falls back
+    to ``negative_runtime`` (always applicable) if the chosen mutation
+    does not apply to this trace.
+    """
+    mutated = copy.deepcopy(trace)
+    if kind is None:
+        names = list(CORRUPTION_KINDS)
+        weights = np.array(
+            [3.0 if n == "dealloc_before_end" else 1.0 for n in names]
+        )
+        kind = str(rng.choice(names, p=weights / weights.sum()))
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(f"unknown corruption kind: {kind!r}")
+    if not CORRUPTION_KINDS[kind](mutated, rng):
+        _negative_runtime(mutated, rng)
+    return mutated

@@ -1,0 +1,189 @@
+"""Fleet generation: a full synthetic "year of Blue Waters" corpus.
+
+Scales the calibrated cohort profile to the requested number of unique
+applications, draws heavy-tailed per-application run counts matching
+each cohort's run share (a handful of applications account for most
+executions, like the ≈12,000 LAMMPS runs in the paper), generates every
+execution, and finally injects corrupted traces so the input corpus
+contains the paper's 32% eviction share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..darshan.trace import Trace
+from .appmodel import AppSpec, generate_run
+from .cohorts import BLUE_WATERS_2019, CohortSpec
+from .corruption import corrupt_trace
+from .groundtruth import GroundTruth
+
+__all__ = ["FleetConfig", "FleetResult", "generate_fleet", "apportion"]
+
+
+@dataclass(slots=True, frozen=True)
+class FleetConfig:
+    """Scale and composition knobs of the synthetic corpus.
+
+    The paper's full dataset is ``n_apps=24606, mean_runs=12.5,
+    corruption_fraction=0.32`` (→ 462,502 input traces); defaults here
+    are a 1:60-ish scale preserving all proportions.
+    """
+
+    n_apps: int = 400
+    #: Mean valid runs per application across the corpus.
+    mean_runs: float = 12.5
+    #: Fraction of the *input* corpus that is corrupted (paper: 32%).
+    corruption_fraction: float = 0.32
+    seed: int = 20190101
+    #: Log-normal sigma of per-app run-count weights inside a cohort.
+    run_spread_sigma: float = 0.8
+    profile: tuple[CohortSpec, ...] = BLUE_WATERS_2019
+
+    def __post_init__(self) -> None:
+        if self.n_apps < 1:
+            raise ValueError("n_apps must be >= 1")
+        if self.mean_runs < 1.0:
+            raise ValueError("mean_runs must be >= 1")
+        if not 0.0 <= self.corruption_fraction < 1.0:
+            raise ValueError("corruption_fraction must be in [0, 1)")
+
+
+@dataclass(slots=True)
+class FleetResult:
+    """A generated corpus plus everything needed to evaluate MOSAIC on it."""
+
+    traces: list[Trace]
+    #: job_id → ground truth (valid traces only; corrupted traces carry
+    #: no truth — they must be evicted, not categorized).
+    truth: dict[int, GroundTruth]
+    #: job_id → cohort name (valid traces only).
+    cohort_of: dict[int, str]
+    #: All application specs, keyed by (uid, exe).
+    apps: dict[tuple[int, str], AppSpec]
+    n_valid: int
+    n_corrupted: int
+    #: cohort name → (n_apps, n_valid_runs).
+    manifest: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def n_input(self) -> int:
+        return len(self.traces)
+
+
+def apportion(shares: list[float], total: int) -> list[int]:
+    """Largest-remainder apportionment of ``total`` items over ``shares``.
+
+    Guarantees every positive share receives at least one item when
+    ``total >= number of positive shares`` — small-scale corpora must not
+    silently drop rare cohorts.
+    """
+    shares_arr = np.asarray(shares, dtype=np.float64)
+    if np.any(shares_arr < 0):
+        raise ValueError("shares must be non-negative")
+    positive = shares_arr > 0
+    n_positive = int(np.count_nonzero(positive))
+    if total < n_positive:
+        raise ValueError(
+            f"total={total} cannot cover {n_positive} positive shares"
+        )
+    norm = shares_arr / shares_arr.sum()
+    raw = norm * total
+    counts = np.floor(raw).astype(np.int64)
+    counts[positive] = np.maximum(counts[positive], 1)
+    # Largest remainder on what is left (may need removal if the
+    # minimum-1 rule overshot).
+    while counts.sum() > total:
+        over = np.where(counts > 1)[0]
+        i = over[np.argmin((raw - counts)[over])]
+        counts[i] -= 1
+    remainders = raw - counts
+    while counts.sum() < total:
+        i = int(np.argmax(np.where(positive, remainders, -np.inf)))
+        counts[i] += 1
+        remainders[i] -= 1.0
+    return counts.tolist()
+
+
+def _allocate_runs(
+    n_apps: int, total_runs: int, sigma: float, rng: np.random.Generator
+) -> list[int]:
+    """Heavy-tailed per-app run counts summing to ``total_runs``."""
+    total_runs = max(total_runs, n_apps)
+    weights = np.exp(rng.normal(0.0, sigma, size=n_apps))
+    raw = weights / weights.sum() * total_runs
+    counts = np.maximum(np.round(raw).astype(np.int64), 1)
+    # Repair the sum by nudging the largest/smallest entries.
+    diff = int(total_runs - counts.sum())
+    order = np.argsort(-counts)
+    i = 0
+    while diff != 0 and n_apps > 0:
+        j = order[i % n_apps]
+        if diff > 0:
+            counts[j] += 1
+            diff -= 1
+        elif counts[j] > 1:
+            counts[j] -= 1
+            diff += 1
+        i += 1
+    return counts.tolist()
+
+
+def generate_fleet(config: FleetConfig | None = None) -> FleetResult:
+    """Generate the full synthetic corpus."""
+    cfg = config or FleetConfig()
+    rng = np.random.default_rng(cfg.seed)
+    profile = cfg.profile
+
+    app_counts = apportion([c.app_share for c in profile], cfg.n_apps)
+    total_runs = int(round(cfg.n_apps * cfg.mean_runs))
+    run_budgets = apportion([c.run_share for c in profile], total_runs)
+
+    traces: list[Trace] = []
+    truth: dict[int, GroundTruth] = {}
+    cohort_of: dict[int, str] = {}
+    apps: dict[tuple[int, str], AppSpec] = {}
+    manifest: dict[str, tuple[int, int]] = {}
+
+    job_id = 1
+    uid = 1000
+    for cohort, n_apps_c, runs_c in zip(profile, app_counts, run_budgets):
+        run_counts = _allocate_runs(n_apps_c, runs_c, cfg.run_spread_sigma, rng)
+        n_runs_actual = 0
+        for app_idx in range(n_apps_c):
+            spec = cohort.build(uid, rng)
+            apps[(spec.uid, spec.exe)] = spec
+            for _ in range(run_counts[app_idx]):
+                trace = generate_run(spec, job_id, rng)
+                traces.append(trace)
+                truth[job_id] = spec.truth
+                cohort_of[job_id] = cohort.name
+                job_id += 1
+                n_runs_actual += 1
+            uid += 1
+        manifest[cohort.name] = (n_apps_c, n_runs_actual)
+
+    n_valid = len(traces)
+    frac = cfg.corruption_fraction
+    n_corrupt = int(round(frac / (1.0 - frac) * n_valid)) if frac > 0 else 0
+    if n_corrupt:
+        victims = rng.choice(n_valid, size=n_corrupt, replace=True)
+        for v in victims:
+            bad = corrupt_trace(traces[int(v)], rng)
+            bad.meta.job_id = job_id
+            traces.append(bad)
+            job_id += 1
+
+    order = rng.permutation(len(traces))
+    traces = [traces[int(i)] for i in order]
+    return FleetResult(
+        traces=traces,
+        truth=truth,
+        cohort_of=cohort_of,
+        apps=apps,
+        n_valid=n_valid,
+        n_corrupted=n_corrupt,
+        manifest=manifest,
+    )

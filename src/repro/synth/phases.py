@@ -1,0 +1,318 @@
+"""I/O phase building blocks for synthetic applications.
+
+An application model is a list of phases; each phase emits the
+:class:`~repro.darshan.records.FileRecord` entries that Blue Waters-era
+Darshan would have produced for that activity.  Phases therefore encode
+both the *behaviour* (burst, periodic, steady) and the *observability*
+(file-per-event records that MOSAIC can segment vs. kept-open records
+that Darshan flattens into one window — the paper's §IV-A limitation).
+
+All positions are fractions of the run time so that per-run duration
+jitter preserves the shape of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..darshan.records import FileRecord
+from ..darshan.counters import SHARED_RANK
+
+__all__ = [
+    "PhaseContext",
+    "Phase",
+    "BurstPhase",
+    "KeptOpenPhase",
+    "PeriodicPhase",
+    "MetadataBurstPhase",
+    "MetadataLoadPhase",
+]
+
+
+@dataclass(slots=True)
+class PhaseContext:
+    """Per-run generation context handed to every phase."""
+
+    rng: np.random.Generator
+    run_time: float
+    nprocs: int
+    #: Multiplier applied to all phase volumes this run (run-to-run
+    #: variability; the heaviest run of an app is the one MOSAIC keeps).
+    volume_scale: float
+    _next_file_id: int = 1
+
+    def new_file_id(self) -> int:
+        fid = self._next_file_id
+        self._next_file_id += 1
+        return fid
+
+
+class Phase(Protocol):
+    """A phase emits Darshan records for one run."""
+
+    def emit(self, ctx: PhaseContext) -> list[FileRecord]: ...
+
+
+def _clip(t: float, run_time: float) -> float:
+    return float(min(max(t, 0.0), run_time))
+
+
+@dataclass(slots=True, frozen=True)
+class BurstPhase:
+    """One concentrated I/O burst (input read, final result write...).
+
+    ``n_ranks`` ranks each access their own file inside a window of
+    ``duration`` seconds centred at ``position * run_time``; per-rank
+    start jitter of up to ``desync`` seconds reproduces the process
+    desynchronization the merging stage must absorb.
+    """
+
+    direction: str  # "read" | "write"
+    #: Centre of the burst as a fraction of run time.
+    position: float
+    #: Total bytes moved by the burst across all ranks.
+    volume: float
+    #: Burst duration in seconds (before desync spread).
+    duration: float
+    #: Participating ranks (1 = rank 0 only; capped at nprocs).
+    n_ranks: int = 8
+    #: Max per-rank start offset in seconds.
+    desync: float = 0.0
+    #: Opens per rank (several = the rank touches several files).
+    opens_per_rank: int = 1
+
+    def emit(self, ctx: PhaseContext) -> list[FileRecord]:
+        n_ranks = max(1, min(self.n_ranks, ctx.nprocs))
+        t_mid = self.position * ctx.run_time
+        t0 = t_mid - self.duration / 2.0
+        vol_total = self.volume * ctx.volume_scale
+        per_rank = vol_total / n_ranks
+        records: list[FileRecord] = []
+        for rank in range(n_ranks):
+            jitter = float(ctx.rng.uniform(0.0, self.desync)) if self.desync else 0.0
+            s = _clip(t0 + jitter, ctx.run_time)
+            e = _clip(t0 + jitter + self.duration, ctx.run_time)
+            if e <= s:
+                e = min(s + 1e-3, ctx.run_time)
+            fid = ctx.new_file_id()
+            rec = FileRecord(
+                file_id=fid,
+                file_name=f"burst.{fid}.dat",
+                rank=rank,
+                opens=self.opens_per_rank,
+                closes=self.opens_per_rank,
+                seeks=self.opens_per_rank,
+                open_start=s,
+                close_end=e,
+            )
+            n_ops = max(1, int(per_rank // (4 * 1024 * 1024)) or 1)
+            if self.direction == "read":
+                rec.reads = n_ops
+                rec.bytes_read = int(per_rank)
+                rec.read_start, rec.read_end = s, e
+                rec.read_time = (e - s) * 0.8
+            else:
+                rec.writes = n_ops
+                rec.bytes_written = int(per_rank)
+                rec.write_start, rec.write_end = s, e
+                rec.write_time = (e - s) * 0.8
+            rec.meta_time = 1e-4 * rec.metadata_ops
+            records.append(rec)
+        return records
+
+
+@dataclass(slots=True, frozen=True)
+class KeptOpenPhase:
+    """A file opened early and closed late with all its accesses
+    aggregated into one wide window — how Darshan (without DXT) records
+    an application that keeps its files open.  A periodic writer using
+    this pattern is *hidden*: MOSAIC can only call it steady.
+    """
+
+    direction: str
+    volume: float
+    start: float = 0.0
+    end: float = 1.0
+    n_ranks: int = 1
+
+    def emit(self, ctx: PhaseContext) -> list[FileRecord]:
+        n_ranks = max(1, min(self.n_ranks, ctx.nprocs))
+        s = _clip(self.start * ctx.run_time, ctx.run_time)
+        e = _clip(self.end * ctx.run_time, ctx.run_time)
+        if e <= s:
+            e = min(s + 1.0, ctx.run_time)
+        vol_total = self.volume * ctx.volume_scale
+        per_rank = vol_total / n_ranks
+        records: list[FileRecord] = []
+        for rank in range(n_ranks):
+            fid = ctx.new_file_id()
+            rank_id = rank if n_ranks > 1 else SHARED_RANK
+            rec = FileRecord(
+                file_id=fid,
+                file_name=f"keptopen.{fid}.dat",
+                rank=rank_id,
+                opens=1,
+                closes=1,
+                seeks=1,
+                open_start=s,
+                close_end=e,
+            )
+            n_ops = max(1, int(per_rank // (1024 * 1024)))
+            if self.direction == "read":
+                rec.reads = n_ops
+                rec.bytes_read = int(per_rank)
+                rec.read_start, rec.read_end = s, e
+                rec.read_time = (e - s) * 0.05
+            else:
+                rec.writes = n_ops
+                rec.bytes_written = int(per_rank)
+                rec.write_start, rec.write_end = s, e
+                rec.write_time = (e - s) * 0.05
+            records.append(rec)
+        return records
+
+
+@dataclass(slots=True, frozen=True)
+class PeriodicPhase:
+    """Periodic I/O with a fresh file per event (checkpoint-style).
+
+    Emits one record per (event, rank): exactly the pattern MOSAIC's
+    segmentation + Mean Shift pipeline is designed to recover.  Event
+    volumes and inter-event spacing carry small multiplicative jitter so
+    the clustering has realistic spread to absorb.
+    """
+
+    direction: str
+    #: Period in seconds.
+    period: float
+    #: Bytes per event across ranks.
+    event_volume: float
+    #: Seconds each event is active (sets the busy fraction).
+    event_duration: float
+    start: float = 0.02
+    end: float = 0.98
+    n_ranks: int = 4
+    desync: float = 0.0
+    #: Relative jitter of event start times and volumes.
+    jitter: float = 0.03
+
+    def emit(self, ctx: PhaseContext) -> list[FileRecord]:
+        n_ranks = max(1, min(self.n_ranks, ctx.nprocs))
+        t_lo = self.start * ctx.run_time
+        t_hi = self.end * ctx.run_time
+        span = t_hi - t_lo
+        n_events = int(span // self.period)
+        if n_events < 1:
+            return []
+        # Spread the events across the whole phase window: real
+        # checkpointers keep checkpointing until the job ends, so the last
+        # temporal chunk must not go dark just because span is not an
+        # exact multiple of the period.  The effective period is
+        # span / n_events >= self.period (within one period of it).
+        spacing = span / n_events
+        records: list[FileRecord] = []
+        for k in range(n_events):
+            base = t_lo + k * spacing
+            base += float(ctx.rng.normal(0.0, self.jitter * spacing))
+            vol = self.event_volume * ctx.volume_scale
+            vol *= float(np.exp(ctx.rng.normal(0.0, self.jitter)))
+            per_rank = vol / n_ranks
+            for rank in range(n_ranks):
+                off = float(ctx.rng.uniform(0.0, self.desync)) if self.desync else 0.0
+                s = _clip(base + off, ctx.run_time)
+                e = _clip(base + off + self.event_duration, ctx.run_time)
+                if e <= s:
+                    e = min(s + 1e-3, ctx.run_time)
+                fid = ctx.new_file_id()
+                rec = FileRecord(
+                    file_id=fid,
+                    file_name=f"ckpt.{k:05d}.{fid}.dat",
+                    rank=rank,
+                    opens=1,
+                    closes=1,
+                    seeks=1,
+                    open_start=s,
+                    close_end=e,
+                )
+                n_ops = max(1, int(per_rank // (4 * 1024 * 1024)) or 1)
+                if self.direction == "read":
+                    rec.reads = n_ops
+                    rec.bytes_read = int(per_rank)
+                    rec.read_start, rec.read_end = s, e
+                    rec.read_time = (e - s) * 0.8
+                else:
+                    rec.writes = n_ops
+                    rec.bytes_written = int(per_rank)
+                    rec.write_start, rec.write_end = s, e
+                    rec.write_time = (e - s) * 0.8
+                records.append(rec)
+        return records
+
+
+@dataclass(slots=True, frozen=True)
+class MetadataBurstPhase:
+    """A metadata request storm: ``n_requests`` open/close pairs inside
+    ``duration`` seconds (e.g. every rank opening many small files at
+    startup).  Drives the high-spike rule."""
+
+    position: float
+    n_requests: int
+    duration: float = 1.0
+
+    def emit(self, ctx: PhaseContext) -> list[FileRecord]:
+        t0 = _clip(self.position * ctx.run_time, ctx.run_time)
+        t1 = _clip(t0 + self.duration, ctx.run_time)
+        if t1 <= t0:
+            t1 = min(t0 + 0.5, ctx.run_time)
+        half = max(1, self.n_requests // 2)
+        fid = ctx.new_file_id()
+        return [
+            FileRecord(
+                file_id=fid,
+                file_name=f"metastorm.{fid}",
+                rank=SHARED_RANK,
+                opens=half,
+                closes=half,
+                seeks=0,
+                open_start=t0,
+                close_end=t1,
+                meta_time=1e-4 * self.n_requests,
+            )
+        ]
+
+
+@dataclass(slots=True, frozen=True)
+class MetadataLoadPhase:
+    """Sustained metadata pressure: ``rate`` requests/second between
+    ``start`` and ``end``.  Drives the high-density rule."""
+
+    rate: float
+    start: float = 0.0
+    end: float = 1.0
+
+    def emit(self, ctx: PhaseContext) -> list[FileRecord]:
+        s = _clip(self.start * ctx.run_time, ctx.run_time)
+        e = _clip(self.end * ctx.run_time, ctx.run_time)
+        if e <= s:
+            return []
+        total = int(self.rate * (e - s))
+        if total < 2:
+            return []
+        half = total // 2
+        fid = ctx.new_file_id()
+        return [
+            FileRecord(
+                file_id=fid,
+                file_name=f"metaload.{fid}",
+                rank=SHARED_RANK,
+                opens=half,
+                closes=half,
+                seeks=0,
+                open_start=s,
+                close_end=e,
+                meta_time=1e-4 * total,
+            )
+        ]

@@ -1,0 +1,60 @@
+"""CSV export of every table/figure series.
+
+Each experiment writes its series as CSV so the numbers behind the ASCII
+renderings are machine-readable (EXPERIMENTS.md references them).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["shares_to_csv", "matrix_to_csv", "rows_to_csv", "write_csv"]
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Serialize rows into CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def shares_to_csv(table: Mapping[str, Mapping[str, float]]) -> str:
+    """Serialize a {row: {column: share}} mapping (row-major)."""
+    columns: list[str] = []
+    for row in table.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rows = [
+        [label] + [row.get(c, "") for c in columns] for label, row in table.items()
+    ]
+    return rows_to_csv(["row"] + columns, rows)
+
+
+def matrix_to_csv(
+    values: np.ndarray, row_labels: Sequence[str], col_labels: Sequence[str]
+) -> str:
+    """Serialize a labelled matrix."""
+    values = np.asarray(values)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("labels do not match matrix shape")
+    rows = [
+        [r] + [float(v) for v in row] for r, row in zip(row_labels, values)
+    ]
+    return rows_to_csv([""] + list(col_labels), rows)
+
+
+def write_csv(text: str, path: str | os.PathLike[str]) -> None:
+    """Write CSV text to ``path`` (parent directory must exist)."""
+    with open(os.fspath(path), "w", encoding="utf-8", newline="") as fh:
+        fh.write(text)

@@ -1,0 +1,74 @@
+"""ASCII heatmap rendering for the Jaccard matrix (Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.jaccard import JaccardMatrix
+
+__all__ = ["render_heatmap", "render_jaccard"]
+
+#: Density ramp from empty to full.
+RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(
+    values: np.ndarray,
+    row_labels: list[str],
+    col_labels: list[str],
+    *,
+    title: str | None = None,
+    cell_width: int = 5,
+) -> str:
+    """Render a matrix as an ASCII heatmap with numeric cells.
+
+    Each cell shows the value in percent; intensity is encoded by the
+    glyph appended after the number (Fig. 5 colour substitute).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("labels do not match matrix shape")
+    vmax = float(values.max()) if values.size else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+
+    label_w = max((len(r) for r in row_labels), default=0)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    # column header uses indices, with a legend below, to keep rows narrow
+    header = " " * (label_w + 1) + "".join(
+        f"{i:>{cell_width}}" for i in range(len(col_labels))
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        cells = []
+        for v in row:
+            glyph = RAMP[min(int(v / vmax * (len(RAMP) - 1)), len(RAMP) - 1)]
+            cells.append(f"{100 * v:>{cell_width - 1}.0f}{glyph}")
+        lines.append(f"{label:>{label_w}} " + "".join(cells))
+    lines.append("")
+    lines.extend(
+        f"  [{i}] {name}" for i, name in enumerate(col_labels)
+    )
+    return "\n".join(lines)
+
+
+def render_jaccard(
+    matrix: JaccardMatrix,
+    *,
+    threshold: float = 0.01,
+    title: str = "Jaccard index matrix (values in %, pairs > 1%)",
+) -> str:
+    """Render a Jaccard matrix keeping only rows/columns that appear in
+    at least one relevant pair — mirroring Fig. 5's pruning."""
+    pairs = matrix.relevant_pairs(threshold)
+    keep = sorted(
+        {c for a, b, _ in pairs for c in (a, b)},
+        key=lambda c: matrix.categories.index(c),
+    )
+    if not keep:
+        return f"{title}\n(no pairs above threshold)"
+    idx = [matrix.categories.index(c) for c in keep]
+    sub = matrix.values[np.ix_(idx, idx)]
+    labels = [c.value for c in keep]
+    return render_heatmap(sub, labels, labels, title=title)

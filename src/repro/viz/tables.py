@@ -1,0 +1,86 @@
+"""ASCII table rendering.
+
+No plotting stack is assumed (the evaluation environment is offline);
+every paper table/figure is emitted as aligned text plus CSV (see
+:mod:`repro.viz.export`), which is also the friendliest form for diffing
+against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "render_shares_table", "format_percent", "format_bytes"]
+
+
+def format_percent(x: float, digits: int = 1) -> str:
+    """0.347 → '34.7%'."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count ('3.2 GB')."""
+    units = ["B", "KB", "MB", "GB", "TB", "PB"]
+    x = float(n)
+    for unit in units:
+        if abs(x) < 1024.0 or unit == units[-1]:
+            return f"{x:.1f} {unit}" if unit != "B" else f"{int(x)} B"
+        x /= 1024.0
+    return f"{x:.1f} PB"  # pragma: no cover - loop always returns
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cols = len(headers)
+    for r in rows:
+        if len(r) != cols:
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(str(headers[c])), *(len(str(r[c])) for r in rows)) if rows else len(str(headers[c]))
+        for c in range(cols)
+    ]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        inner = " | ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+        return f"| {inner} |"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines += [sep, fmt_row(headers), sep]
+    lines += [fmt_row(r) for r in rows]
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_shares_table(
+    table: Mapping[str, Mapping[str, float]],
+    *,
+    title: str | None = None,
+    digits: int = 1,
+) -> str:
+    """Render a {row_label: {column: share}} mapping as percentages.
+
+    Columns are the union of all row keys, in first-seen order.
+    """
+    columns: list[str] = []
+    for row in table.values():
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    headers = [""] + columns
+    rows = [
+        [label] + [
+            format_percent(row.get(c, 0.0), digits) if c in row else "-"
+            for c in columns
+        ]
+        for label, row in table.items()
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,76 @@
+"""Unit tests for sampling-based accuracy estimation (§IV-E)."""
+
+import pytest
+
+from repro.analysis import estimate_accuracy, wilson_interval
+from repro.core import CategorizationResult, Category
+from repro.synth import GroundTruth
+
+
+def result(job_id, cats):
+    return CategorizationResult(
+        job_id=job_id, uid=job_id, exe=f"a{job_id}", nprocs=4, run_time=1.0,
+        categories=frozenset(cats),
+    )
+
+
+TRUTH_OK = GroundTruth(
+    read_temporality=Category.READ_ON_START,
+    write_temporality=Category.WRITE_ON_END,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(470, 512)
+        assert lo < 470 / 512 < hi
+
+    def test_bounded(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+
+    def test_empty_sample(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_n(self):
+        lo1, hi1 = wilson_interval(46, 50)
+        lo2, hi2 = wilson_interval(460, 500)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+
+class TestEstimateAccuracy:
+    def test_perfect_corpus(self):
+        results = [result(i, {Category.READ_ON_START, Category.WRITE_ON_END}) for i in range(20)]
+        truth = {i: TRUTH_OK for i in range(20)}
+        rep = estimate_accuracy(results, truth, sample_size=64, seed=1)
+        assert rep.accuracy == 1.0
+        assert rep.n_incorrect == 0
+
+    def test_known_error_rate_estimated(self):
+        good = [result(i, {Category.READ_ON_START, Category.WRITE_ON_END}) for i in range(90)]
+        bad = [result(100 + i, {Category.READ_STEADY, Category.WRITE_ON_END}) for i in range(10)]
+        truth = {r.job_id: TRUTH_OK for r in good + bad}
+        rep = estimate_accuracy(good + bad, truth, sample_size=512, seed=2)
+        assert rep.accuracy == pytest.approx(0.9, abs=0.05)
+        assert rep.ci_low < 0.9 < rep.ci_high
+
+    def test_error_axes_histogram(self):
+        bad = [result(i, {Category.READ_STEADY, Category.WRITE_ON_END}) for i in range(10)]
+        truth = {r.job_id: TRUTH_OK for r in bad}
+        rep = estimate_accuracy(bad, truth, sample_size=32, seed=0)
+        assert rep.dominant_error_axis() == "read_temporality"
+        assert rep.errors_by_axis["read_temporality"] == 32
+
+    def test_results_without_truth_skipped(self):
+        results = [result(1, {Category.READ_ON_START, Category.WRITE_ON_END})]
+        rep = estimate_accuracy(results, {}, sample_size=8)
+        assert rep.n_sampled == 0
+
+    def test_deterministic_given_seed(self):
+        results = [result(i, {Category.READ_ON_START, Category.WRITE_ON_END}) for i in range(50)]
+        truth = {i: TRUTH_OK for i in range(50)}
+        a = estimate_accuracy(results, truth, sample_size=16, seed=7)
+        b = estimate_accuracy(results, truth, sample_size=16, seed=7)
+        assert a.n_correct == b.n_correct

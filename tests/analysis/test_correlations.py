@@ -1,0 +1,80 @@
+"""Unit tests for the §IV-D correlation report and the generic miner."""
+
+import pytest
+
+from repro.analysis import mine_correlations, paper_correlations
+from repro.core import CategorizationResult, Category
+from repro.core.periodicity import PeriodicGroup
+
+
+def result(job_id, cats, write_groups=()):
+    return CategorizationResult(
+        job_id=job_id, uid=job_id, exe=f"a{job_id}", nprocs=4, run_time=1.0,
+        categories=frozenset(cats),
+        periodic_groups={"write": list(write_groups)} if write_groups else {},
+    )
+
+
+class TestPaperCorrelations:
+    def test_insig_implication(self):
+        rs = [
+            result(1, {Category.READ_INSIGNIFICANT, Category.WRITE_INSIGNIFICANT}),
+            result(2, {Category.READ_INSIGNIFICANT, Category.WRITE_ON_END}),
+            result(3, {Category.READ_ON_START, Category.WRITE_ON_END}),
+        ]
+        rep = paper_correlations(rs)
+        assert rep.insig_read_implies_insig_write == pytest.approx(0.5)
+        assert rep.read_start_implies_write_end == pytest.approx(1.0)
+
+    def test_periodic_low_busy_share(self):
+        low = PeriodicGroup("write", 600.0, 1e9, 10, 0.05)
+        high = PeriodicGroup("write", 600.0, 1e9, 10, 0.6)
+        rs = [
+            result(1, {Category.PERIODIC_WRITE}, [low]),
+            result(2, {Category.PERIODIC_WRITE}, [low]),
+            result(3, {Category.PERIODIC_WRITE}, [high]),
+            result(4, {Category.READ_ON_START}),
+        ]
+        rep = paper_correlations(rs)
+        assert rep.periodic_writes_low_busy == pytest.approx(2 / 3)
+
+    def test_dense_metadata_correlation(self):
+        rs = [
+            result(1, {Category.METADATA_HIGH_DENSITY, Category.READ_ON_START}),
+            result(2, {Category.METADATA_HIGH_DENSITY, Category.WRITE_ON_END}),
+            result(3, {Category.METADATA_HIGH_DENSITY, Category.READ_STEADY}),
+        ]
+        rep = paper_correlations(rs)
+        assert rep.dense_metadata_reads_start_or_writes_end == pytest.approx(2 / 3)
+
+    def test_empty_corpus_gives_zeros(self):
+        rep = paper_correlations([])
+        assert rep.insig_read_implies_insig_write == 0.0
+        assert rep.periodic_writes_low_busy == 0.0
+
+
+class TestMiner:
+    def test_finds_strong_pair(self):
+        rs = [
+            result(i, {Category.READ_ON_START, Category.WRITE_ON_END}) for i in range(8)
+        ] + [result(100, {Category.READ_ON_START})]
+        found = mine_correlations(rs, min_jaccard=0.1, min_conditional=0.6)
+        pairs = {(g.value, t.value) for g, t, _, _ in found}
+        assert ("read_on_start", "write_on_end") in pairs
+
+    def test_thresholds_filter(self):
+        rs = [
+            result(1, {Category.READ_ON_START}),
+            result(2, {Category.WRITE_ON_END}),
+        ]
+        assert mine_correlations(rs, min_jaccard=0.1) == []
+
+    def test_results_sorted_by_conditional(self):
+        rs = [
+            result(i, {Category.READ_ON_START, Category.WRITE_ON_END,
+                       Category.METADATA_HIGH_SPIKE})
+            for i in range(5)
+        ] + [result(9, {Category.READ_ON_START})]
+        found = mine_correlations(rs, min_jaccard=0.05, min_conditional=0.5)
+        probs = [p for _, _, p, _ in found]
+        assert probs == sorted(probs, reverse=True)

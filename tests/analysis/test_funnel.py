@@ -1,0 +1,50 @@
+"""Unit tests for the Fig. 3 funnel report."""
+
+import pytest
+
+from repro.analysis import PAPER_FUNNEL, funnel_report
+from repro.core import preprocess_corpus
+
+from tests.conftest import make_record, make_trace
+
+
+def valid(job_id, uid=1, exe="a"):
+    return make_trace(
+        [make_record(1, 0, read=(0.0, 10.0, 1000 + job_id))],
+        job_id=job_id,
+        uid=uid,
+        exe=exe,
+    )
+
+
+def corrupted(job_id):
+    t = make_trace([], job_id=job_id)
+    t.meta.end_time = t.meta.start_time - 1.0
+    return t
+
+
+class TestFunnelReport:
+    def test_stage_counts(self):
+        traces = [valid(1), valid(2), valid(3, exe="b"), corrupted(4)]
+        rep = funnel_report(preprocess_corpus(traces))
+        counts = {s.name: s.count for s in rep.stages}
+        assert counts["input_traces"] == 4
+        assert counts["valid_traces"] == 3
+        assert counts["selected_for_categorization"] == 2
+
+    def test_retention_fractions(self):
+        traces = [valid(1), valid(2), corrupted(3), corrupted(4)]
+        rep = funnel_report(preprocess_corpus(traces))
+        assert rep.stages[0].retention == 1.0
+        assert rep.stages[1].retention == pytest.approx(0.5)
+
+    def test_corruption_causes_listed(self):
+        rep = funnel_report(preprocess_corpus([corrupted(1)]))
+        assert rep.corruption_causes == {"negative_runtime": 1}
+
+    def test_paper_reference_values(self):
+        # the constants the benches compare against
+        assert PAPER_FUNNEL["input_traces"] == 462_502
+        assert PAPER_FUNNEL["selected_for_categorization"] == 24_606
+        assert PAPER_FUNNEL["corrupted_fraction"] == pytest.approx(0.32)
+        assert PAPER_FUNNEL["unique_fraction"] == pytest.approx(0.08)

@@ -1,0 +1,87 @@
+"""Unit tests for the Jaccard index matrix."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import conditional_probability, jaccard_matrix
+from repro.core import CategorizationResult, Category
+
+
+def result(job_id, cats):
+    return CategorizationResult(
+        job_id=job_id, uid=job_id, exe=f"a{job_id}", nprocs=4, run_time=1.0,
+        categories=frozenset(cats),
+    )
+
+
+@pytest.fixture
+def results():
+    # 4 traces: A&B co-occur 2/3 of their union
+    A, B, C = Category.READ_ON_START, Category.WRITE_ON_END, Category.PERIODIC
+    return [
+        result(1, {A, B}),
+        result(2, {A, B}),
+        result(3, {A}),
+        result(4, {C}),
+    ]
+
+
+class TestJaccardMatrix:
+    def test_pairwise_value(self, results):
+        m = jaccard_matrix(results)
+        # |A∩B| = 2, |A∪B| = 3
+        assert m.get(Category.READ_ON_START, Category.WRITE_ON_END) == pytest.approx(2 / 3)
+
+    def test_diagonal_is_one_for_present_categories(self, results):
+        m = jaccard_matrix(results)
+        assert m.get(Category.READ_ON_START, Category.READ_ON_START) == pytest.approx(1.0)
+
+    def test_absent_categories_zero(self, results):
+        m = jaccard_matrix(results)
+        assert m.get(Category.READ_STEADY, Category.WRITE_ON_END) == 0.0
+
+    def test_symmetry(self, results):
+        m = jaccard_matrix(results)
+        assert np.allclose(m.values, m.values.T)
+
+    def test_disjoint_categories_zero(self, results):
+        m = jaccard_matrix(results)
+        assert m.get(Category.PERIODIC, Category.READ_ON_START) == 0.0
+
+    def test_run_weighting(self, results):
+        m = jaccard_matrix(results, run_weights=[10, 1, 1, 1])
+        # weighted: inter = 11, union = 12
+        assert m.get(Category.READ_ON_START, Category.WRITE_ON_END) == pytest.approx(11 / 12)
+
+    def test_relevant_pairs_sorted_and_thresholded(self, results):
+        m = jaccard_matrix(results)
+        pairs = m.relevant_pairs(0.01)
+        assert pairs
+        values = [v for _, _, v in pairs]
+        assert values == sorted(values, reverse=True)
+        assert all(v > 0.01 for v in values)
+
+    def test_restricted_category_list(self, results):
+        m = jaccard_matrix(results, categories=[Category.READ_ON_START, Category.WRITE_ON_END])
+        assert m.values.shape == (2, 2)
+
+    def test_weight_alignment_enforced(self, results):
+        with pytest.raises(ValueError):
+            jaccard_matrix(results, run_weights=[1])
+
+
+class TestConditionalProbability:
+    def test_direction_matters(self, results):
+        p_ba = conditional_probability(results, Category.READ_ON_START, Category.WRITE_ON_END)
+        p_ab = conditional_probability(results, Category.WRITE_ON_END, Category.READ_ON_START)
+        assert p_ba == pytest.approx(2 / 3)
+        assert p_ab == pytest.approx(1.0)
+
+    def test_zero_when_given_absent(self, results):
+        assert conditional_probability(results, Category.READ_STEADY, Category.PERIODIC) == 0.0
+
+    def test_run_weighted(self, results):
+        p = conditional_probability(
+            results, Category.READ_ON_START, Category.WRITE_ON_END, run_weights=[10, 1, 1, 1]
+        )
+        assert p == pytest.approx(11 / 12)

@@ -1,0 +1,37 @@
+"""Tests for the consolidated corpus report."""
+
+import pytest
+
+from repro.analysis.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report(small_pipeline):
+    return build_report(small_pipeline)
+
+
+class TestCorpusReport:
+    def test_carries_every_artifact(self, report, small_pipeline):
+        assert report.n_categorized == small_pipeline.n_categorized
+        assert report.funnel.stages[0].count == small_pipeline.preprocess.n_input
+        assert set(report.table3) == {
+            "read_single", "read_all", "write_single", "write_all",
+        }
+        assert set(report.table2) == {"single_run", "all_runs"}
+        assert set(report.fig4) == {"single_run", "all_runs"}
+
+    def test_render_contains_all_sections(self, report):
+        text = report.render()
+        for needle in (
+            "Fig. 3", "Table II", "Table III", "Fig. 4", "Fig. 5",
+            "Noteworthy correlations", "read_on_start",
+        ):
+            assert needle in text
+
+    def test_values_consistent_with_direct_calls(self, report, small_pipeline):
+        from repro.analysis import periodicity_table
+
+        direct = periodicity_table(
+            small_pipeline.results, small_pipeline.run_weights(), "write"
+        )
+        assert report.table2 == direct

@@ -1,0 +1,95 @@
+"""Unit tests for category distribution statistics."""
+
+import pytest
+
+from repro.analysis import category_shares, metadata_table, periodicity_table, temporality_table
+from repro.core import CategorizationResult, Category
+from repro.core.periodicity import PeriodicGroup
+
+
+def result(job_id, cats, write_groups=()):
+    return CategorizationResult(
+        job_id=job_id, uid=job_id, exe=f"a{job_id}", nprocs=4, run_time=1000.0,
+        categories=frozenset(cats),
+        periodic_groups={"write": list(write_groups)} if write_groups else {},
+    )
+
+
+@pytest.fixture
+def results():
+    return [
+        result(1, {Category.READ_ON_START, Category.WRITE_ON_END}),
+        result(2, {Category.READ_INSIGNIFICANT, Category.WRITE_INSIGNIFICANT}),
+        result(
+            3,
+            {Category.READ_STEADY, Category.WRITE_STEADY, Category.PERIODIC_WRITE,
+             Category.PERIODIC, Category.PERIODIC_MINUTE},
+            write_groups=[PeriodicGroup("write", 600.0, 1e9, 12, 0.05)],
+        ),
+    ]
+
+
+class TestCategoryShares:
+    def test_single_run_counts_each_app_once(self, results):
+        shares = category_shares(results, [1, 1, 1])
+        assert shares.single(Category.READ_ON_START) == pytest.approx(1 / 3)
+
+    def test_all_runs_weighted(self, results):
+        shares = category_shares(results, [1, 1, 8])
+        assert shares.all(Category.WRITE_STEADY) == pytest.approx(0.8)
+        assert shares.all(Category.READ_ON_START) == pytest.approx(0.1)
+
+    def test_alignment_enforced(self, results):
+        with pytest.raises(ValueError):
+            category_shares(results, [1, 1])
+
+    def test_empty(self):
+        shares = category_shares([], [])
+        assert shares.single(Category.READ_ON_START) == 0.0
+
+
+class TestTemporalityTable:
+    def test_paper_grouping(self, results):
+        table = temporality_table(results, [1, 1, 1])
+        assert set(table) == {"read_single", "read_all", "write_single", "write_all"}
+        row = table["read_single"]
+        assert row["read_insignificant"] == pytest.approx(1 / 3)
+        assert row["read_on_start"] == pytest.approx(1 / 3)
+        assert row["read_steady"] == pytest.approx(1 / 3)
+        assert row["others"] == pytest.approx(0.0)
+
+    def test_others_bucket_collects_rest(self):
+        rs = [result(1, {Category.READ_AFTER_START, Category.WRITE_BEFORE_END})]
+        table = temporality_table(rs, [1])
+        assert table["read_single"]["others"] == pytest.approx(1.0)
+        assert table["write_single"]["others"] == pytest.approx(1.0)
+
+    def test_rows_sum_to_one_per_direction(self, results):
+        table = temporality_table(results, [3, 2, 5])
+        for row in table.values():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+
+class TestPeriodicityTable:
+    def test_shares_and_magnitudes(self, results):
+        table = periodicity_table(results, [1, 1, 8], "write")
+        assert table["single_run"]["periodic"] == pytest.approx(1 / 3)
+        assert table["single_run"]["non_periodic"] == pytest.approx(2 / 3)
+        assert table["all_runs"]["periodic"] == pytest.approx(0.8)
+        assert table["single_run"]["periodic_minute"] == pytest.approx(1 / 3)
+        assert table["single_run"]["periodic_hour"] == 0.0
+
+    def test_read_direction(self, results):
+        table = periodicity_table(results, [1, 1, 1], "read")
+        assert table["single_run"]["periodic"] == 0.0
+
+
+class TestMetadataTable:
+    def test_all_metadata_categories_present(self, results):
+        table = metadata_table(results, [1, 1, 1])
+        for row in table.values():
+            assert set(row) == {c.value for c in
+                                [Category.METADATA_HIGH_SPIKE,
+                                 Category.METADATA_MULTIPLE_SPIKES,
+                                 Category.METADATA_HIGH_DENSITY,
+                                 Category.METADATA_INSIGNIFICANT_LOAD]}

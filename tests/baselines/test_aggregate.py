@@ -1,0 +1,68 @@
+"""Unit tests for the aggregate-statistics baseline (related work [25])."""
+
+import pytest
+
+from repro.baselines import AggregateClass, categorize_aggregate
+
+from tests.conftest import make_record, make_trace
+
+MB = 1024 * 1024
+SIG = 500 * MB
+
+
+class TestAggregateBaseline:
+    def test_inactive(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 1.0, 10 * MB))])
+        res = categorize_aggregate(trace)
+        assert AggregateClass.IO_INACTIVE in res.classes
+
+    def test_read_heavy(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 1.0, SIG))])
+        assert AggregateClass.READ_HEAVY in categorize_aggregate(trace).classes
+
+    def test_write_heavy(self):
+        trace = make_trace([make_record(1, 0, write=(0.0, 1.0, SIG))])
+        assert AggregateClass.WRITE_HEAVY in categorize_aggregate(trace).classes
+
+    def test_balanced(self):
+        trace = make_trace(
+            [make_record(1, 0, read=(0.0, 1.0, SIG), write=(2.0, 3.0, SIG))]
+        )
+        assert AggregateClass.READ_WRITE_BALANCED in categorize_aggregate(trace).classes
+
+    def test_metadata_heavy(self):
+        rec = make_record(1, 0, read=(0.0, 1.0, SIG), opens=3000)
+        trace = make_trace([rec], nprocs=4)
+        assert AggregateClass.METADATA_HEAVY in categorize_aggregate(trace).classes
+
+    def test_access_size_classes(self):
+        small = make_record(1, 0, read=(0.0, 1.0, SIG))
+        small.reads = SIG // 1024  # 1 KB accesses
+        res = categorize_aggregate(make_trace([small]))
+        assert AggregateClass.SMALL_ACCESSES in res.classes
+
+        large = make_record(1, 0, read=(0.0, 1.0, SIG))
+        large.reads = 4  # 125 MB accesses
+        res = categorize_aggregate(make_trace([large]))
+        assert AggregateClass.LARGE_ACCESSES in res.classes
+
+    def test_blind_to_temporality(self):
+        """The paper's critique: identical aggregates at opposite ends of
+        the execution are indistinguishable to this baseline."""
+        on_start = make_trace([make_record(1, 0, read=(0.0, 30.0, SIG))])
+        on_end = make_trace([make_record(1, 0, read=(970.0, 1000.0, SIG))])
+        assert (
+            categorize_aggregate(on_start).classes
+            == categorize_aggregate(on_end).classes
+        )
+
+    def test_blind_to_periodicity(self):
+        burst = make_trace([make_record(1, 0, write=(0.0, 160.0, SIG))], run_time=10000.0)
+        periodic = make_trace(
+            [make_record(k, 0, write=(k * 600.0, k * 600.0 + 10.0, SIG // 16))
+             for k in range(16)],
+            run_time=10000.0,
+        )
+        a = categorize_aggregate(burst).classes
+        b = categorize_aggregate(periodic).classes
+        assert AggregateClass.WRITE_HEAVY in a and AggregateClass.WRITE_HEAVY in b

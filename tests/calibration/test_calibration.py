@@ -1,0 +1,116 @@
+"""Tests for the threshold calibration workflow."""
+
+import pytest
+
+from repro.calibration import (
+    calibrate_and_validate,
+    month_subset,
+    score_config,
+    sweep_thresholds,
+)
+from repro.core import DEFAULT_CONFIG, preprocess_corpus
+
+
+@pytest.fixture(scope="module")
+def labeled_corpus(small_fleet):
+    pre = preprocess_corpus(small_fleet.traces)
+    return pre.selected, small_fleet.truth
+
+
+class TestMonthSubset:
+    def test_partition_covers_year(self, small_fleet):
+        total = sum(
+            len(month_subset(small_fleet.traces, m)) for m in range(12)
+        )
+        # starts are drawn within 360 days; everything falls in some month
+        assert total == len(small_fleet.traces)
+
+    def test_disjoint_months(self, small_fleet):
+        a = {t.meta.job_id for t in month_subset(small_fleet.traces, 0)}
+        b = {t.meta.job_id for t in month_subset(small_fleet.traces, 1)}
+        assert not a & b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            month_subset([], 12)
+
+    def test_empty_input(self):
+        assert month_subset([], 0) == []
+
+
+class TestScoreConfig:
+    def test_default_config_scores_high(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        scores = score_config(traces, truth, DEFAULT_CONFIG)
+        assert scores.trace_accuracy > 0.85
+        assert scores.periodic_f1 > 0.8
+        assert scores.temporality_accuracy >= scores.trace_accuracy
+
+    def test_absurd_bandwidth_scores_lower(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        default = score_config(traces, truth, DEFAULT_CONFIG)
+        # a huge comparability bandwidth groups everything together:
+        # spurious periodicity everywhere
+        loose = score_config(
+            traces, truth, DEFAULT_CONFIG.with_overrides(meanshift_bandwidth=5.0)
+        )
+        assert loose.periodic_precision <= default.periodic_precision
+        assert loose.trace_accuracy <= default.trace_accuracy
+
+    def test_empty_truth(self, labeled_corpus):
+        traces, _ = labeled_corpus
+        scores = score_config(traces[:3], {}, DEFAULT_CONFIG)
+        assert scores.trace_accuracy == 0.0
+
+
+class TestSweep:
+    def test_sorted_by_accuracy(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        points = sweep_thresholds(
+            traces[:60], truth, {"meanshift_bandwidth": [0.15, 5.0]}
+        )
+        accs = [p.scores.trace_accuracy for p in points]
+        assert accs == sorted(accs, reverse=True)
+
+    def test_grid_product(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        points = sweep_thresholds(
+            traces[:20],
+            truth,
+            {"meanshift_bandwidth": [0.1, 0.2], "min_group_size": [2, 3]},
+        )
+        assert len(points) == 4
+        assert {tuple(sorted(p.overrides)) for p in points} == {
+            ("meanshift_bandwidth", "min_group_size")
+        }
+
+    def test_empty_grid_rejected(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        with pytest.raises(ValueError):
+            sweep_thresholds(traces, truth, {})
+
+
+class TestCalibrateAndValidate:
+    def test_full_workflow(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        outcome = calibrate_and_validate(
+            traces,
+            truth,
+            {"meanshift_bandwidth": [0.15, 2.0]},
+            month=0,
+            sample_size=128,
+        )
+        assert outcome.n_month_traces > 0
+        assert outcome.best.scores.trace_accuracy >= outcome.sweep[-1].scores.trace_accuracy
+        assert 0.0 < outcome.validation.accuracy <= 1.0
+        # the sane bandwidth must win over the degenerate one
+        assert outcome.best.overrides["meanshift_bandwidth"] == 0.15
+
+    def test_month_without_traces_rejected(self, labeled_corpus):
+        traces, truth = labeled_corpus
+        few = traces[:2]
+        # pick a month beyond these jobs' start window
+        with pytest.raises(ValueError):
+            calibrate_and_validate(
+                few, {}, {"meanshift_bandwidth": [0.15]}, month=11
+            )

@@ -1,0 +1,98 @@
+"""Integration tests for the ``mosaic`` CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for cmd in ("generate", "categorize", "report", "anatomy"):
+            args = parser.parse_args(
+                [cmd] + (["--out", "x"] if cmd == "generate" else [])
+                + (["--traces", "t", "--out", "o"] if cmd == "categorize" else [])
+            )
+            assert args.command == cmd
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestEndToEndCli:
+    def test_generate_categorize_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        rc = main([
+            "generate", "--out", str(out_dir), "--n-apps", "30",
+            "--mean-runs", "3", "--seed", "3",
+        ])
+        assert rc == 0
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        files = [f for f in os.listdir(out_dir) if f.endswith(".mosd")]
+        assert len(files) == manifest["n_traces"]
+
+        results = tmp_path / "results.jsonl"
+        rc = main(["categorize", "--traces", str(out_dir), "--out", str(results)])
+        assert rc == 0
+        assert results.exists()
+        lines = [l for l in results.read_text().splitlines() if l.strip()]
+        assert len(lines) == 30  # one per unique app
+        weights = json.loads((tmp_path / "results.jsonl.weights.json").read_text())
+        assert len(weights) == 30
+
+        rc = main(["report", "--traces", str(out_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pre-processing funnel" in out
+        assert "Table II" in out
+        assert "Table III" in out
+        assert "Noteworthy correlations" in out
+
+    def test_generate_json_format(self, tmp_path):
+        out_dir = tmp_path / "jcorpus"
+        main(["generate", "--out", str(out_dir), "--n-apps", "20",
+              "--mean-runs", "1", "--format", "json", "--seed", "1"])
+        files = [f for f in os.listdir(out_dir) if f.endswith(".json") and f != "manifest.json"]
+        assert files
+
+    def test_anatomy(self, capsys):
+        rc = main(["anatomy", "--cohort", "rcw", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "read raw" in out
+        assert "categories:" in out
+
+    def test_categorize_empty_dir_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["categorize", "--traces", str(empty), "--out", str(tmp_path / "r.jsonl")])
+
+    def test_accuracy_command(self, tmp_path, capsys):
+        out_dir = tmp_path / "acc-corpus"
+        main(["generate", "--out", str(out_dir), "--n-apps", "25",
+              "--mean-runs", "2", "--seed", "9"])
+        rc = main(["accuracy", "--traces", str(out_dir), "--sample-size", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy over 64 sampled traces" in out
+
+    def test_accuracy_requires_manifest(self, tmp_path):
+        out_dir = tmp_path / "no-manifest"
+        main(["generate", "--out", str(out_dir), "--n-apps", "20",
+              "--mean-runs", "1", "--seed", "9"])
+        (out_dir / "manifest.json").unlink()
+        with pytest.raises(SystemExit):
+            main(["accuracy", "--traces", str(out_dir)])
+
+    def test_discover_command(self, capsys):
+        rc = main(["discover", "--n-apps", "60", "--seed", "4",
+                   "--direction", "read"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "discovered k=" in out
+        assert "purity" in out

@@ -1,0 +1,110 @@
+"""Unit tests for the from-scratch Mean Shift implementation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import estimate_bandwidth, mean_shift
+
+
+def blobs(rng, centers, n_per, spread=0.05):
+    pts = []
+    for c in centers:
+        pts.append(rng.normal(c, spread, size=(n_per, len(c))))
+    return np.vstack(pts)
+
+
+class TestMeanShift:
+    def test_separates_well_spaced_blobs(self):
+        rng = np.random.default_rng(0)
+        X = blobs(rng, [(0.0, 0.0), (5.0, 5.0), (10.0, 0.0)], 20)
+        result = mean_shift(X, bandwidth=1.0)
+        assert result.n_clusters == 3
+        assert sorted(result.cluster_sizes().tolist()) == [20, 20, 20]
+
+    def test_blob_members_share_labels(self):
+        rng = np.random.default_rng(1)
+        X = blobs(rng, [(0.0, 0.0), (8.0, 8.0)], 15)
+        result = mean_shift(X, bandwidth=1.0)
+        assert len(set(result.labels[:15])) == 1
+        assert len(set(result.labels[15:])) == 1
+        assert result.labels[0] != result.labels[20]
+
+    def test_single_cluster_for_tight_data(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(3.0, 0.01, size=(30, 2))
+        assert mean_shift(X, bandwidth=1.0).n_clusters == 1
+
+    def test_modes_near_true_centers(self):
+        rng = np.random.default_rng(3)
+        X = blobs(rng, [(0.0, 0.0), (6.0, 0.0)], 25)
+        result = mean_shift(X, bandwidth=1.5)
+        modes = sorted(result.modes[:, 0].tolist())
+        assert modes[0] == pytest.approx(0.0, abs=0.3)
+        assert modes[1] == pytest.approx(6.0, abs=0.3)
+
+    def test_gaussian_kernel(self):
+        rng = np.random.default_rng(4)
+        X = blobs(rng, [(0.0, 0.0), (10.0, 10.0)], 20)
+        result = mean_shift(X, bandwidth=1.0, kernel="gaussian")
+        assert result.n_clusters == 2
+
+    def test_clusters_ordered_by_size(self):
+        rng = np.random.default_rng(5)
+        X = np.vstack([
+            rng.normal((0, 0), 0.05, size=(30, 2)),
+            rng.normal((9, 9), 0.05, size=(5, 2)),
+        ])
+        result = mean_shift(X, bandwidth=1.0)
+        sizes = result.cluster_sizes()
+        assert sizes[0] == 30 and sizes[1] == 5
+
+    def test_members(self):
+        rng = np.random.default_rng(6)
+        X = blobs(rng, [(0.0, 0.0), (9.0, 9.0)], 10)
+        result = mean_shift(X, bandwidth=1.0)
+        m0 = result.members(0)
+        assert set(result.labels[m0]) == {0}
+
+    def test_empty_and_singleton(self):
+        empty = mean_shift(np.empty((0, 2)))
+        assert empty.n_clusters == 0 and len(empty.labels) == 0
+        single = mean_shift(np.array([[1.0, 2.0]]))
+        assert single.n_clusters == 1 and single.labels.tolist() == [0]
+
+    def test_degenerate_identical_points(self):
+        X = np.ones((10, 2))
+        result = mean_shift(X)  # estimated bandwidth will be 0
+        assert result.n_clusters == 1
+
+    def test_1d_input_promoted(self):
+        X = np.array([0.0, 0.1, 5.0, 5.1])
+        result = mean_shift(X, bandwidth=0.5)
+        assert result.n_clusters == 2
+
+    def test_isolated_point_becomes_singleton_cluster(self):
+        rng = np.random.default_rng(7)
+        X = np.vstack([rng.normal((0, 0), 0.05, size=(10, 2)), [[50.0, 50.0]]])
+        result = mean_shift(X, bandwidth=1.0)
+        assert result.n_clusters == 2
+        assert result.cluster_sizes().tolist() == [10, 1]
+
+
+class TestBandwidth:
+    def test_estimate_positive_for_spread_data(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(0, 1, size=(50, 2))
+        assert estimate_bandwidth(X) > 0.0
+
+    def test_degenerate_inputs(self):
+        assert estimate_bandwidth(np.empty((0, 2))) == 0.0
+        assert estimate_bandwidth(np.ones((1, 2))) == 0.0
+        assert estimate_bandwidth(np.ones((20, 2))) == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            estimate_bandwidth(np.random.default_rng(0).normal(size=(10, 2)), quantile=0.0)
+
+    def test_subsampling_is_deterministic(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(0, 1, size=(800, 2))
+        assert estimate_bandwidth(X, max_samples=100) == estimate_bandwidth(X, max_samples=100)

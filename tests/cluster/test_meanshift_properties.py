@@ -1,0 +1,57 @@
+"""Property-based tests on Mean Shift invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cluster import mean_shift
+
+points = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 40), st.just(2)),
+    elements=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+)
+
+
+class TestMeanShiftProperties:
+    @given(points, st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_every_point_labelled(self, X, bandwidth):
+        result = mean_shift(X, bandwidth=bandwidth)
+        assert len(result.labels) == len(X)
+        assert np.all(result.labels >= 0)
+        assert np.all(result.labels < result.n_clusters)
+
+    @given(points, st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_sum_to_n(self, X, bandwidth):
+        result = mean_shift(X, bandwidth=bandwidth)
+        assert result.cluster_sizes().sum() == len(X)
+
+    @given(points, st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_non_increasing(self, X, bandwidth):
+        sizes = mean_shift(X, bandwidth=bandwidth).cluster_sizes()
+        assert np.all(np.diff(sizes) <= 0)
+
+    @given(points, st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=60, deadline=None)
+    def test_modes_inside_data_hull_box(self, X, bandwidth):
+        result = mean_shift(X, bandwidth=bandwidth)
+        lo, hi = X.min(axis=0), X.max(axis=0)
+        assert np.all(result.modes >= lo - 1e-9)
+        assert np.all(result.modes <= hi + 1e-9)
+
+    @given(points)
+    @settings(max_examples=40, deadline=None)
+    def test_huge_bandwidth_single_cluster(self, X):
+        result = mean_shift(X, bandwidth=1e6)
+        assert result.n_clusters == 1
+
+    @given(points, st.floats(min_value=0.1, max_value=50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, X, bandwidth):
+        a = mean_shift(X, bandwidth=bandwidth)
+        b = mean_shift(X, bandwidth=bandwidth)
+        assert np.array_equal(a.labels, b.labels)

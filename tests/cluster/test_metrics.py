@@ -1,0 +1,76 @@
+"""Unit tests for clustering quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    adjusted_rand_index,
+    pair_confusion,
+    silhouette_mean,
+    within_cluster_spread,
+)
+
+
+class TestWithinClusterSpread:
+    def test_zero_for_point_clusters(self):
+        X = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 0, 1])
+        assert within_cluster_spread(X, labels) == pytest.approx(0.0)
+
+    def test_positive_for_spread_cluster(self):
+        X = np.array([[0.0, 0.0], [2.0, 0.0]])
+        assert within_cluster_spread(X, np.array([0, 0])) > 0.0
+
+    def test_empty(self):
+        assert within_cluster_spread(np.empty((0, 2)), np.empty(0)) == 0.0
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([
+            rng.normal((0, 0), 0.1, size=(10, 2)),
+            rng.normal((10, 10), 0.1, size=(10, 2)),
+        ])
+        labels = np.array([0] * 10 + [1] * 10)
+        assert silhouette_mean(X, labels) > 0.9
+
+    def test_single_cluster_undefined_returns_zero(self):
+        X = np.random.default_rng(1).normal(size=(10, 2))
+        assert silhouette_mean(X, np.zeros(10)) == 0.0
+
+    def test_bad_clustering_scores_low(self):
+        rng = np.random.default_rng(2)
+        X = np.vstack([
+            rng.normal((0, 0), 0.1, size=(10, 2)),
+            rng.normal((10, 10), 0.1, size=(10, 2)),
+        ])
+        labels = np.array([0, 1] * 10)  # interleaved: wrong
+        assert silhouette_mean(X, labels) < 0.0
+
+
+class TestPairMetrics:
+    def test_pair_confusion_identity(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        tp, fp, fn, tn = pair_confusion(labels, labels)
+        assert fp == 0 and fn == 0
+        assert tp == 2  # (0,1) and (2,3)
+        assert tn == 8
+
+    def test_pair_confusion_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pair_confusion(np.array([0, 1]), np.array([0]))
+
+    def test_ari_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_ari_permuted_labels_still_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 3, 3])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_ari_disagreement_below_one(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(a, b) < 0.5

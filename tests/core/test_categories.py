@@ -1,0 +1,59 @@
+"""Unit tests for the category taxonomy."""
+
+import pytest
+
+from repro.core import (
+    METADATA,
+    PERIODICITY,
+    TEMPORALITY_READ,
+    TEMPORALITY_WRITE,
+    Axis,
+    Category,
+    axis_of,
+    parse_categories,
+)
+
+
+class TestTaxonomy:
+    def test_axis_partition_is_complete_and_disjoint(self):
+        union = TEMPORALITY_READ | TEMPORALITY_WRITE | PERIODICITY | METADATA
+        assert union == frozenset(Category)
+        assert not (TEMPORALITY_READ & TEMPORALITY_WRITE)
+        assert not (PERIODICITY & METADATA)
+        assert not ((TEMPORALITY_READ | TEMPORALITY_WRITE) & PERIODICITY)
+
+    def test_paper_table1_temporality_labels_present(self):
+        # Table I row 1: {read_, write_} x the seven temporal labels
+        for stem in ("on_start", "on_end", "after_start", "before_end",
+                     "after_start_before_end", "steady", "insignificant"):
+            assert Category(f"read_{stem}") in TEMPORALITY_READ
+            assert Category(f"write_{stem}") in TEMPORALITY_WRITE
+
+    def test_paper_table1_periodicity_labels_present(self):
+        for name in ("periodic", "periodic_second", "periodic_minute",
+                     "periodic_hour", "periodic_day_or_more",
+                     "periodic_low_busy_time", "periodic_high_busy_time"):
+            assert Category(name) in PERIODICITY
+
+    def test_paper_table1_metadata_labels_present(self):
+        for name in ("metadata_high_spike", "metadata_high_density",
+                     "metadata_multiple_spikes", "metadata_insignificant_load"):
+            assert Category(name) in METADATA
+
+    def test_axis_of(self):
+        assert axis_of(Category.READ_ON_START) is Axis.TEMPORALITY
+        assert axis_of(Category.WRITE_STEADY) is Axis.TEMPORALITY
+        assert axis_of(Category.PERIODIC_MINUTE) is Axis.PERIODICITY
+        assert axis_of(Category.METADATA_HIGH_SPIKE) is Axis.METADATA
+
+    def test_parse_categories_roundtrip(self):
+        cats = frozenset({Category.READ_ON_START, Category.PERIODIC})
+        names = [c.value for c in cats]
+        assert parse_categories(names) == cats
+
+    def test_parse_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            parse_categories(["read_on_start", "not_a_category"])
+
+    def test_str_is_value(self):
+        assert str(Category.READ_STEADY) == "read_steady"

@@ -1,0 +1,93 @@
+"""Unit tests for the per-trace categorizer (workflow steps ② + ③)."""
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, Category, categorize_trace
+
+from tests.conftest import make_record, make_trace
+
+MB = 1024 * 1024
+SIG = 500 * MB
+
+
+class TestCategorizeTrace:
+    def test_read_compute_write_pattern(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(10.0, 40.0, SIG)),
+                make_record(2, 0, write=(950.0, 990.0, SIG)),
+            ],
+            nprocs=2,
+        )
+        result = categorize_trace(trace)
+        assert Category.READ_ON_START in result.categories
+        assert Category.WRITE_ON_END in result.categories
+        assert Category.PERIODIC not in result.categories
+
+    def test_desynchronized_checkpointer(self):
+        # 16 checkpoints, 4 ranks each, ~2s desync: fusion must collapse
+        # each checkpoint into one op before segmentation
+        recs = []
+        fid = 0
+        for k in range(16):
+            t0 = 100.0 + k * 600.0
+            for rank in range(4):
+                fid += 1
+                recs.append(
+                    make_record(fid, rank, write=(t0 + 0.5 * rank, t0 + 10.0 + 0.5 * rank, SIG // 32))
+                )
+        trace = make_trace(recs, run_time=10000.0, nprocs=4)
+        result = categorize_trace(trace)
+        assert Category.PERIODIC_WRITE in result.categories
+        assert Category.PERIODIC_MINUTE in result.categories
+        assert Category.WRITE_STEADY in result.categories
+        groups = result.periodic_groups["write"]
+        assert groups[0].period == pytest.approx(600.0, rel=0.15)
+
+    def test_insignificant_direction_skips_periodicity(self):
+        # periodic but tiny writes: excluded from characterization
+        recs = [
+            make_record(k, 0, write=(100.0 + 600.0 * k, 110.0 + 600.0 * k, 1 * MB))
+            for k in range(16)
+        ]
+        trace = make_trace(recs, run_time=10000.0, nprocs=2)
+        result = categorize_trace(trace)
+        assert Category.WRITE_INSIGNIFICANT in result.categories
+        assert Category.PERIODIC_WRITE not in result.categories
+
+    def test_read_and_write_independent(self):
+        # paper: "MOSAIC handles read and write operations independently"
+        trace = make_trace(
+            [make_record(1, 0, read=(0.0, 1000.0, SIG), write=(950.0, 1000.0, SIG))],
+            nprocs=2,
+        )
+        result = categorize_trace(trace)
+        assert Category.READ_STEADY in result.categories
+        assert Category.WRITE_ON_END in result.categories
+
+    def test_result_carries_job_identity(self):
+        trace = make_trace([], job_id=42, uid=7, exe="x.exe", nprocs=3)
+        result = categorize_trace(trace)
+        assert result.job_id == 42
+        assert result.uid == 7
+        assert result.exe == "x.exe"
+        assert result.app_key == (7, "x.exe")
+
+    def test_empty_trace_fully_insignificant(self):
+        result = categorize_trace(make_trace([]))
+        assert Category.READ_INSIGNIFICANT in result.categories
+        assert Category.WRITE_INSIGNIFICANT in result.categories
+        assert Category.METADATA_INSIGNIFICANT_LOAD in result.categories
+
+    def test_chunk_volumes_recorded_for_significant_directions(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 100.0, SIG))], nprocs=2)
+        result = categorize_trace(trace)
+        assert result.chunk_volumes["read"] is not None
+        assert len(result.chunk_volumes["read"]) == 4
+        assert result.chunk_volumes["write"] is None
+
+    def test_custom_config_respected(self):
+        cfg = DEFAULT_CONFIG.with_overrides(insignificant_bytes=10 * MB)
+        trace = make_trace([make_record(1, 0, read=(0.0, 10.0, 50 * MB))], nprocs=2)
+        assert Category.READ_INSIGNIFICANT in categorize_trace(trace).categories
+        assert Category.READ_ON_START in categorize_trace(trace, cfg).categories

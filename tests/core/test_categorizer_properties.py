@@ -1,0 +1,123 @@
+"""Property-based tests on categorizer invariants.
+
+Generates arbitrary (valid) traces and checks the structural contract of
+``categorize_trace``: exactly one temporality label per direction, no
+periodicity labels on insignificant directions, consistent metadata
+labels, and a lossless result JSON round trip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    METADATA,
+    TEMPORALITY_READ,
+    TEMPORALITY_WRITE,
+    CategorizationResult,
+    Category,
+    categorize_trace,
+)
+from repro.darshan import FileRecord, JobMeta, Trace
+
+MB = 1024 * 1024
+
+
+@st.composite
+def traces(draw) -> Trace:
+    run_time = draw(st.floats(min_value=60.0, max_value=100_000.0))
+    nprocs = draw(st.integers(min_value=1, max_value=256))
+    n_records = draw(st.integers(min_value=0, max_value=25))
+    records = []
+    for i in range(n_records):
+        s = draw(st.floats(min_value=0.0, max_value=run_time * 0.98))
+        d = draw(st.floats(min_value=0.0, max_value=run_time - s))
+        direction = draw(st.sampled_from(["read", "write", "both"]))
+        nbytes = draw(st.integers(min_value=0, max_value=400 * MB))
+        rec = FileRecord(
+            file_id=i,
+            file_name=f"f{i}",
+            rank=draw(st.integers(min_value=-1, max_value=nprocs - 1)),
+            opens=draw(st.integers(min_value=0, max_value=200)),
+            seeks=draw(st.integers(min_value=0, max_value=50)),
+        )
+        rec.closes = rec.opens
+        if rec.opens:
+            rec.open_start, rec.close_end = s, s + d
+        if direction in ("read", "both") and nbytes:
+            rec.reads = max(nbytes // MB, 1)
+            rec.bytes_read = nbytes
+            rec.read_start, rec.read_end = s, s + d
+        if direction in ("write", "both") and nbytes:
+            rec.writes = max(nbytes // MB, 1)
+            rec.bytes_written = nbytes
+            rec.write_start, rec.write_end = s, s + d
+        records.append(rec)
+    start = 1_546_300_800.0
+    meta = JobMeta(
+        job_id=draw(st.integers(min_value=1, max_value=10**9)),
+        uid=1,
+        exe="prop.exe",
+        nprocs=nprocs,
+        start_time=start,
+        end_time=start + run_time,
+    )
+    return Trace(meta=meta, records=records)
+
+
+class TestCategorizerInvariants:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_temporality_label_per_direction(self, trace):
+        result = categorize_trace(trace)
+        assert len(result.categories & TEMPORALITY_READ) == 1
+        assert len(result.categories & TEMPORALITY_WRITE) == 1
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_insignificant_directions_never_periodic(self, trace):
+        result = categorize_trace(trace)
+        if Category.READ_INSIGNIFICANT in result.categories:
+            assert Category.PERIODIC_READ not in result.categories
+        if Category.WRITE_INSIGNIFICANT in result.categories:
+            assert Category.PERIODIC_WRITE not in result.categories
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_periodic_umbrella_consistency(self, trace):
+        result = categorize_trace(trace)
+        directional = {Category.PERIODIC_READ, Category.PERIODIC_WRITE}
+        has_directional = bool(result.categories & directional)
+        assert (Category.PERIODIC in result.categories) == has_directional
+        # magnitude/busy labels never appear without the umbrella
+        detail = {
+            Category.PERIODIC_SECOND, Category.PERIODIC_MINUTE,
+            Category.PERIODIC_HOUR, Category.PERIODIC_DAY_OR_MORE,
+            Category.PERIODIC_LOW_BUSY_TIME, Category.PERIODIC_HIGH_BUSY_TIME,
+        }
+        if result.categories & detail:
+            assert Category.PERIODIC in result.categories
+
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_metadata_labels_consistent(self, trace):
+        result = categorize_trace(trace)
+        meta = result.categories & METADATA
+        if Category.METADATA_INSIGNIFICANT_LOAD in meta:
+            assert meta == {Category.METADATA_INSIGNIFICANT_LOAD}
+        if Category.METADATA_HIGH_DENSITY in meta:
+            assert Category.METADATA_MULTIPLE_SPIKES in meta
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_result_json_roundtrip(self, trace):
+        result = categorize_trace(trace)
+        again = CategorizationResult.from_dict(result.to_dict())
+        assert again.categories == result.categories
+        assert again.job_id == result.job_id
+
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, trace):
+        a = categorize_trace(trace)
+        b = categorize_trace(trace)
+        assert a.categories == b.categories

@@ -1,0 +1,106 @@
+"""Unit tests for metadata impact classification (paper §III-B3c)."""
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, Category, classify_metadata
+from repro.darshan import FileRecord
+
+from tests.conftest import make_record, make_trace
+
+
+def storm_record(file_id: int, t0: float, t1: float, n_requests: int) -> FileRecord:
+    half = n_requests // 2
+    return FileRecord(
+        file_id=file_id,
+        file_name=f"storm{file_id}",
+        rank=-1,
+        opens=half,
+        closes=half,
+        open_start=t0,
+        close_end=t1,
+    )
+
+
+class TestInsignificantLoad:
+    def test_fewer_ops_than_ranks(self):
+        # paper rule: fewer metadata operations than the number of ranks
+        trace = make_trace([make_record(1, 0, read=(0.0, 1.0, 10), opens=1)], nprocs=64)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert det.categories == {Category.METADATA_INSIGNIFICANT_LOAD}
+        assert not det.significant
+
+    def test_ops_equal_to_ranks_is_significant(self):
+        recs = [make_record(i, i, read=(0.0, 1.0, 10), opens=1, seeks=0) for i in range(4)]
+        for r in recs:
+            r.closes = 0
+            r.seeks = 0
+        trace = make_trace(recs, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_INSIGNIFICANT_LOAD not in det.categories
+
+
+class TestSpikes:
+    def test_high_spike_over_250_per_second(self):
+        trace = make_trace([storm_record(1, 10.0, 11.0, 600)], nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_HIGH_SPIKE in det.categories
+        assert det.peak_rate > 250.0
+
+    def test_no_high_spike_at_low_rate(self):
+        trace = make_trace([storm_record(1, 0.0, 100.0, 600)], nprocs=4)  # 6/s
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_HIGH_SPIKE not in det.categories
+
+    def test_multiple_spikes_needs_five(self):
+        recs = [storm_record(i, 100.0 * i, 100.0 * i + 1.0, 120) for i in range(5)]
+        trace = make_trace(recs, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_MULTIPLE_SPIKES in det.categories
+        assert det.n_spikes >= 5
+
+    def test_four_spikes_not_enough(self):
+        recs = [storm_record(i, 100.0 * i, 100.0 * i + 1.0, 120) for i in range(4)]
+        trace = make_trace(recs, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_MULTIPLE_SPIKES not in det.categories
+
+
+class TestDensity:
+    def test_high_density_needs_spikes_and_average(self):
+        # 60 req/s sustained across the whole execution
+        trace = make_trace([storm_record(1, 0.0, 1000.0, 60000)], run_time=1000.0, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_HIGH_DENSITY in det.categories
+        assert Category.METADATA_MULTIPLE_SPIKES in det.categories
+        assert det.mean_rate >= 50.0
+
+    def test_spikes_without_average_not_dense(self):
+        recs = [storm_record(i, 100.0 * i, 100.0 * i + 1.0, 120) for i in range(6)]
+        trace = make_trace(recs, run_time=1000.0, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert Category.METADATA_HIGH_DENSITY not in det.categories
+
+    def test_categories_non_exclusive(self):
+        recs = [storm_record(1, 0.0, 1000.0, 60000),
+                storm_record(2, 500.0, 501.0, 600)]
+        trace = make_trace(recs, run_time=1000.0, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert {
+            Category.METADATA_HIGH_SPIKE,
+            Category.METADATA_MULTIPLE_SPIKES,
+            Category.METADATA_HIGH_DENSITY,
+        } <= det.categories
+
+
+class TestMeasurements:
+    def test_total_requests_reported(self):
+        trace = make_trace([storm_record(1, 0.0, 1.0, 100)], nprocs=2)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert det.total_requests == 100
+
+    def test_no_categories_for_moderate_load(self):
+        # significant (>= nprocs ops) but no spikes and low average
+        trace = make_trace([storm_record(1, 0.0, 500.0, 200)], run_time=1000.0, nprocs=4)
+        det = classify_metadata(trace, DEFAULT_CONFIG)
+        assert det.categories == frozenset()
+        assert det.significant

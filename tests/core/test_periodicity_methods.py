@@ -1,0 +1,76 @@
+"""Tests for the pluggable periodicity methods (paper §V future work)."""
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, Category, categorize_trace, detect_periodicity
+from repro.darshan.trace import OperationArray
+
+from tests.conftest import make_record, make_trace
+
+MB = 1024 * 1024
+
+
+def checkpoint_ops(period=600.0, n=20, duration=5.0, volume=200 * MB):
+    return OperationArray.from_tuples(
+        [(k * period, k * period + duration, volume) for k in range(n)]
+    )
+
+
+class TestMethodDispatch:
+    @pytest.mark.parametrize("method", ["meanshift", "dft", "autocorr", "hybrid"])
+    def test_all_methods_detect_clean_train(self, method):
+        cfg = DEFAULT_CONFIG.with_overrides(periodicity_method=method)
+        det = detect_periodicity(checkpoint_ops(), 12000.0, "write", cfg)
+        assert det.periodic, method
+        assert det.dominant.period == pytest.approx(600.0, rel=0.15), method
+
+    @pytest.mark.parametrize("method", ["meanshift", "dft", "autocorr", "hybrid"])
+    def test_no_method_invents_periodicity(self, method):
+        cfg = DEFAULT_CONFIG.with_overrides(periodicity_method=method)
+        single = OperationArray.from_tuples([(100.0, 200.0, 500 * MB)])
+        assert not detect_periodicity(single, 1000.0, "write", cfg).periodic
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_overrides(periodicity_method="fourier")
+
+    def test_signal_methods_report_single_group(self):
+        cfg = DEFAULT_CONFIG.with_overrides(periodicity_method="dft")
+        det = detect_periodicity(checkpoint_ops(), 12000.0, "write", cfg)
+        assert len(det.groups) == 1
+        g = det.groups[0]
+        assert g.n_occurrences == pytest.approx(20, abs=2)
+        assert g.busy_fraction < 0.25
+
+    def test_hybrid_prefers_meanshift_groups(self):
+        # alternating big/small checkpoints: Mean Shift resolves 2 groups
+        big = [(k * 600.0, k * 600.0 + 5.0, 900 * MB) for k in range(20)]
+        small = [(300.0 + k * 600.0, 305.0 + k * 600.0, 30 * MB) for k in range(20)]
+        ops = OperationArray.from_tuples(big + small)
+        cfg = DEFAULT_CONFIG.with_overrides(periodicity_method="hybrid")
+        det = detect_periodicity(ops, 12000.0, "write", cfg)
+        assert len(det.groups) == 2
+
+    def test_hybrid_falls_back_to_dft(self):
+        # too few segments for the Mean Shift group-size rule, but a
+        # clean cadence the DFT resolves from the binned signal
+        cfg = DEFAULT_CONFIG.with_overrides(
+            periodicity_method="hybrid", min_group_size=30
+        )
+        det = detect_periodicity(checkpoint_ops(n=20), 12000.0, "write", cfg)
+        assert det.periodic
+        assert det.dominant.period == pytest.approx(600.0, rel=0.15)
+
+
+class TestEndToEndWithMethods:
+    def test_categorizer_respects_method(self):
+        recs = [
+            make_record(k, 0, write=(100.0 + 600.0 * k, 110.0 + 600.0 * k, 500 * MB))
+            for k in range(16)
+        ]
+        trace = make_trace(recs, run_time=10000.0, nprocs=2)
+        for method in ("meanshift", "dft", "hybrid"):
+            cfg = DEFAULT_CONFIG.with_overrides(periodicity_method=method)
+            result = categorize_trace(trace, cfg)
+            assert Category.PERIODIC_WRITE in result.categories, method
+            assert Category.PERIODIC_MINUTE in result.categories, method

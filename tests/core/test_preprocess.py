@@ -1,0 +1,88 @@
+"""Unit tests for corpus pre-processing (paper §III-B1, Fig. 3)."""
+
+import pytest
+
+from repro.core import preprocess_corpus
+from repro.darshan import Violation
+
+from tests.conftest import make_record, make_trace
+
+
+def run(job_id, uid, exe, nbytes, run_time=1000.0):
+    return make_trace(
+        [make_record(1, 0, read=(0.0, 10.0, nbytes))],
+        job_id=job_id,
+        uid=uid,
+        exe=exe,
+        run_time=run_time,
+    )
+
+
+def corrupted(job_id):
+    trace = make_trace([], job_id=job_id)
+    trace.meta.end_time = trace.meta.start_time - 1.0
+    return trace
+
+
+class TestValidityFiltering:
+    def test_corrupted_traces_evicted(self):
+        traces = [run(1, 1, "a", 100), corrupted(2), corrupted(3)]
+        pre = preprocess_corpus(traces)
+        assert pre.n_input == 3
+        assert pre.n_corrupted == 2
+        assert pre.n_valid == 1
+        assert pre.corrupted_fraction == pytest.approx(2 / 3)
+
+    def test_corruption_histogram(self):
+        pre = preprocess_corpus([corrupted(1), corrupted(2)])
+        assert pre.corruption_histogram[Violation.NEGATIVE_RUNTIME] == 2
+
+
+class TestDeduplication:
+    def test_keeps_heaviest_run_per_app(self):
+        traces = [run(1, 7, "sim", 100), run(2, 7, "sim", 9999), run(3, 7, "sim", 50)]
+        pre = preprocess_corpus(traces)
+        assert pre.n_selected == 1
+        assert pre.selected[0].meta.job_id == 2
+        assert pre.runs_per_app[(7, "sim")] == 3
+
+    def test_different_users_not_merged(self):
+        traces = [run(1, 7, "sim", 100), run(2, 8, "sim", 100)]
+        assert preprocess_corpus(traces).n_selected == 2
+
+    def test_different_exes_not_merged(self):
+        traces = [run(1, 7, "a", 100), run(2, 7, "b", 100)]
+        assert preprocess_corpus(traces).n_selected == 2
+
+    def test_tie_breaks_deterministically(self):
+        traces = [run(5, 7, "sim", 100), run(2, 7, "sim", 100)]
+        pre = preprocess_corpus(traces)
+        assert pre.selected[0].meta.job_id == 2
+
+    def test_unique_fraction(self):
+        traces = [run(i, 7, "sim", 100) for i in range(1, 11)]
+        pre = preprocess_corpus(traces)
+        assert pre.unique_fraction == pytest.approx(0.1)
+
+    def test_selected_sorted_by_job_id(self):
+        traces = [run(9, 1, "c", 1), run(3, 2, "b", 1), run(5, 3, "a", 1)]
+        ids = [t.meta.job_id for t in preprocess_corpus(traces).selected]
+        assert ids == sorted(ids)
+
+
+class TestFunnel:
+    def test_funnel_stages(self):
+        traces = [run(1, 7, "sim", 100), run(2, 7, "sim", 200), corrupted(3)]
+        pre = preprocess_corpus(traces)
+        stages = dict(pre.funnel())
+        assert stages == {
+            "input_traces": 3,
+            "valid_traces": 2,
+            "selected_for_categorization": 1,
+        }
+
+    def test_empty_corpus(self):
+        pre = preprocess_corpus([])
+        assert pre.n_input == 0
+        assert pre.corrupted_fraction == 0.0
+        assert pre.unique_fraction == 0.0

@@ -1,0 +1,61 @@
+"""Tests for the repair-enabled pre-processing mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import preprocess_corpus
+from repro.synth import corrupt_trace
+
+from tests.conftest import make_record, make_trace
+
+
+def valid(job_id, uid=1, exe="a"):
+    return make_trace(
+        [make_record(1, 0, read=(0.0, 50.0, 500_000_000))],
+        job_id=job_id, uid=uid, exe=exe,
+    )
+
+
+class TestRepairMode:
+    def test_repairable_traces_rescued(self):
+        rng = np.random.default_rng(0)
+        good = valid(1)
+        bad = corrupt_trace(valid(2, exe="b"), rng, "inverted_window")
+        off = preprocess_corpus([good, bad])
+        on = preprocess_corpus([good, bad], repair=True)
+        assert off.n_corrupted == 1 and off.n_selected == 1
+        assert on.n_corrupted == 0 and on.n_selected == 2
+        assert on.n_repaired == 1
+
+    def test_unrepairable_traces_still_evicted(self):
+        rng = np.random.default_rng(1)
+        bad = corrupt_trace(valid(2, exe="b"), rng, "negative_runtime")
+        on = preprocess_corpus([valid(1), bad], repair=True)
+        assert on.n_corrupted == 1
+        assert on.n_repaired == 0
+
+    def test_default_mode_never_repairs(self):
+        rng = np.random.default_rng(2)
+        bad = corrupt_trace(valid(2, exe="b"), rng, "dealloc_before_end")
+        off = preprocess_corpus([bad])
+        assert off.n_corrupted == 1
+        assert off.n_repaired == 0
+
+    def test_repaired_traces_enter_dedup(self):
+        rng = np.random.default_rng(3)
+        light = valid(1)
+        heavy = valid(2)
+        heavy.records[0].bytes_read = 10_000_000_000
+        broken_heavy = corrupt_trace(heavy, rng, "inverted_window")
+        on = preprocess_corpus([light, broken_heavy], repair=True)
+        # the repaired heavy run wins keep-heaviest
+        assert on.n_selected == 1
+        assert on.selected[0].meta.job_id == 2
+
+    def test_fleet_recovery_at_scale(self, small_fleet):
+        off = preprocess_corpus(small_fleet.traces)
+        on = preprocess_corpus(small_fleet.traces, repair=True)
+        # most of the 32% eviction is mechanically recoverable
+        assert on.n_repaired > 0.5 * off.n_corrupted
+        assert on.n_corrupted < 0.5 * off.n_corrupted
+        assert on.n_valid > off.n_valid

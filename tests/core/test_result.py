@@ -1,0 +1,80 @@
+"""Unit tests for the result model and its JSON-lines persistence."""
+
+import pytest
+
+from repro.core import (
+    CategorizationResult,
+    Category,
+    categorize_trace,
+    load_results_jsonl,
+    save_results_jsonl,
+)
+
+from tests.conftest import make_record, make_trace
+
+SIG = 500 * 1024 * 1024
+
+
+@pytest.fixture
+def results():
+    traces = [
+        make_trace([make_record(1, 0, read=(0.0, 30.0, SIG))], job_id=1, uid=1, exe="a"),
+        make_trace(
+            [make_record(k, 0, write=(100.0 + 600.0 * k, 110.0 + 600.0 * k, SIG // 8))
+             for k in range(16)],
+            run_time=10000.0,
+            job_id=2,
+            uid=2,
+            exe="b",
+        ),
+    ]
+    return [categorize_trace(t) for t in traces]
+
+
+class TestResultModel:
+    def test_has(self, results):
+        assert results[0].has(Category.READ_ON_START)
+        assert not results[0].has(Category.WRITE_ON_END)
+
+    def test_dict_roundtrip_preserves_everything(self, results):
+        for r in results:
+            again = CategorizationResult.from_dict(r.to_dict())
+            assert again.categories == r.categories
+            assert again.job_id == r.job_id
+            assert again.chunk_volumes == r.chunk_volumes
+            assert again.weak_temporality == r.weak_temporality
+            assert again.metadata_total == r.metadata_total
+            assert len(again.periodic_groups.get("write", [])) == len(
+                r.periodic_groups.get("write", [])
+            )
+
+    def test_periodic_group_values_survive_roundtrip(self, results):
+        r = results[1]
+        again = CategorizationResult.from_dict(r.to_dict())
+        g0 = r.periodic_groups["write"][0]
+        g1 = again.periodic_groups["write"][0]
+        assert g1.period == pytest.approx(g0.period)
+        assert g1.n_occurrences == g0.n_occurrences
+        assert g1.busy_fraction == pytest.approx(g0.busy_fraction)
+
+
+class TestJsonl:
+    def test_save_and_load(self, results, tmp_path):
+        path = tmp_path / "results.jsonl"
+        n = save_results_jsonl(results, path)
+        assert n == 2
+        loaded = list(load_results_jsonl(path))
+        assert [r.job_id for r in loaded] == [1, 2]
+        assert loaded[0].categories == results[0].categories
+
+    def test_blank_lines_skipped(self, results, tmp_path):
+        path = tmp_path / "results.jsonl"
+        save_results_jsonl(results, path)
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        assert len(list(load_results_jsonl(path))) == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_results_jsonl([], path)
+        assert list(load_results_jsonl(path)) == []

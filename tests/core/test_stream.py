@@ -1,0 +1,94 @@
+"""Tests for the incremental application catalog."""
+
+import pytest
+
+from repro.core import preprocess_corpus
+from repro.core.stream import ApplicationCatalog
+
+from tests.conftest import make_record, make_trace
+
+SIG = 500 * 1024 * 1024
+
+
+def run(job_id, uid=1, exe="a", nbytes=SIG):
+    return make_trace(
+        [make_record(1, 0, read=(0.0, 30.0, nbytes))],
+        job_id=job_id, uid=uid, exe=exe,
+    )
+
+
+def corrupted(job_id):
+    t = make_trace([], job_id=job_id)
+    t.meta.end_time = t.meta.start_time - 1.0
+    return t
+
+
+class TestApplicationCatalog:
+    def test_first_run_creates_entry(self):
+        catalog = ApplicationCatalog()
+        entry = catalog.ingest(run(1))
+        assert entry is not None
+        assert len(catalog) == 1
+        assert entry.n_runs == 1
+
+    def test_lookup(self):
+        catalog = ApplicationCatalog()
+        catalog.ingest(run(1, uid=7, exe="sim"))
+        assert catalog.lookup(7, "sim") is not None
+        assert catalog.lookup(7, "other") is None
+
+    def test_heavier_run_replaces_reference(self):
+        catalog = ApplicationCatalog()
+        catalog.ingest(run(1, nbytes=SIG))
+        entry = catalog.ingest(run(2, nbytes=4 * SIG))
+        assert entry.weight == pytest.approx(4 * SIG + entry.result.metadata_total, rel=0.1)
+        assert entry.result.job_id == 2
+
+    def test_lighter_run_keeps_reference(self):
+        catalog = ApplicationCatalog()
+        catalog.ingest(run(1, nbytes=4 * SIG))
+        entry = catalog.ingest(run(2, nbytes=SIG))
+        assert entry.result.job_id == 1
+        assert entry.n_runs == 2
+
+    def test_corrupted_traces_rejected_not_raised(self):
+        catalog = ApplicationCatalog()
+        assert catalog.ingest(corrupted(1)) is None
+        assert catalog.n_rejected == 1
+        assert len(catalog) == 0
+
+    def test_stability_tracks_agreement(self):
+        catalog = ApplicationCatalog()
+        catalog.ingest(run(1))
+        catalog.ingest(run(2))          # same behaviour
+        entry = catalog.ingest(run(3, nbytes=10))  # deviant tiny run
+        assert entry.n_runs == 3
+        assert entry.n_agreeing == 2
+        assert entry.stability == pytest.approx(2 / 3)
+
+    def test_matches_batch_pipeline(self, small_fleet):
+        """Streaming ingestion must converge to the batch result."""
+        catalog = ApplicationCatalog()
+        for trace in small_fleet.traces:
+            catalog.ingest(trace)
+
+        batch = preprocess_corpus(small_fleet.traces)
+        assert len(catalog) == batch.n_selected
+        assert catalog.n_rejected == batch.n_corrupted
+        assert catalog.run_weights() == [
+            batch.runs_per_app[k] for k in sorted(batch.runs_per_app)
+        ]
+        # the reference job per app is the heaviest — identical to batch
+        batch_jobs = {t.meta.app_key: t.meta.job_id for t in batch.selected}
+        for entry in catalog.entries():
+            key = entry.result.app_key
+            assert entry.result.job_id == batch_jobs[key]
+
+    def test_results_consumable_by_analysis(self, small_fleet):
+        from repro.analysis import category_shares
+
+        catalog = ApplicationCatalog()
+        for trace in small_fleet.traces:
+            catalog.ingest(trace)
+        shares = category_shares(catalog.results(), catalog.run_weights())
+        assert shares.n_apps == len(catalog)

@@ -1,0 +1,111 @@
+"""Unit tests for temporality classification (paper §III-B3b)."""
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, Category, classify_temporality
+
+from tests.conftest import ops
+
+MB = 1024 * 1024
+SIG = 500 * MB  # comfortably above the 100 MB threshold
+
+
+def classify(arr, direction="read", run_time=1000.0, config=DEFAULT_CONFIG):
+    return classify_temporality(arr, run_time, direction, config)
+
+
+class TestInsignificance:
+    def test_below_100mb_is_insignificant(self):
+        det = classify(ops((0.0, 10.0, 50 * MB)))
+        assert det.category is Category.READ_INSIGNIFICANT
+        assert det.profile is None
+
+    def test_exactly_at_threshold_is_significant(self):
+        det = classify(ops((0.0, 10.0, 100 * MB)))
+        assert det.category is not Category.READ_INSIGNIFICANT
+
+    def test_empty_direction_is_insignificant(self):
+        det = classify(ops(), direction="write")
+        assert det.category is Category.WRITE_INSIGNIFICANT
+
+    def test_threshold_is_configurable(self):
+        cfg = DEFAULT_CONFIG.with_overrides(insignificant_bytes=1)
+        det = classify(ops((0.0, 1.0, 10)), config=cfg)
+        assert det.category is not Category.READ_INSIGNIFICANT
+
+
+class TestDominanceRules:
+    def test_on_start(self):
+        det = classify(ops((10.0, 50.0, SIG)))
+        assert det.category is Category.READ_ON_START
+        assert not det.weak_evidence
+
+    def test_on_end(self):
+        det = classify(ops((950.0, 990.0, SIG)), direction="write")
+        assert det.category is Category.WRITE_ON_END
+
+    def test_after_start(self):
+        det = classify(ops((300.0, 400.0, SIG)))
+        assert det.category is Category.READ_AFTER_START
+
+    def test_before_end(self):
+        det = classify(ops((550.0, 700.0, SIG)))
+        assert det.category is Category.READ_BEFORE_END
+
+    def test_paper_rule_first_chunk_more_than_twice_others(self):
+        # c1 = 2.1x each other chunk -> on_start
+        arr = ops((0.0, 250.0, 2.1 * SIG), (250.0, 500.0, SIG),
+                  (500.0, 750.0, SIG), (750.0, 1000.0, SIG))
+        assert classify(arr).category is Category.READ_ON_START
+
+    def test_twice_is_not_enough(self):
+        # exactly 2x is NOT "more than twice"
+        arr = ops((0.0, 250.0, 2.0 * SIG), (250.0, 500.0, SIG),
+                  (500.0, 750.0, SIG), (750.0, 1000.0, SIG))
+        det = classify(arr)
+        assert det.category is not Category.READ_ON_START or det.weak_evidence
+
+
+class TestSteady:
+    def test_uniform_volume_is_steady(self):
+        det = classify(ops((0.0, 1000.0, SIG)))
+        assert det.category is Category.READ_STEADY
+
+    def test_cv_just_below_threshold_is_steady(self):
+        # chunks 1.3/0.9/0.9/0.9 -> CV ~ 0.177 < 0.25
+        arr = ops((0.0, 250.0, 1.3 * SIG), (250.0, 500.0, 0.9 * SIG),
+                  (500.0, 750.0, 0.9 * SIG), (750.0, 1000.0, 0.9 * SIG))
+        assert classify(arr).category is Category.READ_STEADY
+
+    def test_checkpoint_train_is_steady(self):
+        events = [(50.0 * k, 50.0 * k + 5.0, SIG / 20) for k in range(20)]
+        det = classify(ops(*events))
+        assert det.category is Category.READ_STEADY
+
+
+class TestMiddleAndFallback:
+    def test_after_start_before_end(self):
+        det = classify(ops((300.0, 700.0, SIG)))
+        assert det.category is Category.READ_AFTER_START_BEFORE_END
+
+    def test_weak_fallback_flags_itself(self):
+        # two adjacent chunks 55/45: no dominance, CV too high, no middle
+        arr = ops((0.0, 250.0, 0.55 * SIG), (250.0, 500.0, 0.45 * SIG))
+        det = classify(arr)
+        assert det.weak_evidence
+        assert det.category is Category.READ_ON_START  # largest chunk
+
+    def test_fallback_on_end(self):
+        arr = ops((500.0, 750.0, 0.45 * SIG), (750.0, 1000.0, 0.55 * SIG))
+        det = classify(arr, direction="write")
+        assert det.weak_evidence
+        assert det.category is Category.WRITE_ON_END
+
+
+class TestChunkGeneralization:
+    def test_eight_chunks_still_maps_positions(self):
+        cfg = DEFAULT_CONFIG.with_overrides(n_chunks=8)
+        det = classify(ops((0.0, 100.0, SIG)), config=cfg)
+        assert det.category is Category.READ_ON_START
+        det = classify(ops((900.0, 1000.0, SIG)), config=cfg)
+        assert det.category is Category.READ_ON_END

@@ -1,0 +1,97 @@
+"""Unit tests for the JSON and binary trace codecs."""
+
+import pytest
+
+from repro.darshan import (
+    TraceFormatError,
+    dumps,
+    dumps_binary,
+    load_binary,
+    load_json,
+    loads,
+    loads_binary,
+    save_binary,
+    save_json,
+)
+
+from tests.conftest import make_record, make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace(
+        [
+            make_record(1, 0, read=(0.0, 10.0, 1 << 20), opens=2, seeks=1),
+            make_record(2, -1, write=(50.0, 60.0, 5 << 20)),
+        ],
+        run_time=500.0,
+        exe="codec-app.exe",
+    )
+
+
+class TestJsonCodec:
+    def test_roundtrip(self, trace):
+        again = loads(dumps(trace))
+        assert again.meta == trace.meta
+        assert again.records == trace.records
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.json"
+        save_json(trace, path)
+        assert load_json(path).records == trace.records
+
+    def test_gzip_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.json.gz"
+        save_json(trace, path)
+        assert load_json(path).records == trace.records
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads("{not json")
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads('{"format": "something-else", "version": 1}')
+
+    def test_wrong_version_rejected(self, trace):
+        text = dumps(trace).replace('"version": 1', '"version": 99')
+        with pytest.raises(TraceFormatError):
+            loads(text)
+
+    def test_missing_file_raises_format_error(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_json(tmp_path / "missing.json")
+
+
+class TestBinaryCodec:
+    def test_roundtrip(self, trace):
+        again = loads_binary(dumps_binary(trace))
+        assert again.meta == trace.meta
+        assert again.records == trace.records
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.mosd"
+        save_binary(trace, path)
+        assert load_binary(path).records == trace.records
+
+    def test_bad_magic_rejected(self, trace):
+        payload = bytearray(dumps_binary(trace))
+        payload[0:4] = b"XXXX"
+        with pytest.raises(TraceFormatError):
+            loads_binary(bytes(payload))
+
+    def test_truncation_rejected(self, trace):
+        payload = dumps_binary(trace)
+        with pytest.raises(TraceFormatError):
+            loads_binary(payload[: len(payload) - 10])
+
+    def test_trailing_garbage_rejected(self, trace):
+        with pytest.raises(TraceFormatError):
+            loads_binary(dumps_binary(trace) + b"\x00")
+
+    def test_empty_trace_roundtrip(self):
+        trace = make_trace([])
+        assert loads_binary(dumps_binary(trace)).records == []
+
+    def test_binary_smaller_than_json(self, trace):
+        assert len(dumps_binary(trace)) < len(dumps(trace).encode())

@@ -1,0 +1,62 @@
+"""Unit tests for the record-level data model."""
+
+import pytest
+
+from repro.darshan import FileRecord, JobMeta
+from repro.darshan import counters as C
+
+from tests.conftest import make_record
+
+
+class TestJobMeta:
+    def test_run_time(self):
+        meta = JobMeta(1, 2, "a.exe", 4, 100.0, 250.0)
+        assert meta.run_time == 150.0
+
+    def test_app_key_groups_by_user_and_exe(self):
+        a = JobMeta(1, 7, "sim.exe", 4, 0.0, 1.0)
+        b = JobMeta(2, 7, "sim.exe", 64, 5.0, 9.0)
+        c = JobMeta(3, 8, "sim.exe", 4, 0.0, 1.0)
+        assert a.app_key == b.app_key
+        assert a.app_key != c.app_key
+
+    def test_dict_roundtrip(self):
+        meta = JobMeta(11, 22, "x.exe", 33, 44.0, 55.0, machine="m", partition="p")
+        again = JobMeta.from_dict(meta.to_dict())
+        assert again == meta
+
+
+class TestFileRecord:
+    def test_metadata_ops_counts_open_close_seek(self):
+        rec = FileRecord(file_id=1, file_name="f", rank=0, opens=3, closes=3, seeks=2, stats=5)
+        # stats are tracked but excluded from the spike accounting
+        assert rec.metadata_ops == 8
+
+    def test_has_read_requires_bytes_and_window(self):
+        rec = make_record(read=(1.0, 2.0, 100))
+        assert rec.has_read and not rec.has_write
+        rec2 = FileRecord(file_id=1, file_name="f", rank=0, bytes_read=10)
+        assert not rec2.has_read  # no window
+
+    def test_counters_use_darshan_names(self):
+        rec = make_record(read=(0.0, 1.0, 42), write=(2.0, 3.0, 7))
+        counters = rec.counters()
+        assert counters[C.POSIX_BYTES_READ] == 42
+        assert counters[C.POSIX_BYTES_WRITTEN] == 7
+        fcounters = rec.fcounters()
+        assert fcounters[C.POSIX_F_READ_START_TIMESTAMP] == 0.0
+        assert fcounters[C.POSIX_F_WRITE_END_TIMESTAMP] == 3.0
+
+    def test_dict_roundtrip(self):
+        rec = make_record(file_id=9, rank=3, read=(1.0, 4.0, 1024), opens=2, seeks=1)
+        again = FileRecord.from_dict(rec.to_dict())
+        assert again == rec
+
+    def test_total_bytes(self):
+        rec = make_record(read=(0.0, 1.0, 30), write=(0.0, 1.0, 12))
+        assert rec.total_bytes == 42
+
+    def test_from_dict_defaults_missing_counters_to_zero(self):
+        rec = FileRecord.from_dict({"file_id": 1, "rank": 0})
+        assert rec.opens == 0
+        assert rec.read_start == C.NO_TIMESTAMP

@@ -1,0 +1,58 @@
+"""Unit tests for trace aggregate summaries."""
+
+import pytest
+
+from repro.darshan import summarize
+
+from tests.conftest import make_record, make_trace
+
+
+class TestSummarize:
+    def test_basic_aggregates(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(0.0, 10.0, 100), opens=2),
+                make_record(2, 1, write=(5.0, 15.0, 200)),
+            ],
+            nprocs=4,
+            run_time=100.0,
+        )
+        s = summarize(trace)
+        assert s.bytes_read == 100
+        assert s.bytes_written == 200
+        assert s.total_bytes == 300
+        assert s.n_files == 2
+        assert s.nprocs == 4
+        assert s.metadata_ops == trace.total_metadata_ops
+
+    def test_ranks_doing_io_counts_distinct_ranks(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(0.0, 1.0, 10)),
+                make_record(2, 0, write=(0.0, 1.0, 10)),
+                make_record(3, 3, write=(0.0, 1.0, 10)),
+            ]
+        )
+        assert summarize(trace).ranks_doing_io == 2
+
+    def test_shared_record_counts_all_ranks(self):
+        trace = make_trace([make_record(1, -1, read=(0.0, 1.0, 10))], nprocs=16)
+        assert summarize(trace).ranks_doing_io == 16
+
+    def test_mean_sizes(self):
+        rec = make_record(1, 0, read=(0.0, 1.0, 100))
+        rec.reads = 4
+        s = summarize(make_trace([rec]))
+        assert s.mean_read_size == pytest.approx(25.0)
+        assert s.mean_write_size == 0.0
+
+    def test_io_time_fraction_bounded(self):
+        rec = make_record(1, 0, read=(0.0, 100.0, 10))
+        rec.read_time = 50.0
+        s = summarize(make_trace([rec], nprocs=2, run_time=100.0))
+        assert 0.0 < s.io_time_fraction <= 1.0
+
+    def test_empty_trace(self):
+        s = summarize(make_trace([]))
+        assert s.total_bytes == 0
+        assert s.io_time_fraction == 0.0

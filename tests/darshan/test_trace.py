@@ -1,0 +1,118 @@
+"""Unit tests for Trace and OperationArray."""
+
+import numpy as np
+import pytest
+
+from repro.darshan import OperationArray, Trace
+
+from tests.conftest import make_record, make_trace, ops
+
+
+class TestOperationArray:
+    def test_sorts_by_start(self):
+        arr = ops((5.0, 6.0, 1.0), (1.0, 2.0, 2.0))
+        assert arr.starts[0] == 1.0
+        assert arr.volumes[0] == 2.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OperationArray(np.zeros(2), np.zeros(2), np.zeros(3))
+
+    def test_total_volume_and_busy_time(self):
+        arr = ops((0.0, 2.0, 10.0), (4.0, 5.0, 5.0))
+        assert arr.total_volume == 15.0
+        assert arr.busy_time == 3.0
+
+    def test_empty(self):
+        arr = OperationArray.empty()
+        assert arr.is_empty() and len(arr) == 0
+        assert arr.total_volume == 0.0
+
+    def test_iteration_yields_tuples(self):
+        arr = ops((0.0, 1.0, 3.0))
+        assert list(arr) == [(0.0, 1.0, 3.0)]
+
+    def test_clipped_scales_volume_pro_rata(self):
+        arr = ops((0.0, 10.0, 100.0))
+        clipped = arr.clipped(5.0, 10.0)
+        assert len(clipped) == 1
+        assert clipped.volumes[0] == pytest.approx(50.0)
+
+    def test_clipped_drops_fully_outside(self):
+        arr = ops((0.0, 1.0, 5.0), (8.0, 9.0, 7.0))
+        clipped = arr.clipped(2.0, 7.0)
+        assert len(clipped) == 0
+
+
+class TestTraceOperations:
+    def test_operations_split_by_direction(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(0.0, 10.0, 100)),
+                make_record(2, 1, write=(20.0, 30.0, 50)),
+            ]
+        )
+        reads = trace.operations("read")
+        writes = trace.operations("write")
+        assert len(reads) == 1 and reads.total_volume == 100
+        assert len(writes) == 1 and writes.total_volume == 50
+
+    def test_totals(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(0.0, 1.0, 10), write=(2.0, 3.0, 20)),
+                make_record(2, 1, write=(4.0, 5.0, 30)),
+            ]
+        )
+        assert trace.total_bytes_read == 10
+        assert trace.total_bytes_written == 50
+        assert trace.total_bytes == 60
+
+    def test_io_weight_includes_metadata(self):
+        t1 = make_trace([make_record(1, 0, read=(0.0, 1.0, 10), opens=0)])
+        t2 = make_trace([make_record(1, 0, read=(0.0, 1.0, 10), opens=50)])
+        assert t2.io_weight() > t1.io_weight()
+
+    def test_zero_duration_window_gets_min_duration(self):
+        trace = make_trace([make_record(1, 0, read=(5.0, 5.0, 10))])
+        reads = trace.operations("read")
+        assert reads.ends[0] > reads.starts[0]
+
+    def test_dict_roundtrip(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 1.0, 10))])
+        again = Trace.from_dict(trace.to_dict())
+        assert again.meta == trace.meta
+        assert again.records == trace.records
+
+
+class TestMetadataEvents:
+    def test_single_open_places_events_at_window_edges(self):
+        trace = make_trace([make_record(1, 0, read=(10.0, 20.0, 100), opens=1, seeks=1)])
+        times, counts = trace.metadata_events()
+        # opens+seeks at open_start, closes at close_end
+        assert times[0] == pytest.approx(10.0)
+        assert counts.sum() == pytest.approx(3.0)
+
+    def test_many_opens_spread_over_window(self):
+        rec = make_record(1, 0, read=(0.0, 100.0, 100), opens=50)
+        trace = make_trace([rec])
+        times, counts = trace.metadata_events()
+        assert counts.sum() == pytest.approx(rec.metadata_ops)
+        assert times.min() >= 0.0 and times.max() <= 100.0
+        # spread, not a single point
+        assert len(np.unique(np.floor(times / 10.0))) > 5
+
+    def test_no_metadata(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 1.0, 10), opens=0)])
+        times, counts = trace.metadata_events()
+        assert len(times) == 0 and len(counts) == 0
+
+    def test_times_sorted(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(50.0, 60.0, 10)),
+                make_record(2, 0, read=(0.0, 5.0, 10)),
+            ]
+        )
+        times, _ = trace.metadata_events()
+        assert np.all(np.diff(times) >= 0)

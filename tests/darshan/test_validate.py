@@ -1,0 +1,83 @@
+"""Unit tests for trace validity checking (the Fig. 3 eviction stage)."""
+
+import pytest
+
+from repro.darshan import Violation, is_valid, validate_trace
+
+from tests.conftest import make_meta, make_record, make_trace
+
+
+class TestValidTraces:
+    def test_clean_trace_is_valid(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 10.0, 100))])
+        report = validate_trace(trace)
+        assert report.valid and not report.violations
+
+    def test_empty_trace_is_valid(self):
+        assert is_valid(make_trace([]))
+
+    def test_slightly_late_close_is_tolerated(self):
+        # Darshan flushes at MPI_Finalize; sub-second overshoot is normal.
+        rec = make_record(1, 0, write=(0.0, 1000.0, 100))
+        rec.close_end = 1000.5
+        assert is_valid(make_trace([rec], run_time=1000.0))
+
+
+class TestCorruptions:
+    def test_negative_runtime(self):
+        trace = make_trace([])
+        trace.meta.end_time = trace.meta.start_time - 1.0
+        report = validate_trace(trace)
+        assert not report.valid
+        assert Violation.NEGATIVE_RUNTIME in report.categories()
+
+    def test_bad_nprocs(self):
+        trace = make_trace([], nprocs=0)
+        assert Violation.BAD_NPROCS in validate_trace(trace).categories()
+
+    def test_inverted_read_window(self):
+        rec = make_record(1, 0, read=(10.0, 5.0, 100))
+        report = validate_trace(make_trace([rec]))
+        assert Violation.INVERTED_WINDOW in report.categories()
+
+    def test_dealloc_before_end_is_detected(self):
+        # the paper's example corruption: file closed before its
+        # recorded activity window ends
+        rec = make_record(1, 0, write=(0.0, 500.0, 100))
+        rec.close_end = 100.0
+        report = validate_trace(make_trace([rec]))
+        assert Violation.DEALLOC_BEFORE_END in report.categories()
+
+    def test_timestamp_beyond_runtime(self):
+        rec = make_record(1, 0, read=(0.0, 5000.0, 100))
+        report = validate_trace(make_trace([rec], run_time=1000.0))
+        assert Violation.TIMESTAMP_AFTER_END in report.categories()
+
+    def test_negative_counter(self):
+        rec = make_record(1, 0, read=(0.0, 1.0, 100))
+        rec.bytes_written = -5
+        report = validate_trace(make_trace([rec]))
+        assert Violation.NEGATIVE_COUNTER in report.categories()
+
+    def test_bytes_without_window(self):
+        rec = make_record(1, 0)
+        rec.bytes_read = 100
+        report = validate_trace(make_trace([rec]))
+        assert Violation.BYTES_WITHOUT_WINDOW in report.categories()
+
+    def test_opens_without_close_window(self):
+        rec = make_record(1, 0, opens=0)
+        rec.opens = 3
+        report = validate_trace(make_trace([rec]))
+        assert Violation.OPENS_WITHOUT_CLOSE_WINDOW in report.categories()
+
+    def test_multiple_violations_all_reported(self):
+        rec = make_record(1, 0, read=(10.0, 5.0, 100))
+        rec.bytes_written = -1
+        report = validate_trace(make_trace([rec]))
+        assert len(report.categories()) >= 2
+
+    def test_reasons_are_strings(self):
+        trace = make_trace([], nprocs=-1)
+        reasons = validate_trace(trace).reasons()
+        assert reasons and all(isinstance(r, str) for r in reasons)

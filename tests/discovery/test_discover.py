@@ -1,0 +1,94 @@
+"""Unit tests for automatic temporality discovery."""
+
+import pytest
+
+from repro.core import CategorizationResult, Category
+from repro.discovery import (
+    FeatureSpec,
+    discover_temporality,
+    feature_names,
+    temporality_features,
+)
+
+
+def result(job_id, read_label, chunks, total=1e9):
+    shares = [c * total for c in chunks]
+    return CategorizationResult(
+        job_id=job_id, uid=job_id, exe=f"a{job_id}", nprocs=4, run_time=1000.0,
+        categories=frozenset({read_label, Category.WRITE_INSIGNIFICANT}),
+        chunk_volumes={"read": shares, "write": None},
+    )
+
+
+def corpus():
+    rs = []
+    jid = 0
+    for _ in range(20):
+        jid += 1
+        rs.append(result(jid, Category.READ_ON_START, [1.0, 0.0, 0.0, 0.0]))
+    for _ in range(15):
+        jid += 1
+        rs.append(result(jid, Category.READ_STEADY, [0.25, 0.25, 0.25, 0.25]))
+    for _ in range(10):
+        jid += 1
+        rs.append(result(jid, Category.READ_ON_END, [0.0, 0.0, 0.0, 1.0]))
+    return rs
+
+
+class TestFeatures:
+    def test_shares_normalized(self):
+        X, kept = temporality_features(corpus(), "read", FeatureSpec(log_volume=False))
+        assert X.shape == (45, 4)
+        assert len(kept) == 45
+        assert X[:, :4].sum(axis=1) == pytest.approx(1.0)
+
+    def test_insignificant_traces_excluded(self):
+        rs = corpus()
+        rs.append(
+            CategorizationResult(
+                job_id=999, uid=999, exe="x", nprocs=1, run_time=1.0,
+                categories=frozenset({Category.READ_INSIGNIFICANT}),
+                chunk_volumes={"read": None},
+            )
+        )
+        X, kept = temporality_features(rs, "read")
+        assert 999 not in [rs[i].job_id for i in kept]
+
+    def test_feature_names_align_with_columns(self):
+        spec = FeatureSpec(log_volume=True, periodicity=True)
+        X, _ = temporality_features(corpus(), "read", spec)
+        assert X.shape[1] == len(feature_names("read", spec))
+
+    def test_empty_corpus(self):
+        X, kept = temporality_features([], "read")
+        assert len(kept) == 0 and X.shape[0] == 0
+
+
+class TestDiscovery:
+    def test_recovers_three_classes(self):
+        rep = discover_temporality(corpus(), "read", k=3, seed=1)
+        assert rep.k == 3
+        assert rep.overall_purity == pytest.approx(1.0)
+        assert rep.ari == pytest.approx(1.0)
+        assert rep.labels_recovered() == {
+            Category.READ_ON_START, Category.READ_STEADY, Category.READ_ON_END,
+        }
+
+    def test_auto_k_close_to_truth(self):
+        rep = discover_temporality(corpus(), "read", seed=1)
+        assert 2 <= rep.k <= 4
+        assert rep.overall_purity > 0.8
+
+    def test_cluster_sizes_match(self):
+        rep = discover_temporality(corpus(), "read", k=3, seed=1)
+        assert sorted(c.size for c in rep.clusters) == [10, 15, 20]
+
+    def test_centroids_are_share_profiles(self):
+        rep = discover_temporality(corpus(), "read", k=3, seed=1)
+        largest = rep.clusters[0]
+        assert largest.majority_label is Category.READ_ON_START
+        assert largest.centroid_shares[0] == pytest.approx(1.0, abs=0.01)
+
+    def test_degenerate_corpus(self):
+        rep = discover_temporality([], "read")
+        assert rep.k == 0 and rep.clusters == ()

@@ -1,0 +1,76 @@
+"""Unit tests for the from-scratch k-means."""
+
+import numpy as np
+import pytest
+
+from repro.discovery import kmeans, select_k
+
+
+def blobs(rng, centers, n_per, spread=0.05):
+    return np.vstack([rng.normal(c, spread, size=(n_per, len(c))) for c in centers])
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        X = blobs(rng, [(0, 0), (5, 5), (10, 0)], 20)
+        fit = kmeans(X, 3, seed=1)
+        assert fit.k == 3
+        assert sorted(fit.cluster_sizes().tolist()) == [20, 20, 20]
+
+    def test_centers_near_truth(self):
+        rng = np.random.default_rng(1)
+        X = blobs(rng, [(0, 0), (8, 8)], 30)
+        fit = kmeans(X, 2, seed=1)
+        xs = sorted(fit.centers[:, 0].tolist())
+        assert xs[0] == pytest.approx(0.0, abs=0.2)
+        assert xs[1] == pytest.approx(8.0, abs=0.2)
+
+    def test_inertia_decreases_with_k(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(60, 2))
+        inertias = [kmeans(X, k, seed=3).inertia for k in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(inertias, inertias[1:]))
+
+    def test_k_equals_n_gives_zero_inertia(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(5, 2))
+        assert kmeans(X, 5, seed=0).inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_per_seed(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(40, 3))
+        a = kmeans(X, 3, seed=9)
+        b = kmeans(X, 3, seed=9)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_validation(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            kmeans(X, 0)
+        with pytest.raises(ValueError):
+            kmeans(X, 5)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(4), 2)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 1)
+
+    def test_identical_points(self):
+        X = np.ones((10, 2))
+        fit = kmeans(X, 2, seed=0)
+        assert fit.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSelectK:
+    def test_finds_true_cluster_count(self):
+        rng = np.random.default_rng(5)
+        X = blobs(rng, [(0, 0), (10, 0), (0, 10)], 25, spread=0.2)
+        assert select_k(X, k_max=8, seed=1) == 3
+
+    def test_single_blob_gives_small_k(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(50, 2))
+        assert select_k(X, k_max=8, seed=1) <= 3
+
+    def test_tiny_dataset(self):
+        assert select_k(np.zeros((1, 2))) == 1

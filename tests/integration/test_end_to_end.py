@@ -1,0 +1,91 @@
+"""Corpus-level integration tests over the shared small fleet."""
+
+import pytest
+
+from repro.analysis import (
+    estimate_accuracy,
+    funnel_report,
+    jaccard_matrix,
+    paper_correlations,
+    temporality_table,
+)
+from repro.core import Category
+from repro.synth.groundtruth import trace_matches
+
+
+class TestPipelineOverFleet:
+    def test_funnel_proportions(self, small_fleet, small_pipeline):
+        rep = funnel_report(small_pipeline.preprocess)
+        assert rep.corrupted_fraction == pytest.approx(0.32, abs=0.03)
+        assert rep.unique_fraction == pytest.approx(
+            150 / small_fleet.n_valid, rel=0.05
+        )
+
+    def test_every_unique_app_categorized(self, small_fleet, small_pipeline):
+        assert small_pipeline.n_categorized == 150
+        assert small_pipeline.n_failures == 0
+
+    def test_no_corrupted_trace_categorized(self, small_fleet, small_pipeline):
+        for r in small_pipeline.results:
+            assert r.job_id in small_fleet.truth
+
+    def test_every_result_has_temporality_for_both_directions(self, small_pipeline):
+        from repro.core import TEMPORALITY_READ, TEMPORALITY_WRITE
+
+        for r in small_pipeline.results:
+            assert len(r.categories & TEMPORALITY_READ) == 1
+            assert len(r.categories & TEMPORALITY_WRITE) == 1
+
+    def test_accuracy_in_paper_band(self, small_fleet, small_pipeline):
+        rep = estimate_accuracy(
+            small_pipeline.results, small_fleet.truth, sample_size=150, seed=3
+        )
+        # paper: 92%; the calibrated generator lands in a band around it
+        assert 0.85 <= rep.accuracy <= 0.99
+
+    def test_errors_dominated_by_temporality(self, small_fleet, small_pipeline):
+        # paper §IV-E: misclassifications come "mainly" from temporality
+        rep = estimate_accuracy(
+            small_pipeline.results, small_fleet.truth, sample_size=512, seed=3
+        )
+        if rep.n_incorrect:
+            axis = rep.dominant_error_axis()
+            assert axis in ("read_temporality", "write_temporality")
+
+    def test_run_weights_match_fleet_manifest(self, small_fleet, small_pipeline):
+        assert sum(small_pipeline.run_weights()) == small_fleet.n_valid
+
+    def test_correlations_have_paper_shape(self, small_pipeline):
+        rep = paper_correlations(small_pipeline.results)
+        assert rep.insig_read_implies_insig_write > 0.85   # paper: 95%
+        assert 0.45 <= rep.read_start_implies_write_end <= 0.85  # paper: 66%
+        # paper: 96%; at this corpus scale only a handful of apps are
+        # periodic, so one high-busy app moves the share a lot — the
+        # TAB-CORR benchmark checks this at full scale with a tighter band
+        assert rep.periodic_writes_low_busy >= 0.7
+
+    def test_jaccard_surfaces_rcw_pair(self, small_pipeline):
+        m = jaccard_matrix(small_pipeline.results)
+        pairs = {
+            frozenset((a.value, b.value)) for a, b, _ in m.relevant_pairs(0.05)
+        }
+        assert frozenset(("read_on_start", "write_on_end")) in pairs
+
+    def test_temporality_rows_sum_to_one(self, small_pipeline):
+        table = temporality_table(
+            small_pipeline.results, small_pipeline.run_weights()
+        )
+        for row in table.values():
+            assert sum(row.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_hidden_periodic_categorized_steady(self, small_fleet, small_pipeline):
+        # Darshan's kept-open flattening: hidden periodic apps must come
+        # out steady, not periodic (paper §IV-A)
+        hidden = [
+            r for r in small_pipeline.results
+            if small_fleet.truth[r.job_id].hidden_periodic
+        ]
+        assert hidden, "fleet should contain hidden-periodic apps"
+        for r in hidden:
+            assert Category.PERIODIC_WRITE not in r.categories
+            assert Category.WRITE_STEADY in r.categories

@@ -1,0 +1,127 @@
+"""Unit tests for I/O demand profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import categorize_trace
+from repro.interference import (
+    IOPhase,
+    IOProfile,
+    profile_from_result,
+    profile_from_trace,
+)
+
+from tests.conftest import make_record, make_trace
+
+GB = 1024**3
+SIG = 5 * GB
+
+
+class TestIOPhase:
+    def test_rate(self):
+        p = IOPhase(0.0, 10.0, 100.0, "read")
+        assert p.rate == 10.0
+        assert p.duration == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IOPhase(5.0, 5.0, 1.0, "read")
+        with pytest.raises(ValueError):
+            IOPhase(0.0, 1.0, -1.0, "write")
+
+
+class TestIOProfile:
+    def test_phases_sorted(self):
+        prof = IOProfile(
+            name="j",
+            run_time=100.0,
+            phases=(
+                IOPhase(50.0, 60.0, 1.0, "write"),
+                IOPhase(0.0, 10.0, 2.0, "read"),
+            ),
+        )
+        assert prof.phases[0].start == 0.0
+        assert prof.total_volume == 3.0
+
+    def test_demand_at(self):
+        prof = IOProfile(
+            name="j", run_time=100.0,
+            phases=(IOPhase(0.0, 10.0, 100.0, "read"),
+                    IOPhase(5.0, 15.0, 50.0, "write")),
+        )
+        assert prof.demand_at(7.0) == pytest.approx(15.0)
+        assert prof.demand_at(12.0) == pytest.approx(5.0)
+        assert prof.demand_at(50.0) == 0.0
+
+    def test_demand_series_conserves_rate_mass(self):
+        prof = IOProfile(
+            name="j", run_time=100.0,
+            phases=(IOPhase(0.0, 50.0, 1000.0, "read"),),
+        )
+        series = prof.demand_series(n_bins=100)
+        # rate 20 B/s over half the bins
+        assert series[:50].sum() == pytest.approx(20.0 * 50)
+        assert series[60:].sum() == 0.0
+
+
+class TestProfileFromResult:
+    def test_on_start_reader_predicts_start_phase(self):
+        trace = make_trace([make_record(1, 0, read=(5.0, 40.0, SIG))], nprocs=2)
+        result = categorize_trace(trace)
+        prof = profile_from_result(result)
+        assert len(prof.phases) == 1
+        p = prof.phases[0]
+        assert p.kind == "read"
+        assert p.start == 0.0
+        assert p.end <= 0.1 * trace.meta.run_time
+        assert p.volume == pytest.approx(SIG, rel=0.01)
+
+    def test_on_end_writer_predicts_end_phase(self):
+        trace = make_trace([make_record(1, 0, write=(960.0, 995.0, SIG))], nprocs=2)
+        prof = profile_from_result(categorize_trace(trace))
+        p = prof.phases[0]
+        assert p.kind == "write"
+        assert p.end == pytest.approx(1000.0)
+
+    def test_steady_spans_runtime(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 1000.0, SIG))], nprocs=2)
+        prof = profile_from_result(categorize_trace(trace))
+        assert prof.phases[0].duration == pytest.approx(1000.0)
+
+    def test_periodic_writer_predicts_event_train(self):
+        recs = [
+            make_record(k, 0, write=(100.0 + 600.0 * k, 115.0 + 600.0 * k, SIG))
+            for k in range(16)
+        ]
+        trace = make_trace(recs, run_time=10000.0, nprocs=2)
+        prof = profile_from_result(categorize_trace(trace))
+        writes = [p for p in prof.phases if p.kind == "write"]
+        assert len(writes) >= 10
+        starts = [p.start for p in writes]
+        spacing = np.diff(sorted(starts))
+        assert np.median(spacing) == pytest.approx(600.0, rel=0.2)
+
+    def test_insignificant_direction_has_no_phases(self):
+        trace = make_trace([make_record(1, 0, read=(0.0, 10.0, 1024))])
+        prof = profile_from_result(categorize_trace(trace))
+        assert prof.phases == ()
+
+
+class TestProfileFromTrace:
+    def test_reflects_merged_operations(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(0.0, 10.0, SIG)),
+                make_record(2, 1, read=(2.0, 12.0, SIG)),
+                make_record(3, 2, write=(500.0, 520.0, SIG)),
+            ]
+        )
+        prof = profile_from_trace(trace)
+        assert len(prof.phases) == 2  # reads merged
+        assert prof.total_volume == pytest.approx(3 * SIG)
+
+    def test_prediction_close_to_truth_for_clean_patterns(self):
+        trace = make_trace([make_record(1, 0, read=(5.0, 40.0, SIG))], nprocs=2)
+        truth = profile_from_trace(trace)
+        pred = profile_from_result(categorize_trace(trace))
+        assert pred.total_volume == pytest.approx(truth.total_volume, rel=0.01)

@@ -1,0 +1,101 @@
+"""Unit tests for the PFS contention simulator."""
+
+import pytest
+
+from repro.interference import IOPhase, IOProfile, SimJob, simulate
+from repro.interference.simulator import _fair_share
+
+GB = 1024**3
+
+
+def job(name, run_time, phases, start=0.0):
+    return SimJob.from_profile(
+        IOProfile(name=name, run_time=run_time, phases=tuple(phases)), start
+    )
+
+
+class TestFairShare:
+    def test_under_capacity_everyone_satisfied(self):
+        assert _fair_share([1.0, 2.0], 10.0) == [1.0, 2.0]
+
+    def test_over_capacity_equal_split(self):
+        alloc = _fair_share([10.0, 10.0], 10.0)
+        assert alloc == [5.0, 5.0]
+
+    def test_maxmin_small_demand_fully_served(self):
+        alloc = _fair_share([1.0, 100.0], 10.0)
+        assert alloc[0] == pytest.approx(1.0)
+        assert alloc[1] == pytest.approx(9.0)
+
+    def test_empty(self):
+        assert _fair_share([], 10.0) == []
+
+
+class TestSimulate:
+    def test_single_job_runs_at_nominal_duration(self):
+        j = job("a", 1000.0, [IOPhase(100.0, 200.0, 100 * GB, "read")])
+        result = simulate([j], bandwidth=10 * GB)
+        assert result.completion["a"] == pytest.approx(1000.0, rel=1e-6)
+        assert result.stretch["a"] == pytest.approx(1.0, abs=1e-6)
+        assert result.congested_time == 0.0
+
+    def test_contention_stretches_jobs(self):
+        # two jobs each demanding 1 GB/s for 100 s; PFS holds 1 GB/s total
+        phases = [IOPhase(0.0, 100.0, 100 * GB, "read")]
+        a, b = job("a", 200.0, phases), job("b", 200.0, phases)
+        result = simulate([a, b], bandwidth=1 * GB)
+        # each gets 0.5 GB/s -> the I/O takes 200 s instead of 100 s
+        assert result.completion["a"] == pytest.approx(300.0, rel=0.01)
+        assert result.stretch["a"] == pytest.approx(300.0 / 200.0, rel=0.01)
+        assert result.congested_time == pytest.approx(200.0, rel=0.05)
+
+    def test_staggering_removes_contention(self):
+        phases = [IOPhase(0.0, 100.0, 100 * GB, "read")]
+        a = job("a", 200.0, phases, start=0.0)
+        b = job("b", 200.0, phases, start=100.0)
+        result = simulate([a, b], bandwidth=1 * GB)
+        assert result.mean_stretch == pytest.approx(1.0, abs=0.01)
+
+    def test_delayed_start_respected(self):
+        j = job("a", 100.0, [], start=500.0)
+        result = simulate([j], bandwidth=GB)
+        assert result.completion["a"] == pytest.approx(600.0, rel=1e-6)
+
+    def test_io_delay_shifts_later_phases(self):
+        # first phase stretched by contention delays the second phase
+        phases = [
+            IOPhase(0.0, 100.0, 100 * GB, "read"),
+            IOPhase(500.0, 600.0, 50 * GB, "write"),
+        ]
+        a, b = job("a", 1000.0, phases), job("b", 1000.0, phases)
+        result = simulate([a, b], bandwidth=1 * GB)
+        assert result.completion["a"] > 1000.0
+        assert result.stretch["a"] > 1.0
+
+    def test_compute_only_jobs(self):
+        j = job("a", 750.0, [])
+        result = simulate([j], bandwidth=GB)
+        assert result.completion["a"] == pytest.approx(750.0, rel=1e-6)
+
+    def test_makespan(self):
+        a = job("a", 100.0, [], start=0.0)
+        b = job("b", 100.0, [], start=400.0)
+        result = simulate([a, b], bandwidth=GB)
+        assert result.makespan == pytest.approx(500.0, rel=1e-6)
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            simulate([], bandwidth=0.0)
+
+    def test_overlapping_phases_merged_within_job(self):
+        j = job(
+            "a",
+            1000.0,
+            [
+                IOPhase(0.0, 100.0, 10 * GB, "read"),
+                IOPhase(50.0, 150.0, 10 * GB, "write"),
+            ],
+        )
+        assert len([s for s in j.segments if s.volume > 0]) == 1
+        result = simulate([j], bandwidth=10 * GB)
+        assert result.stretch["a"] == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,48 @@
+"""Unit tests for concurrent-overlap merging (paper §III-B2a)."""
+
+import pytest
+
+from repro.merge import merge_concurrent
+
+from tests.conftest import ops
+
+
+class TestMergeConcurrent:
+    def test_desynchronized_ranks_fuse_to_one_operation(self):
+        # 4 ranks writing the same checkpoint slightly out of phase
+        arr = ops(
+            (100.0, 110.0, 25.0),
+            (100.5, 110.5, 25.0),
+            (101.2, 111.0, 25.0),
+            (102.0, 112.0, 25.0),
+        )
+        result = merge_concurrent(arr)
+        assert result.n_output == 1
+        assert result.ops.volumes[0] == pytest.approx(100.0)
+        assert result.ops.starts[0] == 100.0
+        assert result.ops.ends[0] == 112.0
+
+    def test_disjoint_operations_untouched(self):
+        arr = ops((0.0, 1.0, 1.0), (10.0, 11.0, 2.0))
+        result = merge_concurrent(arr)
+        assert result.n_output == 2
+        assert result.n_fused == 0
+
+    def test_volume_conserved(self):
+        arr = ops((0.0, 5.0, 10.0), (3.0, 8.0, 20.0), (7.0, 9.0, 5.0), (100.0, 101.0, 1.0))
+        result = merge_concurrent(arr)
+        assert result.ops.total_volume == pytest.approx(arr.total_volume)
+
+    def test_reduction_ratio(self):
+        arr = ops((0.0, 5.0, 1.0), (1.0, 6.0, 1.0), (2.0, 7.0, 1.0))
+        assert merge_concurrent(arr).reduction_ratio == pytest.approx(3.0)
+
+    def test_single_and_empty_inputs(self):
+        assert merge_concurrent(ops()).n_output == 0
+        assert merge_concurrent(ops((0.0, 1.0, 1.0))).n_output == 1
+
+    def test_output_is_disjoint(self):
+        arr = ops(*[(float(i) * 0.7, float(i) * 0.7 + 1.0, 1.0) for i in range(20)])
+        merged = merge_concurrent(arr).ops
+        for i in range(len(merged) - 1):
+            assert merged.starts[i + 1] > merged.ends[i]

@@ -1,0 +1,70 @@
+"""Unit tests for the vectorized interval algebra."""
+
+import numpy as np
+import pytest
+
+from repro.merge import (
+    coalesce_groups,
+    coverage_fraction,
+    gaps,
+    overlap_groups,
+    total_span,
+    union_length,
+)
+
+from tests.conftest import ops
+
+
+class TestOverlapGroups:
+    def test_disjoint_intervals_get_distinct_groups(self):
+        arr = ops((0.0, 1.0, 1.0), (2.0, 3.0, 1.0), (4.0, 5.0, 1.0))
+        assert overlap_groups(arr.starts, arr.ends).tolist() == [0, 1, 2]
+
+    def test_overlapping_chain_is_one_group(self):
+        arr = ops((0.0, 2.0, 1.0), (1.0, 4.0, 1.0), (3.0, 5.0, 1.0))
+        assert overlap_groups(arr.starts, arr.ends).tolist() == [0, 0, 0]
+
+    def test_touching_intervals_merge(self):
+        arr = ops((0.0, 1.0, 1.0), (1.0, 2.0, 1.0))
+        assert overlap_groups(arr.starts, arr.ends).tolist() == [0, 0]
+
+    def test_containment(self):
+        arr = ops((0.0, 10.0, 1.0), (2.0, 3.0, 1.0), (12.0, 13.0, 1.0))
+        assert overlap_groups(arr.starts, arr.ends).tolist() == [0, 0, 1]
+
+    def test_empty(self):
+        assert len(overlap_groups(np.empty(0), np.empty(0))) == 0
+
+
+class TestCoalesce:
+    def test_merged_span_and_volume(self):
+        arr = ops((0.0, 2.0, 10.0), (1.0, 5.0, 20.0))
+        merged = coalesce_groups(arr, np.array([0, 0]))
+        assert merged.starts[0] == 0.0
+        assert merged.ends[0] == 5.0
+        assert merged.volumes[0] == 30.0
+
+    def test_group_length_mismatch_rejected(self):
+        arr = ops((0.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            coalesce_groups(arr, np.array([0, 0]))
+
+
+class TestMeasures:
+    def test_union_length_ignores_overlap(self):
+        arr = ops((0.0, 4.0, 1.0), (2.0, 6.0, 1.0))
+        assert union_length(arr) == pytest.approx(6.0)
+
+    def test_coverage_fraction(self):
+        arr = ops((0.0, 25.0, 1.0))
+        assert coverage_fraction(arr, 100.0) == pytest.approx(0.25)
+        assert coverage_fraction(arr, 0.0) == 0.0
+
+    def test_gaps(self):
+        arr = ops((0.0, 1.0, 1.0), (3.0, 4.0, 1.0), (10.0, 11.0, 1.0))
+        assert gaps(arr).tolist() == [2.0, 6.0]
+
+    def test_total_span(self):
+        arr = ops((5.0, 6.0, 1.0), (20.0, 30.0, 1.0))
+        assert total_span(arr) == pytest.approx(25.0)
+        assert total_span(ops()) == 0.0

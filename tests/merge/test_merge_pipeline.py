@@ -1,0 +1,43 @@
+"""Unit tests for the combined fusion pipeline."""
+
+import pytest
+
+from repro.merge import preprocess_operations, preprocess_trace
+
+from tests.conftest import make_record, make_trace, ops
+
+
+class TestPreprocessOperations:
+    def test_stage_counts_reported(self):
+        arr = ops(
+            (0.0, 10.0, 1.0),
+            (5.0, 12.0, 1.0),   # overlaps first -> concurrent merge
+            (12.5, 20.0, 1.0),  # gap 0.5 < 0.1% of 1000 -> neighbor merge
+            (500.0, 510.0, 1.0),
+        )
+        result = preprocess_operations(arr, 1000.0)
+        assert result.n_raw == 4
+        assert result.n_after_concurrent == 3
+        assert result.n_after_neighbor == 2
+        assert result.reduction_ratio == pytest.approx(2.0)
+
+    def test_empty(self):
+        result = preprocess_operations(ops(), 1000.0)
+        assert result.n_raw == 0
+        assert result.ops.is_empty()
+
+
+class TestPreprocessTrace:
+    def test_extracts_requested_direction(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(0.0, 10.0, 100)),
+                make_record(2, 1, read=(2.0, 12.0, 100)),
+                make_record(3, 2, write=(500.0, 510.0, 50)),
+            ]
+        )
+        reads = preprocess_trace(trace, "read")
+        writes = preprocess_trace(trace, "write")
+        assert reads.n_raw == 2 and reads.n_after_neighbor == 1
+        assert writes.n_raw == 1
+        assert reads.ops.total_volume == pytest.approx(200.0)

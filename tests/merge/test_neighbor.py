@@ -1,0 +1,69 @@
+"""Unit tests for neighbor merging (paper §III-B2b)."""
+
+import pytest
+
+from repro.merge import NeighborMergeConfig, merge_neighbors
+
+from tests.conftest import ops
+
+
+class TestNeighborMerge:
+    def test_gap_below_runtime_fraction_merges(self):
+        # gap = 0.5s, runtime 1000s -> 0.1% = 1.0s threshold
+        arr = ops((0.0, 10.0, 5.0), (10.5, 20.0, 5.0))
+        result = merge_neighbors(arr, 1000.0)
+        assert result.n_output == 1
+        assert result.ops.volumes[0] == pytest.approx(10.0)
+
+    def test_gap_above_thresholds_kept(self):
+        arr = ops((0.0, 10.0, 5.0), (100.0, 110.0, 5.0))
+        result = merge_neighbors(arr, 1000.0)
+        assert result.n_output == 2
+
+    def test_gap_below_op_fraction_merges(self):
+        # runtime small so the absolute rule is tight, but the gap is
+        # under 1% of the current operation's duration
+        arr = ops((0.0, 1000.0, 5.0), (1005.0, 1100.0, 5.0))
+        result = merge_neighbors(arr, 1e9)
+        cfg = NeighborMergeConfig(runtime_fraction=0.0)
+        result = merge_neighbors(arr, 1e9, cfg)
+        assert result.n_output == 1
+
+    def test_growing_operation_absorbs_trailing_ops(self):
+        # each merge lengthens the current op, allowing the next merge
+        arr = ops(
+            (0.0, 1000.0, 1.0),
+            (1009.0, 1500.0, 1.0),   # gap 9 < 1% of 1000
+            (1514.0, 1600.0, 1.0),   # gap 14 < 1% of 1514
+        )
+        cfg = NeighborMergeConfig(runtime_fraction=0.0)
+        result = merge_neighbors(arr, 1.0, cfg)
+        assert result.n_output == 1
+
+    def test_slow_desynchronization_example(self):
+        # the paper's motivating case: operations that slid apart until
+        # they no longer overlap still merge when close enough
+        arr = ops(*[(i * 100.0 + i * 0.05, i * 100.0 + 90.0, 10.0) for i in range(5)])
+        result = merge_neighbors(arr, 100000.0)
+        # gaps ~10s vs 0.1% of 100000 = 100s -> all merged
+        assert result.n_output == 1
+
+    def test_volume_conserved(self):
+        arr = ops((0.0, 1.0, 3.0), (1.1, 2.0, 4.0), (50.0, 51.0, 5.0))
+        result = merge_neighbors(arr, 1000.0)
+        assert result.ops.total_volume == pytest.approx(12.0)
+
+    def test_empty_and_single(self):
+        assert merge_neighbors(ops(), 100.0).n_output == 0
+        assert merge_neighbors(ops((0.0, 1.0, 1.0)), 100.0).n_output == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NeighborMergeConfig(runtime_fraction=-0.1)
+        with pytest.raises(ValueError):
+            NeighborMergeConfig(max_passes=0)
+
+    def test_zero_thresholds_merge_nothing(self):
+        arr = ops((0.0, 1.0, 1.0), (1.5, 2.0, 1.0))
+        cfg = NeighborMergeConfig(runtime_fraction=0.0, op_fraction=0.0)
+        assert merge_neighbors(arr, 1000.0, cfg).n_output == 2

@@ -1,0 +1,79 @@
+"""Unit tests for the fault-isolated parallel map."""
+
+import pytest
+
+from repro.parallel import MapOutcome, ParallelConfig, parallel_map
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def fail_on_odd(x: int) -> int:
+    if x % 2 == 1:
+        raise ValueError(f"odd input {x}")
+    return x
+
+
+class TestSerialMode:
+    def test_results_in_input_order(self):
+        out = parallel_map(square, [3, 1, 2], ParallelConfig(max_workers=0))
+        assert out.results == [9, 1, 4]
+        assert out.n_ok == 3
+
+    def test_failures_captured_not_raised(self):
+        out = parallel_map(fail_on_odd, [0, 1, 2, 3], ParallelConfig(max_workers=0))
+        assert out.results == [0, None, 2, None]
+        assert [f.index for f in out.failures] == [1, 3]
+        assert out.failures[0].error_type == "ValueError"
+        assert "odd input 1" in out.failures[0].message
+
+    def test_successful_filters_failures(self):
+        out = parallel_map(fail_on_odd, [0, 1, 2], ParallelConfig(max_workers=0))
+        assert out.successful() == [0, 2]
+
+    def test_raise_if_failed(self):
+        out = parallel_map(fail_on_odd, [1], ParallelConfig(max_workers=0))
+        with pytest.raises(RuntimeError, match="1 task"):
+            out.raise_if_failed()
+        ok = parallel_map(square, [1], ParallelConfig(max_workers=0))
+        ok.raise_if_failed()  # no exception
+
+    def test_empty_input(self):
+        out = parallel_map(square, [], ParallelConfig(max_workers=0))
+        assert out.results == [] and out.failures == []
+
+    def test_lpt_ordering_does_not_scramble_results(self):
+        cfg = ParallelConfig(max_workers=0, cost=lambda x: x)
+        out = parallel_map(square, [1, 5, 3], cfg)
+        assert out.results == [1, 25, 9]
+
+    def test_lambda_allowed_in_serial_mode(self):
+        out = parallel_map(lambda x: x + 1, [1, 2], ParallelConfig(max_workers=0))
+        assert out.results == [2, 3]
+
+
+class TestProcessPool:
+    def test_parallel_results_match_serial(self):
+        items = list(range(30))
+        par = parallel_map(square, items, ParallelConfig(max_workers=2, chunksize=4))
+        ser = parallel_map(square, items, ParallelConfig(max_workers=0))
+        assert par.results == ser.results
+
+    def test_parallel_failures_isolated(self):
+        out = parallel_map(fail_on_odd, list(range(10)), ParallelConfig(max_workers=2))
+        assert out.n_ok == 5
+        assert [f.index for f in out.failures] == [1, 3, 5, 7, 9]
+
+    def test_traceback_captured(self):
+        out = parallel_map(fail_on_odd, [1], ParallelConfig(max_workers=2))
+        assert "ValueError" in out.failures[0].traceback_text
+
+
+class TestConfig:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(max_workers=-1).resolved_workers()
+
+    def test_none_resolves_to_cpu_count(self):
+        assert ParallelConfig(max_workers=None).resolved_workers() >= 1

@@ -1,0 +1,46 @@
+"""Unit tests for cost-aware scheduling helpers."""
+
+import pytest
+
+from repro.parallel import chunk_evenly, lpt_order
+
+
+class TestLptOrder:
+    def test_sorts_by_cost_descending(self):
+        items = [3.0, 10.0, 1.0, 7.0]
+        assert lpt_order(items, lambda x: x) == [1, 3, 0, 2]
+
+    def test_stable_for_equal_costs(self):
+        items = ["a", "b", "c"]
+        assert lpt_order(items, lambda _: 1.0) == [0, 1, 2]
+
+    def test_empty(self):
+        assert lpt_order([], lambda x: x) == []
+
+
+class TestChunkEvenly:
+    def test_even_split(self):
+        chunks = chunk_evenly(10, 2)
+        assert [list(c) for c in chunks] == [list(range(5)), list(range(5, 10))]
+
+    def test_remainder_spread_over_first_chunks(self):
+        sizes = [len(c) for c in chunk_evenly(10, 3)]
+        assert sizes == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_evenly(2, 5)
+        assert sum(len(c) for c in chunks) == 2
+        assert len(chunks) == 2
+
+    def test_covers_everything_once(self):
+        chunks = chunk_evenly(17, 4)
+        seen = [i for c in chunks for i in c]
+        assert seen == list(range(17))
+
+    def test_zero_items(self):
+        chunks = chunk_evenly(0, 3)
+        assert sum(len(c) for c in chunks) == 0
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            chunk_evenly(5, 0)

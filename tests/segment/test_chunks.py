@@ -1,0 +1,67 @@
+"""Unit tests for temporal chunking (paper §III-B3b)."""
+
+import numpy as np
+import pytest
+
+from repro.segment import chunk_volumes
+
+from tests.conftest import ops
+
+
+class TestChunkVolumes:
+    def test_operation_fully_inside_one_chunk(self):
+        arr = ops((10.0, 20.0, 100.0))
+        profile = chunk_volumes(arr, 1000.0)
+        assert profile.volumes.tolist() == [100.0, 0.0, 0.0, 0.0]
+
+    def test_boundary_spanning_operation_splits_pro_rata(self):
+        # op covers [200, 300] of a 1000s run; boundary at 250
+        arr = ops((200.0, 300.0, 100.0))
+        profile = chunk_volumes(arr, 1000.0)
+        assert profile.volumes[0] == pytest.approx(50.0)
+        assert profile.volumes[1] == pytest.approx(50.0)
+
+    def test_uniform_operation_spreads_evenly(self):
+        arr = ops((0.0, 1000.0, 400.0))
+        profile = chunk_volumes(arr, 1000.0)
+        assert np.allclose(profile.volumes, 100.0)
+        assert profile.coefficient_of_variation() == pytest.approx(0.0)
+
+    def test_zero_duration_burst_lands_in_containing_chunk(self):
+        arr = ops((600.0, 600.0, 42.0))
+        profile = chunk_volumes(arr, 1000.0)
+        assert profile.volumes[2] == pytest.approx(42.0)
+
+    def test_burst_at_exact_end_of_run(self):
+        arr = ops((1000.0, 1000.0, 7.0))
+        profile = chunk_volumes(arr, 1000.0)
+        assert profile.volumes[3] == pytest.approx(7.0)
+
+    def test_volume_conserved(self):
+        arr = ops((0.0, 300.0, 100.0), (100.0, 900.0, 50.0), (990.0, 1000.0, 25.0))
+        profile = chunk_volumes(arr, 1000.0)
+        assert profile.total == pytest.approx(175.0)
+
+    def test_custom_chunk_count(self):
+        arr = ops((0.0, 1000.0, 100.0))
+        profile = chunk_volumes(arr, 1000.0, n_chunks=10)
+        assert len(profile.volumes) == 10
+        assert np.allclose(profile.volumes, 10.0)
+
+    def test_normalized_shares(self):
+        arr = ops((0.0, 250.0, 30.0), (750.0, 1000.0, 10.0))
+        shares = chunk_volumes(arr, 1000.0).normalized()
+        assert shares.sum() == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(0.75)
+
+    def test_empty_profile(self):
+        profile = chunk_volumes(ops(), 1000.0)
+        assert profile.total == 0.0
+        assert profile.coefficient_of_variation() == 0.0
+        assert profile.normalized().tolist() == [0.0] * 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_volumes(ops(), 1000.0, n_chunks=0)
+        with pytest.raises(ValueError):
+            chunk_volumes(ops(), 0.0)

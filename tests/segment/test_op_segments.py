@@ -1,0 +1,56 @@
+"""Unit tests for operation segmentation (paper §III-B3a)."""
+
+import numpy as np
+import pytest
+
+from repro.segment import segment_operations
+
+from tests.conftest import ops
+
+
+class TestSegmentOperations:
+    def test_segment_spans_to_next_operation_start(self):
+        arr = ops((0.0, 10.0, 1.0), (100.0, 110.0, 2.0), (250.0, 260.0, 3.0))
+        segs = segment_operations(arr, 1000.0)
+        assert segs.durations.tolist() == [100.0, 150.0, 750.0]
+        assert segs.starts.tolist() == [0.0, 100.0, 250.0]
+
+    def test_last_segment_closed_by_runtime(self):
+        arr = ops((0.0, 10.0, 1.0))
+        segs = segment_operations(arr, 500.0)
+        assert segs.durations[0] == pytest.approx(500.0)
+
+    def test_last_segment_never_shorter_than_operation(self):
+        # operation outlives the nominal runtime (Darshan flush slack)
+        arr = ops((0.0, 600.0, 1.0))
+        segs = segment_operations(arr, 500.0)
+        assert segs.durations[0] == pytest.approx(600.0)
+
+    def test_volumes_follow_opening_operation(self):
+        arr = ops((0.0, 1.0, 11.0), (10.0, 11.0, 22.0))
+        segs = segment_operations(arr, 100.0)
+        assert segs.volumes.tolist() == [11.0, 22.0]
+
+    def test_busy_clipped_to_segment(self):
+        # overlapping input (not merged): op 0 outlives segment 0
+        arr = ops((0.0, 50.0, 1.0), (10.0, 20.0, 1.0))
+        segs = segment_operations(arr, 100.0)
+        assert segs.busy[0] == pytest.approx(10.0)
+
+    def test_activity_rates_bounded(self):
+        arr = ops((0.0, 5.0, 1.0), (10.0, 60.0, 1.0))
+        rates = segment_operations(arr, 100.0).activity_rates
+        assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
+        assert rates[0] == pytest.approx(0.5)
+
+    def test_features_matrix_shape(self):
+        arr = ops((0.0, 1.0, 5.0), (10.0, 11.0, 6.0))
+        feats = segment_operations(arr, 100.0).features()
+        assert feats.shape == (2, 2)
+        assert feats[0, 0] == pytest.approx(10.0)  # duration
+        assert feats[0, 1] == pytest.approx(5.0)   # volume
+
+    def test_empty(self):
+        segs = segment_operations(ops(), 100.0)
+        assert segs.is_empty()
+        assert len(segs.activity_rates) == 0

@@ -1,0 +1,74 @@
+"""Property-based tests on segmentation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.darshan.trace import OperationArray
+from repro.merge import merge_concurrent
+from repro.segment import chunk_volumes, segment_operations
+
+
+@st.composite
+def disjoint_ops(draw):
+    """Disjoint sorted operations inside a [0, run_time] window."""
+    run_time = draw(st.floats(min_value=10.0, max_value=1e5, allow_nan=False))
+    n = draw(st.integers(min_value=0, max_value=25))
+    rows = []
+    for _ in range(n):
+        s = draw(st.floats(min_value=0.0, max_value=run_time, allow_nan=False))
+        d = draw(st.floats(min_value=0.0, max_value=run_time / 4, allow_nan=False))
+        v = draw(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+        rows.append((s, min(s + d, run_time), v))
+    arr = merge_concurrent(OperationArray.from_tuples(rows)).ops
+    return arr, run_time
+
+
+class TestChunkProperties:
+    @given(disjoint_ops(), st.integers(min_value=2, max_value=12))
+    @settings(max_examples=80, deadline=None)
+    def test_volume_conserved_across_chunking(self, data, n_chunks):
+        arr, run_time = data
+        profile = chunk_volumes(arr, run_time, n_chunks)
+        assert profile.total == pytest.approx(arr.total_volume, rel=1e-6, abs=1e-6)
+
+    @given(disjoint_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_chunks_non_negative(self, data):
+        arr, run_time = data
+        profile = chunk_volumes(arr, run_time)
+        assert np.all(profile.volumes >= 0.0)
+
+    @given(disjoint_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_edges_cover_runtime(self, data):
+        arr, run_time = data
+        profile = chunk_volumes(arr, run_time)
+        assert profile.edges[0] == 0.0
+        assert profile.edges[-1] == pytest.approx(run_time)
+
+
+class TestSegmentProperties:
+    @given(disjoint_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_segment_count_equals_op_count(self, data):
+        arr, run_time = data
+        assert len(segment_operations(arr, run_time)) == len(arr)
+
+    @given(disjoint_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_segments_tile_from_first_op_to_end(self, data):
+        arr, run_time = data
+        segs = segment_operations(arr, run_time)
+        if len(segs) == 0:
+            return
+        end = max(run_time, float(arr.ends[-1]))
+        assert segs.durations.sum() == pytest.approx(end - segs.starts[0], rel=1e-9)
+
+    @given(disjoint_ops())
+    @settings(max_examples=80, deadline=None)
+    def test_durations_positive(self, data):
+        arr, run_time = data
+        segs = segment_operations(arr, run_time)
+        assert np.all(segs.durations >= 0.0)

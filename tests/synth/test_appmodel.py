@@ -1,0 +1,87 @@
+"""Unit tests for the application model and run generation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Category
+from repro.darshan import is_valid
+from repro.synth import AppSpec, BurstPhase, GroundTruth, generate_run
+
+
+def spec(deviant_prob=0.0, runtime=(1000.0, 2000.0)):
+    return AppSpec(
+        name="t",
+        cohort="test",
+        uid=7,
+        exe="t.exe",
+        nprocs=8,
+        runtime_lo=runtime[0],
+        runtime_hi=runtime[1],
+        phases=(BurstPhase("read", 0.05, 500e6, 20.0, n_ranks=4),),
+        truth=GroundTruth(
+            read_temporality=Category.READ_ON_START,
+            write_temporality=Category.WRITE_INSIGNIFICANT,
+        ),
+        deviant_prob=deviant_prob,
+    )
+
+
+class TestGenerateRun:
+    def test_trace_is_valid(self):
+        rng = np.random.default_rng(0)
+        trace = generate_run(spec(), 1, rng)
+        assert is_valid(trace)
+
+    def test_runtime_within_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            trace = generate_run(spec(), 1, rng)
+            assert 1000.0 <= trace.meta.run_time <= 2000.0
+
+    def test_identity_propagated(self):
+        rng = np.random.default_rng(2)
+        trace = generate_run(spec(), 42, rng)
+        assert trace.meta.job_id == 42
+        assert trace.meta.uid == 7
+        assert trace.meta.exe == "t.exe"
+        assert trace.meta.nprocs == 8
+
+    def test_runs_vary(self):
+        rng = np.random.default_rng(3)
+        a = generate_run(spec(), 1, rng)
+        b = generate_run(spec(), 2, rng)
+        assert a.meta.run_time != b.meta.run_time
+        assert a.total_bytes_read != b.total_bytes_read
+
+    def test_deviant_runs_shrink(self):
+        rng = np.random.default_rng(4)
+        full = generate_run(spec(deviant_prob=0.0), 1, rng)
+        rng = np.random.default_rng(4)
+        deviant = generate_run(spec(deviant_prob=1.0), 1, rng)
+        assert deviant.meta.run_time < full.meta.run_time
+        assert deviant.total_bytes_read < full.total_bytes_read / 100
+
+    def test_force_nominal_disables_deviance(self):
+        rng = np.random.default_rng(5)
+        trace = generate_run(spec(deviant_prob=1.0), 1, rng, force_nominal=True)
+        assert trace.total_bytes_read > 100e6
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AppSpec(
+                name="x", cohort="c", uid=1, exe="x", nprocs=0,
+                runtime_lo=1.0, runtime_hi=2.0, phases=(),
+                truth=GroundTruth(
+                    read_temporality=Category.READ_INSIGNIFICANT,
+                    write_temporality=Category.WRITE_INSIGNIFICANT,
+                ),
+            )
+        with pytest.raises(ValueError):
+            AppSpec(
+                name="x", cohort="c", uid=1, exe="x", nprocs=1,
+                runtime_lo=10.0, runtime_hi=5.0, phases=(),
+                truth=GroundTruth(
+                    read_temporality=Category.READ_INSIGNIFICANT,
+                    write_temporality=Category.WRITE_INSIGNIFICANT,
+                ),
+            )

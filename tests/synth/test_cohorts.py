@@ -1,0 +1,125 @@
+"""Calibration arithmetic and per-cohort behaviour of the population
+profile.
+
+The share identities checked here are exactly the constraints solved in
+``repro/synth/cohorts.py`` to match the paper's Tables II/III, Fig. 4 and
+the §IV-D correlations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Category, categorize_trace
+from repro.synth import BLUE_WATERS_2019, cohort_by_name, generate_run
+from repro.synth.groundtruth import trace_matches
+
+APP = {c.name: c.app_share for c in BLUE_WATERS_2019}
+RUN = {c.name: c.run_share for c in BLUE_WATERS_2019}
+
+
+def app_sum(names):
+    return sum(APP[n] for n in names)
+
+
+def run_sum(names):
+    return sum(RUN[n] for n in names)
+
+
+READ_ON_START = ["rcw", "r_only", "rcw_ckpt_periodic", "rcw_ckpt_hidden"]
+READ_STEADY = ["r_steady_only", "r_steady_w_end", "sim_per_rw", "sim_per_w", "sim_hidden"]
+READ_OTHERS = ["r_others_only", "sim_others_periodic", "sim_others_hidden", "rw_others"]
+WRITE_ON_END = ["rcw", "r_steady_w_end", "w_only_end"]
+WRITE_STEADY = [
+    "rcw_ckpt_periodic", "rcw_ckpt_hidden", "sim_per_rw", "sim_per_w",
+    "sim_hidden", "sim_others_periodic", "sim_others_hidden",
+    "w_steady_per_hour", "w_steady_hidden",
+]
+WRITE_OTHERS = ["w_only_others", "rw_others"]
+PERIODIC_W = ["rcw_ckpt_periodic", "sim_per_rw", "sim_per_w", "sim_others_periodic", "w_steady_per_hour"]
+
+
+class TestShareArithmetic:
+    def test_totals_are_100(self):
+        assert sum(APP.values()) == pytest.approx(100.0, abs=0.5)
+        assert sum(RUN.values()) == pytest.approx(100.0, abs=0.5)
+
+    # -- Table III app marginals (single run): 85/9/2/4 and 87/8/3/2
+    def test_read_app_marginals(self):
+        assert app_sum(READ_ON_START) == pytest.approx(9.0, abs=0.3)
+        assert app_sum(READ_STEADY) == pytest.approx(2.0, abs=0.3)
+        assert app_sum(READ_OTHERS) == pytest.approx(4.0, abs=0.3)
+
+    def test_write_app_marginals(self):
+        assert app_sum(WRITE_ON_END) == pytest.approx(8.0, abs=0.3)
+        assert app_sum(WRITE_STEADY) == pytest.approx(3.0, abs=0.3)
+        assert app_sum(WRITE_OTHERS) == pytest.approx(2.0, abs=0.3)
+
+    # -- Table III run marginals (all runs): 27/38/30/5 and 47/14/37/2
+    def test_read_run_marginals(self):
+        assert run_sum(READ_ON_START) == pytest.approx(38.0, abs=1.0)
+        assert run_sum(READ_STEADY) == pytest.approx(30.0, abs=1.0)
+        assert run_sum(READ_OTHERS) == pytest.approx(5.0, abs=1.0)
+
+    def test_write_run_marginals(self):
+        assert run_sum(WRITE_ON_END) == pytest.approx(14.0, abs=1.0)
+        assert run_sum(WRITE_STEADY) == pytest.approx(37.0, abs=1.0)
+        assert run_sum(WRITE_OTHERS) == pytest.approx(2.0, abs=1.0)
+
+    # -- Table II: 2% of apps, 8% of runs are periodic writers
+    def test_periodic_write_shares(self):
+        assert app_sum(PERIODIC_W) == pytest.approx(2.0, abs=0.3)
+        assert run_sum(PERIODIC_W) == pytest.approx(8.0, abs=0.5)
+
+    # -- §IV-D: 95% of read-insignificant apps are write-insignificant
+    def test_insignificance_correlation(self):
+        read_insig = 100.0 - app_sum(READ_ON_START + READ_STEADY + READ_OTHERS)
+        both = APP["silent"]
+        assert both / read_insig == pytest.approx(0.95, abs=0.02)
+
+    # -- §IV-D: 66% of read-on-start apps write on end.  The *truth-level*
+    # share is calibrated slightly above 66% because the detected
+    # denominator also collects near-threshold silent apps whose heaviest
+    # run crosses 100 MB — the measured (detected) value lands at the
+    # paper's 66%, which the CORR benchmark asserts.
+    def test_rcw_correlation(self):
+        assert APP["rcw"] / app_sum(READ_ON_START) == pytest.approx(0.71, abs=0.03)
+
+    def test_heavy_tail_exists(self):
+        # the LAMMPS-like effect: some cohorts run far more than average
+        factors = [c.mean_runs_factor for c in BLUE_WATERS_2019]
+        assert max(factors) > 10.0
+
+
+class TestCohortBehaviour:
+    @pytest.mark.parametrize("name", sorted(APP))
+    def test_nominal_trace_matches_ground_truth(self, name):
+        """A clean (seed-stable, nominal) trace of every cohort must be
+        categorized as its ground truth — ambiguous sub-variants are
+        excluded by the seeds chosen here only when the cohort has none."""
+        rng = np.random.default_rng(1234)
+        hits = 0
+        n = 8
+        for i in range(n):
+            spec = cohort_by_name(name).build(i, rng)
+            trace = generate_run(spec, i, rng, force_nominal=True)
+            if trace_matches(categorize_trace(trace), spec.truth):
+                hits += 1
+        # cohorts carrying deliberate boundary/threshold ambiguity (the
+        # paper's error sources) may miss a few; everything else must be
+        # near-perfect
+        ambiguous = {
+            "silent", "rcw", "r_others_only", "w_only_others", "rw_others",
+            "sim_others_periodic", "sim_others_hidden",
+        }
+        assert hits >= (n - 3 if name in ambiguous else n - 1)
+
+    def test_cohort_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            cohort_by_name("nope")
+
+    def test_hidden_cohorts_marked(self):
+        rng = np.random.default_rng(0)
+        spec = cohort_by_name("sim_hidden").build(1, rng)
+        assert spec.truth.hidden_periodic
+        assert spec.truth.write_temporality is Category.WRITE_STEADY
+        assert not spec.truth.periodic_write

@@ -1,0 +1,54 @@
+"""Unit tests for corruption injection."""
+
+import numpy as np
+import pytest
+
+from repro.darshan import is_valid, validate_trace
+from repro.synth import CORRUPTION_KINDS, corrupt_trace
+
+from tests.conftest import make_record, make_trace
+
+
+@pytest.fixture
+def clean_trace():
+    return make_trace(
+        [
+            make_record(1, 0, read=(0.0, 100.0, 500_000_000)),
+            make_record(2, 1, write=(500.0, 600.0, 200_000_000)),
+        ]
+    )
+
+
+class TestCorruptTrace:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTION_KINDS))
+    def test_every_kind_invalidates(self, clean_trace, kind):
+        rng = np.random.default_rng(0)
+        bad = corrupt_trace(clean_trace, rng, kind)
+        assert not is_valid(bad)
+
+    def test_original_untouched(self, clean_trace):
+        rng = np.random.default_rng(1)
+        corrupt_trace(clean_trace, rng)
+        assert is_valid(clean_trace)
+
+    def test_random_kind_always_invalidates(self, clean_trace):
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            assert not is_valid(corrupt_trace(clean_trace, rng))
+
+    def test_unknown_kind_rejected(self, clean_trace):
+        with pytest.raises(ValueError):
+            corrupt_trace(clean_trace, np.random.default_rng(0), "nope")
+
+    def test_recordless_trace_falls_back_to_runtime_corruption(self):
+        rng = np.random.default_rng(3)
+        bad = corrupt_trace(make_trace([]), rng, "inverted_window")
+        assert not is_valid(bad)
+
+    def test_dealloc_kind_produces_paper_violation(self, clean_trace):
+        from repro.darshan import Violation
+
+        rng = np.random.default_rng(4)
+        bad = corrupt_trace(clean_trace, rng, "dealloc_before_end")
+        cats = validate_trace(bad).categories()
+        assert Violation.DEALLOC_BEFORE_END in cats

@@ -1,0 +1,94 @@
+"""Unit tests for fleet generation."""
+
+import numpy as np
+import pytest
+
+from repro.darshan import is_valid
+from repro.synth import FleetConfig, apportion, generate_fleet
+
+
+class TestApportion:
+    def test_sums_to_total(self):
+        assert sum(apportion([50.0, 30.0, 20.0], 10)) == 10
+
+    def test_proportions_respected(self):
+        counts = apportion([80.0, 20.0], 100)
+        assert counts == [80, 20]
+
+    def test_positive_shares_get_at_least_one(self):
+        counts = apportion([99.0, 0.5, 0.5], 10)
+        assert all(c >= 1 for c in counts)
+        assert sum(counts) == 10
+
+    def test_zero_share_gets_zero(self):
+        counts = apportion([100.0, 0.0], 5)
+        assert counts == [5, 0]
+
+    def test_too_few_items_rejected(self):
+        with pytest.raises(ValueError):
+            apportion([1.0, 1.0, 1.0], 2)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ValueError):
+            apportion([1.0, -1.0], 10)
+
+
+class TestGenerateFleet:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return generate_fleet(FleetConfig(n_apps=80, mean_runs=8.0, seed=5))
+
+    def test_counts_consistent(self, fleet):
+        assert fleet.n_input == fleet.n_valid + fleet.n_corrupted
+        assert len(fleet.traces) == fleet.n_input
+
+    def test_corruption_fraction_matches_config(self, fleet):
+        assert fleet.n_corrupted / fleet.n_input == pytest.approx(0.32, abs=0.02)
+
+    def test_valid_traces_have_truth(self, fleet):
+        valid_ids = {t.meta.job_id for t in fleet.traces if is_valid(t)}
+        # every valid trace has a ground-truth entry
+        assert valid_ids <= set(fleet.truth)
+
+    def test_corrupted_traces_have_no_truth(self, fleet):
+        for trace in fleet.traces:
+            if trace.meta.job_id not in fleet.truth:
+                assert not is_valid(trace)
+
+    def test_job_ids_unique(self, fleet):
+        ids = [t.meta.job_id for t in fleet.traces]
+        assert len(set(ids)) == len(ids)
+
+    def test_manifest_covers_all_cohorts_at_scale(self, fleet):
+        assert len(fleet.manifest) == 18
+        total_apps = sum(a for a, _ in fleet.manifest.values())
+        assert total_apps == 80
+
+    def test_run_counts_sum_to_valid(self, fleet):
+        total_runs = sum(r for _, r in fleet.manifest.values())
+        assert total_runs == fleet.n_valid
+
+    def test_deterministic_given_seed(self):
+        a = generate_fleet(FleetConfig(n_apps=30, mean_runs=4.0, seed=11))
+        b = generate_fleet(FleetConfig(n_apps=30, mean_runs=4.0, seed=11))
+        assert [t.meta.job_id for t in a.traces] == [t.meta.job_id for t in b.traces]
+        assert a.traces[0].meta.run_time == b.traces[0].meta.run_time
+
+    def test_seed_changes_corpus(self):
+        a = generate_fleet(FleetConfig(n_apps=30, mean_runs=4.0, seed=11))
+        b = generate_fleet(FleetConfig(n_apps=30, mean_runs=4.0, seed=12))
+        assert a.traces[0].meta.run_time != b.traces[0].meta.run_time
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_apps=0)
+        with pytest.raises(ValueError):
+            FleetConfig(mean_runs=0.5)
+        with pytest.raises(ValueError):
+            FleetConfig(corruption_fraction=1.0)
+
+    def test_zero_corruption(self):
+        fleet = generate_fleet(FleetConfig(n_apps=25, mean_runs=2.0, seed=1,
+                                           corruption_fraction=0.0))
+        assert fleet.n_corrupted == 0
+        assert all(is_valid(t) for t in fleet.traces)

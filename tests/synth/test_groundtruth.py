@@ -1,0 +1,90 @@
+"""Unit tests for ground-truth labels and matching."""
+
+import pytest
+
+from repro.core import CategorizationResult, Category
+from repro.synth import GroundTruth, mismatch_axes, trace_matches
+
+
+def result_with(categories):
+    return CategorizationResult(
+        job_id=1, uid=1, exe="a", nprocs=4, run_time=100.0,
+        categories=frozenset(categories),
+    )
+
+
+RCW = GroundTruth(
+    read_temporality=Category.READ_ON_START,
+    write_temporality=Category.WRITE_ON_END,
+)
+
+
+class TestMatching:
+    def test_exact_match(self):
+        res = result_with({Category.READ_ON_START, Category.WRITE_ON_END})
+        assert trace_matches(res, RCW)
+        assert mismatch_axes(res, RCW) == []
+
+    def test_wrong_read_temporality(self):
+        res = result_with({Category.READ_AFTER_START, Category.WRITE_ON_END})
+        assert mismatch_axes(res, RCW) == ["read_temporality"]
+
+    def test_missing_periodicity_detected(self):
+        truth = GroundTruth(
+            read_temporality=Category.READ_INSIGNIFICANT,
+            write_temporality=Category.WRITE_STEADY,
+            periodic_write=True,
+        )
+        res = result_with({Category.READ_INSIGNIFICANT, Category.WRITE_STEADY})
+        assert mismatch_axes(res, truth) == ["periodic_write"]
+
+    def test_spurious_periodicity_detected(self):
+        res = result_with(
+            {Category.READ_ON_START, Category.WRITE_ON_END, Category.PERIODIC_WRITE}
+        )
+        assert mismatch_axes(res, RCW) == ["periodic_write"]
+
+    def test_extra_metadata_labels_do_not_fail_matching(self):
+        res = result_with(
+            {Category.READ_ON_START, Category.WRITE_ON_END, Category.METADATA_HIGH_SPIKE}
+        )
+        assert trace_matches(res, RCW)
+
+    def test_hidden_periodic_expects_steady_not_periodic(self):
+        truth = GroundTruth(
+            read_temporality=Category.READ_INSIGNIFICANT,
+            write_temporality=Category.WRITE_STEADY,
+            hidden_periodic=True,
+        )
+        res = result_with({Category.READ_INSIGNIFICANT, Category.WRITE_STEADY})
+        assert trace_matches(res, truth)
+
+
+class TestExpectedCategories:
+    def test_periodic_truth_expands_labels(self):
+        truth = GroundTruth(
+            read_temporality=Category.READ_STEADY,
+            write_temporality=Category.WRITE_STEADY,
+            periodic_write=True,
+            period_magnitudes=frozenset({Category.PERIODIC_MINUTE}),
+            busy_label=Category.PERIODIC_LOW_BUSY_TIME,
+        )
+        cats = truth.expected_categories()
+        assert Category.PERIODIC in cats
+        assert Category.PERIODIC_WRITE in cats
+        assert Category.PERIODIC_MINUTE in cats
+        assert Category.PERIODIC_LOW_BUSY_TIME in cats
+        assert Category.PERIODIC_READ not in cats
+
+    def test_dict_roundtrip(self):
+        truth = GroundTruth(
+            read_temporality=Category.READ_ON_START,
+            write_temporality=Category.WRITE_STEADY,
+            periodic_write=True,
+            period_magnitudes=frozenset({Category.PERIODIC_HOUR}),
+            busy_label=Category.PERIODIC_LOW_BUSY_TIME,
+            metadata=frozenset({Category.METADATA_HIGH_SPIKE}),
+            hidden_periodic=False,
+            tags=("x", "y"),
+        )
+        assert GroundTruth.from_dict(truth.to_dict()) == truth

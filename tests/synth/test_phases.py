@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic phase building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    BurstPhase,
+    KeptOpenPhase,
+    MetadataBurstPhase,
+    MetadataLoadPhase,
+    PeriodicPhase,
+    PhaseContext,
+)
+
+
+@pytest.fixture
+def ctx():
+    return PhaseContext(
+        rng=np.random.default_rng(0),
+        run_time=10000.0,
+        nprocs=16,
+        volume_scale=1.0,
+    )
+
+
+class TestBurstPhase:
+    def test_one_record_per_rank(self, ctx):
+        phase = BurstPhase(direction="read", position=0.5, volume=800.0, duration=10.0, n_ranks=4)
+        recs = phase.emit(ctx)
+        assert len(recs) == 4
+        assert {r.rank for r in recs} == {0, 1, 2, 3}
+        assert sum(r.bytes_read for r in recs) == pytest.approx(800.0, abs=4)
+
+    def test_ranks_capped_at_nprocs(self, ctx):
+        ctx.nprocs = 2
+        recs = BurstPhase("write", 0.5, 100.0, 5.0, n_ranks=64).emit(ctx)
+        assert len(recs) == 2
+
+    def test_desync_shifts_windows(self, ctx):
+        phase = BurstPhase("write", 0.5, 100.0, 10.0, n_ranks=8, desync=20.0)
+        recs = phase.emit(ctx)
+        starts = {r.write_start for r in recs}
+        assert len(starts) > 1  # jitter applied
+
+    def test_windows_clipped_to_runtime(self, ctx):
+        recs = BurstPhase("read", 0.999, 100.0, 100.0, n_ranks=2).emit(ctx)
+        for r in recs:
+            assert 0.0 <= r.read_start <= ctx.run_time
+            assert r.read_end <= ctx.run_time
+
+    def test_volume_scale_applied(self, ctx):
+        ctx.volume_scale = 2.0
+        recs = BurstPhase("read", 0.5, 100.0, 5.0, n_ranks=1).emit(ctx)
+        assert recs[0].bytes_read == 200
+
+    def test_metadata_counters_set(self, ctx):
+        recs = BurstPhase("read", 0.5, 100.0, 5.0, n_ranks=1, opens_per_rank=3).emit(ctx)
+        assert recs[0].opens == 3
+        assert recs[0].metadata_ops == 9  # opens + closes + seeks
+
+
+class TestKeptOpenPhase:
+    def test_single_wide_window(self, ctx):
+        recs = KeptOpenPhase(direction="write", volume=1000.0, start=0.1, end=0.9).emit(ctx)
+        assert len(recs) == 1
+        r = recs[0]
+        assert r.write_start == pytest.approx(1000.0)
+        assert r.write_end == pytest.approx(9000.0)
+        assert r.opens == 1
+
+    def test_flattens_any_internal_structure(self, ctx):
+        # the whole point: one record, no per-event information
+        recs = KeptOpenPhase(direction="write", volume=1000.0).emit(ctx)
+        assert recs[0].writes >= 1
+        assert len(recs) == 1
+
+
+class TestPeriodicPhase:
+    def test_events_cover_phase_window(self, ctx):
+        phase = PeriodicPhase("write", period=500.0, event_volume=100.0,
+                              event_duration=10.0, n_ranks=1, jitter=0.0)
+        recs = phase.emit(ctx)
+        assert len(recs) == 19  # floor(0.96*10000 / 500)
+        starts = sorted(r.write_start for r in recs)
+        # spread across the window, including the final quarter
+        assert starts[-1] > 0.75 * ctx.run_time
+
+    def test_event_spacing_close_to_period(self, ctx):
+        phase = PeriodicPhase("write", period=500.0, event_volume=100.0,
+                              event_duration=10.0, n_ranks=1, jitter=0.0)
+        starts = np.array(sorted(r.write_start for r in phase.emit(ctx)))
+        spacing = np.diff(starts)
+        assert np.allclose(spacing, spacing.mean(), rtol=0.05)
+        assert spacing.mean() >= 500.0
+
+    def test_no_events_when_period_exceeds_window(self, ctx):
+        phase = PeriodicPhase("write", period=50000.0, event_volume=1.0, event_duration=1.0)
+        assert phase.emit(ctx) == []
+
+    def test_per_rank_records(self, ctx):
+        phase = PeriodicPhase("read", period=2000.0, event_volume=100.0,
+                              event_duration=5.0, n_ranks=4)
+        recs = phase.emit(ctx)
+        assert len(recs) % 4 == 0
+        assert {r.rank for r in recs} == {0, 1, 2, 3}
+
+
+class TestMetadataPhases:
+    def test_burst_total_requests(self, ctx):
+        recs = MetadataBurstPhase(position=0.5, n_requests=600, duration=1.0).emit(ctx)
+        assert len(recs) == 1
+        assert recs[0].metadata_ops == 600
+
+    def test_load_rate_scales_with_span(self, ctx):
+        recs = MetadataLoadPhase(rate=60.0, start=0.0, end=1.0).emit(ctx)
+        assert recs[0].metadata_ops == pytest.approx(60.0 * ctx.run_time, rel=0.01)
+
+    def test_load_empty_for_zero_span(self, ctx):
+        assert MetadataLoadPhase(rate=60.0, start=0.5, end=0.5).emit(ctx) == []
+
+
+class TestPhaseContext:
+    def test_file_ids_unique(self, ctx):
+        ids = [ctx.new_file_id() for _ in range(100)]
+        assert len(set(ids)) == 100

@@ -1,0 +1,109 @@
+"""Unit tests for heatmap / timeline rendering and CSV export."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import jaccard_matrix
+from repro.core import CategorizationResult, Category
+from repro.viz import (
+    matrix_to_csv,
+    render_heatmap,
+    render_jaccard,
+    render_ops_lane,
+    render_trace_anatomy,
+    rows_to_csv,
+    shares_to_csv,
+    write_csv,
+)
+
+from tests.conftest import make_record, make_trace, ops
+
+SIG = 500 * 1024 * 1024
+
+
+def result(job_id, cats):
+    return CategorizationResult(
+        job_id=job_id, uid=job_id, exe=f"a{job_id}", nprocs=4, run_time=1.0,
+        categories=frozenset(cats),
+    )
+
+
+class TestHeatmap:
+    def test_render_heatmap_shape_check(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 2)), ["a"], ["b", "c"])
+
+    def test_values_shown_in_percent(self):
+        out = render_heatmap(np.array([[0.5]]), ["row"], ["col"])
+        assert "50" in out
+
+    def test_render_jaccard_prunes_below_threshold(self):
+        rs = [result(i, {Category.READ_ON_START, Category.WRITE_ON_END}) for i in range(3)]
+        rs.append(result(9, {Category.PERIODIC}))
+        out = render_jaccard(jaccard_matrix(rs))
+        assert "read_on_start" in out
+        assert "periodic" not in out  # no partner above threshold
+
+    def test_render_jaccard_empty(self):
+        out = render_jaccard(jaccard_matrix([result(1, {Category.PERIODIC})]))
+        assert "no pairs" in out
+
+
+class TestTimeline:
+    def test_ops_lane_marks_activity(self):
+        lane = render_ops_lane(ops((0.0, 250.0, 1.0)), 1000.0, width=40, label="x")
+        body = lane.split("|")[1]
+        assert body[0] == "#"
+        assert body[-1] == "."
+        assert "1 ops" in lane
+
+    def test_anatomy_renders_all_panels(self):
+        trace = make_trace(
+            [
+                make_record(1, 0, read=(10.0, 40.0, SIG)),
+                make_record(2, 0, write=(950.0, 990.0, SIG)),
+            ],
+            nprocs=2,
+        )
+        out = render_trace_anatomy(trace)
+        assert "read raw" in out
+        assert "write merged" in out
+        assert "read chunks" in out
+        assert "metadata req/s" in out
+        assert "categories:" in out
+        assert "read_on_start" in out
+
+
+class TestCsvExport:
+    def test_rows_to_csv(self):
+        text = rows_to_csv(["a", "b"], [[1, 2], [3, 4]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_rows_width_validation(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a"], [[1, 2]])
+
+    def test_shares_to_csv(self):
+        text = shares_to_csv({"r": {"x": 0.5, "y": 0.25}})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["row", "x", "y"]
+        assert rows[1] == ["r", "0.5", "0.25"]
+
+    def test_matrix_to_csv(self):
+        text = matrix_to_csv(np.array([[1.0, 0.0]]), ["r"], ["c1", "c2"])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["", "c1", "c2"]
+        assert rows[1] == ["r", "1.0", "0.0"]
+
+    def test_matrix_label_validation(self):
+        with pytest.raises(ValueError):
+            matrix_to_csv(np.zeros((1, 1)), ["r"], ["c", "c2"])
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv("a,b\n1,2\n", path)
+        assert path.read_text() == "a,b\n1,2\n"

@@ -1,0 +1,63 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.viz import format_bytes, format_percent, render_shares_table, render_table
+
+
+class TestFormatters:
+    def test_percent(self):
+        assert format_percent(0.347) == "34.7%"
+        assert format_percent(1.0, digits=0) == "100%"
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512 B"),
+            (2048, "2.0 KB"),
+            (3 * 1024**2, "3.0 MB"),
+            (5 * 1024**3, "5.0 GB"),
+            (2 * 1024**4, "2.0 TB"),
+        ],
+    )
+    def test_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+
+class TestRenderTable:
+    def test_alignment_and_borders(self):
+        out = render_table(["name", "value"], [["a", "1"], ["long-name", "22"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| name" in lines[1]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every line same width
+
+    def test_title(self):
+        out = render_table(["x"], [["1"]], title="Table II")
+        assert out.splitlines()[0] == "Table II"
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "| a" in out
+
+
+class TestRenderSharesTable:
+    def test_percent_cells(self):
+        table = {"read_single": {"on_start": 0.09, "steady": 0.02}}
+        out = render_shares_table(table)
+        assert "9.0%" in out
+        assert "2.0%" in out
+        assert "read_single" in out
+
+    def test_missing_column_rendered_as_dash(self):
+        table = {
+            "r1": {"a": 0.5},
+            "r2": {"b": 0.5},
+        }
+        out = render_shares_table(table)
+        assert "-" in out
