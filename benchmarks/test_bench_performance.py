@@ -12,7 +12,8 @@ import time
 
 import pytest
 
-from repro.core import DEFAULT_CONFIG, categorize_trace, run_pipeline
+from repro.core import DEFAULT_CONFIG, categorize_trace, run_pipeline, run_pipeline_stream
+from repro.darshan import DirectorySource, save_binary
 from repro.parallel import ParallelConfig
 from repro.viz import rows_to_csv, write_csv
 
@@ -71,6 +72,57 @@ def test_corpus_throughput(benchmark, corpus, results_dir):
     # pre-processing for this workload mix
     assert result.timings["categorize_s"] > 0
     assert throughput > 10.0
+
+
+@pytest.mark.benchmark(group="performance")
+def test_streaming_vs_batch(benchmark, corpus, results_dir, tmp_path_factory):
+    """The out-of-core path must match the batch pipeline's output on
+    the same corpus while keeping only a bounded trace window resident;
+    the bench records its throughput and stage split next to batch."""
+    corpus_dir = tmp_path_factory.mktemp("stream-corpus")
+    sample = corpus.traces[: min(len(corpus.traces), 2000)]
+    for trace in sample:
+        save_binary(trace, corpus_dir / f"job{trace.meta.job_id:08d}.mosd")
+
+    t0 = time.perf_counter()
+    streamed = run_pipeline_stream(DirectorySource(corpus_dir))
+    t_stream = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batch = run_pipeline(sample)
+    t_batch = time.perf_counter() - t0
+
+    assert streamed.preprocess.funnel() == batch.preprocess.funnel()
+    assert [r.job_id for r in streamed.results] == [r.job_id for r in batch.results]
+    for a, b in zip(streamed.results, batch.results):
+        assert a.categories == b.categories
+    # bounded memory: serial streaming keeps one selected trace in flight
+    assert streamed.metrics["peak_inflight_traces"] <= 1
+
+    rows = [
+        ["n_traces", len(sample)],
+        ["stream_total_s", t_stream],
+        ["stream_scan_s", streamed.timings["scan_s"]],
+        ["stream_categorize_s", streamed.timings["categorize_s"]],
+        ["stream_mb_read", streamed.metrics["scan_bytes_read"] / 1e6],
+        ["batch_total_s", t_batch],
+        ["peak_inflight_traces", streamed.metrics["peak_inflight_traces"]],
+    ]
+    write_csv(
+        rows_to_csv(["metric", "value"], rows),
+        results_dir / "performance_streaming.csv",
+    )
+    report(
+        "streaming (out-of-core) vs batch pipeline",
+        [f"{k}: {v:.2f}" if isinstance(v, float) else f"{k}: {v}" for k, v in rows]
+        + ["identical funnel and categorizations: yes"],
+    )
+    benchmark.pedantic(
+        run_pipeline_stream,
+        args=(DirectorySource(corpus_dir),),
+        rounds=1,
+        iterations=1,
+    )
 
 
 @pytest.mark.benchmark(group="performance")

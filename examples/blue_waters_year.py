@@ -12,7 +12,7 @@ Run:  python examples/blue_waters_year.py [n_apps]
 
 import sys
 
-from repro import run_pipeline
+from repro import SyntheticSource, run_pipeline_stream
 from repro.analysis import (
     estimate_accuracy,
     funnel_report,
@@ -22,7 +22,7 @@ from repro.analysis import (
     periodicity_table,
     temporality_table,
 )
-from repro.synth import FleetConfig, generate_fleet
+from repro.synth import FleetConfig
 from repro.viz import render_jaccard, render_shares_table
 
 
@@ -30,11 +30,15 @@ def main() -> None:
     n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     print(f"generating calibrated corpus (n_apps={n_apps}, "
           f"paper scale is 24,606)...")
-    fleet = generate_fleet(FleetConfig(n_apps=n_apps, seed=2019))
+    # the streaming pipeline pulls traces through a lazy source; swap in
+    # DirectorySource(path) to run the same analysis out of core on disk
+    source = SyntheticSource(FleetConfig(n_apps=n_apps, seed=2019))
+    result = run_pipeline_stream(source)
+    fleet = source.fleet
     print(f"  {fleet.n_input} traces ({fleet.n_valid} valid executions, "
           f"{fleet.n_corrupted} corrupted)")
-
-    result = run_pipeline(fleet.traces)
+    print("  stage metrics: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(result.metrics.items())))
     weights = result.run_weights()
 
     print("\n-- Fig. 3: pre-processing funnel "

@@ -34,11 +34,21 @@ from .core import (
     CategorizationResult,
     DEFAULT_CONFIG,
     MosaicConfig,
+    PipelineContext,
     PipelineResult,
     categorize_trace,
     run_pipeline,
+    run_pipeline_stream,
 )
-from .darshan import FileRecord, JobMeta, Trace
+from .darshan import (
+    DirectorySource,
+    FileRecord,
+    InMemorySource,
+    JobMeta,
+    SyntheticSource,
+    Trace,
+    TraceSource,
+)
 from .synth import FleetConfig, generate_fleet
 
 __all__ = [
@@ -47,12 +57,18 @@ __all__ = [
     "CategorizationResult",
     "DEFAULT_CONFIG",
     "MosaicConfig",
+    "PipelineContext",
     "PipelineResult",
     "categorize_trace",
     "run_pipeline",
+    "run_pipeline_stream",
     "FileRecord",
     "JobMeta",
     "Trace",
+    "TraceSource",
+    "DirectorySource",
+    "InMemorySource",
+    "SyntheticSource",
     "FleetConfig",
     "generate_fleet",
 ]

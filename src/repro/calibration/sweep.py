@@ -13,7 +13,7 @@ auditable experiment instead of folklore.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
 from ..core.categorizer import categorize_trace

@@ -35,9 +35,16 @@ from ..analysis import (
     periodicity_table,
     temporality_table,
 )
-from ..core import run_pipeline, save_results_jsonl
+from ..core import run_pipeline_stream, save_results_jsonl
 from ..core.thresholds import DEFAULT_CONFIG
-from ..darshan import Trace, load_binary, load_json, load_text, save_binary, save_json
+from ..darshan import (
+    DirectorySource,
+    SyntheticSource,
+    TraceFormatError,
+    TraceSource,
+    save_binary,
+    save_json,
+)
 from ..parallel import ParallelConfig
 from ..synth import FleetConfig, cohort_by_name, generate_fleet, generate_run
 from ..viz import render_jaccard, render_shares_table, render_trace_anatomy
@@ -69,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument("--out", required=True, help="results JSONL path")
     cat.add_argument("--workers", type=int, default=0,
                      help="process-pool workers (0 = serial)")
+    cat.add_argument("--repair", action="store_true",
+                     help="attempt conservative repair of corrupted traces "
+                     "instead of evicting them outright")
 
     rep = sub.add_parser("report", help="categorize and print paper tables")
     rep.add_argument("--traces", help="trace directory (omit to synthesize)")
@@ -76,6 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="synthetic corpus size when --traces is omitted")
     rep.add_argument("--seed", type=int, default=20190101)
     rep.add_argument("--workers", type=int, default=0)
+    rep.add_argument("--repair", action="store_true",
+                     help="attempt conservative repair of corrupted traces")
 
     ana = sub.add_parser("anatomy", help="render one trace's processing view")
     ana.add_argument("--cohort", default="rcw_ckpt_periodic",
@@ -106,19 +118,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_trace_dir(path: str) -> list[Trace]:
-    traces: list[Trace] = []
-    for name in sorted(os.listdir(path)):
-        full = os.path.join(path, name)
-        if name.endswith(".mosd"):
-            traces.append(load_binary(full))
-        elif name.endswith(".json") and name != "manifest.json":
-            traces.append(load_json(full))
-        elif name.endswith(".darshan.txt"):
-            traces.append(load_text(full))
-    if not traces:
+def _dir_source(path: str) -> DirectorySource:
+    """A lazy source over a trace directory; empty or unlistable
+    directories abort with a message instead of a traceback."""
+    source = DirectorySource(path)
+    try:
+        n = source.count()
+    except TraceFormatError as exc:
+        raise SystemExit(str(exc)) from exc
+    if n == 0:
         raise SystemExit(f"no .mosd/.json/.darshan.txt traces found in {path!r}")
-    return traces
+    return source
+
+
+def _print_stage_metrics(result) -> None:
+    """Per-stage funnel of one streaming run (scan → preprocess →
+    categorize), for operators watching corpus-scale jobs."""
+    m = result.metrics
+    t = result.timings
+    mb = m.get("scan_bytes_read", 0) / 1e6
+    print(
+        f"  scan:       {t.get('scan_s', 0.0):8.2f}s  "
+        f"{m.get('traces_scanned', 0)} traces scanned, {mb:.1f} MB read"
+    )
+    print(
+        f"  preprocess: {m.get('n_corrupted', 0)} corrupted "
+        f"({m.get('n_unreadable', 0)} unreadable), "
+        f"{m.get('n_repaired', 0)} repaired, "
+        f"{m.get('n_selected', 0)} apps selected"
+    )
+    print(
+        f"  categorize: {t.get('categorize_s', 0.0):8.2f}s  "
+        f"{result.n_categorized} categorized, "
+        f"{m.get('n_failures', 0)} failures, "
+        f"peak {m.get('peak_inflight_traces', 0)} traces in flight"
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -156,8 +190,10 @@ def _parallel(workers: int) -> ParallelConfig:
 
 
 def _cmd_categorize(args: argparse.Namespace) -> int:
-    traces = _load_trace_dir(args.traces)
-    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(args.workers))
+    source = _dir_source(args.traces)
+    result = run_pipeline_stream(
+        source, DEFAULT_CONFIG, _parallel(args.workers), repair=args.repair
+    )
     n = save_results_jsonl(result.results, args.out)
     weights_path = args.out + ".weights.json"
     with open(weights_path, "w", encoding="utf-8") as fh:
@@ -171,26 +207,36 @@ def _cmd_categorize(args: argparse.Namespace) -> int:
         f"({pre.corrupted_fraction:.0%} corrupted, "
         f"{pre.unique_fraction:.0%} unique) in {result.timings['total_s']:.1f}s"
     )
+    _print_stage_metrics(result)
     print(f"results: {args.out}\nall-runs weights: {weights_path}")
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _corpus_source(args: argparse.Namespace) -> TraceSource:
+    """Trace directory when given, lazy synthetic corpus otherwise."""
     if args.traces:
-        traces = _load_trace_dir(args.traces)
-    else:
-        print(f"synthesizing corpus (n_apps={args.n_apps}, seed={args.seed})...")
-        traces = generate_fleet(
-            FleetConfig(n_apps=args.n_apps, seed=args.seed)
-        ).traces
-    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(args.workers))
+        return _dir_source(args.traces)
+    print(f"synthesizing corpus (n_apps={args.n_apps}, seed={args.seed})...")
+    return SyntheticSource(FleetConfig(n_apps=args.n_apps, seed=args.seed))
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    source = _corpus_source(args)
+    result = run_pipeline_stream(
+        source, DEFAULT_CONFIG, _parallel(args.workers), repair=args.repair
+    )
     weights = result.run_weights()
 
     fun = funnel_report(result.preprocess)
     print("\n== Pre-processing funnel (Fig. 3) ==")
     for stage in fun.stages:
         print(f"  {stage.name:>30}: {stage.count:>8} ({stage.retention:.0%} kept)")
-    print(f"  corrupted: {fun.corrupted_fraction:.0%}  unique: {fun.unique_fraction:.0%}")
+    print(
+        f"  corrupted: {fun.corrupted_fraction:.0%}  "
+        f"unique: {fun.unique_fraction:.0%}  "
+        f"repaired: {result.preprocess.n_repaired}"
+    )
+    _print_stage_metrics(result)
 
     print("\n== Periodic writes (Table II) ==")
     print(render_shares_table(periodicity_table(result.results, weights, "write")))
@@ -238,8 +284,9 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
     if not truth:
         raise SystemExit("manifest carries no ground truth")
 
-    traces = _load_trace_dir(args.traces)
-    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(args.workers))
+    result = run_pipeline_stream(
+        _dir_source(args.traces), DEFAULT_CONFIG, _parallel(args.workers)
+    )
     rep = estimate_accuracy(
         result.results, truth, sample_size=args.sample_size, seed=args.seed
     )
@@ -257,14 +304,8 @@ def _cmd_accuracy(args: argparse.Namespace) -> int:
 def _cmd_discover(args: argparse.Namespace) -> int:
     from ..discovery import discover_temporality
 
-    if args.traces:
-        traces = _load_trace_dir(args.traces)
-    else:
-        print(f"synthesizing corpus (n_apps={args.n_apps}, seed={args.seed})...")
-        traces = generate_fleet(
-            FleetConfig(n_apps=args.n_apps, seed=args.seed)
-        ).traces
-    result = run_pipeline(traces, DEFAULT_CONFIG, _parallel(0))
+    source = _corpus_source(args)
+    result = run_pipeline_stream(source, DEFAULT_CONFIG, _parallel(0))
     rep = discover_temporality(
         result.results, args.direction, k=args.k, seed=args.seed
     )

@@ -21,10 +21,22 @@ from .periodicity import (
     period_magnitude,
 )
 from .metadata import MetadataDetection, classify_metadata
-from .preprocess import PreprocessResult, preprocess_corpus
+from .preprocess import (
+    PreprocessResult,
+    SelectedRef,
+    SelectionPlan,
+    load_selected,
+    preprocess_corpus,
+    scan_corpus,
+)
 from .result import CategorizationResult, load_results_jsonl, save_results_jsonl
 from .categorizer import categorize_trace
-from .pipeline import PipelineResult, run_pipeline
+from .pipeline import (
+    PipelineContext,
+    PipelineResult,
+    run_pipeline,
+    run_pipeline_stream,
+)
 from .stream import AppEntry, ApplicationCatalog
 
 __all__ = [
@@ -47,13 +59,19 @@ __all__ = [
     "MetadataDetection",
     "classify_metadata",
     "PreprocessResult",
+    "SelectedRef",
+    "SelectionPlan",
     "preprocess_corpus",
+    "scan_corpus",
+    "load_selected",
     "CategorizationResult",
     "load_results_jsonl",
     "save_results_jsonl",
     "categorize_trace",
+    "PipelineContext",
     "PipelineResult",
     "run_pipeline",
+    "run_pipeline_stream",
     "AppEntry",
     "ApplicationCatalog",
 ]

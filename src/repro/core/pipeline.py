@@ -1,27 +1,110 @@
 """The full MOSAIC corpus workflow (Fig. 1: ① validity & dedup →
 ② merging → ③ categorization → ④ output).
 
-``run_pipeline`` orchestrates: pre-process the corpus, categorize every
-selected trace (parallel, fault-isolated), and pair each result with the
-number of valid runs of its application so the analysis layer can produce
-both views the paper reports — *single run* (behaviour of applications)
-and *all runs* (load on the parallel file system).
+The pipeline is *streaming*: :func:`run_pipeline_stream` drives a lazy
+:class:`~repro.darshan.source.TraceSource` through two bounded-memory
+passes — scan/dedup (pass ①, no trace retained) and categorize (pass ②,
+only the selected heaviest traces, loaded with backpressure against the
+process pool) — so corpora larger than RAM are categorizable.  The
+original batch API, :func:`run_pipeline`, wraps an in-memory source and
+materializes the selected traces, preserving its historical contract.
+
+A :class:`PipelineContext` threads configuration, error policy, and
+observability (per-stage wall-clock timings plus counters: traces
+scanned, bytes read, peak in-flight traces, failures) through the run;
+both surface on :class:`PipelineResult`.
 """
 
 from __future__ import annotations
 
 import functools
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
+from ..darshan.source import InMemorySource, TraceSource
 from ..darshan.trace import Trace
-from ..parallel.executor import MapOutcome, ParallelConfig, parallel_map
+from ..parallel.executor import (
+    MapOutcome,
+    ParallelConfig,
+    TaskFailure,
+    parallel_imap,
+    parallel_map,
+)
 from .categorizer import categorize_trace
-from .preprocess import PreprocessResult, preprocess_corpus
+from .preprocess import (
+    PreprocessResult,
+    SelectionPlan,
+    load_selected,
+    scan_corpus,
+)
 from .result import CategorizationResult
 from .thresholds import DEFAULT_CONFIG, MosaicConfig
 
-__all__ = ["PipelineResult", "run_pipeline"]
+__all__ = [
+    "PipelineContext",
+    "PipelineResult",
+    "run_pipeline",
+    "run_pipeline_stream",
+]
+
+
+def _trace_cost(trace: Trace) -> float:
+    """LPT cost estimate: record count dominates categorization time."""
+    return float(len(trace.records)) + 1e-9 * trace.total_bytes
+
+
+def _default_parallel() -> ParallelConfig:
+    return ParallelConfig(max_workers=0, cost=_trace_cost)
+
+
+@dataclass(slots=True)
+class PipelineContext:
+    """Everything a pipeline run carries besides the corpus itself.
+
+    One context per run: configuration in, per-stage observability out.
+    ``error_policy`` decides what a per-trace categorization failure
+    does — ``"collect"`` (the paper's behaviour: count it, keep going)
+    or ``"raise"`` (abort on first failure; debugging).
+    """
+
+    config: MosaicConfig = DEFAULT_CONFIG
+    parallel: ParallelConfig = field(default_factory=_default_parallel)
+    repair: bool = False
+    error_policy: str = "collect"
+    #: Wall-clock seconds per stage, keyed ``<stage>_s``.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Monotonic counters: traces_scanned, bytes_read, n_unreadable,
+    #: peak_inflight_traces, dedup_state_size, failures, ...
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.error_policy not in ("collect", "raise"):
+            raise ValueError(
+                f"error_policy must be 'collect' or 'raise', "
+                f"got {self.error_policy!r}"
+            )
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a pipeline stage; accumulates into :attr:`timings`."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            key = f"{name}_s"
+            self.timings[key] = self.timings.get(key, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def count(self, name: str, value: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: int) -> None:
+        """Record a high-water mark."""
+        if value > self.counters.get(name, 0):
+            self.counters[name] = value
 
 
 @dataclass(slots=True)
@@ -35,6 +118,8 @@ class PipelineResult:
     n_failures: int
     #: Wall-clock seconds spent per stage.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Per-stage counters from the run's :class:`PipelineContext`.
+    metrics: dict[str, int] = field(default_factory=dict)
 
     def run_weights(self) -> list[int]:
         """Valid-run count of each result's application, aligned with
@@ -47,43 +132,156 @@ class PipelineResult:
         return len(self.results)
 
 
-def _trace_cost(trace: Trace) -> float:
-    """LPT cost estimate: record count dominates categorization time."""
-    return float(len(trace.records)) + 1e-9 * trace.total_bytes
+def _scan_stage(source: TraceSource, ctx: PipelineContext) -> SelectionPlan:
+    """Pass ① plus its bookkeeping."""
+    bytes_before = source.bytes_read
+    with ctx.stage("scan"):
+        plan = scan_corpus(source, repair=ctx.repair)
+    ctx.count("traces_scanned", plan.n_input)
+    ctx.count("n_corrupted", plan.n_corrupted)
+    ctx.count("n_unreadable", plan.n_unreadable)
+    ctx.count("n_repaired", plan.n_repaired)
+    ctx.count("scan_bytes_read", source.bytes_read - bytes_before)
+    # the scan's only retained state: one small ref per application
+    ctx.gauge("dedup_state_size", plan.n_selected)
+    return plan
+
+
+def _collect(
+    n: int,
+    stream: Iterator[tuple[int, CategorizationResult | TaskFailure]],
+    ctx: PipelineContext,
+) -> tuple[list[CategorizationResult], list[TaskFailure]]:
+    """Drain an indexed result stream back into input order."""
+    slots: list[CategorizationResult | TaskFailure | None] = [None] * n
+    failures: list[TaskFailure] = []
+    for index, outcome in stream:
+        if isinstance(outcome, TaskFailure):
+            if ctx.error_policy == "raise":
+                raise RuntimeError(f"categorization failed: {outcome}")
+            failures.append(outcome)
+        slots[index] = outcome
+    results = [r for r in slots if isinstance(r, CategorizationResult)]
+    failures.sort(key=lambda f: f.index)
+    return results, failures
+
+
+def run_pipeline_stream(
+    source: TraceSource,
+    config: MosaicConfig = DEFAULT_CONFIG,
+    parallel: ParallelConfig | None = None,
+    *,
+    repair: bool = False,
+    context: PipelineContext | None = None,
+) -> PipelineResult:
+    """Run MOSAIC end to end over a lazy trace source, out of core.
+
+    Memory model: pass ① holds one trace at a time plus per-application
+    dedup refs; pass ② holds at most
+    :meth:`~repro.parallel.executor.ParallelConfig.resolved_pending`
+    selected traces in flight (1 when serial).  The full corpus is never
+    resident, so corpus size is bounded by disk, not RAM.
+
+    ``context`` may be passed to override error policy or to share one
+    metrics sink across runs; otherwise one is built from the arguments.
+    """
+    ctx = context or PipelineContext(
+        config=config,
+        parallel=parallel or _default_parallel(),
+        repair=repair,
+    )
+    t0 = time.perf_counter()
+    plan = _scan_stage(source, ctx)
+
+    bytes_before = source.bytes_read
+    with ctx.stage("categorize"):
+        inflight = 0
+        peak = 0
+
+        def load_stream() -> Iterator[Trace]:
+            nonlocal inflight, peak
+            for entry in plan.selected:
+                inflight += 1
+                peak = max(peak, inflight)
+                yield load_selected(source, entry)
+
+        fn = functools.partial(categorize_trace, config=ctx.config)
+        stream = parallel_imap(fn, load_stream(), ctx.parallel)
+
+        def counted() -> Iterator[tuple[int, CategorizationResult | TaskFailure]]:
+            nonlocal inflight
+            for pair in stream:
+                inflight -= 1
+                yield pair
+
+        results, failures = _collect(len(plan.selected), counted(), ctx)
+
+    ctx.count("n_selected", plan.n_selected)
+    ctx.count("n_failures", len(failures))
+    ctx.count("categorize_bytes_read", source.bytes_read - bytes_before)
+    ctx.gauge("peak_inflight_traces", peak)
+    ctx.timings["total_s"] = time.perf_counter() - t0
+    # historical stage names, kept for dashboards and the benchmarks
+    ctx.timings.setdefault("preprocess_s", ctx.timings.get("scan_s", 0.0))
+
+    return PipelineResult(
+        preprocess=plan.to_result(None),
+        results=results,
+        n_failures=len(failures),
+        timings=dict(ctx.timings),
+        metrics=dict(ctx.counters),
+    )
 
 
 def run_pipeline(
     traces: list[Trace],
     config: MosaicConfig = DEFAULT_CONFIG,
     parallel: ParallelConfig | None = None,
+    *,
+    repair: bool = False,
 ) -> PipelineResult:
-    """Run MOSAIC end to end over a corpus of traces.
+    """Run MOSAIC end to end over an in-memory corpus of traces.
+
+    Thin batch wrapper over the streaming machinery: the corpus is
+    wrapped in an :class:`~repro.darshan.source.InMemorySource`, pass ②
+    materializes the selected traces (they are already resident), and
+    categorization uses the cost-ordered (LPT) batch map.
 
     ``parallel`` defaults to serial execution (``max_workers=0``), the
     right choice for small corpora and tests; pass
     ``ParallelConfig(max_workers=None)`` to use every core like the
     paper's Dispy deployment.
     """
-    t0 = time.perf_counter()
-    pre = preprocess_corpus(traces)
-    t1 = time.perf_counter()
-
-    par = parallel or ParallelConfig(max_workers=0, cost=_trace_cost)
-    outcome: MapOutcome[CategorizationResult] = parallel_map(
-        functools.partial(categorize_trace, config=config),
-        pre.selected,
-        par,
+    source = InMemorySource(traces)
+    ctx = PipelineContext(
+        config=config,
+        parallel=parallel or _default_parallel(),
+        repair=repair,
     )
-    t2 = time.perf_counter()
+    t0 = time.perf_counter()
+    with ctx.stage("preprocess"):
+        plan = scan_corpus(source, repair=ctx.repair)
+        selected = [load_selected(source, entry) for entry in plan.selected]
+    ctx.count("traces_scanned", plan.n_input)
+    ctx.count("n_corrupted", plan.n_corrupted)
+    ctx.count("n_repaired", plan.n_repaired)
+    ctx.count("n_selected", plan.n_selected)
 
-    results = outcome.successful()
+    with ctx.stage("categorize"):
+        outcome: MapOutcome[CategorizationResult] = parallel_map(
+            functools.partial(categorize_trace, config=ctx.config),
+            selected,
+            ctx.parallel,
+        )
+        if ctx.error_policy == "raise":
+            outcome.raise_if_failed()
+    ctx.count("n_failures", len(outcome.failures))
+    ctx.timings["total_s"] = time.perf_counter() - t0
+
     return PipelineResult(
-        preprocess=pre,
-        results=results,
+        preprocess=plan.to_result(selected),
+        results=outcome.successful(),
         n_failures=len(outcome.failures),
-        timings={
-            "preprocess_s": t1 - t0,
-            "categorize_s": t2 - t1,
-            "total_s": t2 - t0,
-        },
+        timings=dict(ctx.timings),
+        metrics=dict(ctx.counters),
     )

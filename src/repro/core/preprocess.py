@@ -7,6 +7,19 @@ for categorization.  MOSAIC assumes all executions of an application by a
 given user share I/O behaviour (validated in the paper: ≈97% of ≈12,000
 LAMMPS runs categorize identically) and therefore analyzes only the
 heaviest (most I/O-intensive) trace per (user, executable).
+
+At corpus scale this stage is the memory bottleneck if implemented
+naively, so it is two-pass and streaming:
+
+* **pass 1** (:func:`scan_corpus`) iterates a lazy
+  :class:`~repro.darshan.source.TraceSource`, validating each trace and
+  folding it into bounded dedup state — one small
+  :class:`SelectedRef` per application, never the traces themselves;
+* **pass 2** (:func:`load_selected`, driven by the pipeline) reloads
+  only the selected heaviest refs, one at a time.
+
+The batch :func:`preprocess_corpus` API is a thin wrapper running both
+passes over an in-memory source.
 """
 
 from __future__ import annotations
@@ -14,10 +27,81 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..darshan.errors import TraceFormatError
+from ..darshan.source import InMemorySource, TraceRef, TraceSource
 from ..darshan.trace import Trace
 from ..darshan.validate import Violation, validate_trace
 
-__all__ = ["PreprocessResult", "preprocess_corpus"]
+__all__ = [
+    "PreprocessResult",
+    "SelectedRef",
+    "SelectionPlan",
+    "preprocess_corpus",
+    "scan_corpus",
+    "load_selected",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class SelectedRef:
+    """Pass-1 selection decision: the heaviest run of one application.
+
+    Carries everything pass 2 needs to reload and trust the trace —
+    the source ref, identity, the keep-heaviest weight it won with, and
+    whether repair must be re-applied after reloading.
+    """
+
+    ref: TraceRef
+    job_id: int
+    app_key: tuple[int, str]
+    io_weight: float
+    repaired: bool = False
+
+
+@dataclass(slots=True)
+class SelectionPlan:
+    """Bounded-memory outcome of scan pass ① over a lazy source.
+
+    Holds per-application refs and funnel counters only; no ``Trace``
+    survives the scan.
+    """
+
+    #: Winning refs, one per application, sorted by job id.
+    selected: list[SelectedRef]
+    #: Number of valid runs per application key, for all-runs statistics.
+    runs_per_app: dict[tuple[int, str], int]
+    n_input: int
+    n_corrupted: int
+    corruption_histogram: Counter = field(default_factory=Counter)
+    n_repaired: int = 0
+    #: Refs whose payload could not even be decoded (counted in
+    #: :attr:`n_corrupted` under ``Violation.UNREADABLE``).
+    n_unreadable: int = 0
+
+    @property
+    def n_valid(self) -> int:
+        return self.n_input - self.n_corrupted
+
+    @property
+    def n_selected(self) -> int:
+        return len(self.selected)
+
+    def to_result(self, selected_traces: list[Trace] | None = None) -> "PreprocessResult":
+        """Convert to the reporting-layer :class:`PreprocessResult`.
+
+        Pass the materialized traces for the batch API; leave ``None``
+        for the streaming pipeline, where ``selected`` stays empty and
+        only the count is carried.
+        """
+        return PreprocessResult(
+            selected=selected_traces if selected_traces is not None else [],
+            runs_per_app=self.runs_per_app,
+            n_input=self.n_input,
+            n_corrupted=self.n_corrupted,
+            corruption_histogram=self.corruption_histogram,
+            n_repaired=self.n_repaired,
+            n_selected_streamed=None if selected_traces is not None else self.n_selected,
+        )
 
 
 @dataclass(slots=True)
@@ -25,6 +109,8 @@ class PreprocessResult:
     """Outcome of workflow step ① over a corpus."""
 
     #: Traces selected for categorization (heaviest per application).
+    #: Empty in streaming mode, where materializing them would defeat
+    #: the bounded-memory design — :attr:`n_selected` stays correct.
     selected: list[Trace]
     #: Number of valid runs per application key, for all-runs statistics.
     runs_per_app: dict[tuple[int, str], int]
@@ -34,6 +120,8 @@ class PreprocessResult:
     corruption_histogram: Counter = field(default_factory=Counter)
     #: Traces recovered by repair heuristics (0 unless ``repair=True``).
     n_repaired: int = 0
+    #: Selected-trace count when ``selected`` was not materialized.
+    n_selected_streamed: int | None = None
 
     @property
     def n_valid(self) -> int:
@@ -41,6 +129,8 @@ class PreprocessResult:
 
     @property
     def n_selected(self) -> int:
+        if self.n_selected_streamed is not None:
+            return self.n_selected_streamed
         return len(self.selected)
 
     @property
@@ -62,14 +152,19 @@ class PreprocessResult:
         ]
 
 
-def preprocess_corpus(
-    traces: list[Trace], *, repair: bool = False
-) -> PreprocessResult:
-    """Validate every trace and keep the heaviest run per application.
+def scan_corpus(source: TraceSource, *, repair: bool = False) -> SelectionPlan:
+    """Pass ①: validate every trace and pick the heaviest run per app.
 
-    The heaviest trace is the one with the largest
+    Streams the source one trace at a time; state is bounded by the
+    number of *applications* (one :class:`SelectedRef` each), not the
+    number of traces.  The heaviest trace is the one with the largest
     :meth:`~repro.darshan.trace.Trace.io_weight` (bytes moved plus
-    metadata operations).  Ties break on job id for determinism.
+    metadata operations); ties break on job id for determinism.
+
+    Unreadable payloads (``TraceFormatError`` from the source) are
+    counted as corrupted under :attr:`Violation.UNREADABLE` rather than
+    aborting the scan — at corpus scale truncated files are data, not
+    exceptions.
 
     ``repair=True`` enables the eviction alternative: corrupted traces
     are first passed through the conservative repair heuristics
@@ -79,20 +174,32 @@ def preprocess_corpus(
     """
     from ..darshan.repair import repair_trace
 
-    corruption = Counter()
+    corruption: Counter = Counter()
+    n_input = 0
     n_corrupted = 0
     n_repaired = 0
-    heaviest: dict[tuple[int, str], Trace] = {}
+    n_unreadable = 0
+    best: dict[tuple[int, str], SelectedRef] = {}
     runs_per_app: dict[tuple[int, str], int] = {}
 
-    for trace in traces:
+    for ref in source.refs():
+        n_input += 1
+        try:
+            trace = source.load(ref)
+        except TraceFormatError:
+            n_corrupted += 1
+            n_unreadable += 1
+            corruption[Violation.UNREADABLE] += 1
+            continue
         report = validate_trace(trace)
+        repaired = False
         if not report.valid and repair:
             outcome = repair_trace(trace)
             if outcome.repaired:
                 trace = outcome.trace
                 report = validate_trace(trace)
                 n_repaired += 1
+                repaired = True
         if not report.valid:
             n_corrupted += 1
             for violation in report.categories():
@@ -100,23 +207,56 @@ def preprocess_corpus(
             continue
         key = trace.meta.app_key
         runs_per_app[key] = runs_per_app.get(key, 0) + 1
-        current = heaviest.get(key)
+        weight = trace.io_weight()
+        job_id = trace.meta.job_id
+        current = best.get(key)
         if (
             current is None
-            or trace.io_weight() > current.io_weight()
-            or (
-                trace.io_weight() == current.io_weight()
-                and trace.meta.job_id < current.meta.job_id
-            )
+            or weight > current.io_weight
+            or (weight == current.io_weight and job_id < current.job_id)
         ):
-            heaviest[key] = trace
+            best[key] = SelectedRef(
+                ref=ref,
+                job_id=job_id,
+                app_key=key,
+                io_weight=weight,
+                repaired=repaired,
+            )
 
-    selected = sorted(heaviest.values(), key=lambda t: t.meta.job_id)
-    return PreprocessResult(
+    selected = sorted(best.values(), key=lambda e: e.job_id)
+    return SelectionPlan(
         selected=selected,
         runs_per_app=runs_per_app,
-        n_input=len(traces),
+        n_input=n_input,
         n_corrupted=n_corrupted,
         corruption_histogram=corruption,
         n_repaired=n_repaired,
+        n_unreadable=n_unreadable,
     )
+
+
+def load_selected(source: TraceSource, entry: SelectedRef) -> Trace:
+    """Pass ②: reload one selected trace, re-applying repair if the scan
+    selected its repaired form."""
+    trace = source.load(entry.ref)
+    if entry.repaired:
+        from ..darshan.repair import repair_trace
+
+        trace = repair_trace(trace).trace
+    return trace
+
+
+def preprocess_corpus(
+    traces: list[Trace], *, repair: bool = False
+) -> PreprocessResult:
+    """Validate every trace and keep the heaviest run per application.
+
+    Batch wrapper over the streaming two-pass implementation: scan an
+    in-memory source, then materialize the winning traces.  Semantics
+    (keep-heaviest, tie-breaks, repair accounting) are exactly those of
+    :func:`scan_corpus`.
+    """
+    source = InMemorySource(traces)
+    plan = scan_corpus(source, repair=repair)
+    selected = [load_selected(source, entry) for entry in plan.selected]
+    return plan.to_result(selected)

@@ -16,7 +16,20 @@ from .records import FileRecord, JobMeta
 from .trace import Direction, OperationArray, Trace
 from .validate import ValidationReport, Violation, is_valid, validate_trace
 from .io_json import dumps, load_json, loads, save_json
-from .io_binary import dumps_binary, load_binary, loads_binary, save_binary
+from .io_binary import (
+    dumps_binary,
+    load_binary,
+    load_binary_meta,
+    loads_binary,
+    save_binary,
+)
+from .source import (
+    DirectorySource,
+    InMemorySource,
+    SyntheticSource,
+    TraceRef,
+    TraceSource,
+)
 from .statistics import TraceSummary, summarize
 from .repair import RepairOutcome, repair_trace
 from .io_text import dumps_text, load_text, loads_text, save_text
@@ -43,6 +56,12 @@ __all__ = [
     "loads_binary",
     "save_binary",
     "load_binary",
+    "load_binary_meta",
+    "TraceRef",
+    "TraceSource",
+    "DirectorySource",
+    "InMemorySource",
+    "SyntheticSource",
     "TraceSummary",
     "summarize",
     "RepairOutcome",

@@ -29,7 +29,13 @@ from .errors import TraceFormatError, TraceWriteError
 from .records import FileRecord, JobMeta
 from .trace import Trace
 
-__all__ = ["save_binary", "load_binary", "dumps_binary", "loads_binary"]
+__all__ = [
+    "save_binary",
+    "load_binary",
+    "load_binary_meta",
+    "dumps_binary",
+    "loads_binary",
+]
 
 MAGIC = b"MOSD"
 VERSION = 1
@@ -193,5 +199,29 @@ def load_binary(path: str | os.PathLike[str]) -> Trace:
     try:
         with open(os.fspath(path), "rb") as fh:
             return loads_binary(fh.read())
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
+
+
+def load_binary_meta(path: str | os.PathLike[str]) -> JobMeta:
+    """Read only the job header of a MOSD file.
+
+    Streaming scans use this to inspect a trace's identity (job id,
+    user, executable, runtime) without paying for its record section —
+    the header is a few dozen bytes regardless of trace size.  Raises
+    :class:`TraceFormatError` on bad magic, unsupported version, or a
+    header truncated before the job strings end.
+    """
+    try:
+        with open(os.fspath(path), "rb") as fh:
+            raw = _read_exact(fh, _HEADER.size, "magic header")
+            magic, version, _ = _HEADER.unpack(raw)
+            if magic != MAGIC:
+                raise TraceFormatError(f"bad magic: {magic!r}")
+            if version != VERSION:
+                raise TraceFormatError(
+                    f"unsupported binary trace version: {version}"
+                )
+            return _unpack_job(fh)
     except OSError as exc:
         raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc

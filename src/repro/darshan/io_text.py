@@ -29,7 +29,6 @@ from __future__ import annotations
 
 import io
 import os
-from collections import defaultdict
 
 from . import counters as C
 from .errors import TraceFormatError

@@ -10,7 +10,7 @@ event list — Blue Waters ran without DXT (see :mod:`repro.darshan.counters`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict
+from dataclasses import dataclass, asdict
 from typing import Any
 
 from . import counters as C

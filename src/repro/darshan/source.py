@@ -1,0 +1,239 @@
+"""Lazy trace sources: the out-of-core ingest layer of the pipeline.
+
+The paper's corpus is 462,502 Darshan traces — far more than fits in
+RAM once decoded.  A :class:`TraceSource` decouples *what the corpus
+is* from *when traces are resident*: it enumerates cheap
+:class:`TraceRef` handles and loads one trace at a time on demand, so
+the streaming pipeline (:func:`repro.core.pipeline.run_pipeline_stream`)
+can make two bounded-memory passes (scan/dedup, then categorize the
+selected refs) instead of materializing a ``list[Trace]``.
+
+Three implementations cover the repo's workloads:
+
+* :class:`DirectorySource` — a directory of MOSD/JSON/Darshan-text
+  traces, discovered lazily and decoded per ref; tracks bytes read and
+  offers a header-only metadata peek for MOSD files;
+* :class:`InMemorySource` — wraps an existing ``list[Trace]``; the
+  compatibility path behind the batch ``run_pipeline(traces)`` API and
+  the natural source for unit tests;
+* :class:`SyntheticSource` — wraps :func:`repro.synth.generate_fleet`,
+  deferring generation until first access so constructing the source is
+  free.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from .errors import TraceFormatError
+from .io_binary import load_binary, load_binary_meta
+from .io_json import load_json
+from .io_text import load_text
+from .records import JobMeta
+from .trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..synth.fleet import FleetConfig, FleetResult
+
+__all__ = [
+    "TraceRef",
+    "TraceSource",
+    "DirectorySource",
+    "InMemorySource",
+    "SyntheticSource",
+    "TRACE_SUFFIXES",
+]
+
+#: Recognized trace file suffixes, in dispatch order.
+TRACE_SUFFIXES = (".mosd", ".json", ".json.gz", ".darshan.txt")
+
+#: Files never treated as traces even with a matching suffix.
+_NON_TRACE_NAMES = frozenset({"manifest.json"})
+
+
+@dataclass(slots=True, frozen=True)
+class TraceRef:
+    """Cheap, re-loadable handle to one trace within a source.
+
+    ``key`` is source-specific (a path for :class:`DirectorySource`, an
+    index for :class:`InMemorySource`); callers treat it as opaque and
+    hand the whole ref back to :meth:`TraceSource.load`.
+    """
+
+    key: Any
+    #: On-disk payload size when known, 0 otherwise.
+    size_bytes: int = 0
+
+
+class TraceSource(ABC):
+    """Lazy corpus: enumerate refs cheaply, load traces one at a time.
+
+    Implementations must make :meth:`refs` re-iterable (the streaming
+    pipeline enumerates twice: scan pass and categorize pass) and
+    deterministic, so that a ref selected in pass 1 resolves to the same
+    trace in pass 2.
+    """
+
+    @abstractmethod
+    def refs(self) -> Iterator[TraceRef]:
+        """Enumerate the corpus without decoding any trace."""
+
+    @abstractmethod
+    def load(self, ref: TraceRef) -> Trace:
+        """Decode one trace.  Raises
+        :class:`~repro.darshan.errors.TraceFormatError` when the payload
+        is unreadable — streaming scans count that as corruption."""
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Trace]:
+        for ref in self.refs():
+            yield self.load(ref)
+
+    def peek_meta(self, ref: TraceRef) -> JobMeta:
+        """Job header of one trace, as cheaply as the format allows.
+
+        The default decodes the full trace; formats with a separable
+        header (MOSD) override this with a header-only read.
+        """
+        return self.load(ref).meta
+
+    def count(self) -> int:
+        """Number of refs (enumerates; O(corpus) but loads nothing)."""
+        return sum(1 for _ in self.refs())
+
+    @property
+    def bytes_read(self) -> int:
+        """Cumulative payload bytes decoded so far (0 when untracked)."""
+        return 0
+
+
+class DirectorySource(TraceSource):
+    """All trace files under one directory, decoded lazily per ref.
+
+    Files are discovered in sorted name order (deterministic across the
+    two pipeline passes) and dispatched on suffix: ``.mosd`` binary,
+    ``.json``/``.json.gz`` JSON, ``.darshan.txt`` text.  The directory
+    listing is re-read on every :meth:`refs` call, so a source can
+    outlive corpus growth; loads are counted in :attr:`bytes_read`.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = os.fspath(path)
+        self._bytes_read = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DirectorySource({self.path!r})"
+
+    @staticmethod
+    def _is_trace_name(name: str) -> bool:
+        if name in _NON_TRACE_NAMES:
+            return False
+        return name.endswith(TRACE_SUFFIXES)
+
+    def refs(self) -> Iterator[TraceRef]:
+        try:
+            entries = sorted(
+                (e for e in os.scandir(self.path) if e.is_file()),
+                key=lambda e: e.name,
+            )
+        except OSError as exc:
+            raise TraceFormatError(
+                f"cannot list trace directory {self.path!r}: {exc}"
+            ) from exc
+        for entry in entries:
+            if self._is_trace_name(entry.name):
+                yield TraceRef(key=entry.path, size_bytes=entry.stat().st_size)
+
+    def load(self, ref: TraceRef) -> Trace:
+        path = str(ref.key)
+        if path.endswith(".mosd"):
+            trace = load_binary(path)
+        elif path.endswith((".json", ".json.gz")):
+            trace = load_json(path)
+        elif path.endswith(".darshan.txt"):
+            trace = load_text(path)
+        else:
+            raise TraceFormatError(f"unrecognized trace suffix: {path!r}")
+        self._bytes_read += ref.size_bytes
+        return trace
+
+    def peek_meta(self, ref: TraceRef) -> JobMeta:
+        path = str(ref.key)
+        if path.endswith(".mosd"):
+            return load_binary_meta(path)
+        return super().peek_meta(ref)
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes_read
+
+
+class InMemorySource(TraceSource):
+    """A ``list[Trace]`` presented through the source API.
+
+    Backs the batch-compatibility path: ``run_pipeline(traces)`` wraps
+    its input in this source, so the whole pipeline has a single
+    streaming implementation.  Loads are free (list indexing); refs are
+    positions, keeping duplicate traces distinct.
+    """
+
+    def __init__(self, traces: Sequence[Trace]):
+        self._traces = traces
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InMemorySource(n={len(self._traces)})"
+
+    def refs(self) -> Iterator[TraceRef]:
+        for i in range(len(self._traces)):
+            yield TraceRef(key=i)
+
+    def load(self, ref: TraceRef) -> Trace:
+        return self._traces[ref.key]
+
+    def count(self) -> int:
+        return len(self._traces)
+
+
+class SyntheticSource(TraceSource):
+    """Lazy wrapper around :func:`repro.synth.generate_fleet`.
+
+    Generation is deferred until the first ref/load and cached, so the
+    source can be constructed (and passed around, put in configs, ...)
+    for free.  :attr:`fleet` exposes the underlying
+    :class:`~repro.synth.fleet.FleetResult` for ground-truth consumers
+    such as accuracy estimation.
+    """
+
+    def __init__(self, config: "FleetConfig | None" = None):
+        self._config = config
+        self._fleet: "FleetResult | None" = None
+        self._inner: InMemorySource | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "generated" if self._fleet is not None else "pending"
+        return f"SyntheticSource({state})"
+
+    @property
+    def fleet(self) -> "FleetResult":
+        if self._fleet is None:
+            from ..synth.fleet import generate_fleet
+
+            self._fleet = generate_fleet(self._config)
+            self._inner = InMemorySource(self._fleet.traces)
+        return self._fleet
+
+    def refs(self) -> Iterator[TraceRef]:
+        self.fleet
+        assert self._inner is not None
+        return self._inner.refs()
+
+    def load(self, ref: TraceRef) -> Trace:
+        self.fleet
+        assert self._inner is not None
+        return self._inner.load(ref)
+
+    def count(self) -> int:
+        return len(self.fleet.traces)

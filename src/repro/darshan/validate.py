@@ -41,6 +41,10 @@ class Violation(str, Enum):
     NEGATIVE_COUNTER = "negative_counter"
     BYTES_WITHOUT_WINDOW = "bytes_without_window"
     OPENS_WITHOUT_CLOSE_WINDOW = "opens_without_close_window"
+    #: The trace file could not be decoded at all (bad magic, truncation,
+    #: malformed JSON).  Only streaming scans over on-disk sources report
+    #: this class: an in-memory ``Trace`` has by definition been decoded.
+    UNREADABLE = "unreadable"
 
 
 @dataclass(slots=True)

@@ -15,7 +15,7 @@ jobs alternating compute and I/O.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

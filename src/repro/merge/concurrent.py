@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..darshan.trace import OperationArray
 from .intervals import coalesce_groups, overlap_groups

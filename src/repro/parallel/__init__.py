@@ -1,7 +1,13 @@
 """Single-node parallel execution engine: fault-isolated process-pool map
 with cost-aware (LPT) scheduling — the reproduction's Dispy substitute."""
 
-from .executor import MapOutcome, ParallelConfig, TaskFailure, parallel_map
+from .executor import (
+    MapOutcome,
+    ParallelConfig,
+    TaskFailure,
+    parallel_imap,
+    parallel_map,
+)
 from .scheduling import chunk_evenly, lpt_order
 
 __all__ = [
@@ -9,6 +15,7 @@ __all__ = [
     "ParallelConfig",
     "TaskFailure",
     "parallel_map",
+    "parallel_imap",
     "chunk_evenly",
     "lpt_order",
 ]

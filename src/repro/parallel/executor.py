@@ -8,23 +8,33 @@ the same contract on top of :mod:`concurrent.futures`:
   failures are captured as :class:`TaskFailure` results;
 * cost-aware ordering (LPT) so heavy traces do not become stragglers;
 * a serial in-process mode (``max_workers=0``) used for tests,
-  debugging, and tiny inputs where fork overhead dominates.
+  debugging, and tiny inputs where fork overhead dominates;
+* a streaming mode (:func:`parallel_imap`) that consumes an *iterable*
+  with bounded in-flight work instead of materializing the task list —
+  the engine of the out-of-core corpus pipeline.
 
 The mapped function must be a module-level picklable callable, the usual
-multiprocessing constraint.
+multiprocessing constraint.  It is shipped to each worker exactly once
+(via the pool initializer), never re-pickled per work item.
 """
 
 from __future__ import annotations
 
 import os
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, Sequence, TypeVar
+from typing import Any, Callable, Generic, Iterable, Iterator, Sequence, TypeVar
 
 from .scheduling import lpt_order
 
-__all__ = ["TaskFailure", "MapOutcome", "ParallelConfig", "parallel_map"]
+__all__ = [
+    "TaskFailure",
+    "MapOutcome",
+    "ParallelConfig",
+    "parallel_map",
+    "parallel_imap",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -47,19 +57,28 @@ class TaskFailure:
 class MapOutcome(Generic[R]):
     """Results of a fault-isolated parallel map, in input order.
 
-    ``results[i]`` is ``None`` exactly when item ``i`` failed; the
-    failure detail is in :attr:`failures`.
+    ``results[i]`` is the mapped value of item ``i``, or the
+    :class:`TaskFailure` captured from it.  The failure object itself is
+    the sentinel, so a mapped function that legitimately returns ``None``
+    is a success and survives :meth:`successful` — unlike the earlier
+    ``None``-as-failure convention.
     """
 
-    results: list[R | None]
+    results: list[R | TaskFailure]
     failures: list[TaskFailure]
 
     @property
     def n_ok(self) -> int:
         return len(self.results) - len(self.failures)
 
+    def ok(self, index: int) -> bool:
+        """True when item ``index`` completed without raising."""
+        return not isinstance(self.results[index], TaskFailure)
+
     def successful(self) -> list[R]:
-        return [r for r in self.results if r is not None]
+        """Mapped values of the items that succeeded, in input order
+        (including any legitimate ``None`` returns)."""
+        return [r for r in self.results if not isinstance(r, TaskFailure)]
 
     def raise_if_failed(self) -> None:
         if self.failures:
@@ -71,14 +90,19 @@ class MapOutcome(Generic[R]):
 
 @dataclass(slots=True, frozen=True)
 class ParallelConfig:
-    """Execution knobs for :func:`parallel_map`."""
+    """Execution knobs for :func:`parallel_map` / :func:`parallel_imap`."""
 
     #: 0 = serial in-process; None = os.cpu_count().
     max_workers: int | None = None
     #: Items per pickled task batch (amortizes IPC for cheap items).
     chunksize: int = 8
-    #: Optional cost estimator enabling LPT ordering.
+    #: Optional cost estimator enabling LPT ordering (batch map only —
+    #: a streaming imap cannot sort what it has not yet seen).
     cost: Callable[[Any], float] | None = None
+    #: Streaming mode: maximum submitted-but-unfinished items.  ``None``
+    #: derives ``workers * chunksize`` — enough to keep every worker fed
+    #: while bounding how many loaded items exist at once.
+    max_pending: int | None = None
 
     def resolved_workers(self) -> int:
         if self.max_workers is None:
@@ -87,8 +111,30 @@ class ParallelConfig:
             raise ValueError("max_workers must be >= 0")
         return self.max_workers
 
+    def resolved_pending(self) -> int:
+        if self.max_pending is not None:
+            if self.max_pending < 1:
+                raise ValueError("max_pending must be >= 1")
+            return self.max_pending
+        return max(1, self.resolved_workers()) * max(1, self.chunksize)
 
-def _guarded(fn: Callable[[T], R], index: int, item: T) -> tuple[int, R | None, TaskFailure | None]:
+
+# ----------------------------------------------------------------------
+# Worker-side function binding.  ``fn`` is pickled once per worker via
+# the pool initializer instead of once per task tuple: task payloads are
+# just ``(index, item)``, which matters when ``fn`` is a closure-heavy
+# partial and items number in the hundreds of thousands.
+_WORKER_FN: Callable[..., Any] | None = None
+
+
+def _bind_worker_fn(fn: Callable[[T], R]) -> None:
+    global _WORKER_FN
+    _WORKER_FN = fn
+
+
+def _guarded(
+    fn: Callable[[T], R], index: int, item: T
+) -> tuple[int, R | None, TaskFailure | None]:
     try:
         return index, fn(item), None
     except Exception as exc:  # noqa: BLE001 - isolation boundary
@@ -104,8 +150,18 @@ def _guarded(fn: Callable[[T], R], index: int, item: T) -> tuple[int, R | None, 
         )
 
 
-def _guarded_star(args: tuple[Callable[[T], R], int, T]) -> tuple[int, R | None, TaskFailure | None]:
-    return _guarded(*args)
+def _run_bound(task: tuple[int, T]) -> tuple[int, Any, TaskFailure | None]:
+    index, item = task
+    assert _WORKER_FN is not None, "worker initializer did not run"
+    return _guarded(_WORKER_FN, index, item)
+
+
+def _pool(fn: Callable[[T], R], workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_bind_worker_fn,
+        initargs=(fn,),
+    )
 
 
 def parallel_map(
@@ -121,7 +177,7 @@ def parallel_map(
     """
     cfg = config or ParallelConfig()
     n = len(items)
-    results: list[R | None] = [None] * n
+    results: list[R | TaskFailure] = [None] * n  # type: ignore[list-item]
     failures: list[TaskFailure] = []
     if n == 0:
         return MapOutcome(results=results, failures=failures)
@@ -134,12 +190,12 @@ def parallel_map(
     if workers <= 1 or n == 1:
         triples = (_guarded(fn, i, items[i]) for i in order)
     else:
-        pool = ProcessPoolExecutor(max_workers=min(workers, n))
+        pool = _pool(fn, min(workers, n))
         try:
             triples = list(
                 pool.map(
-                    _guarded_star,
-                    [(fn, i, items[i]) for i in order],
+                    _run_bound,
+                    [(i, items[i]) for i in order],
                     chunksize=max(1, cfg.chunksize),
                 )
             )
@@ -149,7 +205,58 @@ def parallel_map(
     for index, result, failure in triples:
         if failure is not None:
             failures.append(failure)
+            results[index] = failure
         else:
             results[index] = result
     failures.sort(key=lambda f: f.index)
     return MapOutcome(results=results, failures=failures)
+
+
+def parallel_imap(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    config: ParallelConfig | None = None,
+) -> Iterator[tuple[int, R | TaskFailure]]:
+    """Streaming fault-isolated map with backpressure.
+
+    Consumes ``items`` lazily — at most
+    :meth:`ParallelConfig.resolved_pending` items are drawn from the
+    iterable and unfinished at any moment, so a generator that loads
+    traces from disk never races ahead of the workers and corpus memory
+    stays bounded.  Yields ``(index, result_or_failure)`` pairs as items
+    complete: in input order when serial, in completion order with a
+    pool.  ``index`` is the item's position in the input iterable.
+    """
+    cfg = config or ParallelConfig()
+    workers = cfg.resolved_workers()
+    it = iter(items)
+
+    if workers <= 1:
+        for index, item in enumerate(it):
+            i, result, failure = _guarded(fn, index, item)
+            yield (i, failure if failure is not None else result)
+        return
+
+    window = cfg.resolved_pending()
+    pool = _pool(fn, workers)
+    try:
+        pending: set = set()
+        next_index = 0
+        exhausted = False
+        while True:
+            while not exhausted and len(pending) < window:
+                try:
+                    item = next(it)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending.add(pool.submit(_run_bound, (next_index, item)))
+                next_index += 1
+            if not pending:
+                break
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i, result, failure = fut.result()
+                yield (i, failure if failure is not None else result)
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)

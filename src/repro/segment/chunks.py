@@ -81,11 +81,12 @@ def chunk_volumes(
     hi = np.minimum(ends[:, None], edges[None, 1:])
     overlap = np.clip(hi - lo, 0.0, None)
 
-    # Zero-duration ops (timestamp-rounded bursts) drop their full volume
-    # into the chunk containing their start.
-    zero = durations <= 0
-    with np.errstate(divide="ignore", invalid="ignore"):
-        frac = np.where(zero[:, None], 0.0, overlap / np.maximum(durations, 1e-300)[:, None])
+    # Zero- and denormal-duration ops (timestamp-rounded bursts) drop
+    # their full volume into the chunk containing their start; dividing
+    # by such durations would lose volume to rounding.
+    zero = durations < np.finfo(np.float64).tiny
+    safe = np.where(zero, 1.0, durations)
+    frac = np.where(zero[:, None], 0.0, overlap / safe[:, None])
     volumes = frac.T @ ops.volumes
 
     if np.any(zero):

@@ -10,7 +10,7 @@ that ~3% of LAMMPS runs categorize differently from the rest.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,7 @@ import numpy as np
 
 from ..core.categorizer import categorize_trace
 from ..core.thresholds import DEFAULT_CONFIG, MosaicConfig
-from ..darshan.trace import Direction, OperationArray, Trace
+from ..darshan.trace import OperationArray, Trace
 from ..merge.pipeline import preprocess_operations
 from ..segment.chunks import chunk_volumes
 from ..signalproc.activity import bin_events

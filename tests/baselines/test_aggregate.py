@@ -1,6 +1,5 @@
 """Unit tests for the aggregate-statistics baseline (related work [25])."""
 
-import pytest
 
 from repro.baselines import AggregateClass, categorize_aggregate
 

@@ -1,6 +1,5 @@
 """Unit tests for the corpus pipeline (Fig. 1 end to end)."""
 
-import pytest
 
 from repro.core import Category, run_pipeline
 from repro.parallel import ParallelConfig

@@ -1,6 +1,5 @@
 """Unit tests for metadata impact classification (paper §III-B3c)."""
 
-import pytest
 
 from repro.core import DEFAULT_CONFIG, Category, classify_metadata
 from repro.darshan import FileRecord

@@ -1,7 +1,6 @@
 """Tests for the repair-enabled pre-processing mode."""
 
 import numpy as np
-import pytest
 
 from repro.core import preprocess_corpus
 from repro.synth import corrupt_trace

@@ -1,6 +1,5 @@
 """Unit tests for temporality classification (paper §III-B3b)."""
 
-import pytest
 
 from repro.core import DEFAULT_CONFIG, Category, classify_temporality
 

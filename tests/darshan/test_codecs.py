@@ -95,3 +95,105 @@ class TestBinaryCodec:
 
     def test_binary_smaller_than_json(self, trace):
         assert len(dumps_binary(trace)) < len(dumps(trace).encode())
+
+
+class TestBinaryCorruptionPaths:
+    """Satellite corruption taxonomy: every way a MOSD payload can be cut
+    short must surface as TraceFormatError (never struct.error or a
+    half-built Trace), so streaming scans can count it as corruption."""
+
+    @staticmethod
+    def _sections(trace):
+        """(payload, offsets) where offsets mark section boundaries."""
+        from repro.darshan.io_binary import _COUNTS, _HEADER, _JOB
+
+        payload = dumps_binary(trace)
+        meta = trace.meta
+        strings = (
+            len(meta.exe.encode()) + len(meta.machine.encode())
+            + len(meta.partition.encode())
+        )
+        table = "\x00".join(r.file_name for r in trace.records).encode()
+        header_end = _HEADER.size
+        job_end = header_end + _JOB.size + strings
+        counts_end = job_end + _COUNTS.size
+        table_end = counts_end + len(table)
+        return payload, {
+            "header_end": header_end,
+            "job_end": job_end,
+            "counts_end": counts_end,
+            "table_end": table_end,
+        }
+
+    def test_truncated_magic_header(self, trace):
+        payload, off = self._sections(trace)
+        with pytest.raises(TraceFormatError, match="magic header"):
+            loads_binary(payload[: off["header_end"] - 3])
+
+    def test_truncated_job_header(self, trace):
+        payload, off = self._sections(trace)
+        with pytest.raises(TraceFormatError, match="job header"):
+            loads_binary(payload[: off["header_end"] + 10])
+
+    def test_truncated_job_strings(self, trace):
+        payload, off = self._sections(trace)
+        with pytest.raises(TraceFormatError, match="string"):
+            loads_binary(payload[: off["job_end"] - 2])
+
+    def test_truncated_string_table(self, trace):
+        payload, off = self._sections(trace)
+        assert off["table_end"] > off["counts_end"]
+        with pytest.raises(TraceFormatError, match="string table"):
+            loads_binary(payload[: off["counts_end"] + 1])
+
+    def test_truncated_record_section(self, trace):
+        payload, off = self._sections(trace)
+        with pytest.raises(TraceFormatError, match="record"):
+            loads_binary(payload[: off["table_end"] + 5])
+
+    def test_missing_last_record(self, trace):
+        from repro.darshan.io_binary import _RECORD
+
+        payload, _ = self._sections(trace)
+        with pytest.raises(TraceFormatError, match="record 1"):
+            loads_binary(payload[: len(payload) - _RECORD.size])
+
+    def test_every_single_byte_truncation_is_clean(self, trace):
+        # exhaustive: no prefix of a valid payload may escape the codec's
+        # error taxonomy or crash with anything but TraceFormatError
+        payload = dumps_binary(trace)
+        for cut in range(len(payload)):
+            with pytest.raises(TraceFormatError):
+                loads_binary(payload[:cut])
+
+
+class TestBinaryMetaPeek:
+    def test_meta_matches_full_load(self, trace, tmp_path):
+        from repro.darshan import load_binary_meta
+
+        path = tmp_path / "t.mosd"
+        save_binary(trace, path)
+        meta = load_binary_meta(path)
+        assert meta == load_binary(path).meta
+
+    def test_meta_peek_bad_magic(self, trace, tmp_path):
+        from repro.darshan import load_binary_meta
+
+        path = tmp_path / "t.mosd"
+        path.write_bytes(b"NOPE" + dumps_binary(trace)[4:])
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            load_binary_meta(path)
+
+    def test_meta_peek_truncated_header(self, trace, tmp_path):
+        from repro.darshan import load_binary_meta
+
+        path = tmp_path / "t.mosd"
+        path.write_bytes(dumps_binary(trace)[:20])
+        with pytest.raises(TraceFormatError):
+            load_binary_meta(path)
+
+    def test_meta_peek_missing_file(self, tmp_path):
+        from repro.darshan import load_binary_meta
+
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_binary_meta(tmp_path / "absent.mosd")

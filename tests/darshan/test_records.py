@@ -1,6 +1,5 @@
 """Unit tests for the record-level data model."""
 
-import pytest
 
 from repro.darshan import FileRecord, JobMeta
 from repro.darshan import counters as C

@@ -1,10 +1,9 @@
 """Unit tests for trace validity checking (the Fig. 3 eviction stage)."""
 
-import pytest
 
 from repro.darshan import Violation, is_valid, validate_trace
 
-from tests.conftest import make_meta, make_record, make_trace
+from tests.conftest import make_record, make_trace
 
 
 class TestValidTraces:

@@ -10,7 +10,6 @@ from repro.analysis import (
     temporality_table,
 )
 from repro.core import Category
-from repro.synth.groundtruth import trace_matches
 
 
 class TestPipelineOverFleet:

@@ -1,8 +1,8 @@
-"""Unit tests for the fault-isolated parallel map."""
+"""Unit tests for the fault-isolated parallel map and streaming imap."""
 
 import pytest
 
-from repro.parallel import MapOutcome, ParallelConfig, parallel_map
+from repro.parallel import ParallelConfig, TaskFailure, parallel_imap, parallel_map
 
 
 def square(x: int) -> int:
@@ -15,6 +15,26 @@ def fail_on_odd(x: int) -> int:
     return x
 
 
+def none_on_even(x: int):
+    return None if x % 2 == 0 else x
+
+
+class PickleCountingFn:
+    """Module-level picklable callable that counts parent-side pickling."""
+
+    pickled = 0
+
+    def __call__(self, x: int) -> int:
+        return x + 1
+
+    def __getstate__(self):
+        type(self).pickled += 1
+        return {}
+
+    def __setstate__(self, state):
+        pass
+
+
 class TestSerialMode:
     def test_results_in_input_order(self):
         out = parallel_map(square, [3, 1, 2], ParallelConfig(max_workers=0))
@@ -23,7 +43,10 @@ class TestSerialMode:
 
     def test_failures_captured_not_raised(self):
         out = parallel_map(fail_on_odd, [0, 1, 2, 3], ParallelConfig(max_workers=0))
-        assert out.results == [0, None, 2, None]
+        assert out.results[0] == 0 and out.results[2] == 2
+        assert isinstance(out.results[1], TaskFailure)
+        assert isinstance(out.results[3], TaskFailure)
+        assert [out.ok(i) for i in range(4)] == [True, False, True, False]
         assert [f.index for f in out.failures] == [1, 3]
         assert out.failures[0].error_type == "ValueError"
         assert "odd input 1" in out.failures[0].message
@@ -31,6 +54,14 @@ class TestSerialMode:
     def test_successful_filters_failures(self):
         out = parallel_map(fail_on_odd, [0, 1, 2], ParallelConfig(max_workers=0))
         assert out.successful() == [0, 2]
+
+    def test_legitimate_none_results_survive(self):
+        # regression: None used to double as the failure sentinel, so a
+        # mapped fn returning None was dropped by successful()
+        out = parallel_map(none_on_even, [0, 1, 2], ParallelConfig(max_workers=0))
+        assert out.results == [None, 1, None]
+        assert out.n_ok == 3
+        assert out.successful() == [None, 1, None]
 
     def test_raise_if_failed(self):
         out = parallel_map(fail_on_odd, [1], ParallelConfig(max_workers=0))
@@ -66,8 +97,92 @@ class TestProcessPool:
         assert [f.index for f in out.failures] == [1, 3, 5, 7, 9]
 
     def test_traceback_captured(self):
-        out = parallel_map(fail_on_odd, [1], ParallelConfig(max_workers=2))
+        out = parallel_map(fail_on_odd, [1, 2], ParallelConfig(max_workers=2))
         assert "ValueError" in out.failures[0].traceback_text
+
+    def test_fn_pickled_at_most_once_per_worker(self):
+        # regression: fn used to travel inside every task tuple, so it
+        # was re-pickled per submitted chunk; with the pool initializer
+        # it ships once per worker process.
+        fn = PickleCountingFn()
+        PickleCountingFn.pickled = 0
+        out = parallel_map(
+            fn, list(range(64)), ParallelConfig(max_workers=2, chunksize=4)
+        )
+        assert out.n_ok == 64
+        assert out.results == [x + 1 for x in range(64)]
+        # <= workers (0 under the fork start method, where initargs are
+        # inherited); the old per-task scheme pickled ~items/chunksize
+        # times regardless of start method
+        assert PickleCountingFn.pickled <= 2
+
+    def test_none_results_survive_pool(self):
+        out = parallel_map(none_on_even, [0, 1, 2, 3], ParallelConfig(max_workers=2))
+        assert out.n_ok == 4
+        assert out.successful() == [None, 1, None, 3]
+
+
+class TestParallelImap:
+    def test_serial_streams_in_order(self):
+        pairs = list(parallel_imap(square, iter([3, 1, 2]), ParallelConfig(max_workers=0)))
+        assert pairs == [(0, 9), (1, 1), (2, 4)]
+
+    def test_serial_is_lazy(self):
+        pulled = []
+
+        def gen():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        stream = parallel_imap(square, gen(), ParallelConfig(max_workers=0))
+        assert next(stream) == (0, 0)
+        assert next(stream) == (1, 1)
+        # only as many items drawn as results consumed (plus none ahead)
+        assert len(pulled) == 2
+        stream.close()
+
+    def test_serial_failures_yield_taskfailure(self):
+        pairs = list(parallel_imap(fail_on_odd, [0, 1, 2], ParallelConfig(max_workers=0)))
+        assert pairs[0] == (0, 0) and pairs[2] == (2, 2)
+        assert isinstance(pairs[1][1], TaskFailure)
+        assert pairs[1][0] == 1
+
+    def test_pool_results_complete_and_indexed(self):
+        items = list(range(40))
+        pairs = list(
+            parallel_imap(square, iter(items), ParallelConfig(max_workers=2, chunksize=2))
+        )
+        assert sorted(i for i, _ in pairs) == items
+        for i, r in pairs:
+            assert r == i * i
+
+    def test_pool_backpressure_bounds_draw_ahead(self):
+        drawn = []
+
+        def gen():
+            for i in range(50):
+                drawn.append(i)
+                yield i
+
+        cfg = ParallelConfig(max_workers=2, chunksize=2, max_pending=3)
+        stream = parallel_imap(square, gen(), cfg)
+        first = next(stream)
+        assert first[1] == first[0] ** 2
+        # window of 3 plus the one being refilled — never all 50
+        assert len(drawn) <= 8
+        stream.close()
+
+    def test_pool_failures_isolated(self):
+        pairs = list(
+            parallel_imap(fail_on_odd, range(10), ParallelConfig(max_workers=2))
+        )
+        fails = [i for i, r in pairs if isinstance(r, TaskFailure)]
+        assert sorted(fails) == [1, 3, 5, 7, 9]
+
+    def test_empty_iterable(self):
+        assert list(parallel_imap(square, [], ParallelConfig(max_workers=0))) == []
+        assert list(parallel_imap(square, [], ParallelConfig(max_workers=2))) == []
 
 
 class TestConfig:
@@ -77,3 +192,11 @@ class TestConfig:
 
     def test_none_resolves_to_cpu_count(self):
         assert ParallelConfig(max_workers=None).resolved_workers() >= 1
+
+    def test_bad_max_pending_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(max_workers=2, max_pending=0).resolved_pending()
+
+    def test_default_pending_window(self):
+        cfg = ParallelConfig(max_workers=3, chunksize=4)
+        assert cfg.resolved_pending() == 12

@@ -1,6 +1,5 @@
 """Unit tests for fleet generation."""
 
-import numpy as np
 import pytest
 
 from repro.darshan import is_valid

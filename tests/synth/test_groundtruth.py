@@ -1,6 +1,5 @@
 """Unit tests for ground-truth labels and matching."""
 
-import pytest
 
 from repro.core import CategorizationResult, Category
 from repro.synth import GroundTruth, mismatch_axes, trace_matches
