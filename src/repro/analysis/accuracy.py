@@ -27,9 +27,10 @@ def wilson_interval(k: int, n: int, z: float = 1.96) -> tuple[float, float]:
     if n == 0:
         return (0.0, 1.0)
     p = k / n
+    # denom >= 1 by construction (1 + a non-negative term)
     denom = 1 + z * z / n
-    centre = (p + z * z / (2 * n)) / denom
-    half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    centre = (p + z * z / (2 * n)) / denom  # mosaic: disable=MOS005
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))  # mosaic: disable=MOS005
     return (max(0.0, centre - half), min(1.0, centre + half))
 
 

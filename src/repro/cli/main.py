@@ -14,6 +14,10 @@ Subcommands mirror the paper's workflow:
     Jaccard pairs (Fig. 5) and §IV-D correlations.
 ``mosaic anatomy``
     Render the Fig. 2-style processing view of one synthetic trace.
+``mosaic lint``
+    Statically check the codebase against the pipeline's contracts
+    (MOS001-MOS010, see ``docs/LINT.md``).  Also installed as ``repro``,
+    so CI runs ``repro lint src/ --strict``.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from ..darshan import (
     save_binary,
     save_json,
 )
+from ..lint.cli import add_lint_subparser, cmd_lint
 from ..parallel import ParallelConfig
 from ..synth import FleetConfig, cohort_by_name, generate_fleet, generate_run
 from ..viz import render_jaccard, render_shares_table, render_trace_anatomy
@@ -115,6 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--seed", type=int, default=20190101)
     disc.add_argument("--direction", choices=("read", "write"), default="write")
     disc.add_argument("--k", type=int, help="cluster count (omit for elbow rule)")
+
+    add_lint_subparser(sub)
     return parser
 
 
@@ -330,6 +337,7 @@ _COMMANDS = {
     "anatomy": _cmd_anatomy,
     "accuracy": _cmd_accuracy,
     "discover": _cmd_discover,
+    "lint": cmd_lint,
 }
 
 

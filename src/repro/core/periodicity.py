@@ -204,10 +204,7 @@ def _detect_signal(
     from ..signalproc.dft import detect_periodicity_dft
 
     n_ops = len(ops)
-    # the signal detectors need a handful of repetitions, independent of
-    # the Mean Shift group-size rule (that independence is the point of
-    # the hybrid fallback)
-    if n_ops < 3 or run_time <= 0:
+    if n_ops < config.signal_min_ops or run_time <= 0:
         return PeriodicityDetection(direction=direction, groups=(), n_segments=n_ops)
 
     signal = build_activity_signal(ops, run_time, n_bins=min(4096, max(256, n_ops * 16)))

@@ -87,7 +87,7 @@ class PipelineContext:
             )
 
     @contextmanager
-    def stage(self, name: str):
+    def stage(self, name: str) -> Iterator[None]:
         """Time a pipeline stage; accumulates into :attr:`timings`."""
         t0 = time.perf_counter()
         try:

@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
+from ..darshan.tolerance import TIME_TOLERANCE_S, close_to
 from ..merge.neighbor import NeighborMergeConfig
 
-__all__ = ["MosaicConfig", "DEFAULT_CONFIG"]
+__all__ = ["MosaicConfig", "DEFAULT_CONFIG", "TIME_TOLERANCE_S", "close_to"]
 
 MB = 1024 * 1024
 
@@ -62,6 +63,11 @@ class MosaicConfig:
     min_group_size: int = 3
     #: Segments shorter than this (seconds) are clock noise, not periods.
     min_period: float = 1.0
+    #: Minimum merged-operation count before the signal-processing
+    #: detectors (DFT/autocorrelation) run: they need a handful of
+    #: repetitions to see a fundamental, independent of the Mean Shift
+    #: group-size rule.
+    signal_min_ops: int = 3
     #: Boundaries of period magnitude labels (seconds).
     period_second_max: float = 60.0
     period_minute_max: float = 3600.0
@@ -102,6 +108,8 @@ class MosaicConfig:
             raise ValueError("meanshift_bandwidth must be positive")
         if self.min_group_size < 2:
             raise ValueError("min_group_size must be >= 2 (paper: > 1)")
+        if self.signal_min_ops < 2:
+            raise ValueError("signal_min_ops must be >= 2")
         if not (
             0
             < self.period_second_max

@@ -1,0 +1,33 @@
+"""Tolerance-based timestamp comparison.
+
+Darshan timestamps survive several float round-trips (binary pack, JSON,
+merge arithmetic); exact ``==`` on them is a latent platform-dependent
+bug, which lint rule MOS004 rejects pipeline-wide.  This module is the
+one shared definition of "equal at clock resolution".
+
+It lives at the bottom of the import graph (``darshan.trace`` needs it,
+and ``core.thresholds`` sits *above* ``darshan.trace`` via the merge
+configuration) and is re-exported by :mod:`repro.core.thresholds`, the
+documented home of every pipeline tunable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TIME_TOLERANCE_S", "close_to"]
+
+#: Tolerance for comparing trace timestamps and offsets (seconds).
+#: A microsecond is far below Darshan's actual clock resolution while
+#: far above accumulated float rounding error.
+TIME_TOLERANCE_S = 1e-6
+
+
+def close_to(a: float, b: float, tol: float = TIME_TOLERANCE_S) -> bool:
+    """Tolerance-based equality for timestamps and offsets.
+
+    The pipeline-wide replacement for exact float ``==`` on temporal
+    values: ``close_to(end, start)`` asks "is this interval
+    instantaneous at clock resolution", which is the question every
+    exact comparison in the codebase was actually trying to ask.
+    Accepts numpy arrays and broadcasts elementwise.
+    """
+    return abs(a - b) <= tol

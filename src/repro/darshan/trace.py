@@ -15,6 +15,7 @@ from typing import Iterable, Iterator, Literal
 import numpy as np
 
 from .records import FileRecord, JobMeta
+from .tolerance import close_to
 
 __all__ = ["Direction", "OperationArray", "Trace"]
 
@@ -106,9 +107,9 @@ class OperationArray:
         new_s = np.clip(self.starts, lo, hi)
         new_e = np.clip(self.ends, lo, hi)
         keep = new_e > new_s
-        # keep zero-length ops that sit inside the window
+        # keep instantaneous ops (at clock resolution) inside the window
         inside = (self.starts >= lo) & (self.starts <= hi)
-        keep |= inside & (self.ends == self.starts)
+        keep |= inside & close_to(self.ends, self.starts)
         frac = np.where(
             self.ends > self.starts, (new_e - new_s) / dur, 1.0
         )

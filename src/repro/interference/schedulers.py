@@ -75,6 +75,8 @@ def schedule_category_aware(
     concrete form of "two jobs reading large volumes at the start should
     not overlap" (paper §V).
     """
+    if n_bins <= 0 or n_candidates <= 0:
+        raise ValueError("n_bins and n_candidates must be positive")
     horizon = window + max((p.run_time for p in predicted), default=0.0)
     width = horizon / n_bins
     accumulated = np.zeros(n_bins)

@@ -1,0 +1,52 @@
+"""``repro lint`` — AST-based invariant analysis for the Mosaic pipeline.
+
+Mosaic's correctness rests on contracts the paper states but Python
+cannot enforce at runtime: the bounded-memory streaming discipline
+(only the :class:`~repro.darshan.source.TraceSource` layer may
+materialize whole traces), exhaustive handling of the
+:class:`~repro.darshan.validate.Violation` corruption taxonomy,
+tolerance-based timestamp comparison, guarded divisions over durations
+and byte counts, and thresholds sourced from
+:mod:`repro.core.thresholds` rather than inlined.  This package turns
+those contracts into machine-checked rules (``MOS001``-``MOS010``) run
+by a self-contained static-analysis engine:
+
+* :mod:`repro.lint.findings` — the findings model (rule, location,
+  severity, fix hint);
+* :mod:`repro.lint.context` — per-module AST context: scope chains,
+  import resolution, parent links;
+* :mod:`repro.lint.rules` — rule base class and registry;
+* :mod:`repro.lint.mos` — the Mosaic-specific rules;
+* :mod:`repro.lint.engine` — file discovery, suppression comments,
+  baseline filtering;
+* :mod:`repro.lint.reporters` — text and JSON output;
+* :mod:`repro.lint.baseline` — adopt-then-ratchet baseline files.
+
+The engine self-hosts: ``repro lint src/ --strict`` runs in CI over
+this repository and must exit 0.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import LintConfig, LintResult, lint_paths
+from .findings import Finding, Severity
+from .reporters import render_json, render_text
+from .rules import REGISTRY, Rule, all_rule_ids
+
+# Importing the rule module registers every MOS rule.
+from . import mos as _mos  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "all_rule_ids",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

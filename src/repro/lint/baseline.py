@@ -1,0 +1,76 @@
+"""Adopt-then-ratchet baselines.
+
+A baseline file records the fingerprints of findings a team has
+*adopted* — debt acknowledged but not yet paid down.  Runs filter
+adopted findings out, so the build stays green while any **new**
+violation still fails; deleting entries (or the whole file) ratchets
+the debt downward.
+
+Fingerprints are line-number-free (see
+:meth:`repro.lint.findings.Finding.fingerprint`) and counted: a file
+with three identical violations baselines all three, and a fourth
+occurrence is new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Fingerprint → adopted-occurrence count."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(counts=dict(Counter(f.fingerprint() for f in findings)))
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        counts = data.get("fingerprints", {})
+        if not isinstance(counts, dict):
+            raise ValueError(f"malformed baseline file: {path}")
+        return cls(counts={str(k): int(v) for k, v in counts.items()})
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _VERSION,
+            "fingerprints": dict(sorted(self.counts.items())),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
+        """(new findings, number suppressed by this baseline).
+
+        Findings are matched in order; once a fingerprint's adopted
+        count is exhausted, further occurrences are new.
+        """
+        budget = dict(self.counts)
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed

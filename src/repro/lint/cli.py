@@ -1,0 +1,102 @@
+"""The ``lint`` subcommand: argument wiring and run orchestration.
+
+Kept separate from :mod:`repro.cli.main` so the engine is usable
+without argparse and the CLI stays a thin shell: parse flags, build a
+:class:`~repro.lint.engine.LintConfig`, run, render, exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baseline import Baseline
+from .engine import LintConfig, lint_paths
+from .reporters import render_json, render_text
+from .rules import REGISTRY, all_rule_ids
+
+__all__ = ["add_lint_subparser", "cmd_lint"]
+
+
+def add_lint_subparser(sub: "argparse._SubParsersAction") -> None:
+    lint = sub.add_parser(
+        "lint",
+        help="check Mosaic pipeline contracts (MOS001-MOS010)",
+        description="AST-based invariant analysis: streaming discipline, "
+        "exhaustive Violation handling, tolerance-based timestamp "
+        "comparison, guarded divisions, named thresholds.  See docs/LINT.md.",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories (default: src)"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only errors",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    lint.add_argument(
+        "--select", help="comma-separated rule ids to run (default: all)"
+    )
+    lint.add_argument("--ignore", help="comma-separated rule ids to skip")
+    lint.add_argument("--baseline", help="baseline file of adopted findings")
+    lint.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="adopt every current finding into PATH and exit 0",
+    )
+    lint.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints from text output"
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+
+
+def _parse_ids(raw: str | None) -> frozenset[str]:
+    if not raw:
+        return frozenset()
+    return frozenset(part.strip().upper() for part in raw.split(",") if part.strip())
+
+
+def _list_rules() -> int:
+    for rule_id in all_rule_ids():
+        cls = REGISTRY[rule_id]
+        print(f"{rule_id}  {cls.severity.value:7s}  {cls.name}: {cls.description}")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+    select = _parse_ids(args.select)
+    config = LintConfig(
+        select=select or None,
+        ignore=_parse_ids(args.ignore),
+        strict=args.strict,
+    )
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load baseline {args.baseline!r}: {exc}") from exc
+    try:
+        result = lint_paths(list(args.paths), config, baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(f"lint: {exc}") from exc
+
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(args.write_baseline)
+        print(
+            f"adopted {len(result.findings)} finding(s) into {args.write_baseline}"
+        )
+        return 0
+
+    if args.fmt == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        sys.stdout.write(render_text(result, show_hints=not args.no_hints))
+    return result.exit_code(args.strict)

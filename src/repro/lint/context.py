@@ -1,0 +1,324 @@
+"""Per-module AST context: scopes, imports, parent links.
+
+The rule framework walks each module's AST exactly once.  A
+:class:`ModuleContext` gives every rule the shared facts it needs to
+reason beyond a single node:
+
+* the module's **dotted name** (``repro.core.pipeline``), derived from
+  the ``__init__.py`` chain above the file — module-allowlist rules
+  (e.g. MOS001's "only the source layer may load whole traces") key on
+  it;
+* an **import table** mapping local aliases to fully qualified names,
+  with relative imports resolved against the module's package;
+* a **scope stack** (module → class → function → comprehension) with
+  the names bound in each scope, so rules can tell a module-level
+  collection from a local one;
+* a **parent stack**, for rules that need to know what encloses the
+  node they are visiting.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Scope",
+    "ModuleContext",
+    "module_name_for_path",
+    "dotted_name",
+    "collect_scope_bindings",
+]
+
+#: Scope kinds that create a new namespace for name binding purposes.
+_SCOPE_NODES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.Lambda,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name of a file, derived from its package chain.
+
+    Walks upward while the containing directory holds an
+    ``__init__.py``; a file outside any package is just its stem (which
+    is what the fixture corpus under ``tests/lint/`` relies on).
+    """
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    parent = os.path.dirname(path)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if parts[0] == "__init__":
+        parts = parts[1:] or [parts[0]]
+    return ".".join(reversed(parts))
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c``; None otherwise."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def collect_scope_bindings(node: ast.AST) -> dict[str, str]:
+    """Names bound directly in ``node``'s scope → binding kind.
+
+    Walks the scope's own statements without descending into nested
+    scopes (their bindings belong to them).  Kinds: ``param``,
+    ``assign``, ``function``, ``class``, ``import``, ``for``, ``with``,
+    ``global``.
+    """
+    bindings: dict[str, str] = {}
+
+    def bind_target(target: ast.AST, kind: str) -> None:
+        if isinstance(target, ast.Name):
+            bindings.setdefault(target.id, kind)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind_target(elt, kind)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value, kind)
+
+    def walk(n: ast.AST) -> None:
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bindings.setdefault(child.name, "function")
+                continue  # nested scope: bind the name, skip the body
+            if isinstance(child, ast.ClassDef):
+                bindings.setdefault(child.name, "class")
+                continue
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, ast.Assign):
+                for t in child.targets:
+                    bind_target(t, "assign")
+            elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(child.target, "assign")
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                bind_target(child.target, "for")
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars, "with")
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    bindings.setdefault(local, "import")
+            elif isinstance(child, (ast.Global, ast.Nonlocal)):
+                for name in child.names:
+                    bindings[name] = "global"
+            elif isinstance(child, ast.NamedExpr):
+                bind_target(child.target, "assign")
+            walk(child)
+
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = node.args
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            bindings[a.arg] = "param"
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for gen in node.generators:
+            bind_target(gen.target, "for")
+    walk(node)
+    return bindings
+
+
+@dataclass(slots=True)
+class Scope:
+    """One namespace on the scope stack."""
+
+    kind: str  # "module" | "class" | "function" | "lambda" | "comprehension"
+    node: ast.AST
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    def binds(self, name: str) -> bool:
+        return name in self.bindings
+
+
+def _scope_kind(node: ast.AST) -> str:
+    if isinstance(node, ast.Module):
+        return "module"
+    if isinstance(node, ast.ClassDef):
+        return "class"
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return "function"
+    if isinstance(node, ast.Lambda):
+        return "lambda"
+    return "comprehension"
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Everything the rules know about the module being checked."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: list[str]
+    imports: dict[str, str] = field(default_factory=dict)
+    scope_stack: list[Scope] = field(default_factory=list)
+    parent_stack: list[ast.AST] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.Module) -> "ModuleContext":
+        module = module_name_for_path(path)
+        ctx = cls(
+            path=path,
+            module=module,
+            tree=tree,
+            source_lines=source.splitlines(),
+        )
+        ctx.imports = ctx._collect_imports(tree)
+        ctx.scope_stack = [
+            Scope(kind="module", node=tree, bindings=collect_scope_bindings(tree))
+        ]
+        return ctx
+
+    # -- imports --------------------------------------------------------
+    @property
+    def package(self) -> str:
+        """Package a relative import resolves against."""
+        parts = self.module.split(".")
+        return ".".join(parts[:-1])
+
+    def _resolve_relative(self, level: int, target: str | None) -> str:
+        base = self.package.split(".") if self.package else []
+        if level > 1:
+            base = base[: len(base) - (level - 1)]
+        if target:
+            base = base + target.split(".")
+        return ".".join(p for p in base if p)
+
+    def _collect_imports(self, tree: ast.Module) -> dict[str, str]:
+        table: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        table[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = self._resolve_relative(node.level, node.module)
+                else:
+                    base = node.module or ""
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        return table
+
+    def qualified(self, name: str) -> str:
+        """Fully qualified form of a local name (itself if unimported)."""
+        return self.imports.get(name, name)
+
+    def qualify_node(self, node: ast.AST) -> str | None:
+        """Qualified dotted name of a Name/Attribute expression.
+
+        ``load_binary`` imported from ``repro.darshan.io_binary``
+        resolves to ``repro.darshan.io_binary.load_binary``;
+        ``io_binary.load_binary`` with ``from ..darshan import
+        io_binary`` resolves the head through the import table.
+        """
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved_head = self.imports.get(head, head)
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+    # -- scopes ---------------------------------------------------------
+    @property
+    def scope(self) -> Scope:
+        return self.scope_stack[-1]
+
+    def enclosing_function(self) -> ast.AST | None:
+        """Innermost function/lambda scope node, if any."""
+        for scope in reversed(self.scope_stack):
+            if scope.kind in ("function", "lambda"):
+                return scope.node
+        return None
+
+    def resolves_to_module_scope(self, name: str) -> bool:
+        """True when ``name`` in the current scope refers to a
+        module-level binding (no intervening local binding, or an
+        explicit ``global`` declaration)."""
+        for scope in reversed(self.scope_stack):
+            if scope.kind == "module":
+                return scope.binds(name)
+            if scope.kind == "class":
+                continue  # class bodies do not enclose function names
+            if scope.bindings.get(name) == "global":
+                return self.scope_stack[0].binds(name)
+            if scope.binds(name):
+                return False
+        return False
+
+    def binding_kind(self, name: str) -> str | None:
+        """Kind of the binding ``name`` resolves to, innermost first."""
+        for scope in reversed(self.scope_stack):
+            if scope.kind == "class" and scope is not self.scope_stack[-1]:
+                continue
+            if scope.binds(name):
+                return scope.bindings[name]
+        return None
+
+    def name_is_nested_function(self, name: str) -> bool:
+        """True when ``name`` resolves to a ``def`` inside a function
+        scope — i.e. a callable that cannot be pickled for a process
+        pool."""
+        for scope in reversed(self.scope_stack):
+            if scope.binds(name):
+                return (
+                    scope.bindings[name] == "function"
+                    and scope.kind in ("function", "lambda")
+                )
+        return False
+
+    # -- parents --------------------------------------------------------
+    def parents(self) -> Iterator[ast.AST]:
+        """Enclosing nodes, innermost first (excluding the current node)."""
+        return reversed(self.parent_stack)
+
+    def parent(self) -> ast.AST | None:
+        return self.parent_stack[-1] if self.parent_stack else None
+
+    # -- driver hooks ---------------------------------------------------
+    def push(self, node: ast.AST) -> None:
+        self.parent_stack.append(node)
+        if isinstance(node, _SCOPE_NODES):
+            self.scope_stack.append(
+                Scope(
+                    kind=_scope_kind(node),
+                    node=node,
+                    bindings=collect_scope_bindings(node),
+                )
+            )
+
+    def pop(self, node: ast.AST) -> None:
+        self.parent_stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            self.scope_stack.pop()

@@ -1,0 +1,181 @@
+"""File discovery, suppression comments, and the lint entry point.
+
+:func:`lint_paths` is the programmatic face of ``repro lint``: it
+expands the given files/directories, parses each module once, runs
+every selected rule through the single-pass :class:`~repro.lint.rules.Checker`,
+drops findings suppressed inline (``# mosaic: disable=MOS005``) or by a
+baseline, and returns a :class:`LintResult` the reporters and the CLI
+share.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .baseline import Baseline
+from .context import ModuleContext
+from .findings import Finding, Severity
+from .rules import REGISTRY, Checker, Rule
+
+__all__ = ["LintConfig", "LintResult", "lint_paths", "check_source"]
+
+#: Inline suppression: ``# mosaic: disable`` (all rules on this line) or
+#: ``# mosaic: disable=MOS001,MOS005``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*mosaic:\s*disable(?:\s*=\s*(?P<rules>[A-Z0-9,\s]+))?", re.IGNORECASE
+)
+
+#: Rule id for files the engine itself cannot process.
+PARSE_ERROR_RULE = "MOS000"
+
+
+@dataclass(slots=True, frozen=True)
+class LintConfig:
+    """What to check and how hard to fail."""
+
+    select: frozenset[str] | None = None  # None → every registered rule
+    ignore: frozenset[str] = frozenset()
+    strict: bool = False
+
+    def active_rule_ids(self) -> list[str]:
+        ids = sorted(self.select) if self.select is not None else sorted(REGISTRY)
+        unknown = set(ids) - set(REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        return [i for i in ids if i not in self.ignore]
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0  # inline `# mosaic: disable` comments
+    n_baselined: int = 0  # adopted via a baseline file
+
+    def failed(self, strict: bool) -> bool:
+        if strict:
+            return bool(self.findings)
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def exit_code(self, strict: bool) -> int:
+        return 1 if self.failed(strict) else 0
+
+
+def discover_files(paths: list[str]) -> list[str]:
+    """Python files under the given files/directories, sorted."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if not d.startswith(".") and d != "__pycache__"
+                )
+                files.extend(
+                    os.path.join(root, n) for n in sorted(names) if n.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(path)
+    return sorted(dict.fromkeys(files))
+
+
+def _suppressions_for(source: str) -> dict[int, frozenset[str] | None]:
+    """line → suppressed rule ids (None = every rule) from comments.
+
+    Tokenizes rather than regex-scanning raw lines so a suppression
+    marker inside a string literal does not silence anything.
+    """
+    table: dict[int, frozenset[str] | None] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                table[tok.start[0]] = None
+            else:
+                ids = frozenset(
+                    r.strip().upper() for r in rules.split(",") if r.strip()
+                )
+                existing = table.get(tok.start[0], frozenset())
+                table[tok.start[0]] = (
+                    None if existing is None else existing | ids
+                )
+    except tokenize.TokenError:
+        pass  # the parse error is reported separately
+    return table
+
+
+def check_source(
+    path: str, source: str, config: LintConfig | None = None
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; (findings, inline-suppressed count)."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=PARSE_ERROR_RULE,
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            severity=Severity.ERROR,
+            message=f"cannot parse module: {exc.msg}",
+            fix_hint="fix the syntax error; unparseable files are unchecked",
+        )
+        return [finding], 0
+    ctx = ModuleContext.build(path, source, tree)
+    findings: list[Finding] = []
+    rules: list[Rule] = [
+        REGISTRY[rule_id](ctx, findings) for rule_id in config.active_rule_ids()
+    ]
+    Checker(ctx, rules).run()
+
+    suppressions = _suppressions_for(source)
+    if not suppressions:
+        return findings, 0
+    kept: list[Finding] = []
+    n_suppressed = 0
+    for finding in findings:
+        suppressed_ids = suppressions.get(finding.line, frozenset())
+        if suppressed_ids is None or finding.rule_id in suppressed_ids:
+            n_suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, n_suppressed
+
+
+def lint_paths(
+    paths: list[str],
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    config = config or LintConfig()
+    result = LintResult()
+    all_findings: list[Finding] = []
+    for path in discover_files(paths):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        findings, n_suppressed = check_source(path, source, config)
+        all_findings.extend(findings)
+        result.n_suppressed += n_suppressed
+        result.n_files += 1
+    if baseline is not None:
+        all_findings, n_baselined = baseline.filter(all_findings)
+        result.n_baselined = n_baselined
+    result.findings = sorted(
+        all_findings, key=lambda f: (f.path, f.line, f.col, f.rule_id)
+    )
+    return result

@@ -1,0 +1,70 @@
+"""Findings model: what a lint rule reports and how it is identified.
+
+A :class:`Finding` pins one contract violation to a ``file:line:col``
+location, carries the human-facing message plus a fix hint, and derives
+a *fingerprint* — a line-number-free identity used by baseline files so
+that unrelated edits (which shift line numbers) do not resurrect
+already-adopted findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How hard a finding fails a run.
+
+    In ``--strict`` mode every finding is fatal; otherwise only
+    ``ERROR`` findings set a non-zero exit status.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(slots=True, frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    severity: Severity
+    message: str
+    fix_hint: str = ""
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: path + rule + message.
+
+        Deliberately excludes line/column so reformatting does not
+        invalidate a baseline; two identical violations in one file
+        share a fingerprint and are counted (see
+        :class:`~repro.lint.baseline.Baseline`).
+        """
+        raw = f"{self.path}::{self.rule_id}::{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint(),
+        }

@@ -1,0 +1,866 @@
+"""The Mosaic contract rules (MOS001-MOS010).
+
+Each rule encodes one invariant the paper states but Python cannot
+enforce; the registry in :mod:`repro.lint.rules` exposes them to the
+engine.  Rules are heuristic by design — they resolve imports and
+scopes, but when a construct is too dynamic to reason about they stay
+silent rather than cry wolf (a lint rule that needs routine
+suppressions stops being read).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .context import dotted_name
+from .findings import Severity
+from .rules import Rule, register
+
+__all__ = ["ENUM_TABLES"]
+
+# -- shared lexicons ----------------------------------------------------
+
+#: Terminal identifiers that denote event timestamps or offsets.
+_TIME_RE = re.compile(
+    r"(^|_)(start|end|time|timestamp|offset|period|duration)s?(_|$)|^t[01]$"
+)
+
+#: Terminal identifiers that denote durations, byte counts, or other
+#: zero-prone extensive quantities used as denominators.
+_DENOM_RE = re.compile(
+    r"(^|_)(duration|time|seconds|bytes|total|volume|span|count|size|length|denom|mean)s?(_|$)"
+)
+
+#: Enum classes whose dispatches must be exhaustive (MOS003), mapped to
+#: their member names.  Resolved from the live taxonomy so the rule can
+#: never drift from the code it guards.
+def _enum_tables() -> dict[str, frozenset[str]]:
+    from ..core.categories import Axis, Category
+    from ..darshan.validate import Violation
+
+    return {
+        "Violation": frozenset(m.name for m in Violation),
+        "Category": frozenset(m.name for m in Category),
+        "Axis": frozenset(m.name for m in Axis),
+    }
+
+
+ENUM_TABLES = _enum_tables()
+
+#: Frozen record types (MOS006): class name → defining module.
+_PROTECTED_TYPES = {
+    "JobMeta": "repro.darshan.records",
+    "FileRecord": "repro.darshan.records",
+    "CategorizationResult": "repro.core.result",
+}
+
+#: Attribute names whose value is known to be a protected record type.
+_PROTECTED_ATTRS = {"meta": "JobMeta"}
+
+#: Methods in which a class may assign to ``self``.
+_CTOR_METHODS = frozenset({"__init__", "__post_init__", "__new__", "__setstate__"})
+
+
+def _terminal(dotted: str) -> str:
+    return dotted.rpartition(".")[2]
+
+
+def _dotted_names_in(node: ast.AST) -> set[str]:
+    """All dotted Name/Attribute chains inside an expression."""
+    found: set[str] = set()
+    for n in ast.walk(node):
+        if isinstance(n, (ast.Name, ast.Attribute)):
+            d = dotted_name(n)
+            if d:
+                found.add(d)
+    return found
+
+
+def _is_max_like_call(node: ast.AST) -> bool:
+    """True for ``max(...)`` / ``np.maximum(...)`` / ``np.clip(...)`` —
+    expressions that establish a floor and therefore guard a division."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and _terminal(name) in ("max", "maximum", "clip")
+
+
+# ======================================================================
+@register
+class WholeTraceLoadRule(Rule):
+    """MOS001: whole-trace loads only inside the TraceSource layer.
+
+    ``load_binary``/``load_text``/``load_json`` materialize an entire
+    decoded trace.  Since the streaming-corpus refactor, only
+    ``repro.darshan.source`` (and the defining io modules) may call
+    them; everything else must go through a lazy
+    :class:`~repro.darshan.source.TraceSource`, or the bounded-memory
+    guarantee of the pipeline silently becomes O(corpus).
+    """
+
+    id = "MOS001"
+    name = "whole-trace-load"
+    description = "load_binary/load_text/load_json outside repro.darshan.source"
+    severity = Severity.ERROR
+    fix_hint = (
+        "iterate a TraceSource (DirectorySource/InMemorySource) or use "
+        "load_binary_meta for header-only access"
+    )
+
+    _TARGETS = frozenset({"load_binary", "load_text", "load_json"})
+    _ALLOWED_MODULES = frozenset(
+        {
+            "repro.darshan",
+            "repro.darshan.source",
+            "repro.darshan.io_binary",
+            "repro.darshan.io_text",
+            "repro.darshan.io_json",
+        }
+    )
+
+    def _allowed(self) -> bool:
+        return self.ctx.module in self._ALLOWED_MODULES
+
+    def on_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._allowed():
+            return
+        if node.level:
+            base = self.ctx._resolve_relative(node.level, node.module)
+        else:
+            base = node.module or ""
+        if not base.startswith("repro.darshan"):
+            return
+        for alias in node.names:
+            if alias.name in self._TARGETS:
+                self.report(
+                    node,
+                    f"import of whole-trace loader {alias.name!r} outside "
+                    "the TraceSource layer",
+                )
+
+    def on_Call(self, node: ast.Call) -> None:
+        if self._allowed():
+            return
+        qualified = self.ctx.qualify_node(node.func)
+        if qualified is None:
+            return
+        if (
+            qualified.startswith("repro.darshan")
+            and _terminal(qualified) in self._TARGETS
+        ):
+            self.report(
+                node,
+                f"whole-trace load {_terminal(qualified)}() outside the "
+                "TraceSource layer",
+            )
+
+
+# ======================================================================
+@register
+class UnboundedAccumulationRule(Rule):
+    """MOS002: no unbounded accumulation into pipeline-scope collections.
+
+    Appending to a module-level collection from inside a function is
+    how O(corpus) memory sneaks back into streaming stages: the list
+    outlives every call and grows with the corpus.  Streaming state
+    must live in bounded per-run structures (dedup refs, counters).
+    """
+
+    id = "MOS002"
+    name = "unbounded-accumulation"
+    description = "append/extend on module-scope collections inside functions"
+    severity = Severity.ERROR
+    fix_hint = (
+        "keep per-run state on a context object with bounded size, or "
+        "yield results instead of accumulating them"
+    )
+
+    _MUTATORS = frozenset({"append", "extend", "insert", "add", "update", "appendleft"})
+
+    def on_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in self._MUTATORS:
+            return
+        if not isinstance(func.value, ast.Name):
+            return
+        if self.ctx.enclosing_function() is None:
+            return  # module-level one-time initialization is fine
+        name = func.value.id
+        if self.ctx.resolves_to_module_scope(name):
+            self.report(
+                node,
+                f"{func.attr}() on module-scope collection {name!r} inside "
+                "a function grows without bound across the corpus",
+            )
+
+
+# ======================================================================
+@register
+class ExhaustiveEnumDispatchRule(Rule):
+    """MOS003: dispatches over the corruption/category taxonomies must be
+    exhaustive or carry an explicit default.
+
+    A new ``Violation`` or ``Category`` member silently falls through
+    any if/elif chain or ``match`` that enumerates members without a
+    default — exactly how trace-analysis tools rot when the corruption
+    taxonomy grows.
+    """
+
+    id = "MOS003"
+    name = "exhaustive-enum-dispatch"
+    description = "non-exhaustive dispatch over Violation/Category/Axis"
+    severity = Severity.ERROR
+    fix_hint = (
+        "add an else/`case _` default or cover every member of the enum"
+    )
+
+    # -- if/elif chains -------------------------------------------------
+    def on_If(self, node: ast.If) -> None:
+        parent = self.ctx.parent()
+        if (
+            isinstance(parent, ast.If)
+            and len(parent.orelse) == 1
+            and parent.orelse[0] is node
+        ):
+            return  # elif continuation; the chain head already handled it
+        branches: list[ast.expr] = []
+        cur: ast.If | None = node
+        final_orelse: list[ast.stmt] = []
+        while cur is not None:
+            branches.append(cur.test)
+            if len(cur.orelse) == 1 and isinstance(cur.orelse[0], ast.If):
+                cur = cur.orelse[0]
+            else:
+                final_orelse = cur.orelse
+                cur = None
+        if len(branches) < 2 or final_orelse:
+            return
+        subject: str | None = None
+        enum_name: str | None = None
+        covered: set[str] = set()
+        for test in branches:
+            parsed = self._parse_branch(test)
+            if parsed is None:
+                return  # not an enum dispatch chain
+            branch_subject, branch_enum, members = parsed
+            if subject is None:
+                subject, enum_name = branch_subject, branch_enum
+            elif subject != branch_subject or enum_name != branch_enum:
+                return
+            covered |= members
+        assert enum_name is not None
+        missing = ENUM_TABLES[enum_name] - covered
+        if missing:
+            self.report(
+                node,
+                f"if/elif over {enum_name} covers {len(covered)} of "
+                f"{len(ENUM_TABLES[enum_name])} members with no else "
+                f"(missing: {', '.join(sorted(missing))})",
+            )
+
+    def _parse_branch(
+        self, test: ast.expr
+    ) -> tuple[str, str, set[str]] | None:
+        """(subject, enum, members) of one enum-comparison test."""
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            subject = enum = None
+            members: set[str] = set()
+            for value in test.values:
+                parsed = self._parse_branch(value)
+                if parsed is None:
+                    return None
+                s, e, m = parsed
+                if subject is None:
+                    subject, enum = s, e
+                elif subject != s or enum != e:
+                    return None
+                members |= m
+            if subject is None or enum is None:
+                return None
+            return subject, enum, members
+        if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+            return None
+        subject_name = dotted_name(test.left)
+        if subject_name is None:
+            return None
+        op = test.ops[0]
+        comparator = test.comparators[0]
+        if isinstance(op, (ast.Eq, ast.Is)):
+            member = self._enum_member(comparator)
+            if member is None:
+                return None
+            return subject_name, member[0], {member[1]}
+        if isinstance(op, ast.In) and isinstance(
+            comparator, (ast.Tuple, ast.List, ast.Set)
+        ):
+            enum = None
+            members = set()
+            for elt in comparator.elts:
+                m = self._enum_member(elt)
+                if m is None:
+                    return None
+                if enum is None:
+                    enum = m[0]
+                elif enum != m[0]:
+                    return None
+                members.add(m[1])
+            if enum is None:
+                return None
+            return subject_name, enum, members
+        return None
+
+    def _enum_member(self, node: ast.AST) -> tuple[str, str] | None:
+        """(enum, member) for ``Violation.UNREADABLE``-style accesses."""
+        if not isinstance(node, ast.Attribute):
+            return None
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        enum = _terminal(base)
+        if enum in ENUM_TABLES and node.attr in ENUM_TABLES[enum]:
+            return enum, node.attr
+        return None
+
+    # -- match statements ----------------------------------------------
+    def on_Match(self, node: ast.Match) -> None:
+        enum_name: str | None = None
+        covered: set[str] = set()
+        for case in node.cases:
+            if self._is_wildcard(case.pattern):
+                return  # explicit default
+            members = self._pattern_members(case.pattern)
+            if members is None:
+                return  # not a pure enum dispatch
+            enum, names = members
+            if enum_name is None:
+                enum_name = enum
+            elif enum_name != enum:
+                return
+            covered |= names
+        if enum_name is None:
+            return
+        missing = ENUM_TABLES[enum_name] - covered
+        if missing:
+            self.report(
+                node,
+                f"match over {enum_name} covers {len(covered)} of "
+                f"{len(ENUM_TABLES[enum_name])} members with no `case _` "
+                f"(missing: {', '.join(sorted(missing))})",
+            )
+
+    @staticmethod
+    def _is_wildcard(pattern: ast.pattern) -> bool:
+        return isinstance(pattern, ast.MatchAs) and pattern.pattern is None
+
+    def _pattern_members(
+        self, pattern: ast.pattern
+    ) -> tuple[str, set[str]] | None:
+        if isinstance(pattern, ast.MatchValue):
+            member = self._enum_member(pattern.value)
+            if member is None:
+                return None
+            return member[0], {member[1]}
+        if isinstance(pattern, ast.MatchOr):
+            enum = None
+            names: set[str] = set()
+            for sub in pattern.patterns:
+                m = self._pattern_members(sub)
+                if m is None:
+                    return None
+                if enum is None:
+                    enum = m[0]
+                elif enum != m[0]:
+                    return None
+                names |= m[1]
+            if enum is None:
+                return None
+            return enum, names
+        return None
+
+
+# ======================================================================
+@register
+class FloatTimestampEqualityRule(Rule):
+    """MOS004: no ``==``/``!=`` on timestamps, offsets, or durations.
+
+    Darshan timestamps survive several float round-trips (binary pack,
+    JSON, merging arithmetic); exact equality is a latent
+    platform-dependent bug.  Compare with
+    :func:`repro.core.thresholds.close_to` instead.
+    """
+
+    id = "MOS004"
+    name = "float-timestamp-equality"
+    description = "exact ==/!= comparison on timestamp-like values"
+    severity = Severity.WARNING
+    fix_hint = "use repro.core.thresholds.close_to(a, b) with an explicit tolerance"
+
+    def on_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if self._is_exempt(left) or self._is_exempt(right):
+                continue
+            for side in (left, right):
+                name = dotted_name(side)
+                if name is not None and _TIME_RE.search(_terminal(name)):
+                    self.report(
+                        node,
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"on timestamp-like value {name!r}",
+                    )
+                    break
+
+    @staticmethod
+    def _is_exempt(node: ast.AST) -> bool:
+        """Comparisons against strings/None are identity checks, not
+        float comparisons."""
+        return isinstance(node, ast.Constant) and (
+            node.value is None or isinstance(node.value, str)
+        )
+
+
+# ======================================================================
+@register
+class UnguardedDivisionRule(Rule):
+    """MOS005: divisions by durations/byte counts must be guarded.
+
+    Zero-length windows and empty segments are *data* at corpus scale
+    (instantaneous Darshan timestamps, all-metadata traces); dividing
+    by them must be explicitly handled, not left to ``ZeroDivisionError``
+    or a silent NaN.
+    """
+
+    id = "MOS005"
+    name = "unguarded-division"
+    description = "division by a duration/byte-count with no visible guard"
+    severity = Severity.WARNING
+    fix_hint = (
+        "guard the denominator (`x / d if d > 0 else 0.0`, max(d, eps), "
+        "or np.where) or raise a typed error"
+    )
+
+    def begin_module(self) -> None:
+        self._guard_cache: dict[int, set[str]] = {}
+
+    def on_BinOp(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            return
+        denom = node.right
+        name = dotted_name(denom)
+        if name is None:
+            return  # calls/expressions as denominators: out of scope
+        terminal = _terminal(name)
+        if not (
+            terminal == "n" or terminal.startswith("n_") or _DENOM_RE.search(terminal)
+        ):
+            return
+        head = name.split(".", 1)[0]
+        if head in ("config", "cfg") or name.startswith(("self.config.", "self.cfg.")):
+            return  # thresholds are validated positive at construction
+        func = self.ctx.enclosing_function()
+        scope_node = func if func is not None else self.ctx.tree
+        guards = self._guards_for(scope_node)
+        if name in guards or terminal in guards:
+            return
+        self.report(
+            node,
+            f"division by {name!r} with no guard against a zero-length "
+            "window or empty segment",
+        )
+
+    def _guards_for(self, scope_node: ast.AST) -> set[str]:
+        key = id(scope_node)
+        cached = self._guard_cache.get(key)
+        if cached is not None:
+            return cached
+        guards: set[str] = set()
+        for n in ast.walk(scope_node):
+            if isinstance(n, (ast.If, ast.While, ast.IfExp)):
+                guards |= _dotted_names_in(n.test)
+            elif isinstance(n, ast.Assert):
+                guards |= _dotted_names_in(n.test)
+            elif isinstance(n, ast.Compare):
+                guards |= _dotted_names_in(n)
+            elif isinstance(n, ast.comprehension):
+                for if_clause in n.ifs:
+                    guards |= _dotted_names_in(if_clause)
+            elif isinstance(n, ast.Assign) and (
+                _is_max_like_call(n.value)
+                or (
+                    isinstance(n.value, ast.Constant)
+                    and isinstance(n.value.value, (int, float))
+                    and n.value.value != 0
+                )
+            ):
+                # assigned from max()/np.maximum()/a nonzero literal:
+                # provably bounded away from zero
+                for target in n.targets:
+                    d = dotted_name(target)
+                    if d:
+                        guards.add(d)
+        # guard names are matched by terminal too, so `self.x` checks
+        # guard `x` read through an alias
+        guards |= {_terminal(g) for g in guards}
+        self._guard_cache[key] = guards
+        return guards
+
+
+# ======================================================================
+@register
+class FrozenRecordMutationRule(Rule):
+    """MOS006: record types are immutable outside their constructors.
+
+    ``JobMeta``/``FileRecord``/``CategorizationResult`` flow through
+    the multiprocess pipeline and are shared across passes; in-place
+    mutation corrupts dedup weights and cached statistics.  Two layers
+    are sanctioned: :mod:`repro.darshan.repair` (operates on deep
+    copies by contract) and the ``repro.synth`` generator (it *builds*
+    records and owns them exclusively until they are serialized).
+    """
+
+    id = "MOS006"
+    name = "frozen-record-mutation"
+    description = "attribute assignment on JobMeta/FileRecord/CategorizationResult"
+    severity = Severity.ERROR
+    fix_hint = "build a new record (dataclasses.replace) instead of mutating"
+
+    _ALLOWED_MODULES = frozenset({"repro.darshan.repair"})
+    _ALLOWED_PREFIXES = ("repro.synth.",)
+
+    def begin_module(self) -> None:
+        self._env_stack: list[dict[str, str]] = [{}]
+
+    # -- type environment ----------------------------------------------
+    def on_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._env_stack.append(self._infer_types(node))
+
+    def after_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._env_stack.pop()
+
+    on_AsyncFunctionDef = on_FunctionDef
+    after_AsyncFunctionDef = after_FunctionDef
+
+    def _infer_types(self, func: ast.FunctionDef) -> dict[str, str]:
+        env: dict[str, str] = {}
+        for arg in (
+            list(func.args.posonlyargs) + list(func.args.args) + list(func.args.kwonlyargs)
+        ):
+            if arg.annotation is not None:
+                ann = dotted_name(arg.annotation)
+                if ann and _terminal(ann) in _PROTECTED_TYPES:
+                    env[arg.arg] = _terminal(ann)
+        for n in ast.walk(func):
+            if isinstance(n, ast.Assign) and isinstance(n.value, ast.Call):
+                callee = dotted_name(n.value.func)
+                if callee and _terminal(callee) in _PROTECTED_TYPES:
+                    for target in n.targets:
+                        if isinstance(target, ast.Name):
+                            env[target.id] = _terminal(callee)
+            elif isinstance(n, (ast.For, ast.AsyncFor)):
+                iter_name = dotted_name(n.iter)
+                if (
+                    iter_name
+                    and _terminal(iter_name) == "records"
+                    and isinstance(n.target, ast.Name)
+                ):
+                    env[n.target.id] = "FileRecord"
+        return env
+
+    # -- mutation detection ---------------------------------------------
+    def on_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+
+    def on_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+
+    def _check_target(self, target: ast.AST, node: ast.AST) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        if self.ctx.module in self._ALLOWED_MODULES or self.ctx.module.startswith(
+            self._ALLOWED_PREFIXES
+        ):
+            return
+        protected = self._protected_type_of(target.value)
+        if protected is None:
+            return
+        if self._in_own_constructor(target.value, protected):
+            return
+        self.report(
+            node,
+            f"mutation of frozen record type {protected}.{target.attr} "
+            "outside its constructor",
+        )
+
+    def _protected_type_of(self, base: ast.AST) -> str | None:
+        """Inferred protected class of the expression being assigned to."""
+        if isinstance(base, ast.Name):
+            inferred = self._env_stack[-1].get(base.id)
+            if inferred is not None:
+                return inferred
+        if isinstance(base, ast.Attribute):
+            if base.attr in _PROTECTED_ATTRS:
+                return _PROTECTED_ATTRS[base.attr]
+        dotted = dotted_name(base)
+        if dotted == "self":
+            cls = self._enclosing_class_name()
+            if cls in _PROTECTED_TYPES:
+                return cls
+        return None
+
+    def _enclosing_class_name(self) -> str | None:
+        for scope in reversed(self.ctx.scope_stack):
+            if scope.kind == "class":
+                return getattr(scope.node, "name", None)
+        return None
+
+    def _in_own_constructor(self, base: ast.AST, protected: str) -> bool:
+        """``self.x = ...`` inside the protected class's own ctor."""
+        if dotted_name(base) != "self":
+            return False
+        if self._enclosing_class_name() != protected:
+            return False
+        func = self.ctx.enclosing_function()
+        return getattr(func, "name", "") in _CTOR_METHODS
+
+
+# ======================================================================
+@register
+class PicklableCallableRule(Rule):
+    """MOS007: callables shipped to the process pool must be picklable.
+
+    ``parallel_map``/``parallel_imap`` pickle their function once per
+    worker; a lambda or nested ``def`` raises ``PicklingError`` only
+    when ``max_workers > 1`` — i.e. in production, never in serial
+    tests.
+    """
+
+    id = "MOS007"
+    name = "picklable-callable"
+    description = "lambda or nested function passed to parallel_map/parallel_imap"
+    severity = Severity.ERROR
+    fix_hint = (
+        "hoist the callable to module level (functools.partial over a "
+        "module-level function is fine)"
+    )
+
+    _TARGETS = frozenset({"parallel_map", "parallel_imap"})
+
+    def on_Call(self, node: ast.Call) -> None:
+        callee = dotted_name(node.func)
+        if callee is None or _terminal(callee) not in self._TARGETS:
+            return
+        fn_arg = self._fn_argument(node)
+        if fn_arg is None:
+            return
+        problem = self._unpicklable_reason(fn_arg)
+        if problem:
+            self.report(node, problem)
+
+    @staticmethod
+    def _fn_argument(node: ast.Call) -> ast.AST | None:
+        if node.args:
+            return node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                return kw.value
+        return None
+
+    def _unpicklable_reason(self, fn_arg: ast.AST) -> str | None:
+        if isinstance(fn_arg, ast.Lambda):
+            return "lambda passed to the process pool cannot be pickled"
+        if isinstance(fn_arg, ast.Call):
+            callee = dotted_name(fn_arg.func)
+            if callee and _terminal(callee) == "partial" and fn_arg.args:
+                return self._unpicklable_reason(fn_arg.args[0])
+            return None
+        if isinstance(fn_arg, ast.Name):
+            name = fn_arg.id
+            if self.ctx.name_is_nested_function(name):
+                return (
+                    f"nested function {name!r} passed to the process pool "
+                    "cannot be pickled"
+                )
+            reason = self._traced_assignment(name)
+            if reason:
+                return reason
+        return None
+
+    def _traced_assignment(self, name: str) -> str | None:
+        """Follow one level of local assignment: ``fn = lambda ...`` or
+        ``fn = partial(nested, ...)``."""
+        func = self.ctx.enclosing_function()
+        if func is None:
+            return None
+        for n in ast.walk(func):
+            if not isinstance(n, ast.Assign):
+                continue
+            for target in n.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(n.value, ast.Lambda):
+                        return (
+                            f"{name!r} is a lambda and cannot be pickled "
+                            "for the process pool"
+                        )
+                    if isinstance(n.value, ast.Call):
+                        return self._unpicklable_reason(n.value)
+        return None
+
+
+# ======================================================================
+@register
+class InlineThresholdRule(Rule):
+    """MOS008: categorization thresholds come from ``core.thresholds``.
+
+    The categorizer/temporality/periodicity/metadata modules implement
+    the paper's decision rules; every cutoff they compare against must
+    be a named ``MosaicConfig`` field so calibration sweeps and the
+    paper's "extended or narrowed" 100 MB rule stay possible.
+    """
+
+    id = "MOS008"
+    name = "inline-threshold"
+    description = "magic-number comparison in a categorization module"
+    severity = Severity.WARNING
+    fix_hint = "name the threshold as a MosaicConfig field and compare against config"
+
+    _MODULE_SUFFIXES = ("categorizer", "temporality", "periodicity", "metadata")
+    #: Structural constants that are not thresholds.
+    _ALLOWED = frozenset({0, 1, 2, -1, 0.0, 1.0, -1.0})
+
+    def _applies(self) -> bool:
+        leaf = self.ctx.module.rpartition(".")[2]
+        return leaf.endswith(self._MODULE_SUFFIXES)
+
+    def on_Compare(self, node: ast.Compare) -> None:
+        if not self._applies():
+            return
+        operands = [node.left, *node.comparators]
+        if all(isinstance(o, ast.Constant) for o in operands):
+            return  # constant-folded asserts aren't thresholds
+        for operand in operands:
+            if (
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, (int, float))
+                and not isinstance(operand.value, bool)
+                and operand.value not in self._ALLOWED
+            ):
+                self.report(
+                    node,
+                    f"inline threshold {operand.value!r} in a "
+                    "categorization decision rule",
+                )
+
+
+# ======================================================================
+@register
+class SwallowedErrorRule(Rule):
+    """MOS009: no bare ``except``; corruption errors only vanish in the
+    scan path.
+
+    ``TraceFormatError`` is *data* during the preprocessing scan (it
+    feeds the ``Violation.UNREADABLE`` funnel counter) but a bug
+    everywhere else; catching it without re-raising outside the scan
+    path hides corpus corruption from the funnel.
+    """
+
+    id = "MOS009"
+    name = "swallowed-error"
+    description = "bare except, or TraceFormatError swallowed outside the scan path"
+    severity = Severity.ERROR
+    fix_hint = (
+        "catch a specific exception; re-raise TraceFormatError or count "
+        "it via the scan-path funnel"
+    )
+
+    _SCAN_PATH_MODULES = frozenset(
+        {
+            "repro.core.preprocess",
+            "repro.core.pipeline",
+            "repro.core.stream",
+            "repro.darshan.source",
+            "repro.cli.main",
+        }
+    )
+
+    def on_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare except: hides every failure, including corruption")
+            return
+        caught = {
+            _terminal(d)
+            for d in _dotted_names_in(node.type)
+        }
+        if "TraceFormatError" not in caught:
+            return
+        if self.ctx.module in self._SCAN_PATH_MODULES:
+            return
+        has_raise = any(isinstance(n, ast.Raise) for n in ast.walk(node))
+        if not has_raise:
+            self.report(
+                node,
+                "TraceFormatError swallowed outside the scan path; "
+                "corruption must reach the funnel or be re-raised",
+            )
+
+
+# ======================================================================
+@register
+class PublicApiAnnotationRule(Rule):
+    """MOS010: public API functions carry complete type annotations.
+
+    Applies to ``repro.core`` and ``repro.darshan`` (the package's
+    typed public surface, shipped with ``py.typed``); every public
+    function/method must annotate all parameters and the return type so
+    ``mypy --strict`` holds the boundary.
+    """
+
+    id = "MOS010"
+    name = "public-api-annotations"
+    description = "missing parameter/return annotations on a public API function"
+    severity = Severity.WARNING
+    fix_hint = "annotate every parameter and the return type"
+
+    def _applies(self) -> bool:
+        mod = self.ctx.module
+        if mod.startswith("repro."):
+            return mod.startswith(("repro.core", "repro.darshan"))
+        return True  # standalone modules (the fixture corpus) are checked
+
+    def on_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if not self._applies() or node.name.startswith("_"):
+            return
+        # only module-level functions and methods of public classes
+        parent = self.ctx.parent()
+        if isinstance(parent, ast.ClassDef) and parent.name.startswith("_"):
+            return
+        if not isinstance(parent, (ast.Module, ast.ClassDef)):
+            return  # nested helpers are not public API
+        missing: list[str] = []
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        for i, arg in enumerate(positional):
+            if i == 0 and isinstance(parent, ast.ClassDef) and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None and arg.annotation is None:
+                missing.append(f"*{arg.arg}")
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            self.report(
+                node,
+                f"public function {node.name}() missing annotations: "
+                + ", ".join(missing),
+            )
+
+    on_AsyncFunctionDef = on_FunctionDef

@@ -1,0 +1,65 @@
+"""Render a :class:`~repro.lint.engine.LintResult` for humans or machines.
+
+Text output is one ``path:line:col: RULE severity: message`` line per
+finding (clickable in editors and CI logs) with an indented fix hint;
+JSON output is a stable document for tooling, carrying the same
+fingerprints the baseline format uses.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import LintResult
+from .findings import Severity
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult, show_hints: bool = True) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} "
+            f"{finding.severity.value}: {finding.message}"
+        )
+        if show_hints and finding.fix_hint:
+            lines.append(f"    hint: {finding.fix_hint}")
+    lines.append(_summary_line(result))
+    return "\n".join(lines) + "\n"
+
+
+def _summary_line(result: LintResult) -> str:
+    n_errors = sum(1 for f in result.findings if f.severity is Severity.ERROR)
+    n_warnings = len(result.findings) - n_errors
+    by_rule = Counter(f.rule_id for f in result.findings)
+    parts = [
+        f"{result.n_files} file(s) checked",
+        f"{n_errors} error(s)",
+        f"{n_warnings} warning(s)",
+    ]
+    if result.n_suppressed:
+        parts.append(f"{result.n_suppressed} suppressed inline")
+    if result.n_baselined:
+        parts.append(f"{result.n_baselined} baselined")
+    line = ", ".join(parts)
+    if by_rule:
+        breakdown = ", ".join(f"{rule}×{n}" for rule, n in sorted(by_rule.items()))
+        line += f" [{breakdown}]"
+    return line
+
+
+def render_json(result: LintResult) -> str:
+    n_errors = sum(1 for f in result.findings if f.severity is Severity.ERROR)
+    doc = {
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "files": result.n_files,
+            "errors": n_errors,
+            "warnings": len(result.findings) - n_errors,
+            "suppressed": result.n_suppressed,
+            "baselined": result.n_baselined,
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,115 @@
+"""Rule base class, registry, and the single-pass AST driver.
+
+Rules follow the flake8-plugin shape: a rule class declares handler
+methods named ``on_<NodeType>`` (called before children are visited)
+and ``after_<NodeType>`` (called once the subtree is done); the
+:class:`Checker` walks the module AST exactly once and dispatches every
+node to every active rule, maintaining the shared
+:class:`~repro.lint.context.ModuleContext` (scopes, parents, imports)
+between callbacks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from .context import ModuleContext
+from .findings import Finding, Severity
+
+__all__ = ["Rule", "Checker", "REGISTRY", "register", "all_rule_ids"]
+
+#: rule id → rule class, populated by :func:`register`.
+REGISTRY: dict[str, type["Rule"]] = {}
+
+
+def register(cls: type["Rule"]) -> type["Rule"]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id: {cls.id}")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_ids() -> list[str]:
+    """Registered rule ids in sorted order."""
+    return sorted(REGISTRY)
+
+
+class Rule:
+    """One invariant check.
+
+    Subclasses set the class attributes and implement ``on_*`` /
+    ``after_*`` handlers.  ``self.ctx`` is the shared module context;
+    findings go through :meth:`report`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.WARNING
+    fix_hint: str = ""
+
+    def __init__(self, ctx: ModuleContext, findings: list[Finding]):
+        self.ctx = ctx
+        self._findings = findings
+
+    def report(
+        self, node: ast.AST, message: str, fix_hint: str | None = None
+    ) -> None:
+        self._findings.append(
+            Finding(
+                rule_id=self.id,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                severity=self.severity,
+                message=message,
+                fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+            )
+        )
+
+    # Optional whole-module hooks.
+    def begin_module(self) -> None:
+        """Called once before the walk starts."""
+
+    def end_module(self) -> None:
+        """Called once after the walk finishes."""
+
+
+class Checker:
+    """Single-pass driver: one AST walk, all rules dispatched per node."""
+
+    def __init__(self, ctx: ModuleContext, rules: list[Rule]):
+        self.ctx = ctx
+        self.rules = rules
+        # Pre-resolve handler tables so the walk does one dict lookup
+        # per (rule, node-type) instead of repeated getattr calls.
+        self._on: dict[str, list[Callable[[ast.AST], None]]] = {}
+        self._after: dict[str, list[Callable[[ast.AST], None]]] = {}
+        for rule in rules:
+            for attr in dir(rule):
+                if attr.startswith("on_"):
+                    self._on.setdefault(attr[3:], []).append(getattr(rule, attr))
+                elif attr.startswith("after_"):
+                    self._after.setdefault(attr[6:], []).append(getattr(rule, attr))
+
+    def run(self) -> None:
+        for rule in self.rules:
+            rule.begin_module()
+        self._visit(self.ctx.tree)
+        for rule in self.rules:
+            rule.end_module()
+
+    def _visit(self, node: ast.AST) -> None:
+        kind = type(node).__name__
+        for handler in self._on.get(kind, ()):
+            handler(node)
+        self.ctx.push(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+        self.ctx.pop(node)
+        for handler in self._after.get(kind, ()):
+            handler(node)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..darshan.tolerance import TIME_TOLERANCE_S
 from ..darshan.trace import OperationArray
 
 __all__ = [
@@ -29,9 +30,12 @@ def overlap_groups(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
 
     Intervals must be sorted by ``starts``.  Two intervals belong to the
     same group iff they overlap or are chained together by overlapping
-    intervals (transitive closure).  Touching intervals (``end == start``)
-    count as overlapping: two ranks writing back-to-back with no gap are
-    one logical operation.
+    intervals (transitive closure).  Touching intervals count as
+    overlapping — two ranks writing back-to-back with no gap are one
+    logical operation — and "touching" is judged at clock resolution
+    (:data:`~repro.darshan.tolerance.TIME_TOLERANCE_S`), so a
+    sub-microsecond gap introduced by float round-trips does not split a
+    group.
 
     Returns an int64 array of group ids, non-decreasing, starting at 0.
     """
@@ -43,7 +47,7 @@ def overlap_groups(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
     running_end = np.maximum.accumulate(ends)
     new_group = np.empty(n, dtype=bool)
     new_group[0] = True
-    new_group[1:] = starts[1:] > running_end[:-1]
+    new_group[1:] = starts[1:] > running_end[:-1] + TIME_TOLERANCE_S
     return np.cumsum(new_group, dtype=np.int64) - 1
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..darshan.tolerance import TIME_TOLERANCE_S
 from ..darshan.trace import OperationArray
 
 __all__ = ["SegmentSet", "segment_operations"]
@@ -45,10 +46,15 @@ class SegmentSet:
     def activity_rates(self) -> np.ndarray:
         """Fraction of each segment spent doing I/O (clipped to [0, 1];
         an operation can outlive its segment when the next operation
-        starts before it ends — fusion makes that rare but volume-less
-        zero-duration segments must not divide by zero)."""
+        starts before it ends — fusion makes that rare but segments that
+        are instantaneous *at clock resolution*, not just exactly
+        zero-length, must not divide by zero)."""
         with np.errstate(divide="ignore", invalid="ignore"):
-            rate = np.where(self.durations > 0, self.busy / self.durations, 1.0)
+            rate = np.where(
+                self.durations > TIME_TOLERANCE_S,
+                self.busy / self.durations,
+                1.0,
+            )
         return np.clip(rate, 0.0, 1.0)
 
     def features(self) -> np.ndarray:

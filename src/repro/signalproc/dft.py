@@ -58,7 +58,7 @@ def detect_periodicity_dft(
     not_periodic = DftDetection(
         periodic=False, period=float("nan"), confidence=0.0, frequency=float("nan")
     )
-    if n < 2 * min_cycles or float(x.sum()) <= 0.0:
+    if n < 2 * min_cycles or signal.duration <= 0.0 or float(x.sum()) <= 0.0:
         return not_periodic
 
     x = x - x.mean()

@@ -24,6 +24,8 @@ def render_ops_lane(
     ops: OperationArray, run_time: float, width: int = 80, label: str = ""
 ) -> str:
     """One text lane: '#' where operations are active, '.' elsewhere."""
+    if run_time <= 0.0:
+        return f"{label:>18} |{'.' * width}| {len(ops)} ops"
     lane = np.zeros(width, dtype=bool)
     for s, e, _ in ops:
         lo = int(np.clip(s / run_time * width, 0, width - 1))

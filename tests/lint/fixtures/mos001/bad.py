@@ -1,0 +1,8 @@
+"""Fixture: whole-trace load outside the TraceSource layer (MOS001)."""
+
+from repro.darshan.io_binary import load_binary
+
+
+def _peek_nprocs(path: str) -> int:
+    trace = load_binary(path)
+    return trace.meta.nprocs

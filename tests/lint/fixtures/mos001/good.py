@@ -1,0 +1,7 @@
+"""Fixture: lazy TraceSource access, no whole-trace load (MOS001 clean)."""
+
+from repro.darshan.source import DirectorySource
+
+
+def _count_traces(path: str) -> int:
+    return DirectorySource(path).count()

@@ -1,0 +1,7 @@
+"""Fixture: unbounded accumulation into module scope (MOS002)."""
+
+_SEEN_JOBS: list[str] = []
+
+
+def _remember(job: str) -> None:
+    _SEEN_JOBS.append(job)

@@ -1,0 +1,9 @@
+"""Fixture: bounded per-call accumulation (MOS002 clean)."""
+
+
+def _dedupe(jobs: list[str]) -> list[str]:
+    seen: list[str] = []
+    for job in jobs:
+        if job not in seen:
+            seen.append(job)
+    return seen

@@ -1,0 +1,13 @@
+"""Fixture: non-exhaustive dispatch over Violation, no default (MOS003)."""
+
+from repro.darshan.validate import Violation
+
+
+def _describe(v: Violation) -> str:
+    if v == Violation.UNREADABLE:
+        return "file could not be decoded"
+    elif v == Violation.NEGATIVE_RUNTIME:
+        return "job ends before it starts"
+    elif v in (Violation.TIMESTAMP_BEFORE_START, Violation.TIMESTAMP_AFTER_END):
+        return "operation outside the job window"
+    return ""

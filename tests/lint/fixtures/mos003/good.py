@@ -1,0 +1,12 @@
+"""Fixture: enum dispatch with an explicit default branch (MOS003 clean)."""
+
+from repro.darshan.validate import Violation
+
+
+def _describe(v: Violation) -> str:
+    if v == Violation.UNREADABLE:
+        return "file could not be decoded"
+    elif v == Violation.NEGATIVE_RUNTIME:
+        return "job ends before it starts"
+    else:
+        return v.value

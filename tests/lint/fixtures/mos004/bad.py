@@ -1,0 +1,5 @@
+"""Fixture: exact float equality on timestamps (MOS004)."""
+
+
+def _is_instantaneous(start_time: float, end_time: float) -> bool:
+    return start_time == end_time

@@ -1,0 +1,7 @@
+"""Fixture: tolerance-based timestamp comparison (MOS004 clean)."""
+
+from repro.core.thresholds import close_to
+
+
+def _is_instantaneous(start_time: float, end_time: float) -> bool:
+    return close_to(start_time, end_time)

@@ -1,0 +1,5 @@
+"""Fixture: division by a duration with no guard (MOS005)."""
+
+
+def _bandwidth(volume: float, duration: float) -> float:
+    return volume / duration

@@ -1,0 +1,5 @@
+"""Fixture: guarded division by a duration (MOS005 clean)."""
+
+
+def _bandwidth(volume: float, duration: float) -> float:
+    return volume / duration if duration > 0 else 0.0

@@ -1,0 +1,7 @@
+"""Fixture: in-place mutation of a frozen record type (MOS006)."""
+
+from repro.darshan.records import FileRecord
+
+
+def _zero_reads(rec: FileRecord) -> None:
+    rec.bytes_read = 0

@@ -1,0 +1,9 @@
+"""Fixture: records rebuilt instead of mutated (MOS006 clean)."""
+
+import dataclasses
+
+from repro.darshan.records import FileRecord
+
+
+def _zeroed_reads(rec: FileRecord) -> FileRecord:
+    return dataclasses.replace(rec, bytes_read=0, reads=0)

@@ -1,0 +1,13 @@
+"""Fixture: module-level callable via partial for the pool (MOS007 clean)."""
+
+from functools import partial
+
+from repro.parallel.executor import parallel_map
+
+
+def _scale(x: int, factor: int) -> int:
+    return x * factor
+
+
+def _double_all(items: list[int]) -> object:
+    return parallel_map(partial(_scale, factor=2), items)

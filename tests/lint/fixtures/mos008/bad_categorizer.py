@@ -1,0 +1,5 @@
+"""Fixture: inline magic threshold in a categorization module (MOS008)."""
+
+
+def _is_significant(total_bytes: float) -> bool:
+    return total_bytes > 104857600.0

@@ -1,0 +1,7 @@
+"""Fixture: threshold read from MosaicConfig (MOS008 clean)."""
+
+from repro.core.thresholds import MosaicConfig
+
+
+def _is_significant(total_bytes: float, config: MosaicConfig) -> bool:
+    return total_bytes > config.insignificant_bytes

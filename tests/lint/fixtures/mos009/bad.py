@@ -1,0 +1,10 @@
+"""Fixture: swallowed corruption errors (MOS009)."""
+
+from repro.darshan.errors import TraceFormatError
+
+
+def _load_quietly(path: str) -> str | None:
+    try:
+        return path.upper()
+    except TraceFormatError:
+        return None

@@ -1,0 +1,10 @@
+"""Fixture: corruption errors re-raised outside the scan path (MOS009 clean)."""
+
+from repro.darshan.errors import TraceFormatError
+
+
+def _load_or_fail(path: str) -> str:
+    try:
+        return path.upper()
+    except TraceFormatError as exc:
+        raise TraceFormatError(f"while loading {path}: {exc}") from exc

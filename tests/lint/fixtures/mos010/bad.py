@@ -1,0 +1,5 @@
+"""Fixture: public function with incomplete annotations (MOS010)."""
+
+
+def transfer_rate(volume, duration: float):
+    return volume * duration

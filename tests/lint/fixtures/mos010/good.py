@@ -1,0 +1,10 @@
+"""Fixture: fully annotated public API, unannotated private helper
+(MOS010 clean — the rule only holds the public surface)."""
+
+
+def transfer_rate(volume: float, duration: float) -> float:
+    return volume * duration
+
+
+def _scratch(x):
+    return x

@@ -1,0 +1,58 @@
+"""Baseline round-trip and filtering semantics."""
+
+from __future__ import annotations
+
+from repro.lint import Baseline
+from repro.lint.findings import Finding, Severity
+
+
+def _finding(msg: str, line: int = 1) -> Finding:
+    return Finding("MOS005", "mod.py", line, 1, Severity.WARNING, msg)
+
+
+def test_round_trip(tmp_path):
+    findings = [_finding("a"), _finding("a", line=9), _finding("b")]
+    baseline = Baseline.from_findings(findings)
+    path = str(tmp_path / "baseline.json")
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.counts == baseline.counts
+    # the duplicate message shares one fingerprint, counted twice
+    assert sorted(loaded.counts.values()) == [1, 2]
+
+
+def test_fingerprint_ignores_line_numbers():
+    assert _finding("a", line=1).fingerprint() == _finding("a", line=99).fingerprint()
+    assert _finding("a").fingerprint() != _finding("b").fingerprint()
+
+
+def test_filter_suppresses_adopted_up_to_count():
+    adopted = Baseline.from_findings([_finding("a")])
+    kept, suppressed = adopted.filter([_finding("a"), _finding("a", line=5)])
+    # one adopted occurrence: the second identical finding is new
+    assert suppressed == 1
+    assert [f.line for f in kept] == [5]
+
+
+def test_filter_passes_unknown_findings_through():
+    adopted = Baseline.from_findings([_finding("a")])
+    kept, suppressed = adopted.filter([_finding("new problem")])
+    assert suppressed == 0
+    assert len(kept) == 1
+
+
+def test_empty_baseline_filters_nothing():
+    kept, suppressed = Baseline().filter([_finding("a")])
+    assert suppressed == 0
+    assert len(kept) == 1
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "fingerprints": {}}')
+    try:
+        Baseline.load(str(path))
+    except ValueError as exc:
+        assert "version" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,71 @@
+"""The ``lint`` subcommand end to end through the real CLI entry point."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli.main import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+BAD = os.path.join(FIXTURES, "mos005", "bad.py")
+GOOD = os.path.join(FIXTURES, "mos005", "good.py")
+
+
+def test_lint_clean_file_exits_zero(capsys):
+    assert main(["lint", GOOD]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_warning_exits_zero_without_strict(capsys):
+    assert main(["lint", BAD]) == 0
+    assert "MOS005" in capsys.readouterr().out
+
+
+def test_lint_strict_fails_on_warning(capsys):
+    assert main(["lint", BAD, "--strict"]) == 1
+    assert "MOS005" in capsys.readouterr().out
+
+
+def test_lint_json_output(capsys):
+    assert main(["lint", BAD, "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["warnings"] == 1
+    assert doc["findings"][0]["rule"] == "MOS005"
+
+
+def test_lint_select_and_ignore(capsys):
+    assert main(["lint", BAD, "--strict", "--select", "MOS004"]) == 0
+    assert main(["lint", BAD, "--strict", "--ignore", "MOS005"]) == 0
+
+
+def test_lint_baseline_workflow(tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    # adopt the current findings...
+    assert main(["lint", BAD, "--write-baseline", baseline]) == 0
+    assert "adopted 1 finding(s)" in capsys.readouterr().out
+    # ...and the next strict run is green
+    assert main(["lint", BAD, "--strict", "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_lint_corrupt_baseline_aborts(tmp_path):
+    baseline = tmp_path / "corrupt.json"
+    baseline.write_text("not json")
+    with pytest.raises(SystemExit):
+        main(["lint", BAD, "--baseline", str(baseline)])
+
+
+def test_lint_missing_path_aborts():
+    with pytest.raises(SystemExit):
+        main(["lint", "/nonexistent/definitely/missing"])
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for n in range(1, 11):
+        assert f"MOS{n:03d}" in out

@@ -1,0 +1,118 @@
+"""Engine behavior: suppression comments, parse errors, discovery,
+exit-code semantics, and self-hosting over the repository's own src/."""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+import pytest
+
+from repro.lint import Severity, lint_paths
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    LintConfig,
+    LintResult,
+    check_source,
+    discover_files,
+)
+from repro.lint.findings import Finding
+
+BAD_DIVISION = textwrap.dedent(
+    """
+    def _rate(volume: float, duration: float) -> float:
+        return volume / duration
+    """
+)
+
+
+def test_check_source_reports_finding():
+    findings, n_suppressed = check_source("mod.py", BAD_DIVISION)
+    assert [f.rule_id for f in findings] == ["MOS005"]
+    assert n_suppressed == 0
+    assert findings[0].line == 3
+
+
+def test_inline_suppression_specific_rule():
+    src = BAD_DIVISION.replace(
+        "volume / duration", "volume / duration  # mosaic: disable=MOS005"
+    )
+    findings, n_suppressed = check_source("mod.py", src)
+    assert findings == []
+    assert n_suppressed == 1
+
+
+def test_inline_suppression_all_rules():
+    src = BAD_DIVISION.replace(
+        "volume / duration", "volume / duration  # mosaic: disable"
+    )
+    findings, n_suppressed = check_source("mod.py", src)
+    assert findings == []
+    assert n_suppressed == 1
+
+
+def test_inline_suppression_other_rule_does_not_apply():
+    src = BAD_DIVISION.replace(
+        "volume / duration", "volume / duration  # mosaic: disable=MOS004"
+    )
+    findings, _ = check_source("mod.py", src)
+    assert [f.rule_id for f in findings] == ["MOS005"]
+
+
+def test_suppression_marker_inside_string_is_inert():
+    src = textwrap.dedent(
+        """
+        def _rate(volume: float, duration: float) -> str:
+            _ = volume / duration
+            return "# mosaic: disable=MOS005"
+        """
+    )
+    findings, n_suppressed = check_source("mod.py", src)
+    assert [f.rule_id for f in findings] == ["MOS005"]
+    assert n_suppressed == 0
+
+
+def test_syntax_error_becomes_parse_finding():
+    findings, _ = check_source("broken.py", "def broken(:\n")
+    assert len(findings) == 1
+    assert findings[0].rule_id == PARSE_ERROR_RULE
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_discover_files_skips_pycache_and_hidden(tmp_path):
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "a.cpython-311.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "b.py").write_text("x = 1\n")
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "c.py").write_text("x = 1\n")
+    files = discover_files([str(tmp_path)])
+    assert [os.path.basename(f) for f in files] == ["a.py", "c.py"]
+
+
+def test_discover_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        discover_files(["/nonexistent/definitely/missing"])
+
+
+def test_exit_code_semantics():
+    warning = Finding("MOS005", "m.py", 1, 1, Severity.WARNING, "w")
+    error = Finding("MOS001", "m.py", 1, 1, Severity.ERROR, "e")
+    only_warnings = LintResult(findings=[warning])
+    assert only_warnings.exit_code(strict=False) == 0
+    assert only_warnings.exit_code(strict=True) == 1
+    with_error = LintResult(findings=[warning, error])
+    assert with_error.exit_code(strict=False) == 1
+    assert with_error.exit_code(strict=True) == 1
+    clean = LintResult()
+    assert clean.exit_code(strict=True) == 0
+
+
+def test_self_hosting_src_is_strict_clean():
+    """The acceptance gate: the repository lints itself clean."""
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    result = lint_paths([os.path.normpath(src)], LintConfig(strict=True))
+    assert result.findings == [], [
+        f"{f.location()}: {f.rule_id} {f.message}" for f in result.findings
+    ]

@@ -1,0 +1,79 @@
+"""Reporter snapshots: the text and JSON shapes tooling depends on."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import render_json, render_text
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding, Severity
+
+
+def _result() -> LintResult:
+    return LintResult(
+        findings=[
+            Finding(
+                "MOS001",
+                "src/repro/viz/x.py",
+                12,
+                5,
+                Severity.ERROR,
+                "whole-trace load load_binary() outside the TraceSource layer",
+                fix_hint="iterate a TraceSource instead",
+            ),
+            Finding(
+                "MOS005",
+                "src/repro/viz/x.py",
+                30,
+                9,
+                Severity.WARNING,
+                "division by 'run_time' with no guard",
+            ),
+        ],
+        n_files=3,
+        n_suppressed=1,
+    )
+
+
+def test_text_snapshot():
+    text = render_text(_result())
+    assert text == (
+        "src/repro/viz/x.py:12:5: MOS001 error: whole-trace load "
+        "load_binary() outside the TraceSource layer\n"
+        "    hint: iterate a TraceSource instead\n"
+        "src/repro/viz/x.py:30:9: MOS005 warning: division by 'run_time' "
+        "with no guard\n"
+        "3 file(s) checked, 1 error(s), 1 warning(s), 1 suppressed inline "
+        "[MOS001×1, MOS005×1]\n"
+    )
+
+
+def test_text_without_hints():
+    text = render_text(_result(), show_hints=False)
+    assert "hint:" not in text
+
+
+def test_text_clean_run_summary_only():
+    text = render_text(LintResult(n_files=5))
+    assert text == "5 file(s) checked, 0 error(s), 0 warning(s)\n"
+
+
+def test_json_snapshot():
+    doc = json.loads(render_json(_result()))
+    assert doc["summary"] == {
+        "files": 3,
+        "errors": 1,
+        "warnings": 1,
+        "suppressed": 1,
+        "baselined": 0,
+    }
+    first = doc["findings"][0]
+    assert first["rule"] == "MOS001"
+    assert first["path"] == "src/repro/viz/x.py"
+    assert first["line"] == 12
+    assert first["severity"] == "error"
+    assert len(first["fingerprint"]) == 16
+
+
+def test_json_is_stable():
+    assert render_json(_result()) == render_json(_result())
