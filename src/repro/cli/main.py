@@ -16,17 +16,25 @@ Subcommands mirror the paper's workflow:
     Render the Fig. 2-style processing view of one synthetic trace.
 ``mosaic lint``
     Statically check the codebase against the pipeline's contracts
-    (MOS001-MOS010, see ``docs/LINT.md``).  Also installed as ``repro``,
+    (MOS001-MOS011, see ``docs/LINT.md``).  Also installed as ``repro``,
     so CI runs ``repro lint src/ --strict``.
+
+Corpus-scale runs are fault-tolerant (docs/ROBUSTNESS.md): ``--journal``
+checkpoints per-trace outcomes so a killed run resumes with ``--resume``,
+``--task-timeout`` quarantines hung traces, and ``--chaos SEED`` injects
+a deterministic fault schedule to rehearse all of it.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os
 import sys
-from typing import Sequence
+import tempfile
+from dataclasses import replace
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -40,6 +48,7 @@ from ..analysis import (
     temporality_table,
 )
 from ..core import run_pipeline_stream, save_results_jsonl
+from ..core.pipeline import PipelineContext, PipelineResult
 from ..core.thresholds import DEFAULT_CONFIG
 from ..darshan import (
     DirectorySource,
@@ -50,7 +59,8 @@ from ..darshan import (
     save_json,
 )
 from ..lint.cli import add_lint_subparser, cmd_lint
-from ..parallel import ParallelConfig
+from ..parallel import ParallelConfig, PoolRebuildLimit
+from ..testing import ChaosInjector
 from ..synth import FleetConfig, cohort_by_name, generate_fleet, generate_run
 from ..viz import render_jaccard, render_shares_table, render_trace_anatomy
 
@@ -84,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
     cat.add_argument("--repair", action="store_true",
                      help="attempt conservative repair of corrupted traces "
                      "instead of evicting them outright")
+    _add_resilience_flags(cat)
 
     rep = sub.add_parser("report", help="categorize and print paper tables")
     rep.add_argument("--traces", help="trace directory (omit to synthesize)")
@@ -93,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--workers", type=int, default=0)
     rep.add_argument("--repair", action="store_true",
                      help="attempt conservative repair of corrupted traces")
+    _add_resilience_flags(rep)
+    rep.add_argument(
+        "--chaos", type=int, metavar="SEED",
+        help="inject a deterministic fault schedule (crashes, hangs, "
+        "transient errors) to rehearse the resilient executor; "
+        "requires --workers >= 2",
+    )
 
     ana = sub.add_parser("anatomy", help="render one trace's processing view")
     ana.add_argument("--cohort", default="rcw_ckpt_periodic",
@@ -123,6 +141,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_subparser(sub)
     return parser
+
+
+def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--journal", metavar="PATH",
+        help="checkpoint per-trace outcomes to an append-only JSONL "
+        "journal (enables later --resume; see docs/ROBUSTNESS.md)",
+    )
+    sub.add_argument(
+        "--resume", metavar="PATH",
+        help="resume a killed run from its journal: settled traces are "
+        "skipped, new outcomes are appended to the same journal",
+    )
+    sub.add_argument(
+        "--task-timeout", type=float, metavar="SECONDS",
+        help="per-trace categorization deadline; hung traces are "
+        "quarantined as TIMEOUT and their worker recycled "
+        "(default: no deadline)",
+    )
 
 
 def _dir_source(path: str) -> DirectorySource:
@@ -160,6 +197,21 @@ def _print_stage_metrics(result) -> None:
         f"{m.get('n_failures', 0)} failures, "
         f"peak {m.get('peak_inflight_traces', 0)} traces in flight"
     )
+    resilience = (
+        "n_retries", "n_reload_retries", "n_timeouts", "n_crash_events",
+        "n_pool_rebuilds", "n_poisoned", "n_resumed", "n_quarantined",
+    )
+    if any(m.get(k, 0) for k in resilience):
+        print(
+            f"  resilience: "
+            f"{m.get('n_retries', 0) + m.get('n_reload_retries', 0)} retries, "
+            f"{m.get('n_timeouts', 0)} timeouts, "
+            f"{m.get('n_crash_events', 0)} crash events, "
+            f"{m.get('n_pool_rebuilds', 0)} pool rebuilds, "
+            f"{m.get('n_poisoned', 0)} poisoned, "
+            f"{m.get('n_resumed', 0)} resumed, "
+            f"{m.get('n_quarantined', 0)} quarantined"
+        )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -192,14 +244,94 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parallel(workers: int) -> ParallelConfig:
-    return ParallelConfig(max_workers=workers if workers >= 0 else None)
+def _parallel(
+    workers: int, task_timeout: float | None = None
+) -> ParallelConfig:
+    cfg = ParallelConfig(max_workers=workers if workers >= 0 else None)
+    if task_timeout is not None:
+        cfg = replace(cfg, task_timeout_s=task_timeout)
+    return cfg
+
+
+def _journal_args(args: argparse.Namespace) -> tuple[str | None, bool]:
+    """Resolve --journal/--resume into (journal_path, resume)."""
+    journal: str | None = getattr(args, "journal", None)
+    resume: str | None = getattr(args, "resume", None)
+    if resume and journal and os.path.abspath(resume) != os.path.abspath(journal):
+        raise SystemExit(
+            "--journal and --resume must name the same file "
+            "(--resume alone both reads and extends the journal)"
+        )
+    if resume:
+        if not os.path.exists(resume):
+            raise SystemExit(f"no journal to resume at {resume!r}")
+        return resume, True
+    return journal, False
+
+
+def _chaos_wrap(
+    fn: Callable[[Any], Any], *, seed: int, state_dir: str
+) -> Callable[[Any], Any]:
+    """Default CLI chaos schedule: mostly-healthy corpus with a few
+    crashes, one-in-fifty hangs, and recoverable transient errors."""
+    return ChaosInjector(
+        inner=fn,
+        seed=seed,
+        crash_rate=0.02,
+        hang_rate=0.02,
+        flaky_rate=0.05,
+        state_dir=state_dir,
+    )
+
+
+def _chaos_context(args: argparse.Namespace) -> PipelineContext | None:
+    """Build a chaos-wrapped pipeline context, or None without --chaos."""
+    if getattr(args, "chaos", None) is None:
+        return None
+    parallel = _parallel(args.workers, args.task_timeout)
+    if parallel.resolved_workers() <= 1:
+        raise SystemExit(
+            "--chaos requires a process pool (--workers >= 2): injected "
+            "crashes would kill the CLI itself in serial mode"
+        )
+    if parallel.task_timeout_s is None:
+        # hangs must be detectable, so chaos implies a deadline
+        parallel = replace(parallel, task_timeout_s=30.0)
+    if parallel.max_pool_rebuilds is None:
+        # the production budget (3) assumes crashes are anomalies;
+        # chaos injects them on purpose, so a self-test needs headroom
+        parallel = replace(parallel, max_pool_rebuilds=100)
+    return PipelineContext(
+        config=DEFAULT_CONFIG,
+        parallel=parallel,
+        repair=getattr(args, "repair", False),
+        wrap_worker=functools.partial(
+            _chaos_wrap,
+            seed=args.chaos,
+            state_dir=tempfile.mkdtemp(prefix="mosaic-chaos-"),
+        ),
+    )
+
+
+def _print_journal_paths(result: PipelineResult, journal: str | None) -> None:
+    if journal is None:
+        return
+    m = result.metrics
+    print(f"  journal:    {journal}")
+    if m.get("n_quarantined", 0):
+        print(f"  quarantine: {journal}.quarantine.json")
 
 
 def _cmd_categorize(args: argparse.Namespace) -> int:
     source = _dir_source(args.traces)
+    journal, resume = _journal_args(args)
     result = run_pipeline_stream(
-        source, DEFAULT_CONFIG, _parallel(args.workers), repair=args.repair
+        source,
+        DEFAULT_CONFIG,
+        _parallel(args.workers, args.task_timeout),
+        repair=args.repair,
+        journal_path=journal,
+        resume=resume,
     )
     n = save_results_jsonl(result.results, args.out)
     weights_path = args.out + ".weights.json"
@@ -215,6 +347,7 @@ def _cmd_categorize(args: argparse.Namespace) -> int:
         f"{pre.unique_fraction:.0%} unique) in {result.timings['total_s']:.1f}s"
     )
     _print_stage_metrics(result)
+    _print_journal_paths(result, journal)
     print(f"results: {args.out}\nall-runs weights: {weights_path}")
     return 0
 
@@ -229,8 +362,18 @@ def _corpus_source(args: argparse.Namespace) -> TraceSource:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     source = _corpus_source(args)
+    journal, resume = _journal_args(args)
+    context = _chaos_context(args)
+    if context is not None:
+        print(f"chaos mode: seed={args.chaos}, injecting faults...")
     result = run_pipeline_stream(
-        source, DEFAULT_CONFIG, _parallel(args.workers), repair=args.repair
+        source,
+        DEFAULT_CONFIG,
+        _parallel(args.workers, args.task_timeout),
+        repair=args.repair,
+        context=context,
+        journal_path=journal,
+        resume=resume,
     )
     weights = result.run_weights()
 
@@ -244,6 +387,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         f"repaired: {result.preprocess.n_repaired}"
     )
     _print_stage_metrics(result)
+    _print_journal_paths(result, journal)
 
     print("\n== Periodic writes (Table II) ==")
     print(render_shares_table(periodicity_table(result.results, weights, "write")))
@@ -343,7 +487,13 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except PoolRebuildLimit as exc:
+        raise SystemExit(
+            f"aborted: {exc}\n(raise --task-timeout / max_pool_rebuilds, or "
+            "quarantine the offending traces and --resume from the journal)"
+        ) from exc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -9,32 +9,55 @@ process pool) — so corpora larger than RAM are categorizable.  The
 original batch API, :func:`run_pipeline`, wraps an in-memory source and
 materializes the selected traces, preserving its historical contract.
 
+Pass ② runs on the *resilient* executor
+(:func:`~repro.parallel.resilient.resilient_imap`): worker crashes
+rebuild the pool instead of aborting, hung traces are quarantined as
+TIMEOUT, transient read errors are retried with backoff, and inputs
+that repeatedly kill workers are quarantined as POISON.  With a
+``journal_path``, every per-trace outcome is checkpointed to an
+append-only JSONL journal as it completes, so a killed run resumes
+(``resume=True``) exactly where it died; quarantined traces are listed
+in a ``<journal>.quarantine.json`` manifest.  See docs/ROBUSTNESS.md.
+
 A :class:`PipelineContext` threads configuration, error policy, and
 observability (per-stage wall-clock timings plus counters: traces
-scanned, bytes read, peak in-flight traces, failures) through the run;
-both surface on :class:`PipelineResult`.
+scanned, bytes read, peak in-flight traces, failures, retries, pool
+rebuilds) through the run; both surface on :class:`PipelineResult`.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Callable, Iterator, Union
 
+from ..darshan.errors import (
+    TraceFormatError,
+    TraceReadError,
+    TraceUnavailableError,
+)
 from ..darshan.source import InMemorySource, TraceSource
 from ..darshan.trace import Trace
 from ..parallel.executor import (
     MapOutcome,
     ParallelConfig,
     TaskFailure,
-    parallel_imap,
     parallel_map,
 )
+from ..parallel.journal import (
+    JournalState,
+    JournalWriter,
+    write_quarantine_manifest,
+)
+from ..parallel.resilient import resilient_imap
+from ..parallel.retry import FailureKind, RetryPolicy, backoff_delay
 from .categorizer import categorize_trace
 from .preprocess import (
     PreprocessResult,
+    SelectedRef,
     SelectionPlan,
     load_selected,
     scan_corpus,
@@ -48,6 +71,9 @@ __all__ = [
     "run_pipeline",
     "run_pipeline_stream",
 ]
+
+#: Worker-function decorator slot type (chaos injection, tracing, ...).
+WorkerWrapper = Callable[[Callable[[Any], Any]], Callable[[Any], Any]]
 
 
 def _trace_cost(trace: Trace) -> float:
@@ -67,16 +93,20 @@ class PipelineContext:
     ``error_policy`` decides what a per-trace categorization failure
     does — ``"collect"`` (the paper's behaviour: count it, keep going)
     or ``"raise"`` (abort on first failure; debugging).
+    ``wrap_worker`` optionally decorates the picklable worker function
+    before it ships to the pool — the chaos harness's injection point.
     """
 
     config: MosaicConfig = DEFAULT_CONFIG
     parallel: ParallelConfig = field(default_factory=_default_parallel)
     repair: bool = False
     error_policy: str = "collect"
+    wrap_worker: WorkerWrapper | None = None
     #: Wall-clock seconds per stage, keyed ``<stage>_s``.
     timings: dict[str, float] = field(default_factory=dict)
     #: Monotonic counters: traces_scanned, bytes_read, n_unreadable,
-    #: peak_inflight_traces, dedup_state_size, failures, ...
+    #: peak_inflight_traces, dedup_state_size, failures, n_retries,
+    #: n_pool_rebuilds, n_timeouts, n_poisoned, n_quarantined, ...
     counters: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -105,6 +135,18 @@ class PipelineContext:
         """Record a high-water mark."""
         if value > self.counters.get(name, 0):
             self.counters[name] = value
+
+    def retry_policy(self) -> RetryPolicy:
+        """Effective retry policy: :class:`MosaicConfig` defaults,
+        overridden by any explicitly-set :class:`ParallelConfig` field."""
+        base = RetryPolicy(
+            task_timeout_s=self.config.task_timeout_s,
+            max_retries=self.config.max_retries,
+            backoff_base_s=self.config.backoff_base_s,
+            backoff_cap_s=max(self.config.backoff_base_s, RetryPolicy().backoff_cap_s),
+            max_pool_rebuilds=self.config.max_pool_rebuilds,
+        )
+        return self.parallel.retry_policy(base)
 
 
 @dataclass(slots=True)
@@ -147,23 +189,84 @@ def _scan_stage(source: TraceSource, ctx: PipelineContext) -> SelectionPlan:
     return plan
 
 
-def _collect(
-    n: int,
-    stream: Iterator[tuple[int, CategorizationResult | TaskFailure]],
+# ----------------------------------------------------------------------
+# Pass ② payloads.  A selected trace that stays unreadable after the
+# parent-side retry budget travels to the worker as a _LoadFailure
+# sentinel (keeping stream indexes aligned), where it raises a
+# permanent, per-trace error instead of aborting the corpus.
+
+
+@dataclass(slots=True, frozen=True)
+class _LoadFailure:
+    """A selected trace whose reload failed even with retries."""
+
+    job_id: int
+    error_type: str
+    message: str
+
+
+_Payload = Union[Trace, _LoadFailure]
+
+
+def _categorize_payload(
+    payload: _Payload, config: MosaicConfig
+) -> CategorizationResult:
+    """Worker-side entry: categorize a trace, or surface its load error."""
+    if isinstance(payload, _LoadFailure):
+        raise TraceUnavailableError(
+            f"trace {payload.job_id} unreadable after retries: "
+            f"{payload.error_type}: {payload.message}"
+        )
+    return categorize_trace(payload, config)
+
+
+def _load_with_retry(
+    source: TraceSource,
+    entry: SelectedRef,
+    policy: RetryPolicy,
     ctx: PipelineContext,
-) -> tuple[list[CategorizationResult], list[TaskFailure]]:
-    """Drain an indexed result stream back into input order."""
-    slots: list[CategorizationResult | TaskFailure | None] = [None] * n
-    failures: list[TaskFailure] = []
-    for index, outcome in stream:
-        if isinstance(outcome, TaskFailure):
-            if ctx.error_policy == "raise":
-                raise RuntimeError(f"categorization failed: {outcome}")
-            failures.append(outcome)
-        slots[index] = outcome
-    results = [r for r in slots if isinstance(r, CategorizationResult)]
-    failures.sort(key=lambda f: f.index)
-    return results, failures
+) -> _Payload:
+    """Reload one selected trace, retrying transient read failures.
+
+    The scan already decoded this trace once, so a failure here is
+    environmental (file mid-rewrite, I/O hiccup) until proven
+    persistent — exactly the ``TraceFormatError``-on-reread class the
+    retry policy covers.
+    """
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return load_selected(source, entry)
+        except (TraceFormatError, TraceReadError, OSError) as exc:
+            if attempts > policy.max_retries:
+                return _LoadFailure(
+                    job_id=entry.job_id,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+            ctx.count("n_reload_retries")
+            delay = backoff_delay(attempts, policy, key=entry.job_id)
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _failure_from_record(record: dict[str, Any], index: int) -> TaskFailure:
+    """Rehydrate a journaled failure for a resumed run."""
+    raw_kind = str(record.get("failure_kind", FailureKind.EXCEPTION.value))
+    try:
+        kind = FailureKind(raw_kind)
+    except ValueError:
+        kind = FailureKind.EXCEPTION
+    return TaskFailure(
+        index=index,
+        error_type=str(record.get("error_type", "")),
+        message=str(record.get("message", "")),
+        traceback_text="",
+        kind=kind,
+        qualname=str(record.get("error_type", "")),
+        attempts=int(record.get("attempts", 1)),
+    )
 
 
 def run_pipeline_stream(
@@ -173,6 +276,8 @@ def run_pipeline_stream(
     *,
     repair: bool = False,
     context: PipelineContext | None = None,
+    journal_path: str | os.PathLike[str] | None = None,
+    resume: bool = False,
 ) -> PipelineResult:
     """Run MOSAIC end to end over a lazy trace source, out of core.
 
@@ -182,8 +287,13 @@ def run_pipeline_stream(
     selected traces in flight (1 when serial).  The full corpus is never
     resident, so corpus size is bounded by disk, not RAM.
 
-    ``context`` may be passed to override error policy or to share one
-    metrics sink across runs; otherwise one is built from the arguments.
+    ``journal_path`` checkpoints every per-trace outcome as it completes
+    (append-only JSONL); ``resume=True`` reloads an existing journal at
+    that path first and skips traces it already settled — completed ones
+    contribute their saved results, quarantined (TIMEOUT/POISON) ones
+    stay quarantined.  ``context`` may be passed to override error
+    policy, inject a worker wrapper, or share one metrics sink across
+    runs; otherwise one is built from the arguments.
     """
     ctx = context or PipelineContext(
         config=config,
@@ -192,29 +302,117 @@ def run_pipeline_stream(
     )
     t0 = time.perf_counter()
     plan = _scan_stage(source, ctx)
+    policy = ctx.retry_policy()
+
+    # -- journal / resume bookkeeping ----------------------------------
+    journal: JournalWriter | None = None
+    resumed_results: dict[int, CategorizationResult] = {}
+    resumed_failures: dict[int, TaskFailure] = {}
+    quarantine_records: list[dict[str, Any]] = []
+    if journal_path is not None:
+        jpath = os.fspath(journal_path)
+        appending = resume and os.path.exists(jpath)
+        if appending:
+            state = JournalState.load(jpath)
+            if (
+                state.n_selected is not None
+                and state.n_selected != plan.n_selected
+            ):
+                raise ValueError(
+                    f"journal {jpath!r} was written for a corpus with "
+                    f"{state.n_selected} selected traces; this corpus "
+                    f"selects {plan.n_selected} — refusing to resume"
+                )
+            resumed_results = {
+                job_id: CategorizationResult.from_dict(payload)
+                for job_id, payload in state.completed.items()
+            }
+            resumed_failures = {
+                job_id: _failure_from_record(record, index=-1)
+                for job_id, record in state.quarantined.items()
+            }
+            quarantine_records.extend(state.quarantined.values())
+            ctx.count("n_journal_malformed", state.n_malformed)
+        journal = JournalWriter(jpath, append=appending)
+        if not appending:
+            journal.write_header(n_selected=plan.n_selected)
 
     bytes_before = source.bytes_read
-    with ctx.stage("categorize"):
-        inflight = 0
-        peak = 0
+    failures: list[TaskFailure] = []
+    slots: list[CategorizationResult | None] = [None] * len(plan.selected)
+    try:
+        with ctx.stage("categorize"):
+            pending: list[tuple[int, SelectedRef]] = []
+            for slot, entry in enumerate(plan.selected):
+                if entry.job_id in resumed_results:
+                    slots[slot] = resumed_results[entry.job_id]
+                elif entry.job_id in resumed_failures:
+                    failures.append(resumed_failures[entry.job_id])
+                else:
+                    pending.append((slot, entry))
+            ctx.count("n_resumed", len(plan.selected) - len(pending))
 
-        def load_stream() -> Iterator[Trace]:
-            nonlocal inflight, peak
-            for entry in plan.selected:
-                inflight += 1
-                peak = max(peak, inflight)
-                yield load_selected(source, entry)
+            inflight = 0
+            peak = 0
 
-        fn = functools.partial(categorize_trace, config=ctx.config)
-        stream = parallel_imap(fn, load_stream(), ctx.parallel)
+            def load_stream() -> Iterator[_Payload]:
+                nonlocal inflight, peak
+                for _slot, entry in pending:
+                    inflight += 1
+                    peak = max(peak, inflight)
+                    yield _load_with_retry(source, entry, policy, ctx)
 
-        def counted() -> Iterator[tuple[int, CategorizationResult | TaskFailure]]:
-            nonlocal inflight
-            for pair in stream:
+            fn: Callable[[Any], Any] = functools.partial(
+                _categorize_payload, config=ctx.config
+            )
+            if ctx.wrap_worker is not None:
+                fn = ctx.wrap_worker(fn)
+            stream = resilient_imap(
+                fn,
+                load_stream(),
+                ctx.parallel,
+                policy=policy,
+                on_count=ctx.count,
+            )
+
+            for index, outcome in stream:
                 inflight -= 1
-                yield pair
+                slot, entry = pending[index]
+                if isinstance(outcome, TaskFailure):
+                    if ctx.error_policy == "raise":
+                        raise RuntimeError(f"categorization failed: {outcome}")
+                    failures.append(outcome)
+                    record = {
+                        "job_id": entry.job_id,
+                        "failure_kind": outcome.kind.value,
+                        "error_type": outcome.error_type,
+                        "message": outcome.message,
+                        "trace_key": str(entry.ref.key),
+                        "attempts": outcome.attempts,
+                    }
+                    if outcome.kind in (FailureKind.TIMEOUT, FailureKind.POISON):
+                        quarantine_records.append(record)
+                        ctx.count("n_quarantined")
+                    if journal is not None:
+                        journal.record_failure(
+                            entry.job_id,
+                            failure_kind=outcome.kind.value,
+                            error_type=outcome.error_type,
+                            message=outcome.message,
+                            trace_key=str(entry.ref.key),
+                            attempts=outcome.attempts,
+                        )
+                else:
+                    slots[slot] = outcome
+                    if journal is not None:
+                        journal.record_result(entry.job_id, outcome.to_dict())
+    finally:
+        if journal is not None:
+            journal.close()
+            write_quarantine_manifest(journal.path, quarantine_records)
 
-        results, failures = _collect(len(plan.selected), counted(), ctx)
+    results = [r for r in slots if r is not None]
+    failures.sort(key=lambda f: f.index)
 
     ctx.count("n_selected", plan.n_selected)
     ctx.count("n_failures", len(failures))

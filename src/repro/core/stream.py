@@ -48,26 +48,55 @@ class AppEntry:
 
 @dataclass(slots=True)
 class ApplicationCatalog:
-    """Online per-application categorization store."""
+    """Online per-application categorization store.
+
+    Ingest is fault-isolated the same way the batch pipeline is (see
+    docs/ROBUSTNESS.md): a trace whose categorization raises is counted
+    and dropped rather than killing the stream, and an application whose
+    traces *keep* failing is quarantined — its runs are rejected at the
+    door so one poison producer cannot monopolize the catalog's time.
+    """
 
     config: MosaicConfig = DEFAULT_CONFIG
     #: Re-categorize a run only when it is at least this much heavier
     #: than the catalog entry (avoids churning on equal-weight runs).
     min_weight_gain: float = 1.0
+    #: Categorization failures tolerated per application before its
+    #: runs are quarantined (mirrors ``RetryPolicy.max_item_crashes``).
+    max_app_failures: int = 2
     _entries: dict[tuple[int, str], AppEntry] = field(default_factory=dict)
+    _failures: dict[tuple[int, str], int] = field(default_factory=dict)
+    _quarantined: set[tuple[int, str]] = field(default_factory=set)
     n_ingested: int = 0
     n_rejected: int = 0
+    n_failed: int = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def n_quarantined(self) -> int:
+        return len(self._quarantined)
+
+    def quarantined_apps(self) -> list[tuple[int, str]]:
+        """Application keys whose ingest keeps failing (sorted)."""
+        return sorted(self._quarantined)
+
     # ------------------------------------------------------------------
+    def _record_failure(self, key: tuple[int, str]) -> None:
+        self.n_failed += 1
+        self._failures[key] = self._failures.get(key, 0) + 1
+        if self._failures[key] >= self.max_app_failures:
+            self._quarantined.add(key)
+
     def ingest(self, trace: Trace) -> AppEntry | None:
         """Feed one finished job's trace.
 
-        Corrupted traces are rejected (counted, not raised — the stream
-        must keep flowing).  Returns the application's current entry, or
-        ``None`` if the trace was rejected.
+        Corrupted traces are rejected, failing categorizations are
+        dropped, and quarantined applications are skipped — all counted,
+        never raised: the stream must keep flowing.  Returns the
+        application's current entry, or ``None`` if the trace produced
+        none.
         """
         self.n_ingested += 1
         if not validate_trace(trace).valid:
@@ -75,17 +104,30 @@ class ApplicationCatalog:
             return None
 
         key = trace.meta.app_key
+        if key in self._quarantined:
+            self.n_rejected += 1
+            return None
         weight = trace.io_weight()
         entry = self._entries.get(key)
 
         if entry is None:
-            result = categorize_trace(trace, self.config)
+            try:
+                result = categorize_trace(trace, self.config)
+            except Exception:
+                self._record_failure(key)
+                return None
             entry = AppEntry(result=result, weight=weight)
             self._entries[key] = entry
             return entry
 
         entry.n_runs += 1
-        result = categorize_trace(trace, self.config)
+        try:
+            result = categorize_trace(trace, self.config)
+        except Exception:
+            # the catalog still holds a good reference answer for this
+            # application; the failed run just doesn't refresh it
+            self._record_failure(key)
+            return entry
         if result.categories == entry.result.categories:
             entry.n_agreeing += 1
         if weight >= entry.weight * self.min_weight_gain and weight > entry.weight:

@@ -9,6 +9,8 @@ by the MOSAIC algorithms.
 from .errors import (
     DarshanError,
     TraceFormatError,
+    TraceReadError,
+    TraceUnavailableError,
     TraceValidationError,
     TraceWriteError,
 )
@@ -37,6 +39,8 @@ from .io_text import dumps_text, load_text, loads_text, save_text
 __all__ = [
     "DarshanError",
     "TraceFormatError",
+    "TraceReadError",
+    "TraceUnavailableError",
     "TraceValidationError",
     "TraceWriteError",
     "FileRecord",

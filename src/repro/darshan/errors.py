@@ -33,3 +33,22 @@ class TraceValidationError(DarshanError):
 
 class TraceWriteError(DarshanError):
     """A trace could not be serialized (e.g. out-of-range counter)."""
+
+
+class TraceReadError(DarshanError):
+    """A trace payload could not be obtained from its source at all
+    (I/O-level failure, as opposed to :class:`TraceFormatError`'s
+    undecodable bytes).
+
+    Classified *transient* by the resilient execution layer: a trace
+    that scanned clean but fails on re-read is being disturbed by its
+    environment (filesystem hiccup, concurrent rewrite), so the read is
+    retried with backoff before the trace is given up on.
+    """
+
+
+class TraceUnavailableError(DarshanError):
+    """A selected trace stayed unreadable after the retry budget was
+    exhausted — the permanent form of :class:`TraceReadError`, raised so
+    the failure is captured against the right trace instead of aborting
+    the corpus run."""

@@ -1,4 +1,4 @@
-"""The Mosaic contract rules (MOS001-MOS010).
+"""The Mosaic contract rules (MOS001-MOS011).
 
 Each rule encodes one invariant the paper states but Python cannot
 enforce; the registry in :mod:`repro.lint.rules` exposes them to the
@@ -215,6 +215,10 @@ class ExhaustiveEnumDispatchRule(Rule):
         "add an else/`case _` default or cover every member of the enum"
     )
 
+    #: Enum classes this rule's dispatch check covers; subclasses
+    #: (MOS011) swap in their own taxonomy.
+    tables: dict[str, frozenset[str]] = ENUM_TABLES
+
     # -- if/elif chains -------------------------------------------------
     def on_If(self, node: ast.If) -> None:
         parent = self.ctx.parent()
@@ -250,12 +254,12 @@ class ExhaustiveEnumDispatchRule(Rule):
                 return
             covered |= members
         assert enum_name is not None
-        missing = ENUM_TABLES[enum_name] - covered
+        missing = self.tables[enum_name] - covered
         if missing:
             self.report(
                 node,
                 f"if/elif over {enum_name} covers {len(covered)} of "
-                f"{len(ENUM_TABLES[enum_name])} members with no else "
+                f"{len(self.tables[enum_name])} members with no else "
                 f"(missing: {', '.join(sorted(missing))})",
             )
 
@@ -318,7 +322,7 @@ class ExhaustiveEnumDispatchRule(Rule):
         if base is None:
             return None
         enum = _terminal(base)
-        if enum in ENUM_TABLES and node.attr in ENUM_TABLES[enum]:
+        if enum in self.tables and node.attr in self.tables[enum]:
             return enum, node.attr
         return None
 
@@ -340,12 +344,12 @@ class ExhaustiveEnumDispatchRule(Rule):
             covered |= names
         if enum_name is None:
             return
-        missing = ENUM_TABLES[enum_name] - covered
+        missing = self.tables[enum_name] - covered
         if missing:
             self.report(
                 node,
                 f"match over {enum_name} covers {len(covered)} of "
-                f"{len(ENUM_TABLES[enum_name])} members with no `case _` "
+                f"{len(self.tables[enum_name])} members with no `case _` "
                 f"(missing: {', '.join(sorted(missing))})",
             )
 
@@ -864,3 +868,85 @@ class PublicApiAnnotationRule(Rule):
             )
 
     on_AsyncFunctionDef = on_FunctionDef
+
+
+# ======================================================================
+def _failure_kind_table() -> dict[str, frozenset[str]]:
+    from ..parallel.retry import FailureKind
+
+    return {"FailureKind": frozenset(m.name for m in FailureKind)}
+
+
+@register
+class ResilienceContractRule(ExhaustiveEnumDispatchRule):
+    """MOS011: the resilience layer's contracts hold outside it.
+
+    Two invariants (docs/ROBUSTNESS.md):
+
+    * Dispatches over the :class:`~repro.parallel.retry.FailureKind`
+      taxonomy must be exhaustive or carry a default — a new failure
+      kind must not silently fall through quarantine/report logic.
+    * ``Future.result()`` without a ``timeout`` may block forever on a
+      hung worker; outside ``repro.parallel`` (whose resilient executor
+      owns deadline handling) every ``.result()`` on a future must
+      bound its wait.
+    """
+
+    id = "MOS011"
+    name = "resilience-contract"
+    description = (
+        "non-exhaustive FailureKind dispatch, or Future.result() "
+        "without a timeout outside repro.parallel"
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "cover every FailureKind (or add a default); pass "
+        "result(timeout=...) — only the resilient executor may wait "
+        "unboundedly"
+    )
+
+    tables = _failure_kind_table()
+
+    _FUTURE_RE = re.compile(r"(^|_)(fut|future)s?(_|$)")
+
+    def on_Call(self, node: ast.Call) -> None:
+        if self.ctx.module.startswith("repro.parallel"):
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "result":
+            return
+        if node.args or any(kw.arg == "timeout" for kw in node.keywords):
+            return
+        if self._is_future(func.value):
+            self.report(
+                node,
+                "Future.result() with no timeout can block forever on a "
+                "hung worker; pass timeout=... (see docs/ROBUSTNESS.md)",
+            )
+
+    def _is_future(self, base: ast.AST) -> bool:
+        """Heuristic: the receiver is (or was assigned from) a pool
+        future.  Dynamic receivers stay silent rather than cry wolf."""
+        if isinstance(base, ast.Call):
+            callee = dotted_name(base.func)
+            return callee is not None and _terminal(callee) == "submit"
+        name = dotted_name(base)
+        if name is not None and self._FUTURE_RE.search(_terminal(name)):
+            return True
+        if isinstance(base, ast.Name):
+            func = self.ctx.enclosing_function()
+            if func is None:
+                return False
+            for n in ast.walk(func):
+                if not isinstance(n, ast.Assign):
+                    continue
+                if not (
+                    isinstance(n.value, ast.Call)
+                    and isinstance(n.value.func, ast.Attribute)
+                    and n.value.func.attr == "submit"
+                ):
+                    continue
+                for target in n.targets:
+                    if isinstance(target, ast.Name) and target.id == base.id:
+                        return True
+        return False

@@ -1,5 +1,7 @@
 """Single-node parallel execution engine: fault-isolated process-pool map
-with cost-aware (LPT) scheduling — the reproduction's Dispy substitute."""
+with cost-aware (LPT) scheduling, a crash-surviving resilient streaming
+mode (retry/timeout/backoff, poison quarantine), and an append-only run
+journal for checkpoint/resume — the reproduction's Dispy substitute."""
 
 from .executor import (
     MapOutcome,
@@ -7,6 +9,20 @@ from .executor import (
     TaskFailure,
     parallel_imap,
     parallel_map,
+)
+from .journal import (
+    JOURNAL_VERSION,
+    JournalState,
+    JournalWriter,
+    write_quarantine_manifest,
+)
+from .resilient import PoolRebuildLimit, resilient_imap
+from .retry import (
+    FailureKind,
+    RetryPolicy,
+    TRANSIENT_ERROR_TYPES,
+    backoff_delay,
+    is_transient,
 )
 from .scheduling import chunk_evenly, lpt_order
 
@@ -16,6 +32,17 @@ __all__ = [
     "TaskFailure",
     "parallel_map",
     "parallel_imap",
+    "JOURNAL_VERSION",
+    "JournalState",
+    "JournalWriter",
+    "write_quarantine_manifest",
+    "PoolRebuildLimit",
+    "resilient_imap",
+    "FailureKind",
+    "RetryPolicy",
+    "TRANSIENT_ERROR_TYPES",
+    "backoff_delay",
+    "is_transient",
     "chunk_evenly",
     "lpt_order",
 ]

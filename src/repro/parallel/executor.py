@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import os
 import traceback
+from collections import Counter
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Generic, Iterable, Iterator, Sequence, TypeVar
 
+from .retry import FailureKind, RetryPolicy
 from .scheduling import lpt_order
 
 __all__ = [
@@ -40,17 +42,41 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _exc_qualname(exc: BaseException) -> str:
+    """Module-qualified exception class name (bare for builtins)."""
+    cls = type(exc)
+    module = getattr(cls, "__module__", "") or ""
+    if module in ("builtins", "__main__"):
+        return cls.__qualname__
+    return f"{module}.{cls.__qualname__}"
+
+
 @dataclass(slots=True, frozen=True)
 class TaskFailure:
-    """Captured exception from one work item."""
+    """Captured failure of one work item.
+
+    ``error_type`` keeps the historical bare class name; ``qualname``
+    carries the module-qualified name so callers can distinguish
+    ``repro.darshan.errors.TraceReadError`` from any other
+    ``TraceReadError``.  ``kind`` places the failure in the
+    :class:`~repro.parallel.retry.FailureKind` taxonomy and ``attempts``
+    records how many executions were spent on the item (1 = no retry).
+    """
 
     index: int
     error_type: str
     message: str
     traceback_text: str
+    kind: FailureKind = FailureKind.EXCEPTION
+    qualname: str = ""
+    attempts: int = 1
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"item {self.index}: {self.error_type}: {self.message}"
+        retried = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return (
+            f"item {self.index}: [{self.kind.value}] "
+            f"{self.error_type}: {self.message}{retried}"
+        )
 
 
 @dataclass(slots=True, frozen=True)
@@ -80,11 +106,20 @@ class MapOutcome(Generic[R]):
         (including any legitimate ``None`` returns)."""
         return [r for r in self.results if not isinstance(r, TaskFailure)]
 
+    def kind_counts(self) -> dict[FailureKind, int]:
+        """Failure tally per :class:`~repro.parallel.retry.FailureKind`."""
+        counts = Counter(f.kind for f in self.failures)
+        return {k: counts[k] for k in FailureKind if counts[k]}
+
     def raise_if_failed(self) -> None:
         if self.failures:
             first = self.failures[0]
+            breakdown = ", ".join(
+                f"{n} {kind.name}" for kind, n in self.kind_counts().items()
+            )
             raise RuntimeError(
-                f"{len(self.failures)} task(s) failed; first: {first}"
+                f"{len(self.failures)} task(s) failed ({breakdown}); "
+                f"first: {first}"
             )
 
 
@@ -103,6 +138,59 @@ class ParallelConfig:
     #: derives ``workers * chunksize`` — enough to keep every worker fed
     #: while bounding how many loaded items exist at once.
     max_pending: int | None = None
+
+    # -- resilience knobs (resolved against a RetryPolicy; ``None``
+    # -- inherits the policy/MosaicConfig default) -----------------------
+    #: Per-task wall-clock deadline in seconds (0 disables deadlines).
+    task_timeout_s: float | None = None
+    #: Re-executions granted to transiently-failing items.
+    max_retries: int | None = None
+    #: First retry backoff delay; doubles per retry.
+    backoff_base_s: float | None = None
+    #: Ceiling on any single backoff delay.
+    backoff_cap_s: float | None = None
+    #: Pool rebuilds tolerated per run before aborting.
+    max_pool_rebuilds: int | None = None
+    #: Crash events implicating one item before POISON quarantine.
+    max_item_crashes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout_s is not None and self.task_timeout_s < 0:
+            raise ValueError("task_timeout_s must be >= 0 (0 disables)")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s is not None and self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_cap_s is not None and self.backoff_cap_s < 0:
+            raise ValueError("backoff_cap_s must be >= 0")
+        if self.max_pool_rebuilds is not None and self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if self.max_item_crashes is not None and self.max_item_crashes < 1:
+            raise ValueError("max_item_crashes must be >= 1")
+
+    _RETRY_FIELDS = (
+        "task_timeout_s",
+        "max_retries",
+        "backoff_base_s",
+        "backoff_cap_s",
+        "max_pool_rebuilds",
+        "max_item_crashes",
+    )
+
+    def retry_policy(self, base: RetryPolicy | None = None) -> RetryPolicy:
+        """Effective :class:`~repro.parallel.retry.RetryPolicy`.
+
+        Fields left ``None`` here inherit from ``base`` (the pipeline
+        passes the :class:`~repro.core.thresholds.MosaicConfig`-derived
+        defaults); explicitly-set fields win.
+        """
+        policy = base if base is not None else RetryPolicy()
+        overrides = {
+            name: getattr(self, name)
+            for name in self._RETRY_FIELDS
+            if getattr(self, name) is not None
+        }
+        return replace(policy, **overrides) if overrides else policy
 
     def resolved_workers(self) -> int:
         if self.max_workers is None:
@@ -146,6 +234,8 @@ def _guarded(
                 error_type=type(exc).__name__,
                 message=str(exc),
                 traceback_text=traceback.format_exc(),
+                kind=FailureKind.EXCEPTION,
+                qualname=_exc_qualname(exc),
             ),
         )
 
@@ -239,6 +329,7 @@ def parallel_imap(
 
     window = cfg.resolved_pending()
     pool = _pool(fn, workers)
+    finished = False
     try:
         pending: set = set()
         next_index = 0
@@ -258,5 +349,11 @@ def parallel_imap(
             for fut in done:
                 i, result, failure = fut.result()
                 yield (i, failure if failure is not None else result)
+        finished = True
     finally:
-        pool.shutdown(wait=True, cancel_futures=True)
+        # Normal exhaustion drains the pool gracefully.  If the consumer
+        # abandons the stream instead (breaks out of its loop, raises,
+        # or drops the generator), blocking here for in-flight work
+        # would stall the abandonment — cancel everything queued and
+        # return immediately; workers exit once their current item ends.
+        pool.shutdown(wait=finished, cancel_futures=True)

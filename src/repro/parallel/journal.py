@@ -1,0 +1,218 @@
+"""Append-only run journal: checkpoint/resume for corpus execution.
+
+A corpus run at paper scale (462,502 traces) that dies at trace 23,000
+must not restart from zero.  The journal is a JSON-lines file written
+*during* the categorize stage — one line per per-trace outcome, flushed
+as it happens — so a killed run can be resumed with ``--resume``: traces
+whose outcome is already journaled are skipped and their saved results
+reused verbatim.
+
+Format (one JSON object per line):
+
+* ``{"kind": "header", "version": 1, "n_selected": N}`` — first line of
+  a fresh journal; ``n_selected`` guards against resuming over a
+  *different* corpus.
+* ``{"kind": "result", "job_id": J, "result": {...}}`` — one completed
+  categorization (the :meth:`CategorizationResult.to_dict` payload).
+* ``{"kind": "failure", "job_id": J, "failure_kind": "poison", ...}`` —
+  one failed trace with its taxonomy kind, error class, and source key.
+
+The file is crash-tolerant by construction: a process killed mid-write
+leaves at most one partial trailing line, which the loader ignores.
+Quarantined outcomes (TIMEOUT/POISON) are skipped on resume — a hung
+decode does not get to hang every resumed run — while plain EXCEPTION
+failures are re-attempted, since they may have been environmental.
+
+This module deliberately traffics in plain dicts (not
+:class:`~repro.core.result.CategorizationResult`) so the parallel layer
+never imports the core package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, IO
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalState",
+    "JournalWriter",
+    "write_quarantine_manifest",
+]
+
+JOURNAL_VERSION = 1
+
+#: Failure kinds that stay quarantined across resumes.
+_QUARANTINE_KINDS = frozenset({"timeout", "poison"})
+
+
+@dataclass(slots=True)
+class JournalState:
+    """Everything a resumed run needs from a prior journal."""
+
+    #: Selected-trace count recorded by the run that wrote the journal
+    #: (``None`` for a headerless/legacy file).
+    n_selected: int | None = None
+    #: job_id → result payload dict of completed categorizations.
+    completed: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: job_id → failure record of quarantined (TIMEOUT/POISON) traces.
+    quarantined: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: Failure records that are *not* quarantined (re-run on resume).
+    transient_failures: list[dict[str, Any]] = field(default_factory=list)
+    #: Unparseable lines skipped (normally 0 or 1: a torn final write).
+    n_malformed: int = 0
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.completed)
+
+    def is_settled(self, job_id: int) -> bool:
+        """True when a resumed run should skip this trace."""
+        return job_id in self.completed or job_id in self.quarantined
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "JournalState":
+        """Parse a journal, tolerating a torn trailing line.
+
+        Raises :class:`ValueError` only for a journal written by an
+        incompatible format version — everything else degrades to
+        counting the line as malformed, because a journal that survived
+        a crash is expected to be imperfect.
+        """
+        state = cls()
+        with open(os.fspath(path), "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    state.n_malformed += 1
+                    continue
+                if not isinstance(entry, dict):
+                    state.n_malformed += 1
+                    continue
+                kind = entry.get("kind")
+                if kind == "header":
+                    version = entry.get("version")
+                    if version != JOURNAL_VERSION:
+                        raise ValueError(
+                            f"journal version {version!r} is not supported "
+                            f"(expected {JOURNAL_VERSION})"
+                        )
+                    if entry.get("n_selected") is not None:
+                        state.n_selected = int(entry["n_selected"])
+                elif kind == "result":
+                    try:
+                        state.completed[int(entry["job_id"])] = entry["result"]
+                    except (KeyError, TypeError, ValueError):
+                        state.n_malformed += 1
+                elif kind == "failure":
+                    try:
+                        job_id = int(entry["job_id"])
+                    except (KeyError, TypeError, ValueError):
+                        state.n_malformed += 1
+                        continue
+                    if entry.get("failure_kind") in _QUARANTINE_KINDS:
+                        state.quarantined[job_id] = entry
+                    else:
+                        state.transient_failures.append(entry)
+                else:
+                    state.n_malformed += 1
+        return state
+
+
+class JournalWriter:
+    """Append-only writer; one flushed JSON line per outcome.
+
+    Opened in truncate mode for a fresh run and append mode for a
+    resumed one.  Lines are flushed immediately so a ``kill -9``'d run
+    loses at most the outcome being written.
+    """
+
+    def __init__(self, path: str | os.PathLike[str], *, append: bool = False):
+        self.path = os.fspath(path)
+        self._fh: IO[str] | None = open(
+            self.path, "a" if append else "w", encoding="utf-8"
+        )
+        self.n_written = 0
+
+    # ------------------------------------------------------------------
+    def _write(self, entry: dict[str, Any]) -> None:
+        if self._fh is None:
+            raise ValueError(f"journal {self.path!r} is closed")
+        self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        self.n_written += 1
+
+    def write_header(self, *, n_selected: int) -> None:
+        self._write(
+            {
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "n_selected": n_selected,
+            }
+        )
+
+    def record_result(self, job_id: int, result: dict[str, Any]) -> None:
+        self._write({"kind": "result", "job_id": job_id, "result": result})
+
+    def record_failure(
+        self,
+        job_id: int,
+        *,
+        failure_kind: str,
+        error_type: str,
+        message: str,
+        trace_key: str = "",
+        attempts: int = 1,
+    ) -> None:
+        self._write(
+            {
+                "kind": "failure",
+                "job_id": job_id,
+                "failure_kind": failure_kind,
+                "error_type": error_type,
+                "message": message,
+                "trace_key": trace_key,
+                "attempts": attempts,
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def write_quarantine_manifest(
+    journal_path: str | os.PathLike[str],
+    entries: list[dict[str, Any]],
+) -> str:
+    """Write the poisoned/timed-out trace manifest next to a journal.
+
+    The manifest is the operator's worklist: every trace the run gave
+    up on, with its source key (a path for directory corpora), failure
+    kind, and error, at ``<journal>.quarantine.json``.  Written (even
+    when empty) so its absence always means "no journaled run", never
+    "no quarantine".
+    """
+    path = os.fspath(journal_path) + ".quarantine.json"
+    payload = {
+        "version": JOURNAL_VERSION,
+        "n_quarantined": len(entries),
+        "quarantined": sorted(entries, key=lambda e: e.get("job_id", 0)),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path

@@ -1,0 +1,154 @@
+"""Failure taxonomy and retry/backoff policy for corpus execution.
+
+At fleet scale, failures are not one thing: a raised exception, a hung
+decode, a worker killed by the OS, and an input that *repeatedly* kills
+workers all demand different treatment.  :class:`FailureKind` names the
+four classes; :class:`RetryPolicy` carries the knobs that decide how
+many second chances each class gets; :func:`backoff_delay` spaces the
+chances out with exponential backoff and *deterministic* jitter, so a
+retried corpus run is reproducible down to its sleep schedule.
+
+Transience is classified by exception type name (:func:`is_transient`)
+rather than by instance, because failures cross the process boundary as
+captured strings, never as live exception objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "FailureKind",
+    "RetryPolicy",
+    "TRANSIENT_ERROR_TYPES",
+    "backoff_delay",
+    "is_transient",
+]
+
+
+class FailureKind(Enum):
+    """How one work item failed — decides retry/quarantine treatment.
+
+    * ``EXCEPTION`` — the mapped function raised; retried only when the
+      exception class is transient (:func:`is_transient`).
+    * ``TIMEOUT`` — the item exceeded its wall-clock deadline; the
+      worker is recycled and the item quarantined (a hung decode does
+      not get to hang twice).
+    * ``CRASH`` — a worker died (OOM kill, segfault) while this item
+      was in flight; the item is replayed in isolation to assign blame.
+    * ``POISON`` — the item repeatedly killed workers and is quarantined
+      instead of being retried forever.
+    """
+
+    EXCEPTION = "exception"
+    TIMEOUT = "timeout"
+    CRASH = "crash"
+    POISON = "poison"
+
+
+#: Exception type names considered transient: worth re-executing after a
+#: backoff because the failure is plausibly environmental (I/O hiccup,
+#: file mid-rewrite, interrupted syscall) rather than deterministic.
+#: ``TraceFormatError``/``TraceReadError`` are here for the re-read
+#: path: a trace that *scanned* clean but fails on reload is being
+#: touched by something external, not structurally corrupt.
+TRANSIENT_ERROR_TYPES = frozenset(
+    {
+        "OSError",
+        "IOError",
+        "TimeoutError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionRefusedError",
+        "BrokenPipeError",
+        "BlockingIOError",
+        "InterruptedError",
+        "TraceFormatError",
+        "TraceReadError",
+    }
+)
+
+
+def is_transient(error_type: str) -> bool:
+    """True when an exception type name names a retryable failure class.
+
+    Accepts bare (``OSError``) or module-qualified
+    (``repro.darshan.errors.TraceReadError``) names.
+    """
+    return error_type.rpartition(".")[2] in TRANSIENT_ERROR_TYPES
+
+
+@dataclass(slots=True, frozen=True)
+class RetryPolicy:
+    """Second-chance budget of a resilient corpus run.
+
+    All fields are validated at construction; the zero values are
+    meaningful (``task_timeout_s=0`` disables deadlines,
+    ``max_retries=0`` disables retry, ``backoff_base_s=0`` retries
+    immediately — useful in tests).
+    """
+
+    #: Per-task wall-clock deadline in seconds; 0 disables deadlines.
+    task_timeout_s: float = 0.0
+    #: Re-executions granted to a transiently-failing item.
+    max_retries: int = 2
+    #: First backoff delay; doubles per retry (exponential).
+    backoff_base_s: float = 0.05
+    #: Ceiling on any single backoff delay.
+    backoff_cap_s: float = 2.0
+    #: Pool rebuilds (crash or timeout recycles) tolerated per run
+    #: before the run itself is declared unhealthy and aborted.
+    max_pool_rebuilds: int = 3
+    #: Crash events an item may be implicated in before it is
+    #: quarantined as :attr:`FailureKind.POISON`.  The first event may
+    #: be a group crash; subsequent ones are isolation replays, so 2
+    #: means "crashed once alone after crashing once in company".
+    max_item_crashes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.task_timeout_s < 0:
+            raise ValueError("task_timeout_s must be >= 0 (0 disables)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError("backoff_cap_s must be >= backoff_base_s")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+        if self.max_item_crashes < 1:
+            raise ValueError("max_item_crashes must be >= 1")
+
+    @property
+    def deadline_s(self) -> float | None:
+        """The task deadline, or ``None`` when deadlines are disabled."""
+        return self.task_timeout_s if self.task_timeout_s > 0 else None
+
+
+def _jitter_fraction(key: int | str, attempt: int) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) for one retry.
+
+    Derived from a hash of ``(key, attempt)`` so the same item retried
+    at the same attempt always sleeps the same amount — chaos tests and
+    resumed runs see identical schedules — while distinct items spread
+    out instead of thundering back in lockstep.
+    """
+    digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def backoff_delay(
+    attempt: int, policy: RetryPolicy, key: int | str = 0
+) -> float:
+    """Seconds to wait before retry number ``attempt`` (1-based).
+
+    Exponential in the attempt number, capped by the policy, scaled by
+    a deterministic jitter factor in [0.5, 1.0).
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    raw = policy.backoff_base_s * (2.0 ** (attempt - 1))
+    capped = min(policy.backoff_cap_s, raw)
+    return capped * (0.5 + 0.5 * _jitter_fraction(key, attempt))

@@ -1,0 +1,6 @@
+"""Test-support utilities shipped with the package: deterministic fault
+injection for chaos-testing the resilient execution layer."""
+
+from .faults import ChaosInjector, item_key
+
+__all__ = ["ChaosInjector", "item_key"]

@@ -96,3 +96,80 @@ class TestEndToEndCli:
         out = capsys.readouterr().out
         assert "discovered k=" in out
         assert "purity" in out
+
+
+class TestResilienceFlags:
+    @pytest.fixture(scope="class")
+    def corpus(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("cli-resilience") / "corpus"
+        rc = main([
+            "generate", "--out", str(out_dir), "--n-apps", "20",
+            "--mean-runs", "2", "--seed", "9",
+        ])
+        assert rc == 0
+        return out_dir
+
+    def test_journal_and_manifest_written(self, corpus, tmp_path, capsys):
+        results = tmp_path / "results.jsonl"
+        journal = tmp_path / "run.jsonl"
+        rc = main([
+            "categorize", "--traces", str(corpus), "--out", str(results),
+            "--journal", str(journal),
+        ])
+        assert rc == 0
+        lines = [json.loads(l) for l in journal.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        assert all(l["kind"] == "result" for l in lines[1:])
+        manifest = json.loads((tmp_path / "run.jsonl.quarantine.json").read_text())
+        assert manifest["n_quarantined"] == 0
+        out = capsys.readouterr().out
+        assert "journal:" in out
+
+    def test_resume_round_trip(self, corpus, tmp_path, capsys):
+        first = tmp_path / "first.jsonl"
+        journal = tmp_path / "run.jsonl"
+        rc = main([
+            "categorize", "--traces", str(corpus), "--out", str(first),
+            "--journal", str(journal),
+        ])
+        assert rc == 0
+
+        # truncate to simulate a mid-run kill, then resume
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:4]))
+        second = tmp_path / "second.jsonl"
+        rc = main([
+            "categorize", "--traces", str(corpus), "--out", str(second),
+            "--resume", str(journal),
+        ])
+        assert rc == 0
+        assert second.read_bytes() == first.read_bytes()
+        assert "3 resumed" in capsys.readouterr().out
+
+    def test_journal_resume_mismatch_exits(self, corpus, tmp_path):
+        with pytest.raises(SystemExit, match="same file"):
+            main([
+                "categorize", "--traces", str(corpus), "--out", "o",
+                "--journal", str(tmp_path / "a.jsonl"),
+                "--resume", str(tmp_path / "b.jsonl"),
+            ])
+
+    def test_resume_without_journal_file_exits(self, corpus, tmp_path):
+        with pytest.raises(SystemExit, match="no journal to resume"):
+            main([
+                "categorize", "--traces", str(corpus), "--out", "o",
+                "--resume", str(tmp_path / "missing.jsonl"),
+            ])
+
+    def test_chaos_refused_in_serial_mode(self, corpus):
+        with pytest.raises(SystemExit, match="process pool"):
+            main(["report", "--traces", str(corpus), "--chaos", "1"])
+
+    def test_task_timeout_flag_accepted(self, corpus, tmp_path):
+        results = tmp_path / "results.jsonl"
+        rc = main([
+            "categorize", "--traces", str(corpus), "--out", str(results),
+            "--task-timeout", "30",
+        ])
+        assert rc == 0
+        assert results.exists()

@@ -92,3 +92,50 @@ class TestApplicationCatalog:
             catalog.ingest(trace)
         shares = category_shares(catalog.results(), catalog.run_weights())
         assert shares.n_apps == len(catalog)
+
+
+class TestCatalogFaultIsolation:
+    @pytest.fixture
+    def broken_categorizer(self, monkeypatch):
+        import repro.core.stream as stream_mod
+
+        def boom(trace, config):
+            raise RuntimeError("categorizer bug")
+
+        monkeypatch.setattr(stream_mod, "categorize_trace", boom)
+
+    def test_failing_categorization_dropped_not_raised(self, broken_categorizer):
+        catalog = ApplicationCatalog()
+        assert catalog.ingest(run(1)) is None
+        assert catalog.n_failed == 1
+        assert len(catalog) == 0
+
+    def test_repeat_offender_quarantined(self, broken_categorizer):
+        catalog = ApplicationCatalog(max_app_failures=2)
+        catalog.ingest(run(1))
+        catalog.ingest(run(2))
+        assert catalog.n_quarantined == 1
+        assert catalog.quarantined_apps() == [(1, "a")]
+        # quarantined app is rejected at the door from now on
+        rejected_before = catalog.n_rejected
+        assert catalog.ingest(run(3)) is None
+        assert catalog.n_rejected == rejected_before + 1
+        assert catalog.n_failed == 2  # door rejection is not a new failure
+
+    def test_failure_on_recategorize_keeps_reference(self, monkeypatch):
+        import repro.core.stream as stream_mod
+
+        catalog = ApplicationCatalog()
+        entry = catalog.ingest(run(1))
+        assert entry is not None
+        reference = entry.result
+
+        def boom(trace, config):
+            raise RuntimeError("categorizer bug")
+
+        monkeypatch.setattr(stream_mod, "categorize_trace", boom)
+        # a heavier run fails: the catalog keeps serving the old answer
+        again = catalog.ingest(run(2, nbytes=2 * SIG))
+        assert again is entry
+        assert entry.result is reference
+        assert catalog.n_failed == 1

@@ -60,3 +60,29 @@ class TestValidation:
     def test_config_is_frozen(self):
         with pytest.raises(Exception):
             DEFAULT_CONFIG.n_chunks = 8  # type: ignore[misc]
+
+
+class TestRobustnessKnobs:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.task_timeout_s == 0.0  # deadlines off offline
+        assert DEFAULT_CONFIG.max_retries == 2
+        assert DEFAULT_CONFIG.backoff_base_s == 0.05
+        assert DEFAULT_CONFIG.max_pool_rebuilds == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout_s": -1.0},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.01},
+            {"max_pool_rebuilds": -1},
+        ],
+    )
+    def test_invalid_robustness_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MosaicConfig(**kwargs)
+
+    def test_overridable(self):
+        cfg = DEFAULT_CONFIG.with_overrides(task_timeout_s=30.0, max_retries=0)
+        assert cfg.task_timeout_s == 30.0
+        assert cfg.max_retries == 0

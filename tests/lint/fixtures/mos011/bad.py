@@ -1,0 +1,25 @@
+"""Fixture: resilience contracts violated (MOS011)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.parallel.retry import FailureKind
+
+
+def _work(x: int) -> int:
+    return x + 1
+
+
+def _blocking_wait(pool: ProcessPoolExecutor) -> int:
+    fut = pool.submit(_work, 1)
+    return fut.result()  # no timeout: blocks forever on a hung worker
+
+
+def _describe(kind: FailureKind) -> str:
+    # missing POISON and no default
+    if kind == FailureKind.EXCEPTION:
+        return "exception"
+    elif kind == FailureKind.TIMEOUT:
+        return "timeout"
+    elif kind == FailureKind.CRASH:
+        return "crash"
+    return ""

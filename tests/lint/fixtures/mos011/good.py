@@ -1,0 +1,26 @@
+"""Fixture: resilience contracts honoured (MOS011 clean)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.parallel.retry import FailureKind
+
+
+def _work(x: int) -> int:
+    return x + 1
+
+
+def _bounded_wait(pool: ProcessPoolExecutor) -> int:
+    fut = pool.submit(_work, 1)
+    return fut.result(timeout=30.0)
+
+
+def _describe(kind: FailureKind) -> str:
+    if kind == FailureKind.EXCEPTION:
+        return "exception"
+    elif kind == FailureKind.TIMEOUT:
+        return "timeout"
+    elif kind == FailureKind.CRASH:
+        return "crash"
+    elif kind == FailureKind.POISON:
+        return "poison"
+    return "unknown"

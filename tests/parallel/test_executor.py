@@ -1,8 +1,19 @@
 """Unit tests for the fault-isolated parallel map and streaming imap."""
 
+import multiprocessing
+import time
+
 import pytest
 
-from repro.parallel import ParallelConfig, TaskFailure, parallel_imap, parallel_map
+from repro.parallel import (
+    FailureKind,
+    RetryPolicy,
+    MapOutcome,
+    ParallelConfig,
+    TaskFailure,
+    parallel_imap,
+    parallel_map,
+)
 
 
 def square(x: int) -> int:
@@ -200,3 +211,124 @@ class TestConfig:
     def test_default_pending_window(self):
         cfg = ParallelConfig(max_workers=3, chunksize=4)
         assert cfg.resolved_pending() == 12
+
+
+class CustomError(Exception):
+    pass
+
+
+def fail_custom(x: int) -> int:
+    raise CustomError(f"custom failure {x}")
+
+
+def slow_square(x: int) -> int:
+    time.sleep(0.2)
+    return x * x
+
+
+class TestFailureTaxonomy:
+    def test_builtin_errors_keep_bare_qualname(self):
+        out = parallel_map(fail_on_odd, [1], ParallelConfig(max_workers=0))
+        failure = out.failures[0]
+        assert failure.error_type == "ValueError"
+        assert failure.qualname == "ValueError"
+        assert failure.kind is FailureKind.EXCEPTION
+        assert failure.attempts == 1
+
+    def test_custom_errors_carry_module_qualified_name(self):
+        out = parallel_map(fail_custom, [1], ParallelConfig(max_workers=0))
+        failure = out.failures[0]
+        assert failure.error_type == "CustomError"
+        assert "." in failure.qualname
+        assert failure.qualname.endswith(".CustomError")
+
+    def test_str_includes_kind_and_attempts(self):
+        failure = TaskFailure(
+            index=3,
+            error_type="OSError",
+            message="disk gone",
+            traceback_text="",
+            kind=FailureKind.TIMEOUT,
+            attempts=4,
+        )
+        text = str(failure)
+        assert "[timeout]" in text and "after 4 attempts" in text
+
+    def test_kind_counts_and_breakdown_message(self):
+        failures = [
+            TaskFailure(0, "A", "m", "", kind=FailureKind.CRASH),
+            TaskFailure(1, "B", "m", "", kind=FailureKind.CRASH),
+            TaskFailure(2, "C", "m", "", kind=FailureKind.TIMEOUT),
+        ]
+        out = MapOutcome(results=list(failures), failures=failures)
+        assert out.kind_counts() == {FailureKind.TIMEOUT: 1, FailureKind.CRASH: 2}
+        with pytest.raises(RuntimeError, match=r"1 TIMEOUT, 2 CRASH"):
+            out.raise_if_failed()
+
+
+class TestImapAbandonment:
+    def test_breaking_midstream_leaves_no_orphaned_workers(self):
+        # regression: abandoning the generator used to leave the pool
+        # draining its whole pending window before shutdown
+        before = {p.pid for p in multiprocessing.active_children()}
+        stream = parallel_imap(
+            slow_square, range(64), ParallelConfig(max_workers=2, max_pending=8)
+        )
+        for _index, _result in stream:
+            break  # consumer walks away mid-stream
+        stream.close()  # triggers the generator's finally
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            orphans = {
+                p.pid for p in multiprocessing.active_children()
+            } - before
+            if not orphans:
+                break
+            time.sleep(0.05)
+        assert not orphans, f"pool workers outlived the consumer: {orphans}"
+
+    def test_full_consumption_still_shuts_down_cleanly(self):
+        before = {p.pid for p in multiprocessing.active_children()}
+        pairs = list(
+            parallel_imap(square, range(6), ParallelConfig(max_workers=2))
+        )
+        assert len(pairs) == 6
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not ({p.pid for p in multiprocessing.active_children()} - before):
+                return
+            time.sleep(0.05)
+        raise AssertionError("pool did not shut down after full consumption")
+
+
+class TestResilienceConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout_s": -1.0},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.5},
+            {"backoff_cap_s": -1.0},
+            {"max_pool_rebuilds": -1},
+            {"max_item_crashes": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ParallelConfig(**kwargs)
+
+    def test_unset_fields_inherit_from_base_policy(self):
+        base = RetryPolicy(task_timeout_s=60.0, max_retries=5)
+        policy = ParallelConfig().retry_policy(base)
+        assert policy == base
+
+    def test_set_fields_override_base_policy(self):
+        base = RetryPolicy(task_timeout_s=60.0, max_retries=5)
+        cfg = ParallelConfig(task_timeout_s=2.0, max_item_crashes=4)
+        policy = cfg.retry_policy(base)
+        assert policy.task_timeout_s == 2.0
+        assert policy.max_item_crashes == 4
+        assert policy.max_retries == 5  # inherited
+
+    def test_no_base_uses_policy_defaults(self):
+        assert ParallelConfig().retry_policy() == RetryPolicy()

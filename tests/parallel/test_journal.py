@@ -1,0 +1,121 @@
+"""Unit tests for the append-only run journal and quarantine manifest."""
+
+import json
+
+import pytest
+
+from repro.parallel.journal import (
+    JOURNAL_VERSION,
+    JournalState,
+    JournalWriter,
+    write_quarantine_manifest,
+)
+
+
+def _write_run(path, *, n_selected=3):
+    with JournalWriter(path) as journal:
+        journal.write_header(n_selected=n_selected)
+        journal.record_result(10, {"job_id": 10, "categories": ["a"]})
+        journal.record_failure(
+            11,
+            failure_kind="timeout",
+            error_type="TaskTimeout",
+            message="exceeded deadline",
+            trace_key="/corpus/job11.mosd",
+            attempts=1,
+        )
+        journal.record_failure(
+            12,
+            failure_kind="exception",
+            error_type="ValueError",
+            message="bad trace",
+            attempts=3,
+        )
+    return path
+
+
+class TestRoundTrip:
+    def test_load_recovers_every_settled_outcome(self, tmp_path):
+        path = _write_run(str(tmp_path / "run.jsonl"))
+        state = JournalState.load(path)
+        assert state.n_selected == 3
+        assert state.completed == {10: {"job_id": 10, "categories": ["a"]}}
+        assert set(state.quarantined) == {11}
+        assert state.quarantined[11]["error_type"] == "TaskTimeout"
+        assert state.n_malformed == 0
+
+    def test_plain_exception_failures_are_rerun_on_resume(self, tmp_path):
+        path = _write_run(str(tmp_path / "run.jsonl"))
+        state = JournalState.load(path)
+        # EXCEPTION failures are not settled: resume re-attempts them
+        assert not state.is_settled(12)
+        assert state.is_settled(10) and state.is_settled(11)
+        assert [f["job_id"] for f in state.transient_failures] == [12]
+
+    def test_append_mode_extends_existing_journal(self, tmp_path):
+        path = _write_run(str(tmp_path / "run.jsonl"))
+        with JournalWriter(path, append=True) as journal:
+            journal.record_result(12, {"job_id": 12})
+        state = JournalState.load(path)
+        assert set(state.completed) == {10, 12}
+
+    def test_writer_refuses_after_close(self, tmp_path):
+        journal = JournalWriter(str(tmp_path / "run.jsonl"))
+        journal.close()
+        with pytest.raises(ValueError, match="closed"):
+            journal.record_result(1, {})
+
+
+class TestCrashTolerance:
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = _write_run(str(tmp_path / "run.jsonl"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "result", "job_id": 99, "resu')  # kill -9
+        state = JournalState.load(path)
+        assert 99 not in state.completed
+        assert state.n_malformed == 1
+
+    def test_unknown_record_kinds_count_as_malformed(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"kind": "mystery"}\n[1, 2]\n')
+        state = JournalState.load(path)
+        assert state.n_malformed == 2
+
+    def test_version_mismatch_refuses_to_load(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "header", "version": 999}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            JournalState.load(path)
+
+    def test_headerless_journal_loads_with_unknown_selection(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write('{"kind": "result", "job_id": 5, "result": {}}\n')
+        state = JournalState.load(path)
+        assert state.n_selected is None
+        assert 5 in state.completed
+
+
+class TestQuarantineManifest:
+    def test_manifest_written_next_to_journal(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        entries = [
+            {"job_id": 7, "failure_kind": "poison", "trace_key": "b.mosd"},
+            {"job_id": 3, "failure_kind": "timeout", "trace_key": "a.mosd"},
+        ]
+        path = write_quarantine_manifest(journal, entries)
+        assert path == journal + ".quarantine.json"
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["version"] == JOURNAL_VERSION
+        assert payload["n_quarantined"] == 2
+        # sorted by job_id: the operator's worklist is stable
+        assert [e["job_id"] for e in payload["quarantined"]] == [3, 7]
+
+    def test_empty_manifest_still_written(self, tmp_path):
+        journal = str(tmp_path / "run.jsonl")
+        path = write_quarantine_manifest(journal, [])
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["n_quarantined"] == 0

@@ -1,0 +1,104 @@
+"""Unit tests for the failure taxonomy, retry policy, and backoff."""
+
+import pytest
+
+from repro.parallel.retry import (
+    TRANSIENT_ERROR_TYPES,
+    FailureKind,
+    RetryPolicy,
+    backoff_delay,
+    is_transient,
+)
+
+
+class TestFailureKind:
+    def test_taxonomy_members(self):
+        assert {k.value for k in FailureKind} == {
+            "exception",
+            "timeout",
+            "crash",
+            "poison",
+        }
+
+    def test_round_trips_through_value(self):
+        for kind in FailureKind:
+            assert FailureKind(kind.value) is kind
+
+
+class TestIsTransient:
+    @pytest.mark.parametrize(
+        "name", ["OSError", "TimeoutError", "BrokenPipeError", "TraceFormatError", "TraceReadError"]
+    )
+    def test_transient_classes(self, name):
+        assert is_transient(name)
+
+    @pytest.mark.parametrize(
+        "name", ["ValueError", "KeyError", "TraceUnavailableError", "RuntimeError", ""]
+    )
+    def test_permanent_classes(self, name):
+        assert not is_transient(name)
+
+    def test_module_qualified_names_match_on_terminal(self):
+        assert is_transient("repro.darshan.errors.TraceFormatError")
+        assert not is_transient("repro.darshan.errors.TraceUnavailableError")
+
+    def test_table_is_names_not_classes(self):
+        assert all(isinstance(t, str) for t in TRANSIENT_ERROR_TYPES)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        pol = RetryPolicy()
+        assert pol.max_retries == 2
+        assert pol.deadline_s is None  # 0 disables
+
+    def test_deadline_property(self):
+        assert RetryPolicy(task_timeout_s=7.5).deadline_s == 7.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout_s": -1.0},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_cap_s": 0.0},
+            {"max_pool_rebuilds": -1},
+            {"max_item_crashes": 0},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestBackoffDelay:
+    def test_deterministic_for_same_key_and_attempt(self):
+        pol = RetryPolicy(backoff_base_s=0.1)
+        assert backoff_delay(1, pol, key=42) == backoff_delay(1, pol, key=42)
+
+    def test_jitter_varies_with_key(self):
+        pol = RetryPolicy(backoff_base_s=0.1)
+        delays = {backoff_delay(1, pol, key=k) for k in range(16)}
+        assert len(delays) > 1
+
+    def test_grows_exponentially_until_cap(self):
+        pol = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=100.0)
+        # jitter is in [0.5, 1.0), so attempt n+1's floor (0.5 * 2x)
+        # equals attempt n's ceiling: growth holds per-key
+        d1 = backoff_delay(1, pol, key=7)
+        d3 = backoff_delay(3, pol, key=7)
+        assert d3 > d1
+
+    def test_cap_bounds_delay(self):
+        pol = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=2.0)
+        assert backoff_delay(10, pol, key=0) <= 2.0
+
+    def test_zero_base_disables_sleep(self):
+        pol = RetryPolicy(backoff_base_s=0.0)
+        assert backoff_delay(1, pol, key=0) == 0.0
+
+    def test_jitter_keeps_half_to_full_band(self):
+        pol = RetryPolicy(backoff_base_s=1.0, backoff_cap_s=64.0)
+        for key in range(32):
+            d = backoff_delay(1, pol, key=key)
+            assert 0.5 <= d < 1.0
