@@ -22,6 +22,7 @@ from typing import Literal
 import numpy as np
 from scipy.spatial.distance import cdist
 
+from ..kernels import get_backend
 from .bandwidth import estimate_bandwidth
 
 __all__ = ["MeanShiftResult", "mean_shift"]
@@ -54,24 +55,6 @@ class MeanShiftResult:
         return np.flatnonzero(self.labels == k)
 
 
-def _shift_step(
-    seeds: np.ndarray, X: np.ndarray, bandwidth: float, kernel: Kernel
-) -> np.ndarray:
-    """One mean-shift update of every seed toward its local mean."""
-    d = cdist(seeds, X)
-    if kernel == "flat":
-        w = (d <= bandwidth).astype(np.float64)
-    elif kernel == "gaussian":
-        w = np.exp(-0.5 * (d / bandwidth) ** 2)
-    else:  # pragma: no cover - Literal guards this
-        raise ValueError(f"unknown kernel: {kernel!r}")
-    totals = w.sum(axis=1, keepdims=True)
-    # A seed with an empty window stays put (flat kernel, isolated point).
-    safe = np.where(totals > 0, totals, 1.0)
-    new = (w @ X) / safe
-    return np.where(totals > 0, new, seeds)
-
-
 def mean_shift(
     X: np.ndarray,
     bandwidth: float | None = None,
@@ -80,6 +63,7 @@ def mean_shift(
     max_iter: int = 200,
     tol: float = 1e-4,
     quantile: float = 0.3,
+    backend: str | None = None,
 ) -> MeanShiftResult:
     """Cluster ``X`` (n, d) by Mean Shift.
 
@@ -95,7 +79,11 @@ def mean_shift(
         ``"gaussian"``.
     tol:
         Convergence threshold on seed movement, relative to bandwidth.
+    backend:
+        Kernel backend for the inner shift step
+        (:func:`repro.kernels.get_backend`; ``None`` = vectorized).
     """
+    shift_step = get_backend(backend).shift_step
     X = np.asarray(X, dtype=np.float64)
     if X.ndim == 1:
         X = X[:, None]
@@ -121,7 +109,7 @@ def mean_shift(
     n_iter = 0
     threshold = tol * bandwidth
     for n_iter in range(1, max_iter + 1):
-        new = _shift_step(seeds, X, bandwidth, kernel)
+        new = shift_step(seeds, X, bandwidth, kernel)
         move = np.linalg.norm(new - seeds, axis=1).max()
         seeds = new
         if move < threshold:

@@ -40,7 +40,10 @@ def categorize_trace(
 
     for direction in _DIRECTIONS:
         merged = preprocess_operations(
-            trace.operations(direction), run_time, config.merge
+            trace.operations(direction),
+            run_time,
+            config.merge,
+            backend=config.kernel_backend,
         ).ops
         temp = classify_temporality(merged, run_time, direction, config)
         temporality.append(temp)

@@ -109,7 +109,7 @@ class PeriodicityDetection:
         return frozenset(cats)
 
 
-def _log_features(segments: SegmentSet, config: MosaicConfig) -> np.ndarray:
+def _log_features(segments: SegmentSet) -> np.ndarray:
     """(n, 2) log10 feature matrix, clipping degenerate values."""
     dur = np.maximum(segments.durations, 1e-6)
     vol = np.maximum(segments.volumes, 1.0)
@@ -150,15 +150,16 @@ def _detect_meanshift(
     config: MosaicConfig,
 ) -> PeriodicityDetection:
     """The paper's algorithm: operation segmentation + Mean Shift."""
-    segments = segment_operations(ops, run_time)
+    segments = segment_operations(ops, run_time, backend=config.kernel_backend)
     n = len(segments)
     if n < config.min_group_size:
         return PeriodicityDetection(direction=direction, groups=(), n_segments=n)
 
     result = mean_shift(
-        _log_features(segments, config),
+        _log_features(segments),
         bandwidth=config.meanshift_bandwidth,
         kernel="flat",
+        backend=config.kernel_backend,
     )
 
     rates = segments.activity_rates
@@ -207,12 +208,17 @@ def _detect_signal(
     if n_ops < config.signal_min_ops or run_time <= 0:
         return PeriodicityDetection(direction=direction, groups=(), n_segments=n_ops)
 
-    signal = build_activity_signal(ops, run_time, n_bins=min(4096, max(256, n_ops * 16)))
+    signal = build_activity_signal(
+        ops,
+        run_time,
+        n_bins=min(4096, max(256, n_ops * 16)),
+        backend=config.kernel_backend,
+    )
     if method == "dft":
-        det = detect_periodicity_dft(signal)
+        det = detect_periodicity_dft(signal, backend=config.kernel_backend)
         periodic, period = det.periodic, det.period
     else:
-        det_ac = detect_periodicity_autocorr(signal)
+        det_ac = detect_periodicity_autocorr(signal, backend=config.kernel_backend)
         periodic, period = det_ac.periodic, det_ac.period
 
     if not periodic or not period or period < config.min_period:

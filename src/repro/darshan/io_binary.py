@@ -94,7 +94,7 @@ def _unpack_job(fh: BinaryIO) -> JobMeta:
     )
 
 
-def _pack_record(rec: FileRecord, name_offset: int) -> bytes:
+def _pack_record(rec: FileRecord) -> bytes:
     try:
         return _RECORD.pack(
             rec.file_id,
@@ -131,7 +131,7 @@ def dumps_binary(trace: Trace) -> bytes:
         _COUNTS.pack(len(trace.records), len(table)),
         table,
     ]
-    parts.extend(_pack_record(rec, 0) for rec in trace.records)
+    parts.extend(_pack_record(rec) for rec in trace.records)
     return b"".join(parts)
 
 

@@ -1,0 +1,26 @@
+"""Hot per-trace analysis kernels, in matched reference/vectorized pairs.
+
+The pipeline's categorization fidelity lives in a handful of inner
+loops: the neighbor-merge pass, concurrent interval fusion, operation
+segmentation, the flat-kernel Mean Shift step, the ACF/DFT peak scans,
+and activity-signal binning.  This package ships each as a pure-Python
+reference (:mod:`repro.kernels.reference`, the auditable specification)
+plus a vectorized NumPy twin (:mod:`repro.kernels.vectorized`, the
+default), selected at run time through
+:func:`~repro.kernels.backend.get_backend` /
+``MosaicConfig.kernel_backend``.
+"""
+
+from .backend import (
+    DEFAULT_BACKEND,
+    KernelBackend,
+    available_backends,
+    get_backend,
+)
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+]

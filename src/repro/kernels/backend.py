@@ -1,0 +1,96 @@
+"""Kernel backend registry.
+
+A :class:`KernelBackend` bundles one implementation of every hot
+per-trace kernel; ``get_backend`` resolves the
+``MosaicConfig.kernel_backend`` switch (``"vectorized"`` is the default,
+``"reference"`` the pure-Python oracle).  Call sites thread an optional
+backend name so the whole pipeline can be flipped for differential
+testing, ablation, or debugging a suspected vectorization bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from . import reference, vectorized
+
+__all__ = [
+    "KernelBackend",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "get_backend",
+]
+
+#: ``(starts, ends, volumes, abs_gap, op_fraction) -> (s, e, v, changed)``
+NeighborPass = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, float, float],
+    tuple[np.ndarray, np.ndarray, np.ndarray, bool],
+]
+
+
+@dataclass(slots=True, frozen=True)
+class KernelBackend:
+    """One implementation of every hot per-trace kernel."""
+
+    name: str
+    neighbor_pass: NeighborPass
+    overlap_groups: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    coalesce_groups: Callable[
+        [np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        tuple[np.ndarray, np.ndarray, np.ndarray],
+    ]
+    segment: Callable[
+        [np.ndarray, np.ndarray, np.ndarray, float],
+        tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ]
+    shift_step: Callable[[np.ndarray, np.ndarray, float, str], np.ndarray]
+    acf_peak_scan: Callable[[np.ndarray, int, float], int]
+    dft_comb_scores: Callable[
+        [np.ndarray, np.ndarray, int], tuple[np.ndarray, np.ndarray]
+    ]
+    bin_activity: Callable[
+        [np.ndarray, np.ndarray, np.ndarray, float, int], np.ndarray
+    ]
+
+
+def _from_module(name: str, module: object) -> KernelBackend:
+    return KernelBackend(
+        name=name,
+        neighbor_pass=module.neighbor_pass,
+        overlap_groups=module.overlap_groups,
+        coalesce_groups=module.coalesce_groups,
+        segment=module.segment,
+        shift_step=module.shift_step,
+        acf_peak_scan=module.acf_peak_scan,
+        dft_comb_scores=module.dft_comb_scores,
+        bin_activity=module.bin_activity,
+    )
+
+
+_BACKENDS: dict[str, KernelBackend] = {
+    "reference": _from_module("reference", reference),
+    "vectorized": _from_module("vectorized", vectorized),
+}
+
+#: The default backend name used when a call site receives ``None``.
+DEFAULT_BACKEND = "vectorized"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by ``get_backend`` / ``MosaicConfig.kernel_backend``."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a backend name (``None`` → the vectorized default)."""
+    key = DEFAULT_BACKEND if name is None else name
+    try:
+        return _BACKENDS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {key!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 
 from ..darshan.trace import OperationArray
-from .intervals import coalesce_groups, overlap_groups
+from ..kernels import get_backend
 
 __all__ = ["ConcurrentMergeResult", "merge_concurrent"]
 
@@ -41,18 +41,25 @@ class ConcurrentMergeResult:
         return self.n_input / self.n_output if self.n_output else 1.0
 
 
-def merge_concurrent(ops: OperationArray) -> ConcurrentMergeResult:
+def merge_concurrent(
+    ops: OperationArray, *, backend: str | None = None
+) -> ConcurrentMergeResult:
     """Fuse transitively-overlapping operations.
 
     The merged operation spans the union of its members' windows and
     carries their summed volume.  Input order is irrelevant (the
-    OperationArray invariant keeps starts sorted).
+    OperationArray invariant keeps starts sorted).  ``backend`` selects
+    the grouping/coalescing kernels (``None`` = vectorized default).
     """
     n = len(ops)
     if n <= 1:
         return ConcurrentMergeResult(ops=ops, n_input=n, n_output=n, n_fused=0)
-    groups = overlap_groups(ops.starts, ops.ends)
-    merged = coalesce_groups(ops, groups)
+    kernels = get_backend(backend)
+    groups = kernels.overlap_groups(ops.starts, ops.ends)
+    starts, ends, volumes = kernels.coalesce_groups(
+        ops.starts, ops.ends, ops.volumes, groups
+    )
+    merged = OperationArray(starts, ends, volumes)
     return ConcurrentMergeResult(
         ops=merged,
         n_input=n,

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..darshan.tolerance import TIME_TOLERANCE_S
 from ..darshan.trace import OperationArray
+from ..kernels import vectorized as _vec
 
 __all__ = [
     "overlap_groups",
@@ -39,16 +39,7 @@ def overlap_groups(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
 
     Returns an int64 array of group ids, non-decreasing, starting at 0.
     """
-    n = len(starts)
-    if n == 0:
-        return np.empty(0, dtype=np.int64)
-    # Highest end seen among intervals 0..i-1; a new group starts when the
-    # next interval begins strictly after everything seen so far ended.
-    running_end = np.maximum.accumulate(ends)
-    new_group = np.empty(n, dtype=bool)
-    new_group[0] = True
-    new_group[1:] = starts[1:] > running_end[:-1] + TIME_TOLERANCE_S
-    return np.cumsum(new_group, dtype=np.int64) - 1
+    return _vec.overlap_groups(starts, ends)
 
 
 def coalesce_groups(ops: OperationArray, groups: np.ndarray) -> OperationArray:
@@ -61,12 +52,9 @@ def coalesce_groups(ops: OperationArray, groups: np.ndarray) -> OperationArray:
         return OperationArray.empty()
     if len(groups) != len(ops):
         raise ValueError("groups must label every operation")
-    n_groups = int(groups[-1]) + 1
-    starts = np.full(n_groups, np.inf)
-    ends = np.full(n_groups, -np.inf)
-    np.minimum.at(starts, groups, ops.starts)
-    np.maximum.at(ends, groups, ops.ends)
-    volumes = np.bincount(groups, weights=ops.volumes, minlength=n_groups)
+    starts, ends, volumes = _vec.coalesce_groups(
+        ops.starts, ops.ends, ops.volumes, groups
+    )
     return OperationArray(starts, ends, volumes)
 
 

@@ -9,12 +9,17 @@ merges *nearby* operations when the gap between them is negligible:
 This second pass retains only the data needed for a correct
 categorization and absorbs slow process desynchronization: operations
 that slid apart until they no longer overlap still fuse if the gap is
-small relative to either scale.
+small relative to either scale.  "Nearby merged operation" is direction-
+agnostic: the gap is compared against the duration of *either* adjacent
+operation, so a long checkpoint trailing a short post-write absorbs it
+just as a long one leading it does.
 
-The scan is greedy left-to-right with a growing current operation (so a
-long checkpoint absorbs a trail of short post-writes), repeated until a
-fixpoint — each pass strictly reduces the operation count, so the loop
-terminates in at most ``n`` passes and in practice in one or two.
+The scan repeats until a fixpoint — each pass strictly reduces the
+operation count, so the loop terminates in at most ``n`` passes and in
+practice in one or two.  The per-pass kernel comes from
+:mod:`repro.kernels` (greedy Python reference or chain-merge NumPy
+implementation); both converge to the same fixpoint because merging
+only ever shrinks gaps and grows the durations the rule tests against.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..darshan.trace import OperationArray
+from ..kernels import get_backend
 
 __all__ = ["NeighborMergeConfig", "NeighborMergeResult", "merge_neighbors"]
 
@@ -33,8 +39,7 @@ class NeighborMergeConfig:
     """Thresholds of the neighbor-merge rule.
 
     Defaults are the paper's: a gap is negligible when it is under 0.1% of
-    the runtime *or* under 1% of the duration of the operation being
-    grown.
+    the runtime *or* under 1% of the duration of either nearby operation.
     """
 
     runtime_fraction: float = 0.001
@@ -61,49 +66,22 @@ class NeighborMergeResult:
         return self.n_input - self.n_output
 
 
-def _one_pass(
-    starts: np.ndarray,
-    ends: np.ndarray,
-    volumes: np.ndarray,
-    abs_gap: float,
-    op_fraction: float,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
-    """Single greedy scan; returns (starts, ends, volumes, changed)."""
-    out_s: list[float] = [float(starts[0])]
-    out_e: list[float] = [float(ends[0])]
-    out_v: list[float] = [float(volumes[0])]
-    changed = False
-    for i in range(1, len(starts)):
-        gap = float(starts[i]) - out_e[-1]
-        cur_duration = out_e[-1] - out_s[-1]
-        if gap <= abs_gap or gap <= op_fraction * cur_duration:
-            out_e[-1] = max(out_e[-1], float(ends[i]))
-            out_v[-1] += float(volumes[i])
-            changed = True
-        else:
-            out_s.append(float(starts[i]))
-            out_e.append(float(ends[i]))
-            out_v.append(float(volumes[i]))
-    return (
-        np.asarray(out_s),
-        np.asarray(out_e),
-        np.asarray(out_v),
-        changed,
-    )
-
-
 def merge_neighbors(
     ops: OperationArray,
     run_time: float,
     config: NeighborMergeConfig | None = None,
+    *,
+    backend: str | None = None,
 ) -> NeighborMergeResult:
     """Merge operations separated by negligible gaps.
 
     ``ops`` should already be concurrent-merged (disjoint); overlapping
     input is tolerated and simply fuses.  ``run_time`` anchors the
-    absolute gap threshold.
+    absolute gap threshold.  ``backend`` selects the per-pass kernel
+    (:func:`repro.kernels.get_backend`; ``None`` = vectorized default).
     """
     cfg = config or NeighborMergeConfig()
+    kernel = get_backend(backend).neighbor_pass
     n_input = len(ops)
     if n_input <= 1:
         return NeighborMergeResult(ops=ops, n_input=n_input, n_output=n_input, n_passes=0)
@@ -112,13 +90,15 @@ def merge_neighbors(
     starts, ends, volumes = ops.starts, ops.ends, ops.volumes
     passes = 0
     for _ in range(cfg.max_passes):
-        starts, ends, volumes, changed = _one_pass(
+        starts, ends, volumes, changed = kernel(
             starts, ends, volumes, abs_gap, cfg.op_fraction
         )
         passes += 1
-        if not changed:
+        if not changed or len(starts) == 1:
             break
-    merged = OperationArray(starts, ends, volumes)
+    merged = OperationArray(
+        np.asarray(starts), np.asarray(ends), np.asarray(volumes)
+    )
     return NeighborMergeResult(
         ops=merged, n_input=n_input, n_output=len(merged), n_passes=passes
     )

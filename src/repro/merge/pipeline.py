@@ -35,10 +35,12 @@ def preprocess_operations(
     ops: OperationArray,
     run_time: float,
     neighbor_config: NeighborMergeConfig | None = None,
+    *,
+    backend: str | None = None,
 ) -> MergePipelineResult:
     """Run concurrent + neighbor merging over an operation array."""
-    conc = merge_concurrent(ops)
-    neigh = merge_neighbors(conc.ops, run_time, neighbor_config)
+    conc = merge_concurrent(ops, backend=backend)
+    neigh = merge_neighbors(conc.ops, run_time, neighbor_config, backend=backend)
     return MergePipelineResult(
         ops=neigh.ops,
         n_raw=len(ops),
@@ -52,8 +54,13 @@ def preprocess_trace(
     trace: Trace,
     direction: Direction,
     neighbor_config: NeighborMergeConfig | None = None,
+    *,
+    backend: str | None = None,
 ) -> MergePipelineResult:
     """Extract and pre-process one direction of ``trace``."""
     return preprocess_operations(
-        trace.operations(direction), trace.meta.run_time, neighbor_config
+        trace.operations(direction),
+        trace.meta.run_time,
+        neighbor_config,
+        backend=backend,
     )

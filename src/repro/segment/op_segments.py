@@ -21,6 +21,7 @@ import numpy as np
 
 from ..darshan.tolerance import TIME_TOLERANCE_S
 from ..darshan.trace import OperationArray
+from ..kernels import get_backend
 
 __all__ = ["SegmentSet", "segment_operations"]
 
@@ -70,28 +71,23 @@ class SegmentSet:
         return cls(z, z.copy(), z.copy(), z.copy())
 
 
-def segment_operations(ops: OperationArray, run_time: float) -> SegmentSet:
+def segment_operations(
+    ops: OperationArray, run_time: float, *, backend: str | None = None
+) -> SegmentSet:
     """Cut an operation stream into segments.
 
     ``ops`` must be the *merged* stream (disjoint, sorted); raw per-rank
     operations would produce meaningless near-zero segments — this
     ordering requirement is exactly why fusion precedes segmentation in
-    the workflow.
+    the workflow.  The final segment is closed at the end of execution
+    (but never before the last operation itself finished).  ``backend``
+    selects the segmentation kernel (``None`` = vectorized default).
     """
-    n = len(ops)
-    if n == 0:
+    if len(ops) == 0:
         return SegmentSet.empty()
-    starts = ops.starts
-    next_start = np.empty(n, dtype=np.float64)
-    next_start[:-1] = starts[1:]
-    # Close the final segment at the end of execution (but never before
-    # the last operation itself finished).
-    next_start[-1] = max(run_time, float(ops.ends[-1]))
-    durations = next_start - starts
-    busy = np.minimum(ops.ends - ops.starts, durations)
+    starts, durations, volumes, busy = get_backend(backend).segment(
+        ops.starts, ops.ends, ops.volumes, run_time
+    )
     return SegmentSet(
-        starts=starts.copy(),
-        durations=durations,
-        volumes=ops.volumes.copy(),
-        busy=busy,
+        starts=starts, durations=durations, volumes=volumes, busy=busy
     )

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..darshan.trace import OperationArray
+from ..kernels import get_backend
 
 __all__ = ["ActivitySignal", "build_activity_signal", "bin_events"]
 
@@ -43,14 +44,20 @@ class ActivitySignal:
 
 
 def build_activity_signal(
-    ops: OperationArray, run_time: float, n_bins: int | None = None, bin_width: float | None = None
+    ops: OperationArray,
+    run_time: float,
+    n_bins: int | None = None,
+    bin_width: float | None = None,
+    *,
+    backend: str | None = None,
 ) -> ActivitySignal:
     """Bin operation volumes into an evenly sampled signal.
 
     Exactly one of ``n_bins`` / ``bin_width`` may be given; the default is
     1024 bins (enough spectral resolution for periods down to
     ``run_time / 512``).  Each operation's volume is spread uniformly over
-    its window; boundary bins receive pro-rata shares.
+    its window; boundary bins receive pro-rata shares.  ``backend``
+    selects the binning kernel (``None`` = vectorized default).
     """
     if run_time <= 0:
         raise ValueError("run_time must be positive")
@@ -65,30 +72,16 @@ def build_activity_signal(
     if n_bins < 1:
         raise ValueError("n_bins must be >= 1")
     width = run_time / n_bins
-
-    values = np.zeros(n_bins, dtype=np.float64)
     if len(ops) == 0:
-        return ActivitySignal(values=values, bin_width=width)
+        return ActivitySignal(
+            values=np.zeros(n_bins, dtype=np.float64), bin_width=width
+        )
 
     starts = np.clip(ops.starts, 0.0, run_time)
     ends = np.clip(ops.ends, 0.0, run_time)
-    vols = ops.volumes
-
-    for s, e, v in zip(starts, ends, vols):
-        if v <= 0:
-            continue
-        if e <= s:  # instantaneous burst
-            idx = min(int(s / width), n_bins - 1)
-            values[idx] += v
-            continue
-        b0 = int(s / width)
-        b1 = min(int(np.ceil(e / width)), n_bins)
-        rate = v / (e - s)
-        for b in range(b0, b1):
-            lo = max(s, b * width)
-            hi = min(e, (b + 1) * width)
-            if hi > lo:
-                values[min(b, n_bins - 1)] += rate * (hi - lo)
+    values = get_backend(backend).bin_activity(
+        starts, ends, ops.volumes, run_time, n_bins
+    )
     return ActivitySignal(values=values, bin_width=width)
 
 

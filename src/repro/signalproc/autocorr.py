@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import get_backend
 from .activity import ActivitySignal
 
 __all__ = ["AutocorrDetection", "detect_periodicity_autocorr"]
@@ -45,12 +46,17 @@ def detect_periodicity_autocorr(
     *,
     min_strength: float = 0.2,
     min_cycles: int = 3,
+    backend: str | None = None,
 ) -> AutocorrDetection:
     """Detect periodicity from the first significant autocorrelation peak.
 
-    A lag qualifies when it is a local maximum of the ACF, its value
+    A lag qualifies when it is a *strict* local maximum of the ACF
+    (rises above the left neighbour, falls to the right), its value
     exceeds ``min_strength``, and at least ``min_cycles`` repetitions fit
-    in the window.
+    in the window.  The strict rise matters: a plateau test (``>=`` on
+    the left) latches onto the monotone decay shoulder at lag 1 of any
+    positively-autocorrelated signal and reports a bogus one-bin period.
+    ``backend`` selects the peak-scan kernel (``None`` = vectorized).
     """
     x = np.asarray(signal.values, dtype=np.float64)
     n = len(x)
@@ -63,30 +69,29 @@ def detect_periodicity_autocorr(
     if max_lag < 2:
         return failed
 
-    # Local maxima strictly inside (0, max_lag)
-    candidate = None
-    for lag in range(1, max_lag):
-        left = acf[lag - 1]
-        right = acf[lag + 1] if lag + 1 < n else -np.inf
-        if acf[lag] >= left and acf[lag] > right and acf[lag] >= min_strength:
-            candidate = lag
-            break
-    if candidate is None:
+    # First strict local maximum inside (0, max_lag).
+    lag = get_backend(backend).acf_peak_scan(acf, max_lag, min_strength)
+    if lag < 0:
         return failed
 
-    # Parabolic refinement of the peak position for sub-bin accuracy.
-    lag = candidate
+    # Parabolic refinement of the peak for sub-bin accuracy; the refined
+    # position is clamped to >= 1 bin (a sub-bin "period" is clock
+    # noise, not a cadence) and the strength is the interpolated peak
+    # height rather than the unrefined integer-lag sample.
+    strength = float(acf[lag])
     if 1 <= lag < n - 1:
-        y0, y1, y2 = acf[lag - 1], acf[lag], acf[lag + 1]
+        y0, y1, y2 = float(acf[lag - 1]), float(acf[lag]), float(acf[lag + 1])
         denom = y0 - 2 * y1 + y2
         delta = 0.0 if denom == 0 else 0.5 * (y0 - y2) / denom
-        refined = lag + float(np.clip(delta, -0.5, 0.5))
+        delta = float(np.clip(delta, -0.5, 0.5))
+        refined = max(lag + delta, 1.0)
+        strength = y1 - 0.25 * (y0 - y2) * delta
     else:
         refined = float(lag)
 
     return AutocorrDetection(
         periodic=True,
         period=refined * signal.bin_width,
-        strength=float(acf[lag]),
+        strength=float(np.clip(strength, 0.0, 1.0)),
         lag=lag,
     )

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import get_backend
 from .activity import ActivitySignal
 
 __all__ = ["DftDetection", "detect_periodicity_dft"]
@@ -41,6 +42,7 @@ def detect_periodicity_dft(
     *,
     min_confidence: float = 0.15,
     min_cycles: int = 3,
+    backend: str | None = None,
 ) -> DftDetection:
     """Detect the dominant periodicity of an activity signal.
 
@@ -52,6 +54,8 @@ def detect_periodicity_dft(
     min_cycles:
         Minimum number of repetitions inside the observation window; a
         "period" seen fewer times is not evidence of periodicity.
+    backend:
+        Kernel backend for the comb scan (``None`` = vectorized).
     """
     x = np.asarray(signal.values, dtype=np.float64)
     n = len(x)
@@ -89,11 +93,6 @@ def detect_periodicity_dft(
     k_peak = int(np.argmax(power))
     k_min = int(np.ceil(f_min * n * signal.bin_width))
 
-    def slot_power(position: float) -> float:
-        j = int(round(position))
-        lo, hi = max(j - 1, 0), min(j + 2, len(power))
-        return float(power[lo:hi].max()) if hi > lo else 0.0
-
     def refine(k: int) -> float:
         """Sub-bin peak position by parabolic interpolation."""
         if 1 <= k < len(power) - 1:
@@ -103,41 +102,27 @@ def detect_periodicity_dft(
                 return k + float(np.clip(0.5 * (y0 - y2) / denom, -0.5, 0.5))
         return float(k)
 
-    def comb_minus_anticomb(kf: float) -> tuple[float, float]:
-        comb = 0.0
-        anti = 0.0
-        slots = 0
-        j = 1
-        # Float harmonic positions track fundamentals that fall between
-        # bins; without this the comb drifts off the true harmonics.
-        # Every candidate is scored over the same number of harmonics so
-        # sub-multiples cannot win by covering a different span — only
-        # the low-order harmonics are informative anyway (timing jitter
-        # low-passes the comb).
-        while j * kf < len(power) and slots < 12:
-            comb += slot_power(j * kf)
-            anti += slot_power((j + 0.5) * kf)
-            slots += 1
-            j += 1
-        if slots == 0:
-            return 0.0, 0.0
-        net = comb - anti
-        return net / slots, net
-
-    candidates = [
-        refine(k_peak) / m
-        for m in range(1, 5)
-        if k_peak // m >= max(k_min, 1)
-    ]
-    if not candidates:
+    # Candidate fundamentals are the sub-multiples of the argmax bin: if
+    # the argmax landed on a harmonic, the true fundamental divides it.
+    # Each candidate is scored comb-minus-anticomb over float harmonic
+    # positions (fundamentals between bins drift off integer combs) and
+    # normalized per slot, so sub-multiples of the true fundamental —
+    # whose combs contain the true comb plus empty slots — cannot
+    # outscore it.  A genuine period has an empty anti-comb; a single
+    # broadband burst fills comb and anti-comb alike and scores ~zero.
+    candidates = np.asarray(
+        [refine(k_peak) / m for m in range(1, 5) if k_peak // m >= max(k_min, 1)]
+    )
+    if len(candidates) == 0:
         return not_periodic
-    best = max(candidates, key=lambda kf: comb_minus_anticomb(kf)[0])
-    _, net = comb_minus_anticomb(best)
-    confidence = float(np.clip(net / total, 0.0, 1.0))
+    per_slot, nets = get_backend(backend).dft_comb_scores(power, candidates, 12)
+    best_idx = int(np.argmax(per_slot))
+    best = float(candidates[best_idx])
+    confidence = float(np.clip(nets[best_idx] / total, 0.0, 1.0))
     if confidence < min_confidence:
         return not_periodic
 
-    freq = float(best) / (n * signal.bin_width)
+    freq = best / (n * signal.bin_width)
     return DftDetection(
         periodic=True, period=1.0 / freq, confidence=confidence, frequency=freq
     )

@@ -178,7 +178,7 @@ def _periodic_write(
     )
 
 
-def _runtime_for_period(period: float, rng: np.random.Generator) -> tuple[float, float]:
+def _runtime_for_period(period: float) -> tuple[float, float]:
     """Runtime range guaranteeing enough checkpoint cycles.
 
     At least ~15 events are needed both for a stable Mean Shift group and
@@ -199,7 +199,6 @@ def _spec(
     name: str,
     cohort: str,
     uid: int,
-    rng: np.random.Generator,
     phases: list[Phase],
     truth: GroundTruth,
     *,
@@ -253,7 +252,7 @@ def _build_silent(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=tags,
     )
-    return _spec(f"silent-{uid}", "silent", uid, rng, phases, truth, nprocs=128)
+    return _spec(f"silent-{uid}", "silent", uid, phases, truth, nprocs=128)
 
 
 _BOUNDARY_READ = {
@@ -319,7 +318,7 @@ def _build_rcw(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_BURSTY,
         tags=("rcw",),
     )
-    return _spec(f"rcw-{uid}", "rcw", uid, rng, phases, truth, nprocs=32)
+    return _spec(f"rcw-{uid}", "rcw", uid, phases, truth, nprocs=32)
 
 
 def _build_r_only(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -334,7 +333,7 @@ def _build_r_only(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_SPIKE,
         tags=("r_only",),
     )
-    return _spec(f"ronly-{uid}", "r_only", uid, rng, phases, truth, nprocs=32)
+    return _spec(f"ronly-{uid}", "r_only", uid, phases, truth, nprocs=32)
 
 
 def _build_rcw_ckpt_periodic(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -358,11 +357,10 @@ def _build_rcw_ckpt_periodic(uid: int, rng: np.random.Generator) -> AppSpec:
         f"rcwper-{uid}",
         "rcw_ckpt_periodic",
         uid,
-        rng,
         phases,
         truth,
         nprocs=16,
-        runtime=_runtime_for_period(period, rng),
+        runtime=_runtime_for_period(period),
     )
 
 
@@ -379,7 +377,7 @@ def _build_rcw_ckpt_hidden(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_DENSE,
         tags=("rcw_ckpt_hidden",),
     )
-    return _spec(f"rcwhid-{uid}", "rcw_ckpt_hidden", uid, rng, phases, truth, nprocs=16)
+    return _spec(f"rcwhid-{uid}", "rcw_ckpt_hidden", uid, phases, truth, nprocs=16)
 
 
 def _build_r_steady_only(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -393,7 +391,7 @@ def _build_r_steady_only(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("r_steady_only",),
     )
-    return _spec(f"rsteady-{uid}", "r_steady_only", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"rsteady-{uid}", "r_steady_only", uid, phases, truth, nprocs=64)
 
 
 def _build_r_steady_w_end(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -407,7 +405,7 @@ def _build_r_steady_w_end(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("r_steady_w_end",),
     )
-    return _spec(f"rstwend-{uid}", "r_steady_w_end", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"rstwend-{uid}", "r_steady_w_end", uid, phases, truth, nprocs=64)
 
 
 def _read_period(rng: np.random.Generator) -> tuple[float, Category]:
@@ -454,7 +452,6 @@ def _build_sim_per_rw(uid: int, rng: np.random.Generator) -> AppSpec:
         f"simprw-{uid}",
         "sim_per_rw",
         uid,
-        rng,
         phases,
         truth,
         nprocs=32,
@@ -482,11 +479,10 @@ def _build_sim_per_w(uid: int, rng: np.random.Generator) -> AppSpec:
         f"simpw-{uid}",
         "sim_per_w",
         uid,
-        rng,
         phases,
         truth,
         nprocs=32,
-        runtime=_runtime_for_period(w_period, rng),
+        runtime=_runtime_for_period(w_period),
     )
 
 
@@ -503,7 +499,7 @@ def _build_sim_hidden(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_BURSTY,
         tags=("sim_hidden",),
     )
-    return _spec(f"simhid-{uid}", "sim_hidden", uid, rng, phases, truth, nprocs=32)
+    return _spec(f"simhid-{uid}", "sim_hidden", uid, phases, truth, nprocs=32)
 
 
 def _others_read_phases(
@@ -567,7 +563,7 @@ def _build_r_others_only(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("r_others_only",),
     )
-    return _spec(f"roth-{uid}", "r_others_only", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"roth-{uid}", "r_others_only", uid, phases, truth, nprocs=64)
 
 
 def _build_w_only_end(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -581,7 +577,7 @@ def _build_w_only_end(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("w_only_end",),
     )
-    return _spec(f"wend-{uid}", "w_only_end", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"wend-{uid}", "w_only_end", uid, phases, truth, nprocs=64)
 
 
 def _build_w_only_others(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -595,7 +591,7 @@ def _build_w_only_others(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("w_only_others",),
     )
-    return _spec(f"woth-{uid}", "w_only_others", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"woth-{uid}", "w_only_others", uid, phases, truth, nprocs=64)
 
 
 def _build_sim_others_periodic(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -620,11 +616,10 @@ def _build_sim_others_periodic(uid: int, rng: np.random.Generator) -> AppSpec:
         f"sothper-{uid}",
         "sim_others_periodic",
         uid,
-        rng,
         phases,
         truth,
         nprocs=16,
-        runtime=_runtime_for_period(period, rng),
+        runtime=_runtime_for_period(period),
     )
 
 
@@ -640,7 +635,7 @@ def _build_sim_others_hidden(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("sim_others_hidden",),
     )
-    return _spec(f"sothhid-{uid}", "sim_others_hidden", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"sothhid-{uid}", "sim_others_hidden", uid, phases, truth, nprocs=64)
 
 
 def _build_rw_others(uid: int, rng: np.random.Generator) -> AppSpec:
@@ -653,7 +648,7 @@ def _build_rw_others(uid: int, rng: np.random.Generator) -> AppSpec:
         tags=("rw_others",),
     )
     return _spec(
-        f"rwoth-{uid}", "rw_others", uid, rng, read_phases + write_phases, truth, nprocs=64
+        f"rwoth-{uid}", "rw_others", uid, read_phases + write_phases, truth, nprocs=64
     )
 
 
@@ -676,11 +671,10 @@ def _build_w_steady_per_hour(uid: int, rng: np.random.Generator) -> AppSpec:
         f"wsthour-{uid}",
         "w_steady_per_hour",
         uid,
-        rng,
         phases,
         truth,
         nprocs=16,
-        runtime=_runtime_for_period(period, rng),
+        runtime=_runtime_for_period(period),
     )
 
 
@@ -696,7 +690,7 @@ def _build_w_steady_hidden(uid: int, rng: np.random.Generator) -> AppSpec:
         metadata=META_INSIG,
         tags=("w_steady_hidden",),
     )
-    return _spec(f"wsthid-{uid}", "w_steady_hidden", uid, rng, phases, truth, nprocs=64)
+    return _spec(f"wsthid-{uid}", "w_steady_hidden", uid, phases, truth, nprocs=64)
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,20 @@
 """Test-support utilities shipped with the package: deterministic fault
-injection for chaos-testing the resilient execution layer."""
+injection for chaos-testing the resilient execution layer, and the
+differential-testing oracle that holds the kernel backends equivalent."""
 
+from .differential import (
+    DifferentialReport,
+    Divergence,
+    run_all,
+    run_differential,
+)
 from .faults import ChaosInjector, item_key
 
-__all__ = ["ChaosInjector", "item_key"]
+__all__ = [
+    "ChaosInjector",
+    "item_key",
+    "DifferentialReport",
+    "Divergence",
+    "run_all",
+    "run_differential",
+]

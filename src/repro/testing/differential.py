@@ -1,0 +1,390 @@
+"""Differential-testing oracle for the kernel backends.
+
+The vectorized NumPy kernels in :mod:`repro.kernels.vectorized` only get
+to be the default because they are *provably interchangeable* with the
+pure-Python references on adversarial input: seeded generators produce
+operation streams and activity signals exercising every degenerate shape
+the corpus throws at the pipeline — zero-duration operations, negative
+gaps (overlapping input), fully-contained operations, heavy-tailed
+volumes, constant signals — and every kernel pair is asserted equivalent
+to tolerance on thousands of cases.
+
+A divergence surfaced here is, by construction, either a vectorization
+bug or a latent reference bug; both kinds found while building the
+backends were fixed and carry named regression tests (the one-sided
+neighbor-merge gap rule, the ACF decay-shoulder latch).
+
+The module is deliberately dependency-light so both the test suite
+(``tests/kernels/``) and ad-hoc debugging sessions can drive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.meanshift import mean_shift
+from ..darshan.trace import OperationArray
+from ..kernels import get_backend
+from ..merge.neighbor import NeighborMergeConfig, merge_neighbors
+from ..segment.op_segments import segment_operations
+from ..signalproc.activity import build_activity_signal
+from ..signalproc.autocorr import detect_periodicity_autocorr
+from ..signalproc.dft import detect_periodicity_dft
+
+__all__ = [
+    "Divergence",
+    "DifferentialReport",
+    "KERNEL_PAIRS",
+    "adversarial_ops",
+    "adversarial_signal",
+    "run_differential",
+    "run_all",
+]
+
+#: Relative tolerance for float comparisons between backends.  Volume
+#: sums and weighted means may associate differently across backends;
+#: anything beyond accumulated round-off is a real divergence.
+RTOL = 1e-9
+ATOL = 1e-12
+
+OP_PROFILES = (
+    "disjoint",
+    "zero_duration",
+    "overlapping",
+    "contained",
+    "heavy_tailed",
+    "boundary_gaps",
+)
+
+SIGNAL_PROFILES = (
+    "constant",
+    "zeros",
+    "pulse_train",
+    "noise",
+    "decay",
+    "mixture",
+)
+
+
+@dataclass(slots=True, frozen=True)
+class Divergence:
+    """One reference/vectorized disagreement."""
+
+    kernel: str
+    case: int
+    seed: int
+    profile: str
+    message: str
+
+
+@dataclass(slots=True)
+class DifferentialReport:
+    """Outcome of a differential sweep over one kernel pair."""
+
+    kernel: str
+    n_cases: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{len(self.divergences)} divergences"
+        return f"{self.kernel}: {self.n_cases} cases, {state}"
+
+
+# ---------------------------------------------------------------------------
+# adversarial generators
+
+
+def adversarial_ops(
+    rng: np.random.Generator, profile: str, max_n: int = 60
+) -> OperationArray:
+    """A seeded adversarial operation stream of the given profile."""
+    n = int(rng.integers(0, max_n + 1))
+    if n == 0:
+        return OperationArray.empty()
+    if profile == "disjoint":
+        gaps = rng.exponential(20.0, n)
+        durs = rng.exponential(10.0, n)
+        starts = np.cumsum(gaps + np.concatenate(([0.0], durs[:-1])))
+        ends = starts + durs
+        vols = rng.exponential(1e8, n)
+    elif profile == "zero_duration":
+        starts = np.sort(rng.uniform(0.0, 1000.0, n))
+        durs = np.where(rng.random(n) < 0.5, 0.0, rng.exponential(5.0, n))
+        ends = starts + durs
+        vols = rng.exponential(1e7, n)
+    elif profile == "overlapping":
+        starts = np.sort(rng.uniform(0.0, 500.0, n))
+        ends = starts + rng.exponential(40.0, n)  # long tails overlap
+        vols = rng.exponential(1e8, n)
+    elif profile == "contained":
+        starts = np.sort(rng.uniform(0.0, 500.0, n))
+        ends = starts + rng.exponential(10.0, n)
+        if n >= 2:
+            # make some ops strict sub-windows of their predecessor
+            inner = rng.random(n) < 0.4
+            inner[0] = False
+            prev = np.roll(starts, 1)
+            prev_end = np.roll(ends, 1)
+            frac0 = rng.uniform(0.0, 0.5, n)
+            frac1 = rng.uniform(0.5, 1.0, n)
+            span = np.maximum(prev_end - prev, 0.0)
+            starts = np.where(inner, prev + frac0 * span, starts)
+            ends = np.where(inner, prev + frac1 * span, ends)
+            ends = np.maximum(ends, starts)
+        vols = rng.exponential(1e8, n)
+    elif profile == "heavy_tailed":
+        starts = np.sort(rng.uniform(0.0, 10_000.0, n))
+        ends = starts + rng.pareto(1.1, n) * 2.0
+        vols = rng.pareto(0.9, n) * 1e6 + 1.0
+    elif profile == "boundary_gaps":
+        # Gaps engineered to sit exactly on / a hair around the merge
+        # thresholds (1% of a 100 s op = 1 s; 0.1% of runtime scales).
+        durs = np.full(n, 100.0)
+        wiggle = rng.choice([-1e-9, 0.0, 1e-9], n)
+        gaps = np.where(rng.random(n) < 0.5, 1.0 + wiggle, 5.0 + wiggle)
+        starts = np.empty(n)
+        starts[0] = 0.0
+        for i in range(1, n):
+            starts[i] = starts[i - 1] + durs[i - 1] + gaps[i]
+        ends = starts + durs
+        vols = rng.exponential(1e8, n)
+    else:
+        raise ValueError(f"unknown op profile: {profile!r}")
+    return OperationArray(starts, ends, vols)
+
+
+def adversarial_signal(
+    rng: np.random.Generator, profile: str, max_n: int = 512
+) -> np.ndarray:
+    """A seeded adversarial activity signal of the given profile."""
+    n = int(rng.integers(8, max_n + 1))
+    if profile == "constant":
+        return np.full(n, float(rng.exponential(10.0)) + 1.0)
+    if profile == "zeros":
+        return np.zeros(n)
+    if profile == "pulse_train":
+        period = int(rng.integers(3, max(4, n // 4)))
+        duty = int(rng.integers(1, max(2, period // 2)))
+        x = np.zeros(n)
+        for k in range(0, n, period):
+            x[k : k + duty] = rng.exponential(100.0)
+        return x
+    if profile == "noise":
+        return np.abs(rng.normal(0.0, 1.0, n))
+    if profile == "decay":
+        # Positively-autocorrelated monotone decay: the shape whose ACF
+        # shoulder the plateau test used to latch onto.
+        return np.exp(-np.arange(n) / max(n / 4.0, 1.0)) * (
+            1.0 + 0.01 * rng.random(n)
+        )
+    if profile == "mixture":
+        p1 = int(rng.integers(3, max(4, n // 6)))
+        p2 = int(rng.integers(3, max(4, n // 6)))
+        t = np.arange(n)
+        return (
+            np.abs(np.sin(2 * np.pi * t / p1))
+            + np.abs(np.sin(2 * np.pi * t / p2))
+            + 0.1 * rng.random(n)
+        )
+    raise ValueError(f"unknown signal profile: {profile!r}")
+
+
+# ---------------------------------------------------------------------------
+# per-pair comparators
+
+
+def _close(a: np.ndarray, b: np.ndarray) -> bool:
+    return bool(
+        np.allclose(np.asarray(a), np.asarray(b), rtol=RTOL, atol=ATOL)
+    )
+
+
+def _compare_ops(
+    ref: OperationArray, vec: OperationArray
+) -> str | None:
+    if len(ref) != len(vec):
+        return f"op count {len(ref)} != {len(vec)}"
+    if not np.array_equal(ref.starts, vec.starts):
+        return "starts differ"
+    if not np.array_equal(ref.ends, vec.ends):
+        return "ends differ"
+    if not _close(ref.volumes, vec.volumes):
+        return "volumes differ beyond tolerance"
+    return None
+
+
+def _check_neighbor(rng: np.random.Generator, profile: str) -> str | None:
+    arr = adversarial_ops(rng, profile)
+    run_time = float(rng.choice([0.0, 100.0, 10_000.0, 1e6]))
+    cfg = NeighborMergeConfig(
+        runtime_fraction=float(rng.choice([0.0, 0.001, 0.05])),
+        op_fraction=float(rng.choice([0.0, 0.01, 0.2])),
+    )
+    ref = merge_neighbors(arr, run_time, cfg, backend="reference")
+    vec = merge_neighbors(arr, run_time, cfg, backend="vectorized")
+    return _compare_ops(ref.ops, vec.ops)
+
+
+def _check_concurrent(rng: np.random.Generator, profile: str) -> str | None:
+    arr = adversarial_ops(rng, profile)
+    ref_k, vec_k = get_backend("reference"), get_backend("vectorized")
+    g_ref = ref_k.overlap_groups(arr.starts, arr.ends)
+    g_vec = vec_k.overlap_groups(arr.starts, arr.ends)
+    if not np.array_equal(g_ref, g_vec):
+        return "group labels differ"
+    if len(arr) == 0:
+        return None
+    c_ref = ref_k.coalesce_groups(arr.starts, arr.ends, arr.volumes, g_ref)
+    c_vec = vec_k.coalesce_groups(arr.starts, arr.ends, arr.volumes, g_vec)
+    for name, a, b in zip(("starts", "ends"), c_ref[:2], c_vec[:2]):
+        if not np.array_equal(a, b):
+            return f"coalesced {name} differ"
+    if not _close(c_ref[2], c_vec[2]):
+        return "coalesced volumes differ beyond tolerance"
+    return None
+
+
+def _check_segment(rng: np.random.Generator, profile: str) -> str | None:
+    arr = adversarial_ops(rng, profile)
+    run_time = float(rng.choice([0.0, 500.0, 1e5]))
+    ref = segment_operations(arr, run_time, backend="reference")
+    vec = segment_operations(arr, run_time, backend="vectorized")
+    for name in ("starts", "durations", "volumes", "busy"):
+        if not np.array_equal(getattr(ref, name), getattr(vec, name)):
+            return f"segment {name} differ"
+    return None
+
+
+def _check_meanshift(rng: np.random.Generator, profile: str) -> str | None:
+    n = int(rng.integers(0, 40))
+    if profile in ("constant", "zeros"):
+        X = np.full((n, 2), 3.0)
+    else:
+        X = rng.normal(0.0, 1.0, (n, 2)) * rng.choice([1.0, 10.0])
+    kernel = "flat" if rng.random() < 0.7 else "gaussian"
+    bandwidth = float(rng.choice([0.3, 1.0, 3.0]))
+    if n:
+        seeds = X.copy()
+        step_ref = get_backend("reference").shift_step(seeds, X, bandwidth, kernel)
+        step_vec = get_backend("vectorized").shift_step(seeds, X, bandwidth, kernel)
+        if not _close(step_ref, step_vec):
+            return "shift step differs beyond tolerance"
+    ref = mean_shift(X, bandwidth, kernel=kernel, backend="reference")
+    vec = mean_shift(X, bandwidth, kernel=kernel, backend="vectorized")
+    if not np.array_equal(ref.labels, vec.labels):
+        return "cluster labels differ"
+    if not _close(ref.modes, vec.modes):
+        return "modes differ beyond tolerance"
+    return None
+
+
+def _check_acf(rng: np.random.Generator, profile: str) -> str | None:
+    from ..signalproc.activity import ActivitySignal
+
+    x = adversarial_signal(rng, profile)
+    sig = ActivitySignal(values=x, bin_width=float(rng.choice([0.5, 1.0, 7.3])))
+    ref = detect_periodicity_autocorr(sig, backend="reference")
+    vec = detect_periodicity_autocorr(sig, backend="vectorized")
+    if ref.periodic != vec.periodic or ref.lag != vec.lag:
+        return f"detection differs: ref lag {ref.lag}, vec lag {vec.lag}"
+    if ref.periodic and not (
+        _close(np.array([ref.period]), np.array([vec.period]))
+        and _close(np.array([ref.strength]), np.array([vec.strength]))
+    ):
+        return "period/strength differ beyond tolerance"
+    return None
+
+
+def _check_dft(rng: np.random.Generator, profile: str) -> str | None:
+    from ..signalproc.activity import ActivitySignal
+
+    x = adversarial_signal(rng, profile)
+    sig = ActivitySignal(values=x, bin_width=float(rng.choice([0.5, 1.0, 7.3])))
+    ref = detect_periodicity_dft(sig, backend="reference")
+    vec = detect_periodicity_dft(sig, backend="vectorized")
+    if ref.periodic != vec.periodic:
+        return f"detection differs: ref {ref.periodic}, vec {vec.periodic}"
+    if ref.periodic and not (
+        _close(np.array([ref.period]), np.array([vec.period]))
+        and _close(np.array([ref.confidence]), np.array([vec.confidence]))
+    ):
+        return "period/confidence differ beyond tolerance"
+    return None
+
+
+def _check_bin_activity(rng: np.random.Generator, profile: str) -> str | None:
+    arr = adversarial_ops(rng, profile)
+    run_time = float(rng.choice([100.0, 1000.0, 123_456.7]))
+    n_bins = int(rng.choice([1, 7, 64, 511]))
+    ref = build_activity_signal(arr, run_time, n_bins=n_bins, backend="reference")
+    vec = build_activity_signal(arr, run_time, n_bins=n_bins, backend="vectorized")
+    # The difference-array vectorization carries round-off relative to
+    # the *running* volume sum, not the individual bin, so the absolute
+    # tolerance scales with the largest bin (triaged as inherent to the
+    # cumsum trick — a logic bug shows up at bin scale, orders louder).
+    scale = float(ref.values.max()) if len(ref.values) else 0.0
+    if not np.allclose(
+        ref.values, vec.values, rtol=RTOL, atol=max(RTOL * scale, ATOL)
+    ):
+        worst = float(np.max(np.abs(ref.values - vec.values)))
+        return f"binned values differ beyond tolerance (max abs {worst:g})"
+    # Volume conservation for fully in-window streams is a shared
+    # invariant worth asserting on both backends at once.
+    clipped = np.clip(arr.starts, 0.0, run_time)
+    if len(arr) and np.array_equal(clipped, arr.starts) and np.all(arr.ends <= run_time):
+        expect = float(arr.volumes[arr.volumes > 0].sum())
+        if not np.isclose(vec.total, expect, rtol=1e-6):
+            return f"vectorized binning lost volume: {vec.total} != {expect}"
+    return None
+
+
+KERNEL_PAIRS = {
+    "neighbor_merge": (_check_neighbor, OP_PROFILES),
+    "concurrent_fusion": (_check_concurrent, OP_PROFILES),
+    "segmentation": (_check_segment, OP_PROFILES),
+    "meanshift_step": (_check_meanshift, SIGNAL_PROFILES),
+    "acf_peak_scan": (_check_acf, SIGNAL_PROFILES),
+    "dft_comb_scan": (_check_dft, SIGNAL_PROFILES),
+    "activity_binning": (_check_bin_activity, OP_PROFILES),
+}
+
+
+def run_differential(
+    kernel: str, n_cases: int = 1000, seed: int = 0
+) -> DifferentialReport:
+    """Sweep one kernel pair over ``n_cases`` seeded adversarial cases."""
+    try:
+        check, profiles = KERNEL_PAIRS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel pair {kernel!r}; available: "
+            + ", ".join(sorted(KERNEL_PAIRS))
+        ) from None
+    report = DifferentialReport(kernel=kernel)
+    for case in range(n_cases):
+        profile = profiles[case % len(profiles)]
+        rng = np.random.default_rng(seed + case)
+        message = check(rng, profile)
+        report.n_cases += 1
+        if message is not None:
+            report.divergences.append(
+                Divergence(
+                    kernel=kernel,
+                    case=case,
+                    seed=seed + case,
+                    profile=profile,
+                    message=message,
+                )
+            )
+    return report
+
+
+def run_all(n_cases: int = 1000, seed: int = 0) -> list[DifferentialReport]:
+    """Sweep every kernel pair; returns one report per pair."""
+    return [run_differential(k, n_cases, seed) for k in KERNEL_PAIRS]

@@ -63,6 +63,36 @@ class TestNeighborMerge:
         with pytest.raises(ValueError):
             NeighborMergeConfig(max_passes=0)
 
+    def test_gap_negligible_for_either_op_short_then_long(self):
+        # Regression: the gap rule compares against the duration of
+        # *either* nearby operation (§III-B2b).  A previous version only
+        # tested the growing left-hand operation, so a short op followed
+        # by a long one was never merged even though the gap was well
+        # under 1% of the long op's duration.
+        arr = ops((0.0, 1.0, 2.0), (6.0, 1006.0, 3.0))  # gap 5 ≤ 1% of 1000
+        cfg = NeighborMergeConfig(runtime_fraction=0.0)
+        result = merge_neighbors(arr, 1e9, cfg)
+        assert result.n_output == 1
+        assert result.ops.volumes[0] == pytest.approx(5.0)
+
+    def test_gap_negligible_for_either_op_long_then_short(self):
+        # The mirrored order must merge identically — the rule is
+        # symmetric in the two operations around the gap.
+        arr = ops((0.0, 1000.0, 3.0), (1005.0, 1006.0, 2.0))
+        cfg = NeighborMergeConfig(runtime_fraction=0.0)
+        result = merge_neighbors(arr, 1e9, cfg)
+        assert result.n_output == 1
+        assert result.ops.volumes[0] == pytest.approx(5.0)
+
+    def test_gap_large_for_both_ops_kept_in_both_orders(self):
+        # Control for the either-op rule: a gap exceeding 1% of *both*
+        # durations must stay unmerged regardless of order.
+        cfg = NeighborMergeConfig(runtime_fraction=0.0)
+        short_long = ops((0.0, 1.0, 2.0), (21.0, 1021.0, 3.0))  # gap 20 > 10
+        long_short = ops((0.0, 1000.0, 3.0), (1020.0, 1021.0, 2.0))
+        assert merge_neighbors(short_long, 1e9, cfg).n_output == 2
+        assert merge_neighbors(long_short, 1e9, cfg).n_output == 2
+
     def test_zero_thresholds_merge_nothing(self):
         arr = ops((0.0, 1.0, 1.0), (1.5, 2.0, 1.0))
         cfg = NeighborMergeConfig(runtime_fraction=0.0, op_fraction=0.0)
