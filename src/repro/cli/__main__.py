@@ -1,0 +1,10 @@
+"""``python -m repro.cli`` — entry point for environments without the
+installed ``mosaic``/``repro`` console scripts (e.g. CI smoke jobs
+running straight off a checkout with ``PYTHONPATH=src``)."""
+
+import sys
+
+from .main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

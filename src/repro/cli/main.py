@@ -48,8 +48,9 @@ from ..analysis import (
     temporality_table,
 )
 from ..core import run_pipeline_stream, save_results_jsonl
+from ..core.governor import ResourceBudget
 from ..core.pipeline import PipelineContext, PipelineResult
-from ..core.thresholds import DEFAULT_CONFIG
+from ..core.thresholds import DEFAULT_CONFIG, MosaicConfig
 from ..darshan import (
     DirectorySource,
     SyntheticSource,
@@ -139,6 +140,29 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--direction", choices=("read", "write"), default="write")
     disc.add_argument("--k", type=int, help="cluster count (omit for elbow rule)")
 
+    fz = sub.add_parser(
+        "fuzz",
+        help="fuzz the trace readers: parse, raise TraceFormatError, or "
+        "repair -- never crash, hang, or allocate beyond budget "
+        "(docs/ROBUSTNESS.md)",
+    )
+    fz.add_argument("--formats", default="binary,json,text",
+                    help="comma-separated reader formats to fuzz")
+    fz.add_argument("--cases", type=int, default=1000,
+                    help="mutated payloads per format")
+    fz.add_argument("--seed", type=int, default=20190101)
+    fz.add_argument("--deadline", type=float, default=5.0, metavar="SECONDS",
+                    help="per-case wall-clock deadline (0 disables)")
+    fz.add_argument("--alloc-budget", type=int, default=64 * 1024 * 1024,
+                    metavar="BYTES",
+                    help="per-case tracemalloc peak budget (0 disables)")
+    fz.add_argument("--replay", metavar="DIR",
+                    help="replay a saved regression corpus instead of "
+                    "generating new cases (CI mode)")
+    fz.add_argument("--save-findings", metavar="DIR",
+                    help="write minimized reproducers for any findings "
+                    "under DIR (one file per finding)")
+
     add_lint_subparser(sub)
     return parser
 
@@ -160,6 +184,23 @@ def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
         "quarantined as TIMEOUT and their worker recycled "
         "(default: no deadline)",
     )
+    sub.add_argument(
+        "--budget-max-ops", type=int, metavar="N",
+        help="per-trace operation budget: traces above it walk the "
+        "degradation ladder (subsample -> skip periodicity -> flag) "
+        "instead of running at full fidelity (default: unlimited)",
+    )
+    sub.add_argument(
+        "--budget-max-bytes", type=int, metavar="BYTES",
+        help="per-trace estimated working-set budget driving the same "
+        "ladder (default: unlimited)",
+    )
+    sub.add_argument(
+        "--stage-deadline", type=float, metavar="SECONDS",
+        help="soft per-stage deadline: an overrunning trace degrades to "
+        "temporality+metadata only instead of being dropped "
+        "(default: none)",
+    )
 
 
 def _dir_source(path: str) -> DirectorySource:
@@ -173,6 +214,24 @@ def _dir_source(path: str) -> DirectorySource:
     if n == 0:
         raise SystemExit(f"no .mosd/.json/.darshan.txt traces found in {path!r}")
     return source
+
+
+def _effective_config(args: argparse.Namespace) -> MosaicConfig:
+    """Apply the --budget-*/--stage-deadline flags to the paper config."""
+    kwargs: dict[str, Any] = {}
+    if getattr(args, "budget_max_ops", None):
+        kwargs["max_ops"] = args.budget_max_ops
+    if getattr(args, "budget_max_bytes", None):
+        kwargs["max_bytes"] = args.budget_max_bytes
+    if getattr(args, "stage_deadline", None):
+        kwargs["stage_deadline_s"] = args.stage_deadline
+    if not kwargs:
+        return DEFAULT_CONFIG
+    try:
+        budget = ResourceBudget(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(f"bad resource budget: {exc}") from exc
+    return DEFAULT_CONFIG.with_overrides(budget=budget)
 
 
 def _print_stage_metrics(result) -> None:
@@ -211,6 +270,13 @@ def _print_stage_metrics(result) -> None:
             f"{m.get('n_poisoned', 0)} poisoned, "
             f"{m.get('n_resumed', 0)} resumed, "
             f"{m.get('n_quarantined', 0)} quarantined"
+        )
+    if m.get("n_degraded", 0):
+        print(
+            f"  degraded:   {m.get('n_degraded', 0)} over budget "
+            f"({m.get('n_degraded_coarse', 0)} coarse, "
+            f"{m.get('n_degraded_minimal', 0)} minimal, "
+            f"{m.get('n_degraded_flagged', 0)} flagged)"
         )
 
 
@@ -302,7 +368,7 @@ def _chaos_context(args: argparse.Namespace) -> PipelineContext | None:
         # chaos injects them on purpose, so a self-test needs headroom
         parallel = replace(parallel, max_pool_rebuilds=100)
     return PipelineContext(
-        config=DEFAULT_CONFIG,
+        config=_effective_config(args),
         parallel=parallel,
         repair=getattr(args, "repair", False),
         wrap_worker=functools.partial(
@@ -327,7 +393,7 @@ def _cmd_categorize(args: argparse.Namespace) -> int:
     journal, resume = _journal_args(args)
     result = run_pipeline_stream(
         source,
-        DEFAULT_CONFIG,
+        _effective_config(args),
         _parallel(args.workers, args.task_timeout),
         repair=args.repair,
         journal_path=journal,
@@ -368,7 +434,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"chaos mode: seed={args.chaos}, injecting faults...")
     result = run_pipeline_stream(
         source,
-        DEFAULT_CONFIG,
+        _effective_config(args),
         _parallel(args.workers, args.task_timeout),
         repair=args.repair,
         context=context,
@@ -474,6 +540,53 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from ..fuzz import (
+        FuzzCase,
+        load_corpus,
+        minimize_case,
+        replay_corpus,
+        run_fuzz,
+        save_corpus,
+    )
+
+    if args.replay:
+        if not os.path.isdir(args.replay):
+            raise SystemExit(f"no corpus directory at {args.replay!r}")
+        cases = list(load_corpus(args.replay))
+        if not cases:
+            raise SystemExit(f"corpus at {args.replay!r} holds no .bin cases")
+        report = replay_corpus(
+            cases, deadline_s=args.deadline, alloc_budget=args.alloc_budget
+        )
+        print(f"replayed {args.replay}: {report.summary()}")
+    else:
+        formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+        report = run_fuzz(
+            formats,
+            n_cases=args.cases,
+            seed=args.seed,
+            deadline_s=args.deadline,
+            alloc_budget=args.alloc_budget,
+            on_progress=lambda fmt, n: print(f"  ... {n} cases ({fmt})"),
+        )
+        print(report.summary())
+    if report.findings and args.save_findings:
+        reproducers = [
+            FuzzCase(
+                fmt=f.fmt,
+                mutation=f"{f.kind}-{f.mutation}",
+                seed=f.seed,
+                # hangs/allocs are not safe to re-run under minimization
+                data=minimize_case(f.fmt, f.data) if f.kind == "crash" else f.data,
+            )
+            for f in report.findings
+        ]
+        for path in save_corpus(reproducers, args.save_findings):
+            print(f"  reproducer: {path}")
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "categorize": _cmd_categorize,
@@ -481,6 +594,7 @@ _COMMANDS = {
     "anatomy": _cmd_anatomy,
     "accuracy": _cmd_accuracy,
     "discover": _cmd_discover,
+    "fuzz": _cmd_fuzz,
     "lint": cmd_lint,
 }
 

@@ -12,6 +12,13 @@ from .categories import (
     axis_of,
     parse_categories,
 )
+from .governor import (
+    DegradationLevel,
+    Governor,
+    ResourceBudget,
+    estimate_trace_cost,
+    subsample_ops,
+)
 from .thresholds import DEFAULT_CONFIG, MosaicConfig
 from .temporality import TemporalityDetection, classify_temporality
 from .periodicity import (
@@ -50,6 +57,11 @@ __all__ = [
     "parse_categories",
     "DEFAULT_CONFIG",
     "MosaicConfig",
+    "DegradationLevel",
+    "Governor",
+    "ResourceBudget",
+    "estimate_trace_cost",
+    "subsample_ops",
     "TemporalityDetection",
     "classify_temporality",
     "PeriodicGroup",

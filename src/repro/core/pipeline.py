@@ -55,6 +55,7 @@ from ..parallel.journal import (
 from ..parallel.resilient import resilient_imap
 from ..parallel.retry import FailureKind, RetryPolicy, backoff_delay
 from .categorizer import categorize_trace
+from .governor import DegradationLevel
 from .preprocess import (
     PreprocessResult,
     SelectedRef,
@@ -172,6 +173,21 @@ class PipelineResult:
     @property
     def n_categorized(self) -> int:
         return len(self.results)
+
+
+def _count_degradation(
+    ctx: PipelineContext, results: list[CategorizationResult]
+) -> None:
+    """Surface the degradation ladder in the run metrics: one counter
+    per non-FULL rung (``n_degraded_<level>``) plus the total, so a
+    governed run is auditable from its metrics alone."""
+    total = 0
+    for r in results:
+        if r.degradation is not DegradationLevel.FULL:
+            total += 1
+            ctx.count(f"n_degraded_{r.degradation.value}")
+    if total:
+        ctx.count("n_degraded", total)
 
 
 def _scan_stage(source: TraceSource, ctx: PipelineContext) -> SelectionPlan:
@@ -416,6 +432,7 @@ def run_pipeline_stream(
 
     ctx.count("n_selected", plan.n_selected)
     ctx.count("n_failures", len(failures))
+    _count_degradation(ctx, results)
     ctx.count("categorize_bytes_read", source.bytes_read - bytes_before)
     ctx.gauge("peak_inflight_traces", peak)
     ctx.timings["total_s"] = time.perf_counter() - t0
@@ -474,6 +491,7 @@ def run_pipeline(
         if ctx.error_policy == "raise":
             outcome.raise_if_failed()
     ctx.count("n_failures", len(outcome.failures))
+    _count_degradation(ctx, outcome.successful())
     ctx.timings["total_s"] = time.perf_counter() - t0
 
     return PipelineResult(

@@ -14,6 +14,7 @@ from typing import Any, Iterable, Iterator
 
 from ..darshan.trace import Direction
 from .categories import Category, parse_categories
+from .governor import DegradationLevel
 from .metadata import MetadataDetection
 from .periodicity import PeriodicGroup, PeriodicityDetection
 from .temporality import TemporalityDetection
@@ -46,6 +47,12 @@ class CategorizationResult:
     metadata_peak_rate: float = 0.0
     metadata_mean_rate: float = 0.0
     metadata_n_spikes: int = 0
+    #: Fidelity rung this result was produced at (degradation ladder;
+    #: see :mod:`repro.core.governor`).  FULL unless a resource budget
+    #: forced the governor to shed work.
+    degradation: DegradationLevel = DegradationLevel.FULL
+    #: Human-readable reasons for every budget escalation, in order.
+    budget_violations: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -68,6 +75,8 @@ class CategorizationResult:
         periodicity: Iterable[PeriodicityDetection],
         metadata: MetadataDetection,
         config: Any,
+        degradation: DegradationLevel = DegradationLevel.FULL,
+        budget_violations: Iterable[str] = (),
     ) -> "CategorizationResult":
         """Assemble a result from the three axis detections."""
         categories: set[Category] = set(metadata.categories)
@@ -97,6 +106,8 @@ class CategorizationResult:
             metadata_peak_rate=metadata.peak_rate,
             metadata_mean_rate=metadata.mean_rate,
             metadata_n_spikes=metadata.n_spikes,
+            degradation=degradation,
+            budget_violations=tuple(budget_violations),
         )
 
     # ------------------------------------------------------------------
@@ -128,6 +139,8 @@ class CategorizationResult:
                 "mean_rate": self.metadata_mean_rate,
                 "n_spikes": self.metadata_n_spikes,
             },
+            "degradation": self.degradation.value,
+            "budget_violations": list(self.budget_violations),
         }
 
     @classmethod
@@ -164,6 +177,10 @@ class CategorizationResult:
             metadata_peak_rate=float(meta.get("peak_rate", 0.0)),
             metadata_mean_rate=float(meta.get("mean_rate", 0.0)),
             metadata_n_spikes=int(meta.get("n_spikes", 0)),
+            degradation=DegradationLevel(d.get("degradation", "full")),
+            budget_violations=tuple(
+                str(v) for v in d.get("budget_violations", [])
+            ),
         )
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from ..darshan.trace import Trace
 from ..darshan.validate import validate_trace
 from .categorizer import categorize_trace
+from .governor import DegradationLevel
 from .result import CategorizationResult
 from .thresholds import DEFAULT_CONFIG, MosaicConfig
 
@@ -70,6 +71,9 @@ class ApplicationCatalog:
     n_ingested: int = 0
     n_rejected: int = 0
     n_failed: int = 0
+    #: Ingested runs whose categorization came back degraded (any
+    #: non-FULL rung of the ladder; see :mod:`repro.core.governor`).
+    n_degraded: int = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -116,6 +120,8 @@ class ApplicationCatalog:
             except Exception:
                 self._record_failure(key)
                 return None
+            if result.degradation is not DegradationLevel.FULL:
+                self.n_degraded += 1
             entry = AppEntry(result=result, weight=weight)
             self._entries[key] = entry
             return entry
@@ -128,6 +134,8 @@ class ApplicationCatalog:
             # application; the failed run just doesn't refresh it
             self._record_failure(key)
             return entry
+        if result.degradation is not DegradationLevel.FULL:
+            self.n_degraded += 1
         if result.categories == entry.result.categories:
             entry.n_agreeing += 1
         if weight >= entry.weight * self.min_weight_gain and weight > entry.weight:

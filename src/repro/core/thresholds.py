@@ -15,8 +15,15 @@ from typing import Any
 from ..darshan.tolerance import TIME_TOLERANCE_S, close_to
 from ..kernels import available_backends
 from ..merge.neighbor import NeighborMergeConfig
+from .governor import ResourceBudget
 
-__all__ = ["MosaicConfig", "DEFAULT_CONFIG", "TIME_TOLERANCE_S", "close_to"]
+__all__ = [
+    "MosaicConfig",
+    "DEFAULT_CONFIG",
+    "TIME_TOLERANCE_S",
+    "close_to",
+    "ResourceBudget",
+]
 
 MB = 1024 * 1024
 
@@ -113,6 +120,12 @@ class MosaicConfig:
     #: Process-pool rebuilds (crash or timeout recycles) tolerated per
     #: corpus run before the run is declared unhealthy and aborted.
     max_pool_rebuilds: int = 3
+
+    # -- per-trace resource governance (extension; docs/ROBUSTNESS.md) ----
+    #: Soft per-trace budget driving the degradation ladder
+    #: (see :mod:`repro.core.governor`).  The default is unlimited:
+    #: governance is opt-in and the ungoverned pipeline is unchanged.
+    budget: ResourceBudget = field(default_factory=ResourceBudget)
 
     def __post_init__(self) -> None:
         if self.insignificant_bytes < 0:

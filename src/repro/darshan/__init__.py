@@ -14,6 +14,7 @@ from .errors import (
     TraceValidationError,
     TraceWriteError,
 )
+from .limits import DEFAULT_LIMITS, DecodeLimits
 from .records import FileRecord, JobMeta
 from .trace import Direction, OperationArray, Trace
 from .validate import ValidationReport, Violation, is_valid, validate_trace
@@ -43,6 +44,8 @@ __all__ = [
     "TraceUnavailableError",
     "TraceValidationError",
     "TraceWriteError",
+    "DecodeLimits",
+    "DEFAULT_LIMITS",
     "FileRecord",
     "JobMeta",
     "Direction",

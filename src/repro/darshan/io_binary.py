@@ -17,6 +17,13 @@ The codec is deliberately strict: any truncation or bad magic raises
 :class:`~repro.darshan.errors.TraceFormatError`, which the validity stage
 counts as corruption — mirroring how MOSAIC evicts unreadable Darshan
 files.
+
+Decoding is *hardened* (docs/ROBUSTNESS.md): every header-declared
+length (job strings, record count, string-table size) is validated
+against the bytes that actually remain **before** anything is allocated,
+so a header claiming a 2 GB string table in a 200-byte file is refused
+at zero cost instead of allocating the lie.  The caps come from
+:class:`~repro.darshan.limits.DecodeLimits`.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ import struct
 from typing import BinaryIO
 
 from .errors import TraceFormatError, TraceWriteError
+from .limits import DEFAULT_LIMITS, DecodeLimits, check_declared_size
 from .records import FileRecord, JobMeta
 from .trace import Trace
 
@@ -76,12 +84,37 @@ def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
     return data
 
 
-def _unpack_job(fh: BinaryIO) -> JobMeta:
+def _read_checked(fh: BinaryIO, n: int, remaining: int, what: str) -> bytes:
+    """Read a header-declared section, refusing the claim before any
+    allocation when it exceeds the bytes that actually remain."""
+    check_declared_size(n, remaining, what)
+    return _read_exact(fh, n, what)
+
+
+def _decode_utf8(data: bytes, what: str) -> str:
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"invalid UTF-8 in {what}: {exc}") from exc
+
+
+def _unpack_job(fh: BinaryIO, remaining: int, limits: DecodeLimits) -> JobMeta:
+    """Decode the job header; ``remaining`` bounds the payload bytes
+    past the fixed header so string lengths cannot lie."""
     raw = _read_exact(fh, _JOB.size, "job header")
+    remaining -= _JOB.size
     job_id, uid, nprocs, start, end, n_exe, n_mach, n_part = _JOB.unpack(raw)
-    exe = _read_exact(fh, n_exe, "exe string").decode("utf-8")
-    machine = _read_exact(fh, n_mach, "machine string").decode("utf-8")
-    partition = _read_exact(fh, n_part, "partition string").decode("utf-8")
+    cap = limits.max_string_bytes
+    check_declared_size(n_exe + n_mach + n_part, remaining, "job strings", cap)
+    exe = _decode_utf8(_read_checked(fh, n_exe, remaining, "exe string"), "exe string")
+    remaining -= n_exe
+    machine = _decode_utf8(
+        _read_checked(fh, n_mach, remaining, "machine string"), "machine string"
+    )
+    remaining -= n_mach
+    partition = _decode_utf8(
+        _read_checked(fh, n_part, remaining, "partition string"), "partition string"
+    )
     return JobMeta(
         job_id=job_id,
         uid=uid,
@@ -135,10 +168,20 @@ def dumps_binary(trace: Trace) -> bytes:
     return b"".join(parts)
 
 
-def loads_binary(payload: bytes) -> Trace:
-    """Parse the MOSD binary container produced by :func:`dumps_binary`."""
+def loads_binary(payload: bytes, limits: DecodeLimits = DEFAULT_LIMITS) -> Trace:
+    """Parse the MOSD binary container produced by :func:`dumps_binary`.
+
+    Every header-declared length is validated against ``len(payload)``
+    before the corresponding section is allocated; a payload larger
+    than ``limits.max_payload_bytes`` is refused outright.
+    """
     import io as _io
 
+    if len(payload) > limits.max_payload_bytes:
+        raise TraceFormatError(
+            f"trace payload of {len(payload)} bytes exceeds decode limit "
+            f"{limits.max_payload_bytes}"
+        )
     fh = _io.BytesIO(payload)
     raw = _read_exact(fh, _HEADER.size, "magic header")
     magic, version, _ = _HEADER.unpack(raw)
@@ -146,9 +189,22 @@ def loads_binary(payload: bytes) -> Trace:
         raise TraceFormatError(f"bad magic: {magic!r}")
     if version != VERSION:
         raise TraceFormatError(f"unsupported binary trace version: {version}")
-    meta = _unpack_job(fh)
+    meta = _unpack_job(fh, len(payload) - fh.tell(), limits)
     n_records, n_table = _COUNTS.unpack(_read_exact(fh, _COUNTS.size, "counts"))
-    table = _read_exact(fh, n_table, "string table").decode("utf-8")
+    remaining = len(payload) - fh.tell()
+    if n_records > limits.max_records:
+        raise TraceFormatError(
+            f"record count {n_records} exceeds decode limit {limits.max_records}"
+        )
+    # the record section must account for every byte the header claims:
+    # a lying count is refused before the first record is allocated
+    check_declared_size(n_table, remaining, "string table", limits.max_string_bytes)
+    check_declared_size(
+        n_table + n_records * _RECORD.size, remaining, "record section"
+    )
+    table = _decode_utf8(
+        _read_checked(fh, n_table, remaining, "string table"), "string table"
+    )
     names = table.split("\x00") if table else []
     if names and len(names) != n_records:
         raise TraceFormatError(
@@ -194,11 +250,23 @@ def save_binary(trace: Trace, path: str | os.PathLike[str]) -> None:
         fh.write(data)
 
 
-def load_binary(path: str | os.PathLike[str]) -> Trace:
-    """Read a trace written by :func:`save_binary`."""
+def load_binary(
+    path: str | os.PathLike[str], limits: DecodeLimits = DEFAULT_LIMITS
+) -> Trace:
+    """Read a trace written by :func:`save_binary`.
+
+    The on-disk size is checked against ``limits.max_payload_bytes``
+    before the file is read, so an oversized file never reaches memory.
+    """
     try:
+        size = os.stat(os.fspath(path)).st_size
+        if size > limits.max_payload_bytes:
+            raise TraceFormatError(
+                f"trace file {path!r} is {size} bytes, exceeding decode "
+                f"limit {limits.max_payload_bytes}"
+            )
         with open(os.fspath(path), "rb") as fh:
-            return loads_binary(fh.read())
+            return loads_binary(fh.read(), limits)
     except OSError as exc:
         raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc
 
@@ -213,6 +281,7 @@ def load_binary_meta(path: str | os.PathLike[str]) -> JobMeta:
     header truncated before the job strings end.
     """
     try:
+        size = os.stat(os.fspath(path)).st_size
         with open(os.fspath(path), "rb") as fh:
             raw = _read_exact(fh, _HEADER.size, "magic header")
             magic, version, _ = _HEADER.unpack(raw)
@@ -222,6 +291,6 @@ def load_binary_meta(path: str | os.PathLike[str]) -> JobMeta:
                 raise TraceFormatError(
                     f"unsupported binary trace version: {version}"
                 )
-            return _unpack_job(fh)
+            return _unpack_job(fh, size - _HEADER.size, DEFAULT_LIMITS)
     except OSError as exc:
         raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc

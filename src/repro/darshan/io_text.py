@@ -23,15 +23,23 @@ Line format::
 Unknown counters are ignored (real logs carry dozens MOSAIC never
 reads); structurally broken lines raise
 :class:`~repro.darshan.errors.TraceFormatError`.
+
+Decoding is hardened (docs/ROBUSTNESS.md): payload size, single-line
+length, and the decoded record count are all capped by
+:class:`~repro.darshan.limits.DecodeLimits`, non-UTF-8 files and
+non-finite header times are refused, and overflowing counter values
+raise :class:`TraceFormatError` rather than ``OverflowError``.
 """
 
 from __future__ import annotations
 
 import io
+import math
 import os
 
 from . import counters as C
 from .errors import TraceFormatError
+from .limits import DEFAULT_LIMITS, DecodeLimits
 from .records import FileRecord, JobMeta
 from .trace import Trace
 
@@ -86,13 +94,23 @@ def dumps_text(trace: Trace) -> str:
     return out.getvalue()
 
 
-def loads_text(payload: str) -> Trace:
+def loads_text(payload: str, limits: DecodeLimits = DEFAULT_LIMITS) -> Trace:
     """Parse darshan-parser-style text back into a trace."""
+    if len(payload) > limits.max_payload_bytes:
+        raise TraceFormatError(
+            f"trace payload of {len(payload)} chars exceeds decode limit "
+            f"{limits.max_payload_bytes}"
+        )
     header: dict[str, str] = {}
     records: dict[tuple[int, int], FileRecord] = {}
     order: list[tuple[int, int]] = []
 
     for lineno, raw in enumerate(payload.splitlines(), start=1):
+        if len(raw) > limits.max_line_chars:
+            raise TraceFormatError(
+                f"line {lineno}: {len(raw)} chars exceeds decode limit "
+                f"{limits.max_line_chars}"
+            )
         line = raw.strip()
         if not line:
             continue
@@ -116,6 +134,11 @@ def loads_text(payload: str) -> Trace:
             raise TraceFormatError(f"line {lineno}: bad rank/record id") from exc
         key = (rec_id, rank)
         if key not in records:
+            if len(records) >= limits.max_records:
+                raise TraceFormatError(
+                    f"line {lineno}: record count exceeds decode limit "
+                    f"{limits.max_records}"
+                )
             records[key] = FileRecord(file_id=rec_id, file_name=file_name, rank=rank)
             order.append(key)
         rec = records[key]
@@ -127,7 +150,8 @@ def loads_text(payload: str) -> Trace:
             elif counter in _FLOAT_FIELDS:
                 setattr(rec, _FLOAT_FIELDS[counter], float(value))
             # unknown counters: skipped (real logs carry many more)
-        except ValueError as exc:
+        except (ValueError, OverflowError) as exc:
+            # int(float("inf")) overflows rather than raising ValueError
             raise TraceFormatError(
                 f"line {lineno}: bad value for {counter}: {value!r}"
             ) from exc
@@ -144,8 +168,11 @@ def loads_text(payload: str) -> Trace:
             start_time=float(header["start_time"]),
             end_time=float(header["end_time"]),
         )
-    except ValueError as exc:
+    except (ValueError, OverflowError) as exc:
         raise TraceFormatError(f"bad header value: {exc}") from exc
+    for label, value in (("start_time", meta.start_time), ("end_time", meta.end_time)):
+        if not math.isfinite(value):
+            raise TraceFormatError(f"non-finite header {label}: {value!r}")
     return Trace(meta=meta, records=[records[k] for k in order])
 
 
@@ -155,11 +182,21 @@ def save_text(trace: Trace, path: str | os.PathLike[str]) -> None:
         fh.write(dumps_text(trace))
 
 
-def load_text(path: str | os.PathLike[str]) -> Trace:
+def load_text(
+    path: str | os.PathLike[str], limits: DecodeLimits = DEFAULT_LIMITS
+) -> Trace:
     """Read a trace written by :func:`save_text` (or extracted from real
     ``darshan-parser`` output)."""
     try:
+        size = os.stat(os.fspath(path)).st_size
+        if size > limits.max_payload_bytes:
+            raise TraceFormatError(
+                f"trace file {path!r} is {size} bytes, exceeding decode "
+                f"limit {limits.max_payload_bytes}"
+            )
         with open(os.fspath(path), "r", encoding="utf-8") as fh:
-            return loads_text(fh.read())
+            return loads_text(fh.read(), limits)
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"cannot decode trace file {path!r}: {exc}") from exc
     except OSError as exc:
         raise TraceFormatError(f"cannot read trace file {path!r}: {exc}") from exc

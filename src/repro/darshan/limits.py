@@ -1,0 +1,94 @@
+"""Decode-time resource limits: the hard caps of the input-hardening layer.
+
+The readers in :mod:`repro.darshan.io_binary` / ``io_json`` / ``io_text``
+decode attacker-grade bytes: at Blue Waters scale a corpus contains
+truncated files, header fields that lie about their section sizes, and
+multi-gigabyte pathological traces.  Left unchecked, a lying length
+field makes ``read(n)`` allocate the declared (not the actual) size, a
+deeply-nested JSON document exhausts the parser stack, and a
+repeated-line text log materializes millions of records.
+
+:class:`DecodeLimits` is the single bundle of *hard* caps every reader
+enforces **before allocating**.  Exceeding a cap raises
+:class:`~repro.darshan.errors.TraceFormatError`, which the scan pass
+counts as :attr:`~repro.darshan.validate.Violation.UNREADABLE` — the
+trace lands in the corruption funnel instead of crashing or OOM-ing the
+run.  These caps are deliberately generous (a legitimate huge trace must
+decode; the *soft* per-trace governance that degrades oversized-but-real
+traces lives in :mod:`repro.core.governor`).
+
+See docs/ROBUSTNESS.md ("Input hardening & degradation ladder").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import TraceFormatError
+
+__all__ = ["DecodeLimits", "DEFAULT_LIMITS", "check_declared_size"]
+
+MB = 1024 * 1024
+
+
+@dataclass(slots=True, frozen=True)
+class DecodeLimits:
+    """Hard decode-time caps shared by all trace readers.
+
+    Every field bounds one resource a hostile payload could otherwise
+    inflate without limit; ``0`` never means "unlimited" here — these
+    are DoS guards, so the validators reject non-positive caps.
+    """
+
+    #: Largest serialized payload any reader will materialize (checked
+    #: against the actual file size before the first read).
+    max_payload_bytes: int = 1024 * MB
+    #: Most file records one decoded trace may carry, across formats.
+    max_records: int = 5_000_000
+    #: Largest string table / job-string section of a binary trace.
+    max_string_bytes: int = 64 * MB
+    #: Deepest JSON nesting accepted (the schema needs 4; bombs use
+    #: thousands).
+    max_json_depth: int = 32
+    #: Longest single line of a darshan-parser text trace, in characters.
+    max_line_chars: int = 1 * MB
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_payload_bytes",
+            "max_records",
+            "max_string_bytes",
+            "max_json_depth",
+            "max_line_chars",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+#: Caps applied when a reader is not handed explicit limits.
+DEFAULT_LIMITS = DecodeLimits()
+
+
+def check_declared_size(
+    declared: int, remaining: int, what: str, cap: int | None = None
+) -> None:
+    """Validate one header-declared section size *before* allocating.
+
+    ``declared`` is whatever the (untrusted) header claims the next
+    section occupies; ``remaining`` is how many payload bytes actually
+    exist past the current cursor.  A negative, over-cap, or
+    beyond-the-file claim raises :class:`TraceFormatError` — the lying
+    length field is refused while the allocation is still zero bytes.
+    """
+    if declared < 0:
+        raise TraceFormatError(f"negative declared size for {what}: {declared}")
+    if cap is not None and declared > cap:
+        raise TraceFormatError(
+            f"declared size for {what} exceeds decode limit: "
+            f"{declared} > {cap}"
+        )
+    if declared > remaining:
+        raise TraceFormatError(
+            f"truncated trace: header declares {declared} bytes for {what} "
+            f"but only {remaining} remain"
+        )

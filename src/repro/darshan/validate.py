@@ -45,6 +45,12 @@ class Violation(str, Enum):
     #: malformed JSON).  Only streaming scans over on-disk sources report
     #: this class: an in-memory ``Trace`` has by definition been decoded.
     UNREADABLE = "unreadable"
+    #: The trace decoded but exceeded the per-trace resource budget so
+    #: far that no categorization axis could run (the FLAGGED rung of
+    #: the degradation ladder — see :mod:`repro.core.governor`).  Unlike
+    #: the other classes this is not corruption: the trace is valid,
+    #: merely ungovernably large for the configured budget.
+    RESOURCE_BUDGET = "resource_budget"
 
 
 @dataclass(slots=True)

@@ -1,0 +1,52 @@
+"""Structure-aware fuzzing of the trace readers.
+
+The decode layer (:mod:`repro.darshan`) is the only part of the pipeline
+that touches attacker-grade bytes, and its contract is absolute: for
+*any* input a reader must **parse, raise**
+:class:`~repro.darshan.errors.TraceFormatError`, **or repair — never
+crash, hang, or allocate beyond budget**.  This package enforces that
+contract empirically:
+
+:mod:`repro.fuzz.mutators`
+    Seeded, deterministic corpus of valid serialized traces plus
+    structure-aware mutations — byte flips, truncations, lying length
+    fields, duplicated/reordered sections, JSON depth bombs, overflow
+    literals.
+:mod:`repro.fuzz.harness`
+    Executes mutated payloads against the three readers under a
+    per-case wall-clock deadline and a ``tracemalloc`` allocation
+    budget, classifying every outcome (parsed / rejected / crash /
+    hang / over-budget).
+:mod:`repro.fuzz.corpus`
+    ddmin-style case minimization and the on-disk regression corpus
+    (``tests/fuzz/corpus/``) replayed by CI.
+
+Run it via ``mosaic fuzz`` or the pytest suite in ``tests/fuzz/``.
+See docs/ROBUSTNESS.md ("Input hardening & degradation ladder").
+"""
+
+from .corpus import case_filename, load_corpus, minimize_case, save_corpus
+from .harness import (
+    FORMATS,
+    FuzzFinding,
+    FuzzReport,
+    replay_corpus,
+    run_fuzz,
+)
+from .mutators import MUTATIONS, FuzzCase, generate_cases, seed_payloads
+
+__all__ = [
+    "FORMATS",
+    "FuzzCase",
+    "FuzzFinding",
+    "FuzzReport",
+    "MUTATIONS",
+    "case_filename",
+    "generate_cases",
+    "load_corpus",
+    "minimize_case",
+    "replay_corpus",
+    "run_fuzz",
+    "save_corpus",
+    "seed_payloads",
+]

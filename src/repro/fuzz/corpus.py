@@ -1,0 +1,158 @@
+"""Regression corpus management and case minimization.
+
+A fuzz finding is only useful if it survives as a permanent regression
+test.  This module turns findings into small on-disk reproducers under
+``tests/fuzz/corpus/<format>/`` and replays them in CI:
+
+* :func:`minimize_case` — greedy ddmin-style shrinking: repeatedly try
+  removing chunks while the interesting behaviour (same outcome class)
+  persists, halving chunk size until single bytes.
+* :func:`save_corpus` / :func:`load_corpus` — flat files named
+  ``<mutation>__<seed>__<digest>.bin`` inside a per-format directory;
+  the layout is the manifest.
+
+The committed corpus also contains *taxonomy pins*: minimized inputs
+that exercise each distinct ``TraceFormatError`` path of the hardened
+readers (lying lengths, depth bombs, overflow literals, truncations),
+so a refactor that silently reopens one of those crash classes fails CI
+even if the bounded smoke fuzz misses it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from typing import Callable, Iterator
+
+from .harness import FORMATS
+from .mutators import FuzzCase
+
+__all__ = [
+    "case_filename",
+    "error_template",
+    "load_corpus",
+    "minimize_case",
+    "save_corpus",
+    "outcome_class",
+]
+
+
+def error_template(message: str) -> str:
+    """Normalize an error message to its template: byte/string literals,
+    numbers, and positional details are collapsed so two failures of the
+    same *code path* compare equal while different paths stay distinct."""
+    msg = re.sub(r"b'(\\.|[^'])*'", "B", message)
+    msg = re.sub(r"'[^']*'", "S", msg)
+    msg = re.sub(r"codec can.t decode byte.*", "codec cant decode", msg)
+    msg = re.sub(r"codec can.t decode bytes.*", "codec cant decode", msg)
+    msg = re.sub(r"bad value for \w+", "bad value", msg)
+    msg = re.sub(r"missing header fields: \[.*\]", "missing header fields", msg)
+    msg = re.sub(r"[-+]?\d+(\.\d+)?(e[-+]?\d+)?", "N", msg)
+    msg = re.sub(r"line N:? ?", "", msg)
+    return msg[:70]
+
+
+def outcome_class(fmt: str, data: bytes) -> str:
+    """Behaviour fingerprint used as the minimization oracle.
+
+    ``rejected:<template>`` for clean refusals (the *template* keeps the
+    rejection's code path, so shrinking cannot drift onto a different,
+    earlier error), ``parsed`` for valid payloads, ``crash:<ErrorType>``
+    for contract violations.
+    """
+    from ..darshan.errors import TraceFormatError
+
+    entry = FORMATS[fmt]
+    try:
+        entry(data)
+        return "parsed"
+    except TraceFormatError as exc:
+        return f"rejected:{error_template(str(exc))}"
+    except Exception as exc:
+        return f"crash:{type(exc).__name__}"
+
+
+def minimize_case(
+    fmt: str,
+    data: bytes,
+    *,
+    oracle: Callable[[bytes], str] | None = None,
+    max_rounds: int = 16,
+) -> bytes:
+    """Greedy ddmin-lite: shrink ``data`` while its outcome class holds.
+
+    Chunk size halves from ``len/2`` down to 1; each round walks the
+    payload removing chunks whose deletion preserves the oracle's
+    answer.  Deterministic, no randomness — the same input always
+    minimizes to the same reproducer.
+    """
+    classify = oracle or (lambda d: outcome_class(fmt, d))
+    target = classify(data)
+    chunk = max(1, len(data) // 2)
+    rounds = 0
+    while chunk >= 1 and rounds < max_rounds:
+        rounds += 1
+        i = 0
+        shrunk = False
+        while i < len(data):
+            candidate = data[:i] + data[i + chunk :]
+            if candidate != data and classify(candidate) == target:
+                data = candidate
+                shrunk = True
+                # stay at the same offset: the next chunk slid into it
+            else:
+                i += chunk
+        if chunk == 1 and not shrunk:
+            break
+        if not shrunk:
+            chunk //= 2
+        elif len(data) < chunk * 2:
+            chunk = max(1, len(data) // 2)
+    return data
+
+
+_SAFE = re.compile(r"[^A-Za-z0-9_+-]")
+
+
+def case_filename(mutation: str, seed: int, data: bytes) -> str:
+    """Stable corpus filename: mutation, seed, and a short digest."""
+    digest = hashlib.sha256(data).hexdigest()[:12]
+    safe = _SAFE.sub("-", mutation)[:48]
+    return f"{safe}__{seed}__{digest}.bin"
+
+
+def save_corpus(
+    cases: list[FuzzCase], root: str | os.PathLike[str]
+) -> list[str]:
+    """Write cases under ``<root>/<format>/``; returns the paths written.
+
+    Idempotent: the digest-bearing filename dedups identical payloads.
+    """
+    written: list[str] = []
+    for case in cases:
+        fdir = os.path.join(os.fspath(root), case.fmt)
+        os.makedirs(fdir, exist_ok=True)
+        path = os.path.join(
+            fdir, case_filename(case.mutation, case.seed, case.data)
+        )
+        with open(path, "wb") as fh:
+            fh.write(case.data)
+        written.append(path)
+    return written
+
+
+def load_corpus(
+    root: str | os.PathLike[str],
+) -> Iterator[tuple[str, str, bytes]]:
+    """Yield ``(format, name, data)`` for every committed corpus case."""
+    root = os.fspath(root)
+    for fmt in sorted(FORMATS):
+        fdir = os.path.join(root, fmt)
+        if not os.path.isdir(fdir):
+            continue
+        for name in sorted(os.listdir(fdir)):
+            if not name.endswith(".bin"):
+                continue
+            with open(os.path.join(fdir, name), "rb") as fh:
+                yield fmt, name, fh.read()

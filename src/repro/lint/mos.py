@@ -1,4 +1,4 @@
-"""The Mosaic contract rules (MOS001-MOS011).
+"""The Mosaic contract rules (MOS001-MOS012).
 
 Each rule encodes one invariant the paper states but Python cannot
 enforce; the registry in :mod:`repro.lint.rules` exposes them to the
@@ -788,6 +788,10 @@ class SwallowedErrorRule(Rule):
             "repro.core.stream",
             "repro.darshan.source",
             "repro.cli.main",
+            # the fuzz harness *counts* clean rejections: TraceFormatError
+            # is its expected outcome, not a swallowed failure
+            "repro.fuzz.harness",
+            "repro.fuzz.corpus",
         }
     )
 
@@ -950,3 +954,79 @@ class ResilienceContractRule(ExhaustiveEnumDispatchRule):
                     if isinstance(target, ast.Name) and target.id == base.id:
                         return True
         return False
+
+
+# ======================================================================
+def _degradation_table() -> dict[str, frozenset[str]]:
+    from ..core.governor import DegradationLevel
+
+    return {"DegradationLevel": frozenset(m.name for m in DegradationLevel)}
+
+
+@register
+class InputHardeningRule(ExhaustiveEnumDispatchRule):
+    """MOS012: the input-hardening contracts hold (docs/ROBUSTNESS.md).
+
+    Two invariants introduced with the degradation ladder:
+
+    * Dispatches over :class:`~repro.core.governor.DegradationLevel`
+      must be exhaustive or carry a default — a new ladder rung must
+      not silently fall through report/metric/journal logic.
+    * Inside ``repro.darshan`` no ``.read(n)`` may size its allocation
+      from an untrusted (header-declared) value: the size must be a
+      constant, reference a decode limit/cap/budget, or the call must
+      live in the ``_read_exact``/``_read_checked`` chokepoints that
+      validate ``n`` against what actually remains.  Believing a length
+      field is how the pre-hardening allocation bomb worked.
+    """
+
+    id = "MOS012"
+    name = "input-hardening"
+    description = (
+        "non-exhaustive DegradationLevel dispatch, or read() sized by "
+        "an untrusted value in repro.darshan"
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "cover every DegradationLevel (or add a default); size reads "
+        "from DecodeLimits and route them through _read_checked"
+    )
+
+    tables = _degradation_table()
+
+    #: The sanctioned chokepoints: they validate the requested size
+    #: against the bytes actually remaining before allocating.
+    _READ_CHOKEPOINTS = frozenset({"_read_exact", "_read_checked"})
+    #: Size expressions referencing a declared bound are trusted.
+    _BOUNDED_RE = re.compile(r"(^|_)(limit|cap|budget|remaining|max)s?(_|$)")
+
+    def _read_check_applies(self) -> bool:
+        mod = self.ctx.module
+        if mod.startswith("repro."):
+            return mod.startswith("repro.darshan")
+        return True  # standalone modules (the fixture corpus) are checked
+
+    def on_Call(self, node: ast.Call) -> None:
+        if not self._read_check_applies():
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "read":
+            return
+        if not node.args:
+            return  # whole-file read: bounded by on-disk size, not a header
+        size = node.args[0]
+        if isinstance(size, ast.Constant):
+            return
+        enclosing = self.ctx.enclosing_function()
+        if getattr(enclosing, "name", "") in self._READ_CHOKEPOINTS:
+            return
+        for name in _dotted_names_in(size):
+            for part in name.split("."):
+                if self._BOUNDED_RE.search(part):
+                    return
+        self.report(
+            node,
+            "read() sized by an untrusted value allocates whatever a "
+            "header declares; route it through _read_checked or bound "
+            "it by a DecodeLimits field",
+        )

@@ -5,7 +5,13 @@ Darshan dataset."""
 
 from .appmodel import AppSpec, generate_run
 from .cohorts import BLUE_WATERS_2019, CohortSpec, cohort_by_name
-from .corruption import CORRUPTION_KINDS, corrupt_trace
+from .corruption import (
+    ADVERSARIAL_KINDS,
+    CORRUPTION_KINDS,
+    adversarial_payload,
+    corrupt_trace,
+    flood_trace,
+)
 from .fleet import FleetConfig, FleetResult, apportion, generate_fleet
 from .groundtruth import GroundTruth, mismatch_axes, trace_matches
 from .phases import (
@@ -23,8 +29,11 @@ __all__ = [
     "BLUE_WATERS_2019",
     "CohortSpec",
     "cohort_by_name",
+    "ADVERSARIAL_KINDS",
     "CORRUPTION_KINDS",
+    "adversarial_payload",
     "corrupt_trace",
+    "flood_trace",
     "FleetConfig",
     "FleetResult",
     "apportion",

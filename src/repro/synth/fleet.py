@@ -17,7 +17,7 @@ import numpy as np
 from ..darshan.trace import Trace
 from .appmodel import AppSpec, generate_run
 from .cohorts import BLUE_WATERS_2019, CohortSpec
-from .corruption import corrupt_trace
+from .corruption import corrupt_trace, flood_trace
 from .groundtruth import GroundTruth
 
 __all__ = ["FleetConfig", "FleetResult", "generate_fleet", "apportion"]
@@ -37,6 +37,13 @@ class FleetConfig:
     mean_runs: float = 12.5
     #: Fraction of the *input* corpus that is corrupted (paper: 32%).
     corruption_fraction: float = 0.32
+    #: Fraction of the *valid* traces that are additionally emitted as
+    #: flooded duplicates (valid, truth-preserving, factor× the record
+    #: count) so fleet runs exercise the resource governor with known
+    #: labels.  Extension beyond the paper; see docs/ROBUSTNESS.md.
+    flood_fraction: float = 0.0
+    #: Record multiplier applied by :func:`~repro.synth.corruption.flood_trace`.
+    flood_factor: int = 32
     seed: int = 20190101
     #: Log-normal sigma of per-app run-count weights inside a cohort.
     run_spread_sigma: float = 0.8
@@ -49,6 +56,10 @@ class FleetConfig:
             raise ValueError("mean_runs must be >= 1")
         if not 0.0 <= self.corruption_fraction < 1.0:
             raise ValueError("corruption_fraction must be in [0, 1)")
+        if not 0.0 <= self.flood_fraction <= 1.0:
+            raise ValueError("flood_fraction must be in [0, 1]")
+        if self.flood_factor < 2:
+            raise ValueError("flood_factor must be >= 2")
 
 
 @dataclass(slots=True)
@@ -65,6 +76,9 @@ class FleetResult:
     apps: dict[tuple[int, str], AppSpec]
     n_valid: int
     n_corrupted: int
+    #: Valid-but-oversized flood traces (included in the valid count's
+    #: truth/cohort maps — they carry their victim's ground truth).
+    n_flooded: int = 0
     #: cohort name → (n_apps, n_valid_runs).
     manifest: dict[str, tuple[int, int]] = field(default_factory=dict)
 
@@ -165,6 +179,19 @@ def generate_fleet(config: FleetConfig | None = None) -> FleetResult:
             uid += 1
         manifest[cohort.name] = (n_apps_c, n_runs_actual)
 
+    n_flooded = int(round(cfg.flood_fraction * len(traces)))
+    if n_flooded:
+        victims = rng.choice(len(traces), size=n_flooded, replace=True)
+        for v in victims:
+            victim = traces[int(v)]
+            big = flood_trace(victim, rng, factor=cfg.flood_factor)
+            big.meta.job_id = job_id
+            traces.append(big)
+            # floods are valid and keep their victim's ground truth
+            truth[job_id] = truth[victim.meta.job_id]
+            cohort_of[job_id] = cohort_of[victim.meta.job_id]
+            job_id += 1
+
     n_valid = len(traces)
     frac = cfg.corruption_fraction
     n_corrupt = int(round(frac / (1.0 - frac) * n_valid)) if frac > 0 else 0
@@ -185,5 +212,6 @@ def generate_fleet(config: FleetConfig | None = None) -> FleetResult:
         apps=apps,
         n_valid=n_valid,
         n_corrupted=n_corrupt,
+        n_flooded=n_flooded,
         manifest=manifest,
     )

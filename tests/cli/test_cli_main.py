@@ -173,3 +173,58 @@ class TestResilienceFlags:
         ])
         assert rc == 0
         assert results.exists()
+
+
+class TestFuzzCommand:
+    def test_bounded_run_exits_zero(self, capsys):
+        rc = main(["fuzz", "--cases", "30", "--seed", "20190101"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_replay_committed_corpus(self, capsys):
+        corpus = os.path.join(os.path.dirname(__file__), "..", "fuzz", "corpus")
+        rc = main(["fuzz", "--replay", corpus])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_format_selection(self, capsys):
+        rc = main(["fuzz", "--formats", "json", "--cases", "10"])
+        assert rc == 0
+
+
+class TestBudgetFlags:
+    @pytest.fixture(scope="class")
+    def governed_corpus(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("gov-corpus")
+        main(["generate", "--out", str(out_dir), "--n-apps", "20",
+              "--mean-runs", "2", "--seed", "17"])
+        return out_dir
+
+    def test_budget_surfaces_degradation_in_report(self, governed_corpus, capsys):
+        rc = main(["report", "--traces", str(governed_corpus),
+                   "--budget-max-ops", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "over budget" in out
+
+    def test_unlimited_budget_prints_no_degradation_line(self, governed_corpus, capsys):
+        rc = main(["report", "--traces", str(governed_corpus)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "over budget" not in out
+
+    def test_bad_budget_flag_exits(self, governed_corpus):
+        with pytest.raises(SystemExit):
+            main(["report", "--traces", str(governed_corpus),
+                  "--budget-max-ops", "-3"])
+
+    def test_categorize_records_degradation(self, governed_corpus, tmp_path, capsys):
+        results = tmp_path / "gov.jsonl"
+        rc = main(["categorize", "--traces", str(governed_corpus),
+                   "--out", str(results), "--budget-max-ops", "2"])
+        assert rc == 0
+        lines = [json.loads(l) for l in results.read_text().splitlines() if l.strip()]
+        assert all("degradation" in d for d in lines)
+        assert any(d["degradation"] != "full" for d in lines)

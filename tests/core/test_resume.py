@@ -5,7 +5,13 @@ import json
 
 import pytest
 
-from repro.core import run_pipeline_stream, save_results_jsonl
+from repro.core import (
+    DEFAULT_CONFIG,
+    DegradationLevel,
+    ResourceBudget,
+    run_pipeline_stream,
+    save_results_jsonl,
+)
 from repro.darshan import DirectorySource, save_binary
 from repro.parallel import ParallelConfig
 from repro.synth import FleetConfig, generate_fleet
@@ -140,6 +146,42 @@ class TestResumeGuards:
                 journal_path=journal,
                 resume=True,
             )
+
+    def test_governed_run_resumes_degraded_entries_byte_identically(
+        self, corpus_dir, tmp_path
+    ):
+        """A budget tight enough to degrade most traces must survive the
+        kill/resume cycle: degradation level and budget violations ride
+        the journal like every other result field."""
+        cfg = DEFAULT_CONFIG.with_overrides(budget=ResourceBudget(max_ops=8))
+        full_journal = tmp_path / "full.jsonl"
+        uninterrupted = run_pipeline_stream(
+            DirectorySource(corpus_dir),
+            config=cfg,
+            parallel=SERIAL,
+            journal_path=full_journal,
+        )
+        degraded = [
+            r
+            for r in uninterrupted.results
+            if r.degradation is not DegradationLevel.FULL
+        ]
+        assert degraded, "budget should have degraded at least one trace"
+        baseline = _results_bytes(uninterrupted.results, tmp_path / "baseline.jsonl")
+
+        killed = tmp_path / "killed.jsonl"
+        _truncate_journal(full_journal, killed, n_outcomes=5)
+        resumed = run_pipeline_stream(
+            DirectorySource(corpus_dir),
+            config=cfg,
+            parallel=SERIAL,
+            journal_path=killed,
+            resume=True,
+        )
+        assert resumed.metrics["n_resumed"] == 5
+        assert (
+            _results_bytes(resumed.results, tmp_path / "resumed.jsonl") == baseline
+        )
 
     def test_quarantined_traces_stay_quarantined(self, corpus_dir, tmp_path):
         full_journal = tmp_path / "full.jsonl"

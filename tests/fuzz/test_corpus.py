@@ -1,0 +1,88 @@
+"""Corpus management tests: minimization is deterministic and
+path-preserving, filenames are stable, save/load round-trips."""
+
+from repro.fuzz import (
+    case_filename,
+    load_corpus,
+    minimize_case,
+    save_corpus,
+    seed_payloads,
+)
+from repro.fuzz.corpus import error_template, outcome_class
+from repro.fuzz.mutators import FuzzCase
+
+
+class TestErrorTemplate:
+    def test_literals_and_numbers_collapse(self):
+        a = error_template("bad magic: b'\\x00\\x01ab' at offset 12")
+        b = error_template("bad magic: b'ZZZZ' at offset 98")
+        assert a == b
+
+    def test_different_paths_stay_distinct(self):
+        a = error_template("bad magic: b'XX'")
+        b = error_template("record count 999 exceeds decode limit 50000")
+        assert a != b
+
+
+class TestOutcomeClass:
+    def test_valid_payload_is_parsed(self):
+        payload = seed_payloads("json", 0)[0]
+        assert outcome_class("json", payload) == "parsed"
+
+    def test_rejection_carries_its_template(self):
+        cls = outcome_class("binary", b"not a mosd payload")
+        assert cls.startswith("rejected:")
+
+
+class TestMinimizeCase:
+    def test_minimization_preserves_outcome_class(self):
+        data = b"x" * 200 + seed_payloads("binary", 0)[0]
+        target = outcome_class("binary", data)
+        small = minimize_case("binary", data)
+        assert outcome_class("binary", small) == target
+        assert len(small) <= len(data)
+
+    def test_minimization_is_deterministic(self):
+        data = bytes(range(256)) * 4
+        assert minimize_case("text", data) == minimize_case("text", data)
+
+    def test_bad_magic_minimizes_below_original(self):
+        data = b"JUNK" + b"\x00" * 500
+        small = minimize_case("binary", data)
+        assert len(small) < len(data)
+
+    def test_custom_oracle_respected(self):
+        # oracle: payload still contains the marker byte
+        small = minimize_case(
+            "text",
+            b"a" * 100 + b"\xff" + b"b" * 100,
+            oracle=lambda d: "yes" if b"\xff" in d else "no",
+        )
+        assert small == b"\xff"
+
+
+class TestSaveLoad:
+    def test_filename_is_stable_and_safe(self):
+        name = case_filename("lie/binary counts", 42, b"data")
+        assert name == case_filename("lie/binary counts", 42, b"data")
+        assert "/" not in name and " " not in name
+        assert name.endswith(".bin") and "__42__" in name
+
+    def test_roundtrip(self, tmp_path):
+        cases = [
+            FuzzCase("binary", "m1", 1, b"\x01\x02"),
+            FuzzCase("json", "m2", 2, b"{}"),
+        ]
+        written = save_corpus(cases, tmp_path)
+        assert len(written) == 2
+        loaded = list(load_corpus(tmp_path))
+        assert [(f, d) for f, _, d in loaded] == [
+            ("binary", b"\x01\x02"),
+            ("json", b"{}"),
+        ]
+
+    def test_save_is_idempotent(self, tmp_path):
+        cases = [FuzzCase("text", "m", 3, b"abc")]
+        save_corpus(cases, tmp_path)
+        save_corpus(cases, tmp_path)
+        assert len(list(load_corpus(tmp_path))) == 1

@@ -52,3 +52,94 @@ class TestCorruptTrace:
         bad = corrupt_trace(clean_trace, rng, "dealloc_before_end")
         cats = validate_trace(bad).categories()
         assert Violation.DEALLOC_BEFORE_END in cats
+
+
+class TestAdversarialPayload:
+    @pytest.fixture
+    def payload(self, clean_trace):
+        from repro.darshan import dumps_binary
+
+        return dumps_binary(clean_trace)
+
+    @pytest.mark.parametrize("kind", ["truncate", "length_lie", "depth_bomb"])
+    def test_structural_damage_is_rejected(self, payload, kind):
+        from repro.darshan.errors import TraceFormatError
+        from repro.darshan.io_binary import loads_binary
+        from repro.synth import adversarial_payload
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceFormatError):
+            loads_binary(adversarial_payload(payload, rng, kind))
+
+    def test_bit_rot_never_crashes_the_reader(self, payload):
+        from repro.darshan.errors import TraceFormatError
+        from repro.darshan.io_binary import loads_binary
+        from repro.synth import adversarial_payload
+
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            bad = adversarial_payload(payload, rng, "bit_rot")
+            try:
+                loads_binary(bad)
+            except TraceFormatError:
+                pass  # clean refusal is the expected outcome
+
+    def test_length_lie_targets_the_count_header(self, payload):
+        from repro.synth import adversarial_payload
+
+        rng = np.random.default_rng(2)
+        bad = adversarial_payload(payload, rng, "length_lie")
+        assert len(bad) == len(payload)  # in-place overwrite, no growth
+
+    def test_unknown_kind_rejected(self, payload):
+        from repro.synth import adversarial_payload
+
+        with pytest.raises(ValueError):
+            adversarial_payload(payload, np.random.default_rng(0), "nope")
+
+    def test_random_kind_is_deterministic(self, payload):
+        from repro.synth import adversarial_payload
+
+        a = adversarial_payload(payload, np.random.default_rng(3))
+        b = adversarial_payload(payload, np.random.default_rng(3))
+        assert a == b
+
+
+class TestFloodTrace:
+    def test_flood_is_valid_and_bigger(self, clean_trace):
+        from repro.synth import flood_trace
+
+        rng = np.random.default_rng(0)
+        big = flood_trace(clean_trace, rng, factor=8)
+        assert is_valid(big)
+        assert len(big.records) == 8 * len(clean_trace.records)
+
+    def test_totals_preserved_exactly(self, clean_trace):
+        from repro.synth import flood_trace
+
+        rng = np.random.default_rng(1)
+        big = flood_trace(clean_trace, rng, factor=16)
+        for attr in ("bytes_read", "bytes_written", "opens", "reads", "writes"):
+            assert sum(getattr(r, attr) for r in big.records) == sum(
+                getattr(r, attr) for r in clean_trace.records
+            )
+
+    def test_original_untouched(self, clean_trace):
+        from repro.synth import flood_trace
+
+        before = len(clean_trace.records)
+        flood_trace(clean_trace, np.random.default_rng(2), factor=4)
+        assert len(clean_trace.records) == before
+
+    def test_file_ids_stay_unique(self, clean_trace):
+        from repro.synth import flood_trace
+
+        big = flood_trace(clean_trace, np.random.default_rng(3), factor=8)
+        ids = [r.file_id for r in big.records]
+        assert len(ids) == len(set(ids))
+
+    def test_small_factor_rejected(self, clean_trace):
+        from repro.synth import flood_trace
+
+        with pytest.raises(ValueError):
+            flood_trace(clean_trace, np.random.default_rng(0), factor=1)

@@ -91,3 +91,39 @@ class TestGenerateFleet:
                                            corruption_fraction=0.0))
         assert fleet.n_corrupted == 0
         assert all(is_valid(t) for t in fleet.traces)
+
+
+class TestFloodedFleet:
+    @pytest.fixture(scope="class")
+    def flooded_fleet(self):
+        return generate_fleet(
+            FleetConfig(n_apps=20, mean_runs=2.0, flood_fraction=0.2, seed=13)
+        )
+
+    def test_flood_count_matches_config(self, flooded_fleet):
+        assert flooded_fleet.n_flooded > 0
+        assert flooded_fleet.n_valid > flooded_fleet.n_flooded
+
+    def test_floods_carry_ground_truth(self, flooded_fleet):
+        # every trace with truth must be valid — floods included
+        from repro.darshan import is_valid
+
+        with_truth = [
+            t for t in flooded_fleet.traces if t.meta.job_id in flooded_fleet.truth
+        ]
+        assert len(with_truth) == flooded_fleet.n_valid
+        assert all(is_valid(t) for t in with_truth)
+
+    def test_flood_config_validated(self):
+        with pytest.raises(ValueError):
+            FleetConfig(flood_fraction=1.5)
+        with pytest.raises(ValueError):
+            FleetConfig(flood_factor=1)
+
+    def test_deterministic(self, flooded_fleet):
+        again = generate_fleet(
+            FleetConfig(n_apps=20, mean_runs=2.0, flood_fraction=0.2, seed=13)
+        )
+        assert [t.meta.job_id for t in again.traces] == [
+            t.meta.job_id for t in flooded_fleet.traces
+        ]
