@@ -38,6 +38,7 @@ from .core import (
     PipelineResult,
     categorize_trace,
     run_pipeline,
+    run_pipeline_store,
     run_pipeline_stream,
 )
 from .darshan import (
@@ -61,6 +62,7 @@ __all__ = [
     "PipelineResult",
     "categorize_trace",
     "run_pipeline",
+    "run_pipeline_store",
     "run_pipeline_stream",
     "FileRecord",
     "JobMeta",

@@ -8,7 +8,7 @@ and the object examples/notebooks want to work with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.pipeline import PipelineResult
 from .correlations import CorrelationReport, paper_correlations
@@ -30,6 +30,12 @@ class CorpusReport:
     jaccard: JaccardMatrix
     correlations: CorrelationReport
     n_categorized: int
+    #: Run-health counters (degradation ladder and fault quarantine):
+    #: ``n_failures``, ``n_degraded`` plus one ``n_degraded_<level>``
+    #: per non-FULL rung hit, and ``n_quarantined``.  A paper-faithful
+    #: share table is only trustworthy when this says how much of the
+    #: corpus was categorized at reduced fidelity or not at all.
+    run_health: dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         """Human-readable text form of the whole report."""
@@ -67,6 +73,18 @@ class CorpusReport:
         parts.append(
             f"  P(start/end | dense metadata)    = {c.dense_metadata_reads_start_or_writes_end:.0%}"
         )
+        parts.append("\n== Run health ==")
+        h = self.run_health
+        parts.append(f"  categorized: {self.n_categorized}")
+        parts.append(f"  failures:    {h.get('n_failures', 0)}")
+        parts.append(f"  quarantined: {h.get('n_quarantined', 0)}")
+        n_degraded = h.get("n_degraded", 0)
+        parts.append(f"  degraded:    {n_degraded}")
+        for key in sorted(h):
+            if key.startswith("n_degraded_"):
+                parts.append(
+                    f"    {key[len('n_degraded_'):]:>10}: {h[key]}"
+                )
         return "\n".join(parts)
 
 
@@ -81,4 +99,14 @@ def build_report(pipeline: PipelineResult) -> CorpusReport:
         jaccard=jaccard_matrix(pipeline.results),
         correlations=paper_correlations(pipeline.results),
         n_categorized=pipeline.n_categorized,
+        run_health={
+            "n_failures": pipeline.n_failures,
+            "n_degraded": pipeline.metrics.get("n_degraded", 0),
+            "n_quarantined": pipeline.metrics.get("n_quarantined", 0),
+            **{
+                k: v
+                for k, v in pipeline.metrics.items()
+                if k.startswith("n_degraded_")
+            },
+        },
     )

@@ -5,9 +5,13 @@ Subcommands mirror the paper's workflow:
 ``mosaic generate``
     Produce a synthetic Blue Waters-style corpus on disk (binary MOSD or
     JSON traces plus a ground-truth manifest).
+``mosaic compile``
+    Compile a trace directory into a columnar corpus store (``.mosc``),
+    enabling the zero-copy batched fast path (docs/COLUMNAR.md).
 ``mosaic categorize``
-    Run the full MOSAIC pipeline over a trace directory and save per-trace
-    JSON results (workflow step ④).
+    Run the full MOSAIC pipeline over a trace directory — or a compiled
+    store via ``--store`` — and save per-trace JSON results (workflow
+    step ④).
 ``mosaic report``
     Categorize (or load) and print the paper's tables: funnel (Fig. 3),
     periodicity (Table II), temporality (Table III), metadata (Fig. 4),
@@ -87,8 +91,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace encoding (binary MOSD is ~5x smaller)",
     )
 
+    comp = sub.add_parser(
+        "compile",
+        help="compile a trace directory into a columnar corpus store "
+        "(.mosc) for the zero-copy fast path (docs/COLUMNAR.md)",
+    )
+    comp.add_argument("--traces", required=True, help="trace directory")
+    comp.add_argument("--out", required=True, help="output .mosc path")
+    comp.add_argument(
+        "--repair", action="store_true",
+        help="bake conservative repair into the compiled traces "
+        "(a store is compiled with or without repair, once)",
+    )
+
     cat = sub.add_parser("categorize", help="categorize a trace directory")
-    cat.add_argument("--traces", required=True, help="trace directory")
+    cat.add_argument("--traces", help="trace directory")
+    cat.add_argument(
+        "--store", metavar="PATH",
+        help="compiled .mosc corpus store (see `mosaic compile`): runs "
+        "the zero-copy batched fast path instead of --traces",
+    )
     cat.add_argument("--out", required=True, help="results JSONL path")
     cat.add_argument("--workers", type=int, default=0,
                      help="process-pool workers (0 = serial)")
@@ -99,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     rep = sub.add_parser("report", help="categorize and print paper tables")
     rep.add_argument("--traces", help="trace directory (omit to synthesize)")
+    rep.add_argument(
+        "--store", metavar="PATH",
+        help="compiled .mosc corpus store: categorize via the batched "
+        "fast path instead of --traces / synthesis",
+    )
     rep.add_argument("--n-apps", type=int, default=400,
                      help="synthetic corpus size when --traces is omitted")
     rep.add_argument("--seed", type=int, default=20190101)
@@ -388,17 +415,57 @@ def _print_journal_paths(result: PipelineResult, journal: str | None) -> None:
         print(f"  quarantine: {journal}.quarantine.json")
 
 
-def _cmd_categorize(args: argparse.Namespace) -> int:
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from ..columnar import compile_corpus
+
     source = _dir_source(args.traces)
+    try:
+        report = compile_corpus(source, args.out, repair=args.repair)
+    except TraceFormatError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(
+        f"compiled {report.n_traces} traces "
+        f"({report.n_unreadable} unreadable payloads counted, "
+        f"{report.n_records} records, {report.n_ops} ops) into "
+        f"{report.path} ({report.n_bytes / 1e6:.1f} MB) "
+        f"in {report.elapsed_s:.1f}s"
+    )
+    return 0
+
+
+def _run_pipeline(args: argparse.Namespace, **kwargs: Any) -> PipelineResult:
+    """Dispatch on --store vs --traces: batched fast path or streaming."""
     journal, resume = _journal_args(args)
-    result = run_pipeline_stream(
-        source,
-        _effective_config(args),
-        _parallel(args.workers, args.task_timeout),
-        repair=args.repair,
+    common = dict(
+        config=_effective_config(args),
+        parallel=_parallel(args.workers, args.task_timeout),
+        repair=getattr(args, "repair", False),
         journal_path=journal,
         resume=resume,
+        **kwargs,
     )
+    if getattr(args, "store", None):
+        if getattr(args, "traces", None):
+            raise SystemExit("--store and --traces are mutually exclusive")
+        from ..core import run_pipeline_store
+
+        try:
+            return run_pipeline_store(args.store, **common)
+        except (TraceFormatError, ValueError) as exc:
+            raise SystemExit(str(exc)) from exc
+    source = (
+        _dir_source(args.traces)
+        if getattr(args, "traces", None)
+        else _corpus_source(args)
+    )
+    return run_pipeline_stream(source, **common)
+
+
+def _cmd_categorize(args: argparse.Namespace) -> int:
+    if not args.traces and not args.store:
+        raise SystemExit("one of --traces or --store is required")
+    journal, _resume = _journal_args(args)
+    result = _run_pipeline(args)
     n = save_results_jsonl(result.results, args.out)
     weights_path = args.out + ".weights.json"
     with open(weights_path, "w", encoding="utf-8") as fh:
@@ -427,20 +494,11 @@ def _corpus_source(args: argparse.Namespace) -> TraceSource:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    source = _corpus_source(args)
-    journal, resume = _journal_args(args)
+    journal, _resume = _journal_args(args)
     context = _chaos_context(args)
     if context is not None:
         print(f"chaos mode: seed={args.chaos}, injecting faults...")
-    result = run_pipeline_stream(
-        source,
-        _effective_config(args),
-        _parallel(args.workers, args.task_timeout),
-        repair=args.repair,
-        context=context,
-        journal_path=journal,
-        resume=resume,
-    )
+    result = _run_pipeline(args, context=context)
     weights = result.run_weights()
 
     fun = funnel_report(result.preprocess)
@@ -588,6 +646,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "compile": _cmd_compile,
     "generate": _cmd_generate,
     "categorize": _cmd_categorize,
     "report": _cmd_report,

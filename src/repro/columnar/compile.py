@@ -1,0 +1,295 @@
+"""``compile_corpus``: one pass from any ``TraceSource`` to a ``.mosc`` store.
+
+Compilation decodes each trace once, validates it (recording the
+violation bitmask instead of evicting — the store-backed scan replays
+the eviction funnel from the index alone), derives the flat operation
+table (``Trace.operations`` per direction), and interns every string in
+a deduplicated heap.  Metadata event streams are *not* materialized
+(they can dwarf the corpus itself); the reader reconstructs them from
+the records section bit-for-bit.  Payloads the source cannot decode at all are *counted*
+(``n_unreadable`` in the header) so the store-backed funnel matches the
+streaming scan's input accounting exactly.
+
+The write is single-pass over the source but buffered in memory; the
+compiled form is a few dozen bytes per record, so a corpus that fits the
+decode limits fits the compiler.  ``repair=True`` bakes the repair
+heuristics into the stored traces (recorded in a header flag plus a
+per-trace bit, so the pipeline can refuse a repair-mode mismatch).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..darshan.errors import TraceFormatError
+from ..darshan.source import TraceSource
+from ..darshan.trace import Trace
+from ..darshan.validate import ValidationReport, validate_trace
+from .format import (
+    ALIGN,
+    FLAG_REPAIRED,
+    HEADER_SIZE,
+    RECORD_DTYPE,
+    SECTION_NAMES,
+    TRACE_DTYPE,
+    pack_header,
+    violation_bit,
+)
+
+__all__ = ["CompileReport", "compile_corpus"]
+
+
+@dataclass(slots=True, frozen=True)
+class CompileReport:
+    """What one ``compile_corpus`` pass produced."""
+
+    path: str
+    n_traces: int
+    n_unreadable: int
+    n_records: int
+    n_ops: int
+    n_bytes: int
+    elapsed_s: float
+
+    @property
+    def n_input(self) -> int:
+        return self.n_traces + self.n_unreadable
+
+
+class _Heap:
+    """Deduplicating UTF-8 string heap builder."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._offsets: dict[str, tuple[int, int]] = {}
+        self._size = 0
+
+    def intern(self, s: str) -> tuple[int, int]:
+        hit = self._offsets.get(s)
+        if hit is not None:
+            return hit
+        raw = s.encode("utf-8")
+        entry = (self._size, len(raw))
+        self._offsets[s] = entry
+        self._chunks.append(raw)
+        self._size += len(raw)
+        return entry
+
+    def payload(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+def _align(n: int) -> int:
+    return (n + ALIGN - 1) // ALIGN * ALIGN
+
+
+def compile_corpus(
+    source: TraceSource,
+    out_path: str | os.PathLike[str],
+    *,
+    repair: bool = False,
+) -> CompileReport:
+    """Compile every trace of ``source`` into a columnar store.
+
+    Traces are stored in ``source.refs()`` order.  Undecodable payloads
+    are counted, not stored; invalid-but-decodable traces are stored
+    with their violation bitmask so the scan funnel can evict them
+    without decoding anything.
+    """
+    t0 = time.perf_counter()
+    heap = _Heap()
+    index_rows: list[tuple] = []
+    record_chunks: list[np.ndarray] = []
+    ops_starts: list[np.ndarray] = []
+    ops_ends: list[np.ndarray] = []
+    ops_volumes: list[np.ndarray] = []
+    n_records = 0
+    n_ops = 0
+    n_unreadable = 0
+
+    for ref in source.refs():
+        try:
+            trace = source.load(ref)
+        except TraceFormatError:  # mosaic: disable=MOS009
+            # This IS the funnel: unreadables are counted into the store
+            # header and re-enter scan_store's n_input/histogram.
+            n_unreadable += 1
+            continue
+        report = validate_trace(trace)
+        repaired = False
+        if repair and not report.valid:
+            # Mirror scan_corpus: repair only invalid traces, then
+            # revalidate so the stored bitmask is the post-repair one.
+            from ..darshan.repair import repair_trace
+
+            outcome = repair_trace(trace)
+            if outcome.repaired:
+                trace = outcome.trace
+                repaired = True
+                report = validate_trace(trace)
+        index_rows.append(
+            _compile_trace(
+                trace,
+                report,
+                repaired,
+                heap,
+                record_chunks,
+                ops_starts,
+                ops_ends,
+                ops_volumes,
+                rec_off=n_records,
+                ops_off=n_ops,
+            )
+        )
+        n_records += int(index_rows[-1][17])  # n_records field
+        n_ops += int(index_rows[-1][19]) + int(index_rows[-1][20])
+
+    index = np.array(index_rows, dtype=TRACE_DTYPE)
+    records = (
+        np.concatenate(record_chunks)
+        if record_chunks
+        else np.empty(0, dtype=RECORD_DTYPE)
+    )
+    empty = np.empty(0, dtype=np.float64)
+    sections = {
+        "index": index.tobytes(),
+        "records": records.tobytes(),
+        "ops_starts": (np.concatenate(ops_starts) if ops_starts else empty).tobytes(),
+        "ops_ends": (np.concatenate(ops_ends) if ops_ends else empty).tobytes(),
+        "ops_volumes": (
+            np.concatenate(ops_volumes) if ops_volumes else empty
+        ).tobytes(),
+        "heap": heap.payload(),
+    }
+
+    table: list[tuple[int, int, int]] = []
+    cursor = _align(HEADER_SIZE)
+    for name in SECTION_NAMES:
+        payload = sections[name]
+        table.append((cursor, len(payload), zlib.crc32(payload)))
+        cursor = _align(cursor + len(payload))
+
+    header = pack_header(
+        flags=FLAG_REPAIRED if repair else 0,
+        n_traces=len(index),
+        n_records=n_records,
+        n_ops=n_ops,
+        heap_len=len(sections["heap"]),
+        n_unreadable=n_unreadable,
+        sections=table,
+    )
+
+    out = os.fspath(out_path)
+    tmp = out + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        for (offset, _nbytes, _crc), name in zip(table, SECTION_NAMES):
+            fh.seek(offset)
+            fh.write(sections[name])
+        # An empty tail section (e.g. a corpus with zero decodable
+        # traces) seeks past EOF without extending the file; pad to the
+        # declared extent or the reader's geometry check rejects it.
+        # (tell() reports the seek position, not the on-disk size, so
+        # truncate unconditionally — it can only pad, never cut data.)
+        n_bytes = table[-1][0] + table[-1][1]
+        fh.truncate(n_bytes)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, out)
+
+    return CompileReport(
+        path=out,
+        n_traces=len(index),
+        n_unreadable=n_unreadable,
+        n_records=n_records,
+        n_ops=n_ops,
+        n_bytes=n_bytes,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+def _compile_trace(
+    trace: Trace,
+    report: ValidationReport,
+    repaired: bool,
+    heap: _Heap,
+    record_chunks: list[np.ndarray],
+    ops_starts: list[np.ndarray],
+    ops_ends: list[np.ndarray],
+    ops_volumes: list[np.ndarray],
+    *,
+    rec_off: int,
+    ops_off: int,
+) -> tuple:
+    """Append one trace's slabs; returns its index row tuple."""
+    mask = 0
+    for violation in report.categories():
+        mask |= violation_bit(violation)
+
+    recs = np.zeros(len(trace.records), dtype=RECORD_DTYPE)
+    for i, r in enumerate(trace.records):
+        name_off, name_len = heap.intern(r.file_name)
+        recs[i] = (
+            r.file_id,
+            r.rank,
+            r.opens,
+            r.closes,
+            r.seeks,
+            r.stats,
+            r.reads,
+            r.writes,
+            r.bytes_read,
+            r.bytes_written,
+            r.open_start,
+            r.close_end,
+            r.read_start,
+            r.read_end,
+            r.write_start,
+            r.write_end,
+            r.read_time,
+            r.write_time,
+            r.meta_time,
+            name_off,
+            name_len,
+        )
+    record_chunks.append(recs)
+
+    read_ops = trace.operations("read")
+    write_ops = trace.operations("write")
+    for ops in (read_ops, write_ops):
+        ops_starts.append(ops.starts)
+        ops_ends.append(ops.ends)
+        ops_volumes.append(ops.volumes)
+
+    exe_off, exe_len = heap.intern(trace.meta.exe)
+    machine_off, machine_len = heap.intern(trace.meta.machine)
+    partition_off, partition_len = heap.intern(trace.meta.partition)
+
+    return (
+        trace.meta.job_id,
+        trace.meta.uid,
+        trace.meta.nprocs,
+        trace.meta.start_time,
+        trace.meta.end_time,
+        trace.io_weight(),
+        trace.total_metadata_ops,
+        trace.total_bytes,
+        mask,
+        1 if repaired else 0,
+        exe_off,
+        exe_len,
+        machine_off,
+        machine_len,
+        partition_off,
+        partition_len,
+        rec_off,
+        len(trace.records),
+        ops_off,
+        len(read_ops),
+        len(write_ops),
+    )

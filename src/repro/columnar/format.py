@@ -1,0 +1,231 @@
+"""MOSC on-disk layout: the columnar corpus store format.
+
+One ``.mosc`` file holds an entire compiled corpus as flat, memory-map
+friendly sections:
+
+========  ==================================================================
+section   contents
+========  ==================================================================
+index     one :data:`TRACE_DTYPE` row per trace — identity scalars, dedup
+          weight, validation bitmask, and the offsets/counts locating the
+          trace's slabs in every other section
+records   one :data:`RECORD_DTYPE` row per file record (every
+          ``FileRecord`` field, so decode is bit-for-bit)
+ops_*     the derived flat operation table (start / end / volume columns),
+          per trace: read ops sorted by start, then write ops sorted by
+          start — exactly ``Trace.operations(direction)``
+heap      UTF-8 string heap (exe / machine / partition / file names),
+          deduplicated, addressed by (offset, length) pairs
+========  ==================================================================
+
+The metadata *event stream* is deliberately not materialized: a record
+with ``k`` opens expands to ``2k`` events (metadata-heavy traces reach
+millions), while the record row it derives from is 140 bytes.  The
+reader reconstructs ``Trace.metadata_events()`` bit-for-bit from the
+records section on demand (:meth:`repro.columnar.store.CorpusStore.metadata_events`).
+
+The fixed-size header carries magic, version, section counts, and a
+section table (offset, byte length, CRC32 per section) plus its own
+CRC32, so truncation and bit rot are detectable *before* any section is
+interpreted — the same hostile-input posture as the MOSD trace codec
+(:mod:`repro.darshan.io_binary`), enforced against
+:class:`~repro.darshan.limits.DecodeLimits` by the reader.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..darshan.validate import Violation
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "ALIGN",
+    "HEADER_SIZE",
+    "SECTION_NAMES",
+    "TRACE_DTYPE",
+    "RECORD_DTYPE",
+    "FLAG_REPAIRED",
+    "violation_bit",
+    "violations_from_mask",
+    "pack_header",
+    "unpack_header",
+]
+
+MAGIC = b"MOSC"
+VERSION = 1
+
+#: Header flag: the corpus was compiled with repair heuristics applied.
+FLAG_REPAIRED = 1 << 0
+
+#: magic, version, flags, n_traces, n_records, n_ops, heap_len,
+#: n_unreadable
+_FIXED = struct.Struct("<4sHHQQQQQ")
+#: per-section (offset, byte length, crc32)
+_SECTION = struct.Struct("<QQI")
+_HEADER_CRC = struct.Struct("<I")
+
+SECTION_NAMES = (
+    "index",
+    "records",
+    "ops_starts",
+    "ops_ends",
+    "ops_volumes",
+    "heap",
+)
+
+HEADER_SIZE = _FIXED.size + len(SECTION_NAMES) * _SECTION.size + _HEADER_CRC.size
+
+#: Section payload alignment (keeps mmap'd float64 columns aligned).
+ALIGN = 64
+
+TRACE_DTYPE = np.dtype(
+    [
+        ("job_id", "<i8"),
+        ("uid", "<i8"),
+        ("nprocs", "<i8"),
+        ("start_time", "<f8"),
+        ("end_time", "<f8"),
+        ("io_weight", "<f8"),
+        ("total_meta_ops", "<i8"),
+        ("total_bytes", "<i8"),
+        ("violations", "<u4"),
+        ("repaired", "<u1"),
+        ("exe_off", "<u8"),
+        ("exe_len", "<u4"),
+        ("machine_off", "<u8"),
+        ("machine_len", "<u4"),
+        ("partition_off", "<u8"),
+        ("partition_len", "<u4"),
+        ("rec_off", "<u8"),
+        ("n_records", "<u4"),
+        ("ops_off", "<u8"),
+        ("n_read_ops", "<u4"),
+        ("n_write_ops", "<u4"),
+    ]
+)
+
+RECORD_DTYPE = np.dtype(
+    [
+        ("file_id", "<i8"),
+        ("rank", "<i8"),
+        ("opens", "<i8"),
+        ("closes", "<i8"),
+        ("seeks", "<i8"),
+        ("stats", "<i8"),
+        ("reads", "<i8"),
+        ("writes", "<i8"),
+        ("bytes_read", "<i8"),
+        ("bytes_written", "<i8"),
+        ("open_start", "<f8"),
+        ("close_end", "<f8"),
+        ("read_start", "<f8"),
+        ("read_end", "<f8"),
+        ("write_start", "<f8"),
+        ("write_end", "<f8"),
+        ("read_time", "<f8"),
+        ("write_time", "<f8"),
+        ("meta_time", "<f8"),
+        ("name_off", "<u8"),
+        ("name_len", "<u4"),
+    ]
+)
+
+#: Stable bit position per validation category (bitmask in the index).
+_VIOLATION_ORDER: tuple[Violation, ...] = tuple(Violation)
+_VIOLATION_BIT = {v: i for i, v in enumerate(_VIOLATION_ORDER)}
+
+
+def violation_bit(violation: Violation) -> int:
+    """Bit assigned to one :class:`Violation` category."""
+    return 1 << _VIOLATION_BIT[violation]
+
+
+def violations_from_mask(mask: int) -> set[Violation]:
+    """Decode a violation bitmask back into categories."""
+    return {
+        v for v, i in _VIOLATION_BIT.items() if mask & (1 << i)
+    }
+
+
+def pack_header(
+    *,
+    flags: int,
+    n_traces: int,
+    n_records: int,
+    n_ops: int,
+    heap_len: int,
+    n_unreadable: int,
+    sections: list[tuple[int, int, int]],
+) -> bytes:
+    """Serialize the fixed header (appends its own CRC32)."""
+    import zlib
+
+    if len(sections) != len(SECTION_NAMES):
+        raise ValueError("one section entry per SECTION_NAMES required")
+    body = _FIXED.pack(
+        MAGIC,
+        VERSION,
+        flags,
+        n_traces,
+        n_records,
+        n_ops,
+        heap_len,
+        n_unreadable,
+    )
+    for offset, nbytes, crc in sections:
+        body += _SECTION.pack(offset, nbytes, crc)
+    return body + _HEADER_CRC.pack(zlib.crc32(body))
+
+
+def unpack_header(raw: bytes) -> dict:
+    """Parse and CRC-check a header buffer of :data:`HEADER_SIZE` bytes.
+
+    Returns the parsed fields; raises ``ValueError`` on any structural
+    problem (the reader converts that to ``TraceFormatError``).
+    """
+    import zlib
+
+    if len(raw) != HEADER_SIZE:
+        raise ValueError(
+            f"header is {len(raw)} bytes, expected {HEADER_SIZE}"
+        )
+    body, (crc,) = raw[: -_HEADER_CRC.size], _HEADER_CRC.unpack(
+        raw[-_HEADER_CRC.size :]
+    )
+    if zlib.crc32(body) != crc:
+        raise ValueError("header CRC mismatch (truncated or bit-rotted)")
+    (
+        magic,
+        version,
+        flags,
+        n_traces,
+        n_records,
+        n_ops,
+        heap_len,
+        n_unreadable,
+    ) = _FIXED.unpack_from(body, 0)
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise ValueError(
+            f"unsupported store version {version} (expected {VERSION})"
+        )
+    sections: dict[str, tuple[int, int, int]] = {}
+    base = _FIXED.size
+    for i, name in enumerate(SECTION_NAMES):
+        sections[name] = _SECTION.unpack_from(
+            body, base + i * _SECTION.size
+        )
+    return {
+        "flags": flags,
+        "n_traces": n_traces,
+        "n_records": n_records,
+        "n_ops": n_ops,
+        "heap_len": heap_len,
+        "n_unreadable": n_unreadable,
+        "sections": sections,
+    }

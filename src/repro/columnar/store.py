@@ -1,0 +1,598 @@
+"""Memory-mapped reader for compiled corpus stores (``.mosc``).
+
+:class:`CorpusStore` attaches a compiled corpus with one ``mmap`` and
+exposes every section as a zero-copy NumPy view — no per-trace Python
+object is built until :meth:`CorpusStore.decode_trace` is asked for one.
+Workers receive a tiny picklable :class:`StoreSlice` descriptor instead
+of pickled traces and reattach through :func:`attach`, which caches one
+read-only store per ``(path, pid)``: a pool rebuilt after a crash-kill
+(or a ``--resume`` in a new process) re-opens the file instead of
+reusing a file descriptor inherited from a dead parent.
+
+Hostile-input posture (docs/COLUMNAR.md): the file size, header CRC,
+section geometry, and every index offset/length are validated against
+:class:`~repro.darshan.limits.DecodeLimits` *before* any section is
+interpreted; ``verify=True`` additionally CRC-checks the section
+payloads.  Any failure raises
+:class:`~repro.darshan.errors.TraceFormatError`, never an OOM or an
+out-of-bounds view.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..darshan.errors import TraceFormatError
+from ..darshan.limits import DEFAULT_LIMITS, DecodeLimits, check_declared_size
+from ..darshan.records import FileRecord, JobMeta
+from ..darshan.trace import OperationArray, Trace
+from ..darshan.validate import Violation
+from .format import (
+    ALIGN,
+    FLAG_REPAIRED,
+    HEADER_SIZE,
+    RECORD_DTYPE,
+    SECTION_NAMES,
+    TRACE_DTYPE,
+    unpack_header,
+    violations_from_mask,
+)
+
+__all__ = ["CorpusStore", "StoreSlice", "attach", "detach_all"]
+
+
+@dataclass(slots=True, frozen=True)
+class StoreSlice:
+    """A worker task: categorize ``rows`` of the store at ``path``.
+
+    Pickles in O(len(rows)) bytes — the zero-copy replacement for
+    shipping whole ``Trace`` objects through the pool.
+    """
+
+    path: str
+    rows: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _expected_nbytes(header: dict) -> dict[str, int]:
+    return {
+        "index": header["n_traces"] * TRACE_DTYPE.itemsize,
+        "records": header["n_records"] * RECORD_DTYPE.itemsize,
+        "ops_starts": header["n_ops"] * 8,
+        "ops_ends": header["n_ops"] * 8,
+        "ops_volumes": header["n_ops"] * 8,
+        "heap": header["heap_len"],
+    }
+
+
+class CorpusStore:
+    """One attached (read-only, memory-mapped) compiled corpus."""
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        limits: DecodeLimits = DEFAULT_LIMITS,
+        verify: bool = True,
+    ) -> None:
+        self.path = os.fspath(path)
+        self._limits = limits
+        size = os.path.getsize(self.path)
+        if size < HEADER_SIZE:
+            raise TraceFormatError(
+                f"store {self.path!r} is {size} bytes — smaller than the "
+                f"{HEADER_SIZE}-byte header"
+            )
+        check_declared_size(
+            size, size, "corpus store", limits.max_payload_bytes
+        )
+        with open(self.path, "rb") as fh:
+            self._mmap = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            header = unpack_header(bytes(self._mmap[:HEADER_SIZE]))
+        except ValueError as exc:
+            self.close()
+            raise TraceFormatError(f"store {self.path!r}: {exc}") from None
+        try:
+            self._validate_geometry(header, size)
+            self._load_sections(header)
+            if verify:
+                self._verify_crcs(header)
+            self._validate_index()
+        except TraceFormatError:
+            self.close()
+            raise
+        self.flags: int = header["flags"]
+        self.n_unreadable: int = header["n_unreadable"]
+
+    # -- construction helpers ------------------------------------------
+    def _validate_geometry(self, header: dict, size: int) -> None:
+        limits = self._limits
+        counts = (
+            ("traces", header["n_traces"]),
+            ("records", header["n_records"]),
+            ("operations", header["n_ops"]),
+        )
+        for what, count in counts:
+            if count > limits.max_records:
+                raise TraceFormatError(
+                    f"store {self.path!r} declares {count} {what}, over the "
+                    f"decode limit {limits.max_records}"
+                )
+        if header["heap_len"] > limits.max_string_bytes:
+            raise TraceFormatError(
+                f"store {self.path!r} heap is {header['heap_len']} bytes, "
+                f"over the decode limit {limits.max_string_bytes}"
+            )
+        expected = _expected_nbytes(header)
+        for name in SECTION_NAMES:
+            offset, nbytes, _crc = header["sections"][name]
+            if nbytes != expected[name]:
+                raise TraceFormatError(
+                    f"store {self.path!r} section {name!r} is {nbytes} bytes; "
+                    f"the header counts imply {expected[name]} (truncated or "
+                    f"bit-rotted header)"
+                )
+            if offset < HEADER_SIZE or offset % ALIGN:
+                raise TraceFormatError(
+                    f"store {self.path!r} section {name!r} is misplaced "
+                    f"(offset {offset})"
+                )
+            check_declared_size(
+                nbytes, size - offset, f"section {name!r}"
+            )
+
+    def _load_sections(self, header: dict) -> None:
+        def view(name: str, dtype: np.dtype, count: int) -> np.ndarray:
+            offset, _nbytes, _crc = header["sections"][name]
+            return np.frombuffer(
+                self._mmap, dtype=dtype, count=count, offset=offset
+            )
+
+        self.index = view("index", TRACE_DTYPE, header["n_traces"])
+        self.records = view("records", RECORD_DTYPE, header["n_records"])
+        f8 = np.dtype("<f8")
+        self.ops_starts = view("ops_starts", f8, header["n_ops"])
+        self.ops_ends = view("ops_ends", f8, header["n_ops"])
+        self.ops_volumes = view("ops_volumes", f8, header["n_ops"])
+        heap_off, heap_len, _ = header["sections"]["heap"]
+        self.heap = bytes(self._mmap[heap_off : heap_off + heap_len])
+
+    def _verify_crcs(self, header: dict) -> None:
+        for name in SECTION_NAMES:
+            offset, nbytes, crc = header["sections"][name]
+            actual = zlib.crc32(self._mmap[offset : offset + nbytes])
+            if actual != crc:
+                raise TraceFormatError(
+                    f"store {self.path!r} section {name!r} CRC mismatch "
+                    f"(bit-rotted payload)"
+                )
+
+    def _validate_index(self) -> None:
+        """Bound every index offset/length so a corrupt index can never
+        produce an out-of-bounds view, even with ``verify=False``."""
+        idx = self.index
+        if len(idx) == 0:
+            return
+
+        def bounded(off: np.ndarray, n: np.ndarray, total: int, what: str) -> None:
+            hi = off.astype(np.int64) + n.astype(np.int64)
+            if int(hi.max(initial=0)) > total or int(off.min(initial=0)) < 0:
+                raise TraceFormatError(
+                    f"store {self.path!r} index points outside the "
+                    f"{what} section (bit-rotted index)"
+                )
+
+        bounded(idx["rec_off"], idx["n_records"], len(self.records), "records")
+        bounded(
+            idx["ops_off"],
+            idx["n_read_ops"].astype(np.int64) + idx["n_write_ops"],
+            len(self.ops_starts),
+            "ops",
+        )
+        heap_len = len(self.heap)
+        for field in ("exe", "machine", "partition"):
+            bounded(
+                idx[f"{field}_off"], idx[f"{field}_len"], heap_len, "heap"
+            )
+        bounded(
+            self.records["name_off"],
+            self.records["name_len"],
+            heap_len,
+            "heap",
+        )
+
+    # -- basic accessors ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def n_traces(self) -> int:
+        return len(self.index)
+
+    @property
+    def compiled_with_repair(self) -> bool:
+        return bool(self.flags & FLAG_REPAIRED)
+
+    def string(self, off: int, length: int) -> str:
+        return self.heap[off : off + length].decode("utf-8")
+
+    def violations(self, row: int) -> set[Violation]:
+        """Validation categories recorded at compile time (empty = valid)."""
+        return violations_from_mask(int(self.index[row]["violations"]))
+
+    def is_valid(self, row: int) -> bool:
+        return int(self.index[row]["violations"]) == 0
+
+    def app_key(self, row: int) -> tuple[int, str]:
+        r = self.index[row]
+        return (
+            int(r["uid"]),
+            self.string(int(r["exe_off"]), int(r["exe_len"])),
+        )
+
+    # -- zero-copy trace views ------------------------------------------
+    def ops_bounds(self, row: int, direction: str) -> tuple[int, int]:
+        """[lo, hi) bounds of one trace-direction slab in the ops table."""
+        r = self.index[row]
+        lo = int(r["ops_off"])
+        n_read = int(r["n_read_ops"])
+        if direction == "read":
+            return lo, lo + n_read
+        if direction == "write":
+            return lo + n_read, lo + n_read + int(r["n_write_ops"])
+        raise ValueError(f"unknown direction: {direction!r}")
+
+    def operations(self, row: int, direction: str) -> OperationArray:
+        """The trace's raw operation array, identical to
+        ``decode_trace(row).operations(direction)``."""
+        lo, hi = self.ops_bounds(row, direction)
+        if lo == hi:
+            return OperationArray.empty()
+        return OperationArray(
+            self.ops_starts[lo:hi],
+            self.ops_ends[lo:hi],
+            self.ops_volumes[lo:hi],
+        )
+
+    def _metadata_prep(self, row: int) -> tuple | None:
+        """Record-level head of the metadata reconstruction.
+
+        Computes, per record of the row's slab, the attribution window
+        and event counts — everything needed to size and lay out the
+        event stream — without touching per-event storage.  Returns
+        ``None`` when the row expands to no events.
+        """
+        r = self.index[row]
+        lo = int(r["rec_off"])
+        hi = lo + int(r["n_records"])
+        rec = self.records[lo:hi]
+        if lo == hi:
+            return None
+        opens = rec["opens"].astype(np.int64)
+        n_open = opens + rec["seeks"].astype(np.int64)
+        n_close = rec["closes"].astype(np.int64)
+        active = (n_open + n_close) > 0
+
+        open_start = rec["open_start"].astype(np.float64)
+        close_end = rec["close_end"].astype(np.float64)
+        t0 = np.where(
+            open_start >= 0,
+            open_start,
+            np.maximum(rec["read_start"].astype(np.float64), 0.0),
+        )
+        t1 = np.where(close_end >= 0, close_end, t0)
+        # mirror `if t1 < t0: swap` exactly (NaN comparisons stay put)
+        swap = t1 < t0
+        t0, t1 = np.where(swap, t1, t0), np.where(swap, t0, t1)
+
+        # `opens <= 1 or t1 <= t0` inverted — NOT `t1 > t0`, which would
+        # reroute NaN windows to the single branch the reference spreads
+        spread = active & (opens > 1) & ~(t1 <= t0)
+        single = active & ~spread
+        has_open = single & (n_open > 0)
+        has_close = single & (n_close > 0)
+
+        n_events = np.where(
+            spread,
+            2 * opens,
+            has_open.astype(np.int64) + has_close.astype(np.int64),
+        )
+        total = int(n_events.sum())
+        if total == 0:
+            return None
+        out_off = np.zeros(len(rec), dtype=np.int64)
+        np.cumsum(n_events[:-1], out=out_off[1:])
+        return (
+            total,
+            out_off,
+            t0,
+            t1,
+            opens,
+            n_open,
+            n_close,
+            spread,
+            has_open,
+            has_close,
+        )
+
+    @staticmethod
+    def _metadata_fill(
+        prep: tuple, times: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Write the pre-sort event layout of one row into buffers.
+
+        The layout reproduces the reference's append order exactly —
+        records in slab order, each record's opens block then its closes
+        block — so the caller's stable argsort lands ties identically.
+        """
+        (
+            _total,
+            out_off,
+            t0,
+            t1,
+            opens,
+            n_open,
+            n_close,
+            spread,
+            has_open,
+            has_close,
+        ) = prep
+
+        # singles: the t0 slot comes first (when it has opens), then t1
+        times[out_off[has_open]] = t0[has_open]
+        counts[out_off[has_open]] = n_open[has_open].astype(np.float64)
+        close_slot = out_off + has_open.astype(np.int64)
+        times[close_slot[has_close]] = t1[has_close]
+        counts[close_slot[has_close]] = n_close[has_close].astype(np.float64)
+
+        if spread.any():
+            k = opens[spread]
+            step = (t1[spread] - t0[spread]) / k
+            if len(k) <= 64:
+                # Few spread records carrying (potentially) huge k: each
+                # record's output block is contiguous (opens then
+                # closes), so compute straight into the slices — no
+                # per-event record-id gathers, no scatter indices.  Same
+                # scalars, same op order, same bits as the path below.
+                s_off = out_off[spread]
+                s_t0 = t0[spread]
+                s_no = n_open[spread]
+                s_nc = n_close[spread]
+                for i in range(len(k)):
+                    ki = int(k[i])
+                    a = int(s_off[i])
+                    o_sl = times[a : a + ki]
+                    # linspace(t0, t1, k, endpoint=False)
+                    #   == arange(k)*step + t0
+                    np.multiply(
+                        np.arange(ki, dtype=np.float64), step[i], out=o_sl
+                    )
+                    o_sl += s_t0[i]
+                    np.add(  # mosaic: disable=MOS002 (ufunc, not a set)
+                        o_sl, step[i] * 0.9, out=times[a + ki : a + 2 * ki]
+                    )
+                    counts[a : a + ki] = s_no[i] / ki
+                    counts[a + ki : a + 2 * ki] = s_nc[i] / ki
+            else:
+                rep = np.repeat(np.arange(len(k)), k)
+                pos = np.arange(len(rep), dtype=np.int64)
+                pos -= np.repeat(np.concatenate(([0], np.cumsum(k)[:-1])), k)
+                # linspace(t0, t1, k, endpoint=False) == arange(k)*step + t0
+                open_t = pos * step[rep] + t0[spread][rep]
+                close_t = open_t + (step * 0.9)[rep]
+                base = np.repeat(out_off[spread], k)
+                idx_open = base + pos
+                idx_close = base + k[rep] + pos
+                times[idx_open] = open_t
+                times[idx_close] = close_t
+                counts[idx_open] = (n_open[spread] / k)[rep]
+                counts[idx_close] = (n_close[spread] / k)[rep]
+
+    def metadata_events(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reconstruct the trace's metadata event stream on demand.
+
+        Bit-for-bit equal to ``decode_trace(row).metadata_events()`` —
+        the same per-record attribution model (the loop in
+        :meth:`repro.darshan.trace.Trace.metadata_events`, the auditable
+        reference) run vectorized over the record slab.  The stream is
+        derived, not stored: a record with ``k`` opens expands to ``2k``
+        events, which can dwarf the record itself, so the expansion
+        happens here in one dispatch instead of a per-record loop.
+
+        Bitwise notes: ``np.linspace(t0, t1, k, endpoint=False)`` is
+        ``arange(k) * ((t1 - t0) / k) + t0`` element for element, and the
+        per-record append order (opens block, then closes block, records
+        in slab order) is reproduced exactly before the final stable
+        argsort, so ties land identically.
+        """
+        prep = self._metadata_prep(row)
+        if prep is None:
+            z = np.empty(0, dtype=np.float64)
+            return z, z.copy()
+        total = prep[0]
+        times = np.empty(total, dtype=np.float64)
+        counts = np.empty(total, dtype=np.float64)
+        self._metadata_fill(prep, times, counts)
+        order = np.argsort(times, kind="stable")
+        return times[order], counts[order]
+
+    def metadata_events_batch(
+        self, rows: Sequence[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Metadata event streams of many rows in one flat allocation.
+
+        Returns ``(times, counts, offsets)`` where
+        ``times[offsets[j]:offsets[j+1]]`` is row ``rows[j]``'s stream,
+        each slice bit-for-bit equal to :meth:`metadata_events` of that
+        row.  One scratch buffer (sized to the largest row) carries every
+        pre-sort layout, and the sorted gather lands directly in the flat
+        output — no per-row allocations, no concatenation copy.  The
+        flat shape is exactly what the segmented binning kernel
+        (:func:`repro.kernels.batched.bin_events_segmented`) consumes.
+        """
+        preps = [self._metadata_prep(row) for row in rows]
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        for j, prep in enumerate(preps):
+            offsets[j + 1] = offsets[j] + (prep[0] if prep else 0)
+        total = int(offsets[-1])
+        times = np.empty(total, dtype=np.float64)
+        counts = np.empty(total, dtype=np.float64)
+        if total == 0:
+            return times, counts, offsets
+        largest = max(prep[0] for prep in preps if prep)
+        scratch_t = np.empty(largest, dtype=np.float64)
+        scratch_c = np.empty(largest, dtype=np.float64)
+        for j, prep in enumerate(preps):
+            if prep is None:
+                continue
+            n = prep[0]
+            s_t, s_c = scratch_t[:n], scratch_c[:n]
+            self._metadata_fill(prep, s_t, s_c)
+            order = np.argsort(s_t, kind="stable")
+            lo, hi = int(offsets[j]), int(offsets[j + 1])
+            np.take(s_t, order, out=times[lo:hi])
+            np.take(s_c, order, out=counts[lo:hi])
+        return times, counts, offsets
+
+    # -- full decode ----------------------------------------------------
+    def job_meta(self, row: int) -> JobMeta:
+        r = self.index[row]
+        return JobMeta(
+            job_id=int(r["job_id"]),
+            uid=int(r["uid"]),
+            exe=self.string(int(r["exe_off"]), int(r["exe_len"])),
+            nprocs=int(r["nprocs"]),
+            start_time=float(r["start_time"]),
+            end_time=float(r["end_time"]),
+            machine=self.string(int(r["machine_off"]), int(r["machine_len"])),
+            partition=self.string(
+                int(r["partition_off"]), int(r["partition_len"])
+            ),
+        )
+
+    def decode_trace(self, row: int) -> Trace:
+        """Materialize one trace, bit-for-bit equal to the compiled input."""
+        r = self.index[row]
+        lo = int(r["rec_off"])
+        hi = lo + int(r["n_records"])
+        records = []
+        for rec in self.records[lo:hi]:
+            records.append(
+                FileRecord(
+                    file_id=int(rec["file_id"]),
+                    file_name=self.string(
+                        int(rec["name_off"]), int(rec["name_len"])
+                    ),
+                    rank=int(rec["rank"]),
+                    opens=int(rec["opens"]),
+                    closes=int(rec["closes"]),
+                    seeks=int(rec["seeks"]),
+                    stats=int(rec["stats"]),
+                    reads=int(rec["reads"]),
+                    writes=int(rec["writes"]),
+                    bytes_read=int(rec["bytes_read"]),
+                    bytes_written=int(rec["bytes_written"]),
+                    open_start=float(rec["open_start"]),
+                    close_end=float(rec["close_end"]),
+                    read_start=float(rec["read_start"]),
+                    read_end=float(rec["read_end"]),
+                    write_start=float(rec["write_start"]),
+                    write_end=float(rec["write_end"]),
+                    read_time=float(rec["read_time"]),
+                    write_time=float(rec["write_time"]),
+                    meta_time=float(rec["meta_time"]),
+                )
+            )
+        return Trace(meta=self.job_meta(row), records=records)
+
+    def close(self) -> None:
+        mm = getattr(self, "_mmap", None)
+        if mm is not None and not mm.closed:
+            # Views into the mmap must be released first; drop them.
+            for name in (
+                "index",
+                "records",
+                "ops_starts",
+                "ops_ends",
+                "ops_volumes",
+            ):
+                if hasattr(self, name):
+                    delattr(self, name)
+            try:
+                mm.close()
+            except BufferError:
+                # A caller still holds a zero-copy view; the mapping is
+                # reclaimed when the last view dies.
+                pass
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# per-process attach cache (the mmap seam)
+
+#: abspath → (pid, store).  Keyed by pid so a worker forked or rebuilt
+#: after a crash re-opens the store read-only instead of sharing a file
+#: descriptor inherited from a dead pool (see docs/COLUMNAR.md).
+#: path → (pid, (ino, mtime_ns, size), verified, store)
+_ATTACHED: dict[str, tuple[int, tuple[int, int, int], bool, CorpusStore]] = {}
+#: FIFO bound on cached attachments; evicted entries are *dropped*, not
+#: closed — closing would invalidate live numpy views into the mmap, so
+#: the mapping is left to die with its last reference.
+_ATTACH_CAP = 16
+
+
+def attach(
+    path: str | os.PathLike[str],
+    *,
+    limits: DecodeLimits = DEFAULT_LIMITS,
+    verify: bool = False,
+) -> CorpusStore:
+    """Attach (or reuse this process's attachment of) a compiled store.
+
+    Structural validation always runs; ``verify`` (payload CRCs) is off
+    by default here because workers attach a store the parent already
+    verified at open.  The cache is invalidated on pid change — pool
+    rebuilds and resumed runs never inherit a stale descriptor — and on
+    file identity change (inode / mtime / size), so recompiling a store
+    at the same path never leaves a stale mapping behind.  A cached
+    attachment that was made without CRC verification is re-verified
+    when ``verify=True`` is requested.
+    """
+    key = os.path.abspath(os.fspath(path))
+    pid = os.getpid()
+    st = os.stat(key)
+    ident = (st.st_ino, st.st_mtime_ns, st.st_size)
+    hit = _ATTACHED.get(key)
+    if (
+        hit is not None
+        and hit[0] == pid
+        and hit[1] == ident
+        and (hit[2] or not verify)
+    ):
+        return hit[3]
+    store = CorpusStore(key, limits=limits, verify=verify)
+    _ATTACHED[key] = (pid, ident, verify, store)
+    while len(_ATTACHED) > _ATTACH_CAP:
+        _ATTACHED.pop(next(iter(_ATTACHED)))
+    return store
+
+
+def detach_all() -> None:
+    """Close and drop every cached attachment (tests / shutdown)."""
+    for _pid, _ident, _verified, store in _ATTACHED.values():
+        store.close()
+    _ATTACHED.clear()

@@ -42,6 +42,7 @@ from .pipeline import (
     PipelineContext,
     PipelineResult,
     run_pipeline,
+    run_pipeline_store,
     run_pipeline_stream,
 )
 from .stream import AppEntry, ApplicationCatalog
@@ -83,6 +84,7 @@ __all__ = [
     "PipelineContext",
     "PipelineResult",
     "run_pipeline",
+    "run_pipeline_store",
     "run_pipeline_stream",
     "AppEntry",
     "ApplicationCatalog",

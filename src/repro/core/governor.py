@@ -223,6 +223,19 @@ class Governor:
         if self.budget.unlimited:
             return self.level
         n_ops, est_bytes = estimate_trace_cost(trace)
+        return self.admit_cost(n_ops, est_bytes)
+
+    def admit_cost(self, n_ops: int, est_bytes: int) -> DegradationLevel:
+        """Admit from a precomputed cost estimate.
+
+        The store-backed batch path (:mod:`repro.columnar.batch`) reads
+        the estimate from the trace index without materializing a
+        ``Trace``; sharing this method keeps its escalation messages —
+        and therefore journaled results — byte-identical to
+        :meth:`admit`.
+        """
+        if self.budget.unlimited:
+            return self.level
         level = self.budget.assess(n_ops, est_bytes)
         if level is not DegradationLevel.FULL:
             ratio = self.budget.overrun_ratio(n_ops, est_bytes)

@@ -29,7 +29,13 @@ from ..signalproc.activity import bin_events
 from .categories import Category
 from .thresholds import MosaicConfig
 
-__all__ = ["MetadataDetection", "classify_metadata"]
+__all__ = [
+    "MetadataDetection",
+    "classify_metadata",
+    "classify_metadata_events",
+    "detect_from_rate",
+    "insignificant_metadata",
+]
 
 
 @dataclass(slots=True, frozen=True)
@@ -47,25 +53,26 @@ class MetadataDetection:
         return Category.METADATA_INSIGNIFICANT_LOAD not in self.categories
 
 
-def classify_metadata(trace: Trace, config: MosaicConfig) -> MetadataDetection:
-    """Classify the metadata-server impact of ``trace``."""
-    total = trace.total_metadata_ops
-    threshold = config.metadata_min_ops_per_rank * max(trace.meta.nprocs, 1)
-    if total < threshold:
-        return MetadataDetection(
-            categories=frozenset({Category.METADATA_INSIGNIFICANT_LOAD}),
-            total_requests=total,
-            peak_rate=0.0,
-            mean_rate=0.0,
-            n_spikes=0,
-        )
+def insignificant_metadata(total: int) -> MetadataDetection:
+    """The below-threshold verdict (fewer metadata ops than ranks)."""
+    return MetadataDetection(
+        categories=frozenset({Category.METADATA_INSIGNIFICANT_LOAD}),
+        total_requests=total,
+        peak_rate=0.0,
+        mean_rate=0.0,
+        n_spikes=0,
+    )
 
-    times, counts = trace.metadata_events()
-    run_time = max(trace.meta.run_time, config.metadata_bin_seconds)
-    rate = bin_events(times, counts, run_time, config.metadata_bin_seconds)
-    # Normalize to requests per second regardless of bin width.
-    rate = rate / config.metadata_bin_seconds
 
+def detect_from_rate(
+    total: int, rate: np.ndarray, config: MosaicConfig
+) -> MetadataDetection:
+    """Apply the spike/density rules to a per-second request rate.
+
+    Shared by the per-trace path and the store-backed batch path (which
+    bins many traces in one segmented dispatch and hands each trace's
+    rate slice here), so the two stay byte-identical.
+    """
     peak = float(rate.max()) if len(rate) else 0.0
     mean = float(rate.mean()) if len(rate) else 0.0
     n_spikes = int(np.count_nonzero(rate >= config.spike_rate))
@@ -84,4 +91,35 @@ def classify_metadata(trace: Trace, config: MosaicConfig) -> MetadataDetection:
         peak_rate=peak,
         mean_rate=mean,
         n_spikes=n_spikes,
+    )
+
+
+def classify_metadata_events(
+    total: int,
+    nprocs: int,
+    times: np.ndarray,
+    counts: np.ndarray,
+    run_time: float,
+    config: MosaicConfig,
+) -> MetadataDetection:
+    """Classify metadata impact from a pre-extracted event stream."""
+    threshold = config.metadata_min_ops_per_rank * max(nprocs, 1)
+    if total < threshold:
+        return insignificant_metadata(total)
+    run_time = max(run_time, config.metadata_bin_seconds)
+    rate = bin_events(times, counts, run_time, config.metadata_bin_seconds)
+    # Normalize to requests per second regardless of bin width.
+    rate = rate / config.metadata_bin_seconds
+    return detect_from_rate(total, rate, config)
+
+
+def classify_metadata(trace: Trace, config: MosaicConfig) -> MetadataDetection:
+    """Classify the metadata-server impact of ``trace``."""
+    total = trace.total_metadata_ops
+    threshold = config.metadata_min_ops_per_rank * max(trace.meta.nprocs, 1)
+    if total < threshold:
+        return insignificant_metadata(total)
+    times, counts = trace.metadata_events()
+    return classify_metadata_events(
+        total, trace.meta.nprocs, times, counts, trace.meta.run_time, config
     )

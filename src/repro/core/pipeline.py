@@ -70,6 +70,7 @@ __all__ = [
     "PipelineContext",
     "PipelineResult",
     "run_pipeline",
+    "run_pipeline_store",
     "run_pipeline_stream",
 ]
 
@@ -437,6 +438,220 @@ def run_pipeline_stream(
     ctx.gauge("peak_inflight_traces", peak)
     ctx.timings["total_s"] = time.perf_counter() - t0
     # historical stage names, kept for dashboards and the benchmarks
+    ctx.timings.setdefault("preprocess_s", ctx.timings.get("scan_s", 0.0))
+
+    return PipelineResult(
+        preprocess=plan.to_result(None),
+        results=results,
+        n_failures=len(failures),
+        timings=dict(ctx.timings),
+        metrics=dict(ctx.counters),
+    )
+
+
+def run_pipeline_store(
+    store_path: str | os.PathLike[str],
+    config: MosaicConfig = DEFAULT_CONFIG,
+    parallel: ParallelConfig | None = None,
+    *,
+    repair: bool = False,
+    context: PipelineContext | None = None,
+    journal_path: str | os.PathLike[str] | None = None,
+    resume: bool = False,
+    slice_ops: int | None = None,
+) -> PipelineResult:
+    """Run MOSAIC over a compiled columnar store (``repro compile``).
+
+    The store-backed fast path: pass ① replays the eviction funnel from
+    the trace index without decoding anything
+    (:func:`repro.columnar.scan.scan_store`), and pass ② ships tiny
+    ``(store_path, rows)`` descriptors to the pool instead of pickled
+    traces — each worker reattaches the store read-only via mmap and
+    categorizes whole slices through the segmented batch kernels
+    (:func:`repro.columnar.batch.categorize_slice`), which are
+    bitwise-equivalent to the per-trace pipeline.
+
+    Journal semantics are unchanged and *per trace*: the journal header,
+    per-trace result/failure records, and ``--resume`` behaviour are
+    byte-identical to :func:`run_pipeline_stream` over the same corpus —
+    a journal started on one path can be resumed on the other.  A whole
+    failed slice journals one failure record per member trace.  The
+    per-trace ``ResourceBudget`` is enforced per slice: the planner
+    bounds each slice's working set by the budget, and each member trace
+    still walks its own degradation ladder inside the worker.
+
+    ``repair`` must match how the store was compiled (repair is baked in
+    at compile time); a mismatch raises ``ValueError``.
+    """
+    # Imported lazily: repro.columnar imports from repro.core, so a
+    # module-level import would cycle.
+    from ..columnar.batch import categorize_slice, plan_slices
+    from ..columnar.scan import scan_store
+    from ..columnar.store import StoreSlice, attach
+
+    ctx = context or PipelineContext(
+        config=config,
+        parallel=parallel or _default_parallel(),
+        repair=repair,
+    )
+    t0 = time.perf_counter()
+    # Attached via the per-process cache: repeat runs and resumed
+    # runs reuse one verified read-only mapping instead of paying
+    # open + CRC sweep per invocation; workers reattach the same way.
+    store = attach(store_path, verify=True)
+    with ctx.stage("scan"):
+        plan = scan_store(store, repair=ctx.repair)
+    ctx.count("traces_scanned", plan.n_input)
+    ctx.count("n_corrupted", plan.n_corrupted)
+    ctx.count("n_unreadable", plan.n_unreadable)
+    ctx.count("n_repaired", plan.n_repaired)
+    ctx.gauge("dedup_state_size", plan.n_selected)
+    policy = ctx.retry_policy()
+
+    # -- journal / resume bookkeeping (same contract as the stream
+    # path; records stay per trace even though work ships per slice)
+    journal: JournalWriter | None = None
+    resumed_results: dict[int, CategorizationResult] = {}
+    resumed_failures: dict[int, TaskFailure] = {}
+    quarantine_records: list[dict[str, Any]] = []
+    if journal_path is not None:
+        jpath = os.fspath(journal_path)
+        appending = resume and os.path.exists(jpath)
+        if appending:
+            state = JournalState.load(jpath)
+            if (
+                state.n_selected is not None
+                and state.n_selected != plan.n_selected
+            ):
+                raise ValueError(
+                    f"journal {jpath!r} was written for a corpus with "
+                    f"{state.n_selected} selected traces; this corpus "
+                    f"selects {plan.n_selected} — refusing to resume"
+                )
+            resumed_results = {
+                job_id: CategorizationResult.from_dict(payload)
+                for job_id, payload in state.completed.items()
+            }
+            resumed_failures = {
+                job_id: _failure_from_record(record, index=-1)
+                for job_id, record in state.quarantined.items()
+            }
+            quarantine_records.extend(state.quarantined.values())
+            ctx.count("n_journal_malformed", state.n_malformed)
+        journal = JournalWriter(jpath, append=appending)
+        if not appending:
+            journal.write_header(n_selected=plan.n_selected)
+
+    failures: list[TaskFailure] = []
+    slots: list[CategorizationResult | None] = [None] * len(plan.selected)
+    try:
+        with ctx.stage("categorize"):
+            pending: list[tuple[int, SelectedRef]] = []
+            for slot, entry in enumerate(plan.selected):
+                if entry.job_id in resumed_results:
+                    slots[slot] = resumed_results[entry.job_id]
+                elif entry.job_id in resumed_failures:
+                    failures.append(resumed_failures[entry.job_id])
+                else:
+                    pending.append((slot, entry))
+            ctx.count("n_resumed", len(plan.selected) - len(pending))
+
+            by_row = {
+                int(entry.ref.key): (slot, entry)
+                for slot, entry in pending
+            }
+            slices = plan_slices(
+                store,
+                [int(entry.ref.key) for _slot, entry in pending],
+                budget=ctx.config.budget,
+                **(
+                    {"target_ops": slice_ops}
+                    if slice_ops is not None
+                    else {}
+                ),
+            )
+            ctx.count("n_slices", len(slices))
+
+            inflight = 0
+            peak = 0
+
+            def slice_stream() -> Iterator[StoreSlice]:
+                nonlocal inflight, peak
+                for task in slices:
+                    inflight += len(task)
+                    peak = max(peak, inflight)
+                    yield task
+
+            fn: Callable[[Any], Any] = functools.partial(
+                categorize_slice, config=ctx.config
+            )
+            if ctx.wrap_worker is not None:
+                fn = ctx.wrap_worker(fn)
+            stream = resilient_imap(
+                fn,
+                slice_stream(),
+                ctx.parallel,
+                policy=policy,
+                on_count=ctx.count,
+            )
+
+            for index, outcome in stream:
+                task = slices[index]
+                inflight -= len(task)
+                if isinstance(outcome, TaskFailure):
+                    if ctx.error_policy == "raise":
+                        raise RuntimeError(
+                            f"categorization failed: {outcome}"
+                        )
+                    # the slice failed as a unit; journal and count
+                    # one per-trace failure for each member
+                    for row in task.rows:
+                        _slot, entry = by_row[row]
+                        failures.append(outcome)
+                        record = {
+                            "job_id": entry.job_id,
+                            "failure_kind": outcome.kind.value,
+                            "error_type": outcome.error_type,
+                            "message": outcome.message,
+                            "trace_key": f"{store.path}#{row}",
+                            "attempts": outcome.attempts,
+                        }
+                        if outcome.kind in (
+                            FailureKind.TIMEOUT,
+                            FailureKind.POISON,
+                        ):
+                            quarantine_records.append(record)
+                            ctx.count("n_quarantined")
+                        if journal is not None:
+                            journal.record_failure(
+                                entry.job_id,
+                                failure_kind=outcome.kind.value,
+                                error_type=outcome.error_type,
+                                message=outcome.message,
+                                trace_key=f"{store.path}#{row}",
+                                attempts=outcome.attempts,
+                            )
+                else:
+                    for row, result in zip(task.rows, outcome):
+                        slot, entry = by_row[row]
+                        slots[slot] = result
+                        if journal is not None:
+                            journal.record_result(
+                                entry.job_id, result.to_dict()
+                            )
+    finally:
+        if journal is not None:
+            journal.close()
+            write_quarantine_manifest(journal.path, quarantine_records)
+
+    results = [r for r in slots if r is not None]
+    failures.sort(key=lambda f: f.index)
+
+    ctx.count("n_selected", plan.n_selected)
+    ctx.count("n_failures", len(failures))
+    _count_degradation(ctx, results)
+    ctx.gauge("peak_inflight_traces", peak)
+    ctx.timings["total_s"] = time.perf_counter() - t0
     ctx.timings.setdefault("preprocess_s", ctx.timings.get("scan_s", 0.0))
 
     return PipelineResult(

@@ -16,8 +16,12 @@ applications).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..darshan.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..columnar.store import CorpusStore
 from ..darshan.validate import validate_trace
 from .categorizer import categorize_trace
 from .governor import DegradationLevel
@@ -120,11 +124,7 @@ class ApplicationCatalog:
             except Exception:
                 self._record_failure(key)
                 return None
-            if result.degradation is not DegradationLevel.FULL:
-                self.n_degraded += 1
-            entry = AppEntry(result=result, weight=weight)
-            self._entries[key] = entry
-            return entry
+            return self._fold(key, weight, result)
 
         entry.n_runs += 1
         try:
@@ -134,8 +134,29 @@ class ApplicationCatalog:
             # application; the failed run just doesn't refresh it
             self._record_failure(key)
             return entry
+        return self._fold(key, weight, result, entry=entry)
+
+    def _fold(
+        self,
+        key: tuple[int, str],
+        weight: float,
+        result: CategorizationResult,
+        *,
+        entry: AppEntry | None = None,
+    ) -> AppEntry:
+        """Fold one already-computed categorization into the catalog.
+
+        Shared by :meth:`ingest` (per-trace) and :meth:`ingest_store`
+        (batched), so both apply identical keep-heaviest and agreement
+        accounting.  ``entry`` must be the key's current entry with
+        ``n_runs`` already incremented, or ``None`` for a first run.
+        """
         if result.degradation is not DegradationLevel.FULL:
             self.n_degraded += 1
+        if entry is None:
+            entry = AppEntry(result=result, weight=weight)
+            self._entries[key] = entry
+            return entry
         if result.categories == entry.result.categories:
             entry.n_agreeing += 1
         if weight >= entry.weight * self.min_weight_gain and weight > entry.weight:
@@ -143,6 +164,59 @@ class ApplicationCatalog:
             entry.result = result
             entry.weight = weight
         return entry
+
+    def ingest_store(
+        self, store: "CorpusStore", rows: list[int] | None = None
+    ) -> int:
+        """Bulk-ingest a compiled columnar store via the batched path.
+
+        Every valid trace of ``rows`` (default: the whole store) whose
+        application is not quarantined at call time is categorized
+        through :func:`repro.columnar.batch.categorize_slice` — many
+        traces per kernel dispatch — and folded into the catalog with
+        exactly the semantics of calling :meth:`ingest` trace by trace
+        in row order (validity comes from the compile-time bitmask, the
+        same ``validate_trace`` verdict).  Returns the number of runs
+        folded in.
+        """
+        from ..columnar.batch import categorize_slice, plan_slices
+
+        if rows is None:
+            rows = list(range(store.n_traces))
+
+        admitted: list[int] = []
+        for row in rows:
+            self.n_ingested += 1
+            if not store.is_valid(row):
+                self.n_rejected += 1
+                continue
+            if store.app_key(row) in self._quarantined:
+                self.n_rejected += 1
+                continue
+            admitted.append(row)
+
+        n_folded = 0
+        idx = store.index
+        for task in plan_slices(store, admitted, budget=self.config.budget):
+            keys = [store.app_key(row) for row in task.rows]
+            try:
+                results = categorize_slice(task, self.config)
+            except Exception:
+                for key in keys:
+                    entry = self._entries.get(key)
+                    if entry is not None:
+                        entry.n_runs += 1
+                    self._record_failure(key)
+                continue
+            for row, key, result in zip(task.rows, keys, results):
+                entry = self._entries.get(key)
+                if entry is not None:
+                    entry.n_runs += 1
+                self._fold(
+                    key, float(idx[row]["io_weight"]), result, entry=entry
+                )
+                n_folded += 1
+        return n_folded
 
     def lookup(self, uid: int, exe: str) -> AppEntry | None:
         """Scheduler-side query: known categorization of an application."""

@@ -3,7 +3,8 @@
 A :class:`KernelBackend` bundles one implementation of every hot
 per-trace kernel; ``get_backend`` resolves the
 ``MosaicConfig.kernel_backend`` switch (``"vectorized"`` is the default,
-``"reference"`` the pure-Python oracle).  Call sites thread an optional
+``"reference"`` the pure-Python oracle, ``"batched"`` the segmented
+cross-trace twins of :mod:`repro.kernels.batched`).  Call sites thread an optional
 backend name so the whole pipeline can be flipped for differential
 testing, ablation, or debugging a suspected vectorization bug.
 """
@@ -15,7 +16,7 @@ from typing import Callable
 
 import numpy as np
 
-from . import reference, vectorized
+from . import batched, reference, vectorized
 
 __all__ = [
     "KernelBackend",
@@ -73,6 +74,7 @@ def _from_module(name: str, module: object) -> KernelBackend:
 _BACKENDS: dict[str, KernelBackend] = {
     "reference": _from_module("reference", reference),
     "vectorized": _from_module("vectorized", vectorized),
+    "batched": _from_module("batched", batched),
 }
 
 #: The default backend name used when a call site receives ``None``.

@@ -1,0 +1,309 @@
+"""Batched (segmented) kernels — the cross-trace backend.
+
+The vectorized backend removed the per-*operation* Python cost; at
+corpus scale the remaining overhead is per-*trace* kernel dispatch.
+This module removes that too: every hot data-plane kernel has a
+*segmented* variant that processes the flat operation table of many
+traces in one NumPy dispatch, with an ``offsets`` array marking trace
+boundaries (``offsets[k]:offsets[k+1]`` is trace ``k``'s slab — the
+zero-copy layout of :mod:`repro.columnar`).
+
+Segment boundaries are hard walls: no merge, overlap group, or running
+maximum ever crosses one.  The per-trace functions exported here wrap
+the segmented implementations with a single-segment offsets array, so
+``"batched"`` registers as a third :class:`~repro.kernels.backend.KernelBackend`
+and the differential oracle (:mod:`repro.testing.differential`) holds it
+equivalent to the reference on the same adversarial cases as the
+vectorized twin.  Kernels that are already batch-shaped within one trace
+(mean-shift step, ACF peak scan, DFT comb scan, volume binning) are
+shared with :mod:`repro.kernels.vectorized` — cross-trace batching buys
+them nothing, and aliasing keeps the twins bitwise-identical.
+
+Exactness note: the segmented running maximum uses a masked
+Hillis–Steele doubling scan (``log2(max segment length)`` vector passes)
+instead of adding per-segment offsets to a global ``maximum.accumulate``
+— the offset trick loses float precision at corpus scale and the merge
+rules compare times at microsecond tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..darshan.tolerance import TIME_TOLERANCE_S
+from . import vectorized
+
+__all__ = [
+    "neighbor_pass",
+    "overlap_groups",
+    "coalesce_groups",
+    "segment",
+    "shift_step",
+    "acf_peak_scan",
+    "dft_comb_scores",
+    "bin_activity",
+    "neighbor_pass_segmented",
+    "overlap_groups_segmented",
+    "segment_segmented",
+    "bin_events_segmented",
+    "segment_ids",
+    "group_offsets",
+]
+
+# Segment-agnostic kernels shared with the vectorized backend (see
+# module docstring): aliasing keeps the per-trace twins bitwise equal.
+coalesce_groups = vectorized.coalesce_groups
+shift_step = vectorized.shift_step
+acf_peak_scan = vectorized.acf_peak_scan
+dft_comb_scores = vectorized.dft_comb_scores
+bin_activity = vectorized.bin_activity
+
+
+def segment_ids(offsets: np.ndarray) -> np.ndarray:
+    """Per-element segment id for an offsets array (``len == offsets[-1]``)."""
+    lengths = np.diff(offsets)
+    return np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+
+
+def _positions_in_segment(offsets: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """0-based rank of each element within its segment."""
+    n = int(offsets[-1])
+    return np.arange(n, dtype=np.int64) - offsets[ids]
+
+
+def _segmented_cummax(values: np.ndarray, pos: np.ndarray) -> np.ndarray:
+    """Running maximum that restarts at every segment boundary.
+
+    Masked Hillis–Steele doubling: after pass ``d`` element ``i`` holds
+    the max over the last ``2d`` elements of its own segment, so
+    ``ceil(log2(longest segment))`` passes reach the segment start.
+    Exact — only ``maximum`` is applied, never arithmetic on the values.
+    """
+    out = values.astype(np.float64, copy=True)
+    n = len(out)
+    if n == 0:
+        return out
+    longest = int(pos.max()) + 1
+    d = 1
+    while d < longest:
+        can = pos[d:] >= d
+        np.maximum(
+            out[d:], np.where(can, out[:-d], -np.inf), out=out[d:]
+        )
+        d <<= 1
+    return out
+
+
+def group_offsets(groups: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Offsets of the coalesced output given global group ids.
+
+    Group ids are contiguous and every segment starts a new group, so a
+    segment's output count is ``last_group - first_group + 1``.
+    """
+    o0 = offsets[:-1]
+    o1 = offsets[1:]
+    nonempty = o1 > o0
+    first = np.where(nonempty, o0, 0)
+    last = np.where(nonempty, o1 - 1, 0)
+    counts = np.where(nonempty, groups[last] - groups[first] + 1, 0)
+    out = np.empty(len(offsets), dtype=np.int64)
+    out[0] = 0
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+# ----------------------------------------------------------------------
+# segmented kernels
+
+
+def neighbor_pass_segmented(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    volumes: np.ndarray,
+    offsets: np.ndarray,
+    abs_gaps: np.ndarray,
+    op_fraction: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool]:
+    """One chain-merge neighbor pass over every segment at once.
+
+    ``abs_gaps`` carries one absolute gap threshold per segment (the
+    per-trace ``runtime_fraction * run_time``).  Returns the merged
+    columns, the new offsets, and whether anything merged anywhere.
+    """
+    n = len(starts)
+    if n == 0:
+        return starts, ends, volumes, offsets, False
+    ids = segment_ids(offsets)
+    gap = starts[1:] - ends[:-1]
+    durations = ends - starts
+    mergeable = (
+        (gap <= abs_gaps[ids[1:]])
+        | (gap <= op_fraction * durations[:-1])
+        | (gap <= op_fraction * durations[1:])
+    )
+    mergeable &= ids[1:] == ids[:-1]
+    if not mergeable.any():
+        return starts, ends, volumes, offsets, False
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = ~mergeable
+    groups = np.cumsum(new_group, dtype=np.int64) - 1
+    out_s, out_e, out_v = vectorized.coalesce_groups(
+        starts, ends, volumes, groups
+    )
+    return out_s, out_e, out_v, group_offsets(groups, offsets), True
+
+
+def overlap_groups_segmented(
+    starts: np.ndarray, ends: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Transitive-overlap group ids, never crossing a segment boundary.
+
+    Ids are global and contiguous; feed them to ``coalesce_groups`` and
+    :func:`group_offsets` to coalesce a whole batch in one dispatch.
+    """
+    n = len(starts)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    ids = segment_ids(offsets)
+    pos = _positions_in_segment(offsets, ids)
+    running_end = _segmented_cummax(ends, pos)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = starts[1:] > running_end[:-1] + TIME_TOLERANCE_S
+    new_group[pos == 0] = True
+    return np.cumsum(new_group, dtype=np.int64) - 1
+
+
+def segment_segmented(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    volumes: np.ndarray,
+    offsets: np.ndarray,
+    run_times: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Cut every trace's merged stream into segments in one dispatch.
+
+    Output rows align 1:1 with input operations (``offsets`` unchanged);
+    the final operation of each trace extends to
+    ``max(run_time, its end)`` exactly like the per-trace kernel.
+    """
+    n = len(starts)
+    if n == 0:
+        z = np.empty(0, dtype=np.float64)
+        return z, z.copy(), z.copy(), z.copy()
+    next_start = np.empty(n, dtype=np.float64)
+    next_start[:-1] = starts[1:]
+    next_start[-1] = 0.0  # overwritten below: the last row ends a segment
+    o0, o1 = offsets[:-1], offsets[1:]
+    nonempty = o1 > o0
+    last = o1[nonempty] - 1
+    next_start[last] = np.maximum(run_times[nonempty], ends[last])
+    durations = next_start - starts
+    busy = np.minimum(ends - starts, durations)
+    return starts.copy(), durations, volumes.copy(), busy
+
+
+def bin_events_segmented(
+    times: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    run_times: np.ndarray,
+    bin_width: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bin many traces' (time, count) event streams in one dispatch.
+
+    The cross-trace twin of :func:`repro.signalproc.activity.bin_events`:
+    trace ``k`` owns ``ceil(run_times[k] / bin_width)`` bins (min 1) in
+    the flat output.  Returns ``(values, bin_offsets)``.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    run_times = np.asarray(run_times, dtype=np.float64)
+    if np.any(run_times <= 0):
+        raise ValueError("run_time must be positive")
+    n_bins = np.maximum(
+        np.ceil(run_times / bin_width).astype(np.int64), 1
+    )
+    bin_offsets = np.empty(len(n_bins) + 1, dtype=np.int64)
+    bin_offsets[0] = 0
+    np.cumsum(n_bins, out=bin_offsets[1:])
+    total_bins = int(bin_offsets[-1])
+    n_events = len(times)
+    if not n_events:
+        return np.zeros(total_bins, dtype=np.float64), bin_offsets
+    # minimum/maximum instead of np.clip: same integers, skips the slow
+    # array-bound clip path on multi-million-event streams
+    local = (np.asarray(times, dtype=np.float64) / bin_width).astype(np.int64)
+    np.maximum(local, 0, out=local)
+    n_seg = len(offsets) - 1
+    if n_seg <= 256:
+        # per-segment slice ops: the clip bound and bin base are scalar
+        # within a segment, so small batches skip materializing a
+        # per-event segment id (a repeat plus two gathers over the
+        # whole event stream)
+        for k in range(n_seg):
+            sl = local[offsets[k] : offsets[k + 1]]
+            np.minimum(sl, int(n_bins[k]) - 1, out=sl)
+            sl += int(bin_offsets[k])
+    else:
+        ids = segment_ids(offsets)
+        np.minimum(local, n_bins[ids] - 1, out=local)
+        local += bin_offsets[ids]
+    # bincount accumulates in event order, exactly like the per-trace
+    # bin_events — each trace's bins stay bitwise identical to it.
+    values = np.bincount(
+        local,
+        weights=np.asarray(counts, dtype=np.float64),
+        minlength=total_bins,
+    )
+    return values, bin_offsets
+
+
+# ----------------------------------------------------------------------
+# per-trace twins (the KernelBackend surface)
+
+def _single_offsets(n: int) -> np.ndarray:
+    return np.array([0, n], dtype=np.int64)
+
+
+def neighbor_pass(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    volumes: np.ndarray,
+    abs_gap: float,
+    op_fraction: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool]:
+    """Single-segment wrapper of :func:`neighbor_pass_segmented`."""
+    out_s, out_e, out_v, _, changed = neighbor_pass_segmented(
+        starts,
+        ends,
+        volumes,
+        _single_offsets(len(starts)),
+        np.array([abs_gap], dtype=np.float64),
+        op_fraction,
+    )
+    return out_s, out_e, out_v, changed
+
+
+def overlap_groups(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Single-segment wrapper of :func:`overlap_groups_segmented`."""
+    return overlap_groups_segmented(
+        starts, ends, _single_offsets(len(starts))
+    )
+
+
+def segment(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    volumes: np.ndarray,
+    run_time: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Single-segment wrapper of :func:`segment_segmented`."""
+    return segment_segmented(
+        starts,
+        ends,
+        volumes,
+        _single_offsets(len(starts)),
+        np.array([run_time], dtype=np.float64),
+    )

@@ -21,7 +21,7 @@ __all__ = ["add_lint_subparser", "cmd_lint"]
 def add_lint_subparser(sub: "argparse._SubParsersAction") -> None:
     lint = sub.add_parser(
         "lint",
-        help="check Mosaic pipeline contracts (MOS001-MOS012)",
+        help="check Mosaic pipeline contracts (MOS001-MOS013)",
         description="AST-based invariant analysis: streaming discipline, "
         "exhaustive Violation handling, tolerance-based timestamp "
         "comparison, guarded divisions, named thresholds.  See docs/LINT.md.",

@@ -1,4 +1,4 @@
-"""The Mosaic contract rules (MOS001-MOS012).
+"""The Mosaic contract rules (MOS001-MOS013).
 
 Each rule encodes one invariant the paper states but Python cannot
 enforce; the registry in :mod:`repro.lint.rules` exposes them to the
@@ -1030,3 +1030,83 @@ class InputHardeningRule(ExhaustiveEnumDispatchRule):
             "header declares; route it through _read_checked or bound "
             "it by a DecodeLimits field",
         )
+
+
+# ======================================================================
+@register
+class StoreBoundedIORule(Rule):
+    """MOS013: the columnar store is mmap'd, never slurped.
+
+    ``repro.columnar`` exists to be zero-copy: every section is viewed
+    through one mmap whose geometry and CRCs were validated against
+    ``DecodeLimits`` at attach time (docs/COLUMNAR.md).  Materializing
+    a store with ``np.load``/``np.fromfile``, or slurping it through an
+    argument-less ``.read()`` with no ``DecodeLimits``-derived cap in
+    sight, allocates whatever an adversarial file declares before a
+    single validation runs — the exact failure mode the attach sequence
+    exists to prevent.
+    """
+
+    id = "MOS013"
+    name = "store-bounded-io"
+    description = (
+        "whole-store np.load/np.fromfile or unbounded read() in "
+        "repro.columnar without a DecodeLimits bound"
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "view sections through the validated mmap (CorpusStore/attach); "
+        "bound any raw read by a DecodeLimits field first"
+    )
+
+    #: Calls that materialize a whole file/section in one allocation.
+    _SLURP_FUNCS = frozenset(
+        {"np.load", "numpy.load", "np.fromfile", "numpy.fromfile"}
+    )
+    #: Identifiers that evidence a declared bound (same lexicon as the
+    #: MOS012 sized-read check).
+    _BOUNDED_RE = re.compile(r"(^|_)(limit|cap|budget|remaining|max)s?(_|$)")
+
+    def _applies(self) -> bool:
+        mod = self.ctx.module
+        if mod.startswith("repro."):
+            return mod.startswith("repro.columnar")
+        return True  # standalone modules (the fixture corpus) are checked
+
+    def _bounded_enclosing(self) -> bool:
+        """True when the enclosing function references any bound-like
+        name — a size-vs-cap check before the slurp counts."""
+        fn = self.ctx.enclosing_function()
+        if fn is None:
+            return False
+        for name in _dotted_names_in(fn):
+            for part in name.split("."):
+                if self._BOUNDED_RE.search(part):
+                    return True
+        return False
+
+    def on_Call(self, node: ast.Call) -> None:
+        if not self._applies():
+            return
+        name = dotted_name(node.func)
+        if name in self._SLURP_FUNCS:
+            self.report(
+                node,
+                f"{name}() materializes a whole store section in one "
+                "allocation, bypassing the geometry and CRC validation "
+                "of the attach path",
+            )
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "read"
+            and not node.args
+            and not self._bounded_enclosing()
+        ):
+            self.report(
+                node,
+                "argument-less read() slurps the entire file before any "
+                "geometry or CRC validation; check its size against a "
+                "DecodeLimits cap first",
+            )

@@ -9,6 +9,16 @@ gaps (overlapping input), fully-contained operations, heavy-tailed
 volumes, constant signals — and every kernel pair is asserted equivalent
 to tolerance on thousands of cases.
 
+The oracle is a *triplet*, not a pair: every check compares the
+pure-Python reference against a candidate backend name, and the sweep
+runs once per candidate (``"vectorized"`` and ``"batched"`` — the
+segmented cross-trace twins of :mod:`repro.kernels.batched`).  The
+``segmented_*`` entries additionally exercise the batch shape itself:
+several adversarial traces are concatenated under one offsets array, the
+segmented kernel runs in a single dispatch, and each trace's output
+slice is held equal to the per-trace reference — proving segment walls
+are hard and no merge, group, or bin ever leaks across traces.
+
 A divergence surfaced here is, by construction, either a vectorization
 bug or a latent reference bug; both kinds found while building the
 backends were fixed and carry named regression tests (the one-sided
@@ -37,8 +47,10 @@ __all__ = [
     "Divergence",
     "DifferentialReport",
     "KERNEL_PAIRS",
+    "CANDIDATE_BACKENDS",
     "adversarial_ops",
     "adversarial_signal",
+    "adversarial_batch",
     "run_differential",
     "run_all",
 ]
@@ -67,16 +79,20 @@ SIGNAL_PROFILES = (
     "mixture",
 )
 
+#: Backends each sweep compares against the pure-Python reference.
+CANDIDATE_BACKENDS = ("vectorized", "batched")
+
 
 @dataclass(slots=True, frozen=True)
 class Divergence:
-    """One reference/vectorized disagreement."""
+    """One reference/candidate-backend disagreement."""
 
     kernel: str
     case: int
     seed: int
     profile: str
     message: str
+    backend: str = "vectorized"
 
 
 @dataclass(slots=True)
@@ -84,6 +100,7 @@ class DifferentialReport:
     """Outcome of a differential sweep over one kernel pair."""
 
     kernel: str
+    backend: str = "vectorized"
     n_cases: int = 0
     divergences: list[Divergence] = field(default_factory=list)
 
@@ -93,7 +110,7 @@ class DifferentialReport:
 
     def summary(self) -> str:
         state = "ok" if self.ok else f"{len(self.divergences)} divergences"
-        return f"{self.kernel}: {self.n_cases} cases, {state}"
+        return f"{self.kernel}[{self.backend}]: {self.n_cases} cases, {state}"
 
 
 # ---------------------------------------------------------------------------
@@ -219,7 +236,9 @@ def _compare_ops(
     return None
 
 
-def _check_neighbor(rng: np.random.Generator, profile: str) -> str | None:
+def _check_neighbor(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     arr = adversarial_ops(rng, profile)
     run_time = float(rng.choice([0.0, 100.0, 10_000.0, 1e6]))
     cfg = NeighborMergeConfig(
@@ -227,13 +246,15 @@ def _check_neighbor(rng: np.random.Generator, profile: str) -> str | None:
         op_fraction=float(rng.choice([0.0, 0.01, 0.2])),
     )
     ref = merge_neighbors(arr, run_time, cfg, backend="reference")
-    vec = merge_neighbors(arr, run_time, cfg, backend="vectorized")
+    vec = merge_neighbors(arr, run_time, cfg, backend=backend)
     return _compare_ops(ref.ops, vec.ops)
 
 
-def _check_concurrent(rng: np.random.Generator, profile: str) -> str | None:
+def _check_concurrent(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     arr = adversarial_ops(rng, profile)
-    ref_k, vec_k = get_backend("reference"), get_backend("vectorized")
+    ref_k, vec_k = get_backend("reference"), get_backend(backend)
     g_ref = ref_k.overlap_groups(arr.starts, arr.ends)
     g_vec = vec_k.overlap_groups(arr.starts, arr.ends)
     if not np.array_equal(g_ref, g_vec):
@@ -250,18 +271,22 @@ def _check_concurrent(rng: np.random.Generator, profile: str) -> str | None:
     return None
 
 
-def _check_segment(rng: np.random.Generator, profile: str) -> str | None:
+def _check_segment(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     arr = adversarial_ops(rng, profile)
     run_time = float(rng.choice([0.0, 500.0, 1e5]))
     ref = segment_operations(arr, run_time, backend="reference")
-    vec = segment_operations(arr, run_time, backend="vectorized")
+    vec = segment_operations(arr, run_time, backend=backend)
     for name in ("starts", "durations", "volumes", "busy"):
         if not np.array_equal(getattr(ref, name), getattr(vec, name)):
             return f"segment {name} differ"
     return None
 
 
-def _check_meanshift(rng: np.random.Generator, profile: str) -> str | None:
+def _check_meanshift(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     n = int(rng.integers(0, 40))
     if profile in ("constant", "zeros"):
         X = np.full((n, 2), 3.0)
@@ -272,11 +297,11 @@ def _check_meanshift(rng: np.random.Generator, profile: str) -> str | None:
     if n:
         seeds = X.copy()
         step_ref = get_backend("reference").shift_step(seeds, X, bandwidth, kernel)
-        step_vec = get_backend("vectorized").shift_step(seeds, X, bandwidth, kernel)
+        step_vec = get_backend(backend).shift_step(seeds, X, bandwidth, kernel)
         if not _close(step_ref, step_vec):
             return "shift step differs beyond tolerance"
     ref = mean_shift(X, bandwidth, kernel=kernel, backend="reference")
-    vec = mean_shift(X, bandwidth, kernel=kernel, backend="vectorized")
+    vec = mean_shift(X, bandwidth, kernel=kernel, backend=backend)
     if not np.array_equal(ref.labels, vec.labels):
         return "cluster labels differ"
     if not _close(ref.modes, vec.modes):
@@ -284,13 +309,15 @@ def _check_meanshift(rng: np.random.Generator, profile: str) -> str | None:
     return None
 
 
-def _check_acf(rng: np.random.Generator, profile: str) -> str | None:
+def _check_acf(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     from ..signalproc.activity import ActivitySignal
 
     x = adversarial_signal(rng, profile)
     sig = ActivitySignal(values=x, bin_width=float(rng.choice([0.5, 1.0, 7.3])))
     ref = detect_periodicity_autocorr(sig, backend="reference")
-    vec = detect_periodicity_autocorr(sig, backend="vectorized")
+    vec = detect_periodicity_autocorr(sig, backend=backend)
     if ref.periodic != vec.periodic or ref.lag != vec.lag:
         return f"detection differs: ref lag {ref.lag}, vec lag {vec.lag}"
     if ref.periodic and not (
@@ -301,13 +328,15 @@ def _check_acf(rng: np.random.Generator, profile: str) -> str | None:
     return None
 
 
-def _check_dft(rng: np.random.Generator, profile: str) -> str | None:
+def _check_dft(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     from ..signalproc.activity import ActivitySignal
 
     x = adversarial_signal(rng, profile)
     sig = ActivitySignal(values=x, bin_width=float(rng.choice([0.5, 1.0, 7.3])))
     ref = detect_periodicity_dft(sig, backend="reference")
-    vec = detect_periodicity_dft(sig, backend="vectorized")
+    vec = detect_periodicity_dft(sig, backend=backend)
     if ref.periodic != vec.periodic:
         return f"detection differs: ref {ref.periodic}, vec {vec.periodic}"
     if ref.periodic and not (
@@ -318,12 +347,14 @@ def _check_dft(rng: np.random.Generator, profile: str) -> str | None:
     return None
 
 
-def _check_bin_activity(rng: np.random.Generator, profile: str) -> str | None:
+def _check_bin_activity(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
     arr = adversarial_ops(rng, profile)
     run_time = float(rng.choice([100.0, 1000.0, 123_456.7]))
     n_bins = int(rng.choice([1, 7, 64, 511]))
     ref = build_activity_signal(arr, run_time, n_bins=n_bins, backend="reference")
-    vec = build_activity_signal(arr, run_time, n_bins=n_bins, backend="vectorized")
+    vec = build_activity_signal(arr, run_time, n_bins=n_bins, backend=backend)
     # The difference-array vectorization carries round-off relative to
     # the *running* volume sum, not the individual bin, so the absolute
     # tolerance scales with the largest bin (triaged as inherent to the
@@ -344,6 +375,177 @@ def _check_bin_activity(rng: np.random.Generator, profile: str) -> str | None:
     return None
 
 
+# ---------------------------------------------------------------------------
+# segmented (cross-trace) comparators: one batched dispatch vs. a
+# per-trace reference loop.  The batch shape itself is the input under
+# test here, so these ignore the candidate-backend name.
+
+
+def adversarial_batch(
+    rng: np.random.Generator, profile: str, max_traces: int = 6
+) -> tuple[list[OperationArray], np.ndarray]:
+    """Several adversarial traces concatenated under one offsets array.
+
+    Mixes the requested profile with others (and empty traces) so
+    neighbouring segments have genuinely different shapes — the layout
+    :func:`repro.columnar.batch.categorize_slice` feeds the segmented
+    kernels.
+    """
+    k = int(rng.integers(1, max_traces + 1))
+    arrays: list[OperationArray] = []
+    for i in range(k):
+        p = profile if i == 0 or rng.random() < 0.5 else str(
+            rng.choice(OP_PROFILES)
+        )
+        arrays.append(adversarial_ops(rng, p, max_n=40))
+    offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum([len(a) for a in arrays], out=offsets[1:])
+    return arrays, offsets
+
+
+def _concat(arrays: list[OperationArray]) -> tuple[np.ndarray, ...]:
+    empty = np.empty(0, dtype=np.float64)
+    return (
+        np.concatenate([a.starts for a in arrays]) if arrays else empty,
+        np.concatenate([a.ends for a in arrays]) if arrays else empty,
+        np.concatenate([a.volumes for a in arrays]) if arrays else empty,
+    )
+
+
+def _slice_ops(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    volumes: np.ndarray,
+    offsets: np.ndarray,
+    k: int,
+) -> OperationArray:
+    lo, hi = int(offsets[k]), int(offsets[k + 1])
+    return OperationArray(
+        starts[lo:hi].copy(), ends[lo:hi].copy(), volumes[lo:hi].copy()
+    )
+
+
+def _check_neighbor_segmented(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
+    from ..kernels.batched import neighbor_pass_segmented
+
+    arrays, offsets = adversarial_batch(rng, profile)
+    run_times = np.array(
+        [float(rng.choice([0.0, 100.0, 10_000.0, 1e6])) for _ in arrays]
+    )
+    cfg = NeighborMergeConfig(
+        runtime_fraction=float(rng.choice([0.0, 0.001, 0.05])),
+        op_fraction=float(rng.choice([0.0, 0.01, 0.2])),
+    )
+    s, e, v = _concat(arrays)
+    off = offsets
+    abs_gaps = cfg.runtime_fraction * np.maximum(run_times, 0.0)
+    for _ in range(cfg.max_passes):
+        s, e, v, off, changed = neighbor_pass_segmented(
+            s, e, v, off, abs_gaps, cfg.op_fraction
+        )
+        if not changed:
+            break
+    for k, arr in enumerate(arrays):
+        ref = merge_neighbors(arr, run_times[k], cfg, backend="reference")
+        message = _compare_ops(ref.ops, _slice_ops(s, e, v, off, k))
+        if message is not None:
+            return f"trace {k}/{len(arrays)}: {message}"
+    return None
+
+
+def _check_concurrent_segmented(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
+    from ..kernels.batched import (
+        coalesce_groups,
+        group_offsets,
+        overlap_groups_segmented,
+    )
+
+    arrays, offsets = adversarial_batch(rng, profile)
+    s, e, v = _concat(arrays)
+    groups = overlap_groups_segmented(s, e, offsets)
+    ref_k = get_backend("reference")
+    for k, arr in enumerate(arrays):
+        lo, hi = int(offsets[k]), int(offsets[k + 1])
+        g_ref = ref_k.overlap_groups(arr.starts, arr.ends)
+        g_seg = groups[lo:hi]
+        if len(g_seg) and not np.array_equal(g_seg - g_seg[0], g_ref):
+            return f"trace {k}/{len(arrays)}: group labels differ"
+    if len(s) == 0:
+        return None
+    cs, ce, cv = coalesce_groups(s, e, v, groups)
+    goff = group_offsets(groups, offsets)
+    for k, arr in enumerate(arrays):
+        if len(arr) == 0:
+            if goff[k + 1] != goff[k]:
+                return f"trace {k}: empty trace produced groups"
+            continue
+        g_ref = ref_k.overlap_groups(arr.starts, arr.ends)
+        r = ref_k.coalesce_groups(arr.starts, arr.ends, arr.volumes, g_ref)
+        message = _compare_ops(
+            OperationArray(*(np.asarray(x, dtype=np.float64) for x in r)),
+            _slice_ops(cs, ce, cv, goff, k),
+        )
+        if message is not None:
+            return f"trace {k}/{len(arrays)}: coalesced {message}"
+    return None
+
+
+def _check_segment_segmented(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
+    from ..kernels.batched import segment_segmented
+
+    arrays, offsets = adversarial_batch(rng, profile)
+    run_times = np.array(
+        [float(rng.choice([0.0, 500.0, 1e5])) for _ in arrays]
+    )
+    s, e, v = _concat(arrays)
+    out = segment_segmented(s, e, v, offsets, run_times)
+    names = ("starts", "durations", "volumes", "busy")
+    for k, arr in enumerate(arrays):
+        lo, hi = int(offsets[k]), int(offsets[k + 1])
+        ref = segment_operations(arr, run_times[k], backend="reference")
+        for name, col in zip(names, out):
+            if not np.array_equal(getattr(ref, name), col[lo:hi]):
+                return f"trace {k}/{len(arrays)}: segment {name} differ"
+    return None
+
+
+def _check_binning_segmented(
+    rng: np.random.Generator, profile: str, backend: str
+) -> str | None:
+    from ..kernels.batched import bin_events_segmented
+    from ..signalproc.activity import bin_events
+
+    arrays, offsets = adversarial_batch(rng, profile)
+    run_times = np.array(
+        [float(rng.choice([1.0, 100.0, 12_345.6])) for _ in arrays]
+    )
+    bin_width = float(rng.choice([0.5, 1.0, 7.3]))
+    # Event streams from the op profiles: starts as times, small integer
+    # request counts (some times land past run_time — both twins clip).
+    times, _, _ = _concat(arrays)
+    counts = rng.integers(1, 6, len(times)).astype(np.float64)
+    values, bin_offsets = bin_events_segmented(
+        times, counts, offsets, run_times, bin_width
+    )
+    for k in range(len(arrays)):
+        lo, hi = int(offsets[k]), int(offsets[k + 1])
+        ref = bin_events(
+            times[lo:hi], counts[lo:hi], run_times[k], bin_width
+        )
+        got = values[int(bin_offsets[k]) : int(bin_offsets[k + 1])]
+        if len(ref) != len(got):
+            return f"trace {k}: bin count {len(got)} != {len(ref)}"
+        if not np.array_equal(ref, got):
+            return f"trace {k}/{len(arrays)}: binned counts differ"
+    return None
+
+
 KERNEL_PAIRS = {
     "neighbor_merge": (_check_neighbor, OP_PROFILES),
     "concurrent_fusion": (_check_concurrent, OP_PROFILES),
@@ -352,13 +554,26 @@ KERNEL_PAIRS = {
     "acf_peak_scan": (_check_acf, SIGNAL_PROFILES),
     "dft_comb_scan": (_check_dft, SIGNAL_PROFILES),
     "activity_binning": (_check_bin_activity, OP_PROFILES),
+    "segmented_neighbor_merge": (_check_neighbor_segmented, OP_PROFILES),
+    "segmented_concurrent_fusion": (_check_concurrent_segmented, OP_PROFILES),
+    "segmented_segmentation": (_check_segment_segmented, OP_PROFILES),
+    "segmented_event_binning": (_check_binning_segmented, OP_PROFILES),
 }
 
 
 def run_differential(
-    kernel: str, n_cases: int = 1000, seed: int = 0
+    kernel: str,
+    n_cases: int = 1000,
+    seed: int = 0,
+    backend: str = "vectorized",
 ) -> DifferentialReport:
-    """Sweep one kernel pair over ``n_cases`` seeded adversarial cases."""
+    """Sweep one kernel pair over ``n_cases`` seeded adversarial cases.
+
+    ``backend`` names the candidate compared against the reference
+    (``"vectorized"`` or ``"batched"``); the ``segmented_*`` kernels
+    always exercise the batched implementations against a per-trace
+    reference loop, whatever the name.
+    """
     try:
         check, profiles = KERNEL_PAIRS[kernel]
     except KeyError:
@@ -366,11 +581,11 @@ def run_differential(
             f"unknown kernel pair {kernel!r}; available: "
             + ", ".join(sorted(KERNEL_PAIRS))
         ) from None
-    report = DifferentialReport(kernel=kernel)
+    report = DifferentialReport(kernel=kernel, backend=backend)
     for case in range(n_cases):
         profile = profiles[case % len(profiles)]
         rng = np.random.default_rng(seed + case)
-        message = check(rng, profile)
+        message = check(rng, profile, backend)
         report.n_cases += 1
         if message is not None:
             report.divergences.append(
@@ -380,11 +595,20 @@ def run_differential(
                     seed=seed + case,
                     profile=profile,
                     message=message,
+                    backend=backend,
                 )
             )
     return report
 
 
-def run_all(n_cases: int = 1000, seed: int = 0) -> list[DifferentialReport]:
-    """Sweep every kernel pair; returns one report per pair."""
-    return [run_differential(k, n_cases, seed) for k in KERNEL_PAIRS]
+def run_all(
+    n_cases: int = 1000,
+    seed: int = 0,
+    backends: tuple[str, ...] = CANDIDATE_BACKENDS,
+) -> list[DifferentialReport]:
+    """Sweep every kernel pair against every candidate backend."""
+    return [
+        run_differential(k, n_cases, seed, backend=b)
+        for b in backends
+        for k in KERNEL_PAIRS
+    ]

@@ -1,7 +1,13 @@
 """Text-mode rendering (tables, heatmaps, trace timelines) and CSV
 export for every paper table and figure."""
 
-from .export import matrix_to_csv, rows_to_csv, shares_to_csv, write_csv
+from .export import (
+    matrix_to_csv,
+    rows_to_csv,
+    shares_to_csv,
+    summary_to_csv,
+    write_csv,
+)
 from .heatmap import render_heatmap, render_jaccard
 from .tables import format_bytes, format_percent, render_shares_table, render_table
 from .timeline import render_ops_lane, render_trace_anatomy
@@ -10,6 +16,7 @@ __all__ = [
     "matrix_to_csv",
     "rows_to_csv",
     "shares_to_csv",
+    "summary_to_csv",
     "write_csv",
     "render_heatmap",
     "render_jaccard",

@@ -13,7 +13,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["shares_to_csv", "matrix_to_csv", "rows_to_csv", "write_csv"]
+__all__ = [
+    "shares_to_csv",
+    "matrix_to_csv",
+    "rows_to_csv",
+    "summary_to_csv",
+    "write_csv",
+]
 
 
 def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -52,6 +58,34 @@ def matrix_to_csv(
         [r] + [float(v) for v in row] for r, row in zip(row_labels, values)
     ]
     return rows_to_csv([""] + list(col_labels), rows)
+
+
+def summary_to_csv(pipeline) -> str:
+    """Corpus-summary counters of a pipeline run as ``counter,value`` CSV.
+
+    Accepts any :class:`~repro.core.pipeline.PipelineResult`-shaped
+    object (duck-typed to keep viz free of core imports).  Alongside the
+    funnel numbers, the run-health counters are always present —
+    ``n_failures``, ``n_degraded`` (plus one ``n_degraded_<level>`` row
+    per ladder rung hit) and ``n_quarantined`` — because a share table
+    exported without them silently overstates its own fidelity.
+    """
+    pre = pipeline.preprocess
+    metrics = pipeline.metrics
+    rows: list[list[object]] = [
+        ["n_input", pre.n_input],
+        ["n_corrupted", pre.n_corrupted],
+        ["n_repaired", pre.n_repaired],
+        ["n_selected", pre.n_selected],
+        ["n_categorized", pipeline.n_categorized],
+        ["n_failures", pipeline.n_failures],
+        ["n_degraded", metrics.get("n_degraded", 0)],
+        ["n_quarantined", metrics.get("n_quarantined", 0)],
+    ]
+    for key in sorted(metrics):
+        if key.startswith("n_degraded_"):
+            rows.append([key, metrics[key]])
+    return rows_to_csv(["counter", "value"], rows)
 
 
 def write_csv(text: str, path: str | os.PathLike[str]) -> None:

@@ -24,9 +24,21 @@ class TestCorpusReport:
         text = report.render()
         for needle in (
             "Fig. 3", "Table II", "Table III", "Fig. 4", "Fig. 5",
-            "Noteworthy correlations", "read_on_start",
+            "Noteworthy correlations", "read_on_start", "Run health",
         ):
             assert needle in text
+
+    def test_run_health_counters(self, report, small_pipeline):
+        assert report.run_health["n_failures"] == small_pipeline.n_failures
+        assert report.run_health["n_degraded"] == (
+            small_pipeline.metrics.get("n_degraded", 0)
+        )
+        assert report.run_health["n_quarantined"] == (
+            small_pipeline.metrics.get("n_quarantined", 0)
+        )
+        text = report.render()
+        assert "degraded:" in text
+        assert "quarantined:" in text
 
     def test_values_consistent_with_direct_calls(self, report, small_pipeline):
         from repro.analysis import periodicity_table

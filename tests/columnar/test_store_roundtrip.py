@@ -1,0 +1,166 @@
+"""Property tests: compile → reattach → decode is bit-for-bit lossless.
+
+The columnar store is only allowed to exist because nothing survives the
+round trip changed: every decodable input trace must come back from
+``decode_trace`` with identical metadata, records, operation arrays and
+(derived) metadata event streams — over both the calibrated synthetic
+fleet and whatever decodable payloads survive the adversarial fuzz
+corpus under ``tests/fuzz/corpus/``.
+"""
+
+import pathlib
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.columnar import attach, compile_corpus
+from repro.darshan import DirectorySource, save_binary
+from repro.darshan.errors import TraceFormatError
+from repro.synth import FleetConfig, generate_fleet
+
+FUZZ_CORPUS_DIR = pathlib.Path(__file__).resolve().parent.parent / "fuzz" / "corpus"
+
+
+def _assert_traces_identical(decoded, original):
+    assert decoded.meta == original.meta
+    assert decoded.records == original.records
+    for direction in ("read", "write"):
+        got = decoded.operations(direction)
+        want = original.operations(direction)
+        # bitwise, not approx: the store maps the original float slabs
+        assert np.array_equal(got.starts, want.starts)
+        assert np.array_equal(got.ends, want.ends)
+        assert np.array_equal(got.volumes, want.volumes)
+
+
+@pytest.fixture(scope="module")
+def fleet_store(tmp_path_factory):
+    """Synthetic fleet (with its corrupted tail) compiled to a store."""
+    base = tmp_path_factory.mktemp("roundtrip")
+    fleet = generate_fleet(FleetConfig(n_apps=40, mean_runs=3.0, seed=7))
+    trace_dir = base / "traces"
+    trace_dir.mkdir()
+    for trace in fleet.traces:
+        save_binary(trace, trace_dir / f"job{trace.meta.job_id:08d}.mosd")
+    store_path = base / "corpus.mosc"
+    report = compile_corpus(DirectorySource(trace_dir), store_path)
+    return DirectorySource(trace_dir), store_path, report
+
+
+class TestSyntheticRoundtrip:
+    def test_compile_accounting(self, fleet_store):
+        source, _path, report = fleet_store
+        refs = list(source.refs())
+        assert report.n_input == len(refs)
+        assert report.n_unreadable == 0
+        assert report.n_traces == len(refs)
+
+    def test_reattach_hits_process_cache(self, fleet_store):
+        _source, path, _report = fleet_store
+        assert attach(path, verify=True) is attach(path, verify=True)
+
+    def test_decode_bit_for_bit(self, fleet_store):
+        source, path, _report = fleet_store
+        store = attach(path, verify=True)
+        for row, ref in enumerate(source.refs()):
+            _assert_traces_identical(store.decode_trace(row), source.load(ref))
+
+    def test_metadata_events_match_decoded_trace(self, fleet_store):
+        _source, path, _report = fleet_store
+        store = attach(path, verify=True)
+        for row in range(store.n_traces):
+            times, counts = store.metadata_events(row)
+            want_t, want_c = store.decode_trace(row).metadata_events()
+            assert np.array_equal(times, want_t)
+            assert np.array_equal(counts, want_c)
+
+    def test_metadata_events_batch_matches_per_row(self, fleet_store):
+        _source, path, _report = fleet_store
+        store = attach(path, verify=True)
+        rows = list(range(store.n_traces))
+        times, counts, offsets = store.metadata_events_batch(rows)
+        assert len(offsets) == len(rows) + 1
+        assert offsets[-1] == len(times) == len(counts)
+        for i, row in enumerate(rows):
+            want_t, want_c = store.metadata_events(row)
+            assert np.array_equal(times[offsets[i] : offsets[i + 1]], want_t)
+            assert np.array_equal(counts[offsets[i] : offsets[i + 1]], want_c)
+
+
+class TestFuzzCorpusSurvivors:
+    """The adversarial fuzz corpus, compiled like any other drop-box.
+
+    Most payloads are intentionally unreadable — those must be *counted*
+    (``n_unreadable``), and every payload that does decode must survive
+    the store round trip bit-for-bit, however mangled its contents.
+    """
+
+    # fuzz corpus files are stored suffix-less; map each modality onto
+    # the suffix DirectorySource dispatches on
+    MODALITIES = {"binary": ".mosd", "json": ".json", "text": ".darshan.txt"}
+
+    @pytest.fixture(scope="class")
+    def fuzz_store(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("fuzz-roundtrip")
+        trace_dir = base / "traces"
+        trace_dir.mkdir()
+        n_files = 0
+        for modality, suffix in self.MODALITIES.items():
+            for src in sorted((FUZZ_CORPUS_DIR / modality).iterdir()):
+                shutil.copy(src, trace_dir / f"{modality}__{src.stem}{suffix}")
+                n_files += 1
+        assert n_files > 0, "fuzz corpus is empty — nothing to test"
+        # salt the hostile drop-box with known-good traces so the
+        # survivor round trip is never vacuously empty
+        fleet = generate_fleet(FleetConfig(n_apps=20, mean_runs=1.0, seed=5))
+        for trace in fleet.traces:
+            save_binary(trace, trace_dir / f"ok{trace.meta.job_id:08d}.mosd")
+            n_files += 1
+        source = DirectorySource(trace_dir)
+        store_path = base / "fuzz.mosc"
+        report = compile_corpus(source, store_path)
+        return source, store_path, report, n_files
+
+    def _survivors(self, source):
+        out = []
+        for ref in source.refs():
+            try:
+                out.append(source.load(ref))
+            except TraceFormatError:
+                continue
+        return out
+
+    def test_unreadables_counted_not_stored(self, fuzz_store):
+        source, _path, report, n_files = fuzz_store
+        survivors = self._survivors(source)
+        assert report.n_input == n_files
+        assert report.n_traces == len(survivors)
+        assert report.n_unreadable == n_files - len(survivors)
+        assert report.n_unreadable > 0, (
+            "adversarial corpus unexpectedly decoded in full"
+        )
+
+    def test_survivors_roundtrip_bit_for_bit(self, fuzz_store):
+        source, path, _report, _n = fuzz_store
+        survivors = self._survivors(source)
+        assert survivors, "expected at least the salted-in valid traces"
+        store = attach(path, verify=True)
+        assert store.n_traces == len(survivors)
+        for row, original in enumerate(survivors):
+            _assert_traces_identical(store.decode_trace(row), original)
+
+
+class TestDegenerateCorpora:
+    def test_zero_survivor_corpus_still_attaches(self, tmp_path):
+        """A drop-box where *nothing* decodes must still compile to a
+        valid (empty) store — the empty tail sections once left the file
+        shorter than its declared geometry."""
+        (tmp_path / "junk.mosd").write_bytes(b"\x00" * 64)
+        store_path = tmp_path / "empty.mosc"
+        report = compile_corpus(DirectorySource(tmp_path), store_path)
+        assert report.n_traces == 0
+        assert report.n_unreadable == 1
+        store = attach(store_path, verify=True)
+        assert store.n_traces == 0
+        assert store.n_unreadable == 1

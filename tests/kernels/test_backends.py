@@ -17,8 +17,12 @@ from repro.kernels import vectorized as vec
 
 
 class TestRegistry:
-    def test_both_backends_registered(self):
-        assert set(available_backends()) == {"reference", "vectorized"}
+    def test_all_backends_registered(self):
+        assert set(available_backends()) == {
+            "reference",
+            "vectorized",
+            "batched",
+        }
 
     def test_default_is_vectorized(self):
         assert DEFAULT_BACKEND == "vectorized"

@@ -1,0 +1,18 @@
+"""Fixture: columnar zero-copy contract violated (MOS013)."""
+
+import numpy as np
+
+
+def _load_index(path: str) -> np.ndarray:
+    # materializes the whole section before any validation runs
+    return np.load(path)
+
+
+def _load_ops(path: str) -> np.ndarray:
+    return np.fromfile(path, dtype=np.float64)
+
+
+def _slurp_store(path: str) -> bytes:
+    # argument-less read(): whatever the file declares, in one go
+    with open(path, "rb") as fh:
+        return fh.read()

@@ -1,0 +1,26 @@
+"""Fixture: columnar zero-copy contract honoured (MOS013)."""
+
+import mmap
+import os
+
+
+def _attach_store(path: str, max_payload_bytes: int) -> mmap.mmap:
+    # size checked against the decode limit, then viewed — not copied
+    if os.path.getsize(path) > max_payload_bytes:
+        raise ValueError("store exceeds decode limit")
+    with open(path, "rb") as fh:
+        return mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+
+
+def _read_header(path: str, max_header_bytes: int) -> bytes:
+    # bounded read: the size comes from a DecodeLimits-derived cap
+    with open(path, "rb") as fh:
+        return fh.read(max_header_bytes)
+
+
+def _slurp_checked(path: str, max_payload_bytes: int) -> bytes:
+    # whole-file read is fine once the size cleared the cap
+    if os.path.getsize(path) > max_payload_bytes:
+        raise ValueError("store exceeds decode limit")
+    with open(path, "rb") as fh:
+        return fh.read()

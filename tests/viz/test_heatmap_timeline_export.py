@@ -107,3 +107,28 @@ class TestCsvExport:
         path = tmp_path / "out.csv"
         write_csv("a,b\n1,2\n", path)
         assert path.read_text() == "a,b\n1,2\n"
+
+    def test_summary_to_csv_surfaces_run_health(self, small_pipeline):
+        from repro.viz import summary_to_csv
+
+        rows = dict(
+            list(csv.reader(io.StringIO(summary_to_csv(small_pipeline))))[1:]
+        )
+        # the funnel and health counters every export must carry
+        for key in (
+            "n_input",
+            "n_corrupted",
+            "n_selected",
+            "n_categorized",
+            "n_failures",
+            "n_degraded",
+            "n_quarantined",
+        ):
+            assert key in rows
+        assert rows["n_failures"] == str(small_pipeline.n_failures)
+        assert rows["n_degraded"] == str(
+            small_pipeline.metrics.get("n_degraded", 0)
+        )
+        assert rows["n_quarantined"] == str(
+            small_pipeline.metrics.get("n_quarantined", 0)
+        )
