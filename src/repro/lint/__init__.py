@@ -8,18 +8,30 @@ materialize whole traces), exhaustive handling of the
 tolerance-based timestamp comparison, guarded divisions over durations
 and byte counts, and thresholds sourced from
 :mod:`repro.core.thresholds` rather than inlined.  This package turns
-those contracts into machine-checked rules (``MOS001``-``MOS013``) run
+those contracts into machine-checked rules (``MOS001``-``MOS017``) run
 by a self-contained static-analysis engine:
 
 * :mod:`repro.lint.findings` — the findings model (rule, location,
-  severity, fix hint);
+  severity, fix hint, source→sink step traces);
 * :mod:`repro.lint.context` — per-module AST context: scope chains,
   import resolution, parent links;
-* :mod:`repro.lint.rules` — rule base class and registry;
-* :mod:`repro.lint.mos` — the Mosaic-specific rules;
+* :mod:`repro.lint.rules` — rule base classes (per-module and
+  whole-program) and registry;
+* :mod:`repro.lint.mos` — the per-module Mosaic rules
+  (``MOS001``-``MOS013``);
+* :mod:`repro.lint.project` — whole-program index: module graph,
+  symbol resolution, call graph;
+* :mod:`repro.lint.dataflow` — intra-procedural taint with composable
+  interprocedural function summaries;
+* :mod:`repro.lint.flows` — the flow-sensitive rules
+  (``MOS014``-``MOS017``: tainted allocations, fork/mmap safety,
+  governor coverage, exception routing);
 * :mod:`repro.lint.engine` — file discovery, suppression comments,
-  baseline filtering;
+  baseline filtering, the two-phase (module + project) driver;
+* :mod:`repro.lint.cache` — content-hash cache so warm runs skip
+  re-analysis;
 * :mod:`repro.lint.reporters` — text and JSON output;
+* :mod:`repro.lint.sarif` — SARIF 2.1.0 output with ``codeFlows``;
 * :mod:`repro.lint.baseline` — adopt-then-ratchet baseline files.
 
 The engine self-hosts: ``repro lint src/ --strict`` runs in CI over
@@ -30,23 +42,30 @@ from __future__ import annotations
 
 from .baseline import Baseline
 from .engine import LintConfig, LintResult, lint_paths
-from .findings import Finding, Severity
+from .findings import Finding, Severity, Step
+from .project import ProjectIndex
 from .reporters import render_json, render_text
-from .rules import REGISTRY, Rule, all_rule_ids
+from .rules import REGISTRY, ProjectRule, Rule, all_rule_ids
+from .sarif import render_sarif
 
-# Importing the rule module registers every MOS rule.
+# Importing the rule modules registers every MOS rule.
 from . import mos as _mos  # noqa: F401  (registration side effect)
+from . import flows as _flows  # noqa: F401  (registration side effect)
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProjectIndex",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "Severity",
+    "Step",
     "all_rule_ids",
     "lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

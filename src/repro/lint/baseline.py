@@ -10,6 +10,13 @@ Fingerprints are line-number-free (see
 :meth:`repro.lint.findings.Finding.fingerprint`) and counted: a file
 with three identical violations baselines all three, and a fourth
 occurrence is new.
+
+Format versions: version 2 fingerprints hash repo-relative POSIX paths
+so a baseline written on one machine (or OS) matches on another.
+Version-1 files — written before path normalization, possibly with
+absolute or backslash paths baked into the hashes — still load; their
+entries are matched through :meth:`Finding.legacy_fingerprint` and are
+rewritten in the portable form on the next ``--write-baseline``.
 """
 
 from __future__ import annotations
@@ -22,7 +29,8 @@ from .findings import Finding
 
 __all__ = ["Baseline"]
 
-_VERSION = 1
+_VERSION = 2
+_LEGACY_VERSIONS = frozenset({1})
 
 
 @dataclass(slots=True)
@@ -30,6 +38,9 @@ class Baseline:
     """Fingerprint → adopted-occurrence count."""
 
     counts: dict[str, int] = field(default_factory=dict)
+    #: True when loaded from a pre-normalization (version-1) file, whose
+    #: fingerprints may embed machine-specific paths.
+    legacy: bool = False
 
     @classmethod
     def from_findings(cls, findings: list[Finding]) -> "Baseline":
@@ -39,14 +50,18 @@ class Baseline:
     def load(cls, path: str) -> "Baseline":
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-        if data.get("version") != _VERSION:
+        version = data.get("version")
+        if version != _VERSION and version not in _LEGACY_VERSIONS:
             raise ValueError(
-                f"unsupported baseline version {data.get('version')!r} in {path}"
+                f"unsupported baseline version {version!r} in {path}"
             )
         counts = data.get("fingerprints", {})
         if not isinstance(counts, dict):
             raise ValueError(f"malformed baseline file: {path}")
-        return cls(counts={str(k): int(v) for k, v in counts.items()})
+        return cls(
+            counts={str(k): int(v) for k, v in counts.items()},
+            legacy=version in _LEGACY_VERSIONS,
+        )
 
     def save(self, path: str) -> None:
         payload = {
@@ -61,16 +76,25 @@ class Baseline:
         """(new findings, number suppressed by this baseline).
 
         Findings are matched in order; once a fingerprint's adopted
-        count is exhausted, further occurrences are new.
+        count is exhausted, further occurrences are new.  A legacy
+        (version-1) baseline is also probed with the un-normalized
+        fingerprint each finding would have had when the file was
+        written, so old baselines keep working until re-adopted.
         """
         budget = dict(self.counts)
         kept: list[Finding] = []
         suppressed = 0
         for finding in findings:
-            fp = finding.fingerprint()
-            if budget.get(fp, 0) > 0:
-                budget[fp] -= 1
-                suppressed += 1
+            candidates = [finding.fingerprint()]
+            if self.legacy:
+                legacy_fp = finding.legacy_fingerprint()
+                if legacy_fp != candidates[0]:
+                    candidates.append(legacy_fp)
+            for fp in candidates:
+                if budget.get(fp, 0) > 0:
+                    budget[fp] -= 1
+                    suppressed += 1
+                    break
             else:
                 kept.append(finding)
         return kept, suppressed

@@ -1,0 +1,147 @@
+"""Content-hash lint cache: warm runs skip re-analysis.
+
+Two granularities, both keyed on content — never on mtimes:
+
+* **per-file** — module-rule findings (post-suppression) keyed by the
+  file's content hash; editing one file re-lints only that file;
+* **project** — whole-program findings keyed by the hash of the entire
+  indexed file set (every path + its content hash), since any edit
+  anywhere can change a cross-file flow.
+
+The cache file also records the active rule set and an engine version;
+a mismatch in either invalidates everything, so changing ``--select``
+or upgrading the engine never serves stale findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any
+
+from .findings import Finding, normalize_path
+
+__all__ = ["LintCache"]
+
+_FORMAT_VERSION = 1
+
+#: Bump when rule/engine semantics change so stale caches self-invalidate.
+ENGINE_VERSION = "2"
+
+
+class LintCache:
+    """JSON-backed findings cache for :func:`~repro.lint.engine.lint_paths`."""
+
+    def __init__(self, path: str, key: str):
+        self.path = path
+        self.key = key
+        self.files: dict[str, dict[str, Any]] = {}
+        self.project: dict[str, Any] | None = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def rules_key(cls, active_rule_ids: list[str]) -> str:
+        raw = ENGINE_VERSION + ":" + ",".join(sorted(active_rule_ids))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def project_key(cls, hashes: dict[str, str]) -> str:
+        h = hashlib.sha256()
+        for path in sorted(hashes):
+            h.update(f"{normalize_path(path)}={hashes[path]}\n".encode("utf-8"))
+        return h.hexdigest()[:24]
+
+    @classmethod
+    def load(cls, path: str, active_rule_ids: list[str]) -> "LintCache":
+        """Load ``path``; silently start empty on any mismatch or damage."""
+        key = cls.rules_key(active_rule_ids)
+        cache = cls(path, key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _FORMAT_VERSION
+            or data.get("rules_key") != key
+        ):
+            return cache
+        files = data.get("files", {})
+        if isinstance(files, dict):
+            cache.files = {
+                str(k): v for k, v in files.items() if isinstance(v, dict)
+            }
+        project = data.get("project")
+        if isinstance(project, dict):
+            cache.project = project
+        return cache
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "format": _FORMAT_VERSION,
+            "rules_key": self.key,
+            "files": self.files,
+            "project": self.project,
+        }
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            # A cache that cannot be written is a performance loss, not
+            # a correctness problem.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- per-file -------------------------------------------------------
+    def file_hit(
+        self, path: str, sha: str
+    ) -> tuple[list[Finding], int] | None:
+        entry = self.files.get(normalize_path(path))
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            findings = [Finding.from_dict(d) for d in entry.get("findings", [])]
+            return findings, int(entry.get("n_suppressed", 0))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_file(
+        self, path: str, sha: str, findings: list[Finding], n_suppressed: int
+    ) -> None:
+        self.files[normalize_path(path)] = {
+            "sha": sha,
+            "findings": [f.to_dict() for f in findings],
+            "n_suppressed": n_suppressed,
+        }
+        self._dirty = True
+
+    # -- project --------------------------------------------------------
+    def project_hit(self, key: str) -> tuple[list[Finding], int] | None:
+        if self.project is None or self.project.get("key") != key:
+            return None
+        try:
+            findings = [
+                Finding.from_dict(d) for d in self.project.get("findings", [])
+            ]
+            return findings, int(self.project.get("n_suppressed", 0))
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_project(
+        self, key: str, findings: list[Finding], n_suppressed: int
+    ) -> None:
+        self.project = {
+            "key": key,
+            "findings": [f.to_dict() for f in findings],
+            "n_suppressed": n_suppressed,
+        }
+        self._dirty = True

@@ -9,11 +9,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import textwrap
 
 from .baseline import Baseline
 from .engine import LintConfig, lint_paths
 from .reporters import render_json, render_text
 from .rules import REGISTRY, all_rule_ids
+from .sarif import render_sarif
 
 __all__ = ["add_lint_subparser", "cmd_lint"]
 
@@ -21,10 +23,12 @@ __all__ = ["add_lint_subparser", "cmd_lint"]
 def add_lint_subparser(sub: "argparse._SubParsersAction") -> None:
     lint = sub.add_parser(
         "lint",
-        help="check Mosaic pipeline contracts (MOS001-MOS013)",
+        help="check Mosaic pipeline contracts (MOS001-MOS017)",
         description="AST-based invariant analysis: streaming discipline, "
         "exhaustive Violation handling, tolerance-based timestamp "
-        "comparison, guarded divisions, named thresholds.  See docs/LINT.md.",
+        "comparison, guarded divisions, named thresholds, plus "
+        "whole-program dataflow rules (taint, fork safety, governor "
+        "coverage, exception routing).  See docs/LINT.md.",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"], help="files/directories (default: src)"
@@ -35,7 +39,7 @@ def add_lint_subparser(sub: "argparse._SubParsersAction") -> None:
         help="fail on warnings too, not only errors",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "sarif"), default="text", dest="fmt"
     )
     lint.add_argument(
         "--select", help="comma-separated rule ids to run (default: all)"
@@ -46,6 +50,24 @@ def add_lint_subparser(sub: "argparse._SubParsersAction") -> None:
         "--write-baseline",
         metavar="PATH",
         help="adopt every current finding into PATH and exit 0",
+    )
+    lint.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 report to PATH",
+    )
+    lint.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="content-hash findings cache: warm runs skip re-analysis "
+        "of unchanged files (and of the whole project phase when "
+        "nothing changed)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RULE_ID",
+        help="print one rule's full contract, then run only that rule "
+        "over the paths with source→sink path traces",
     )
     lint.add_argument(
         "--no-hints", action="store_true", help="omit fix hints from text output"
@@ -68,10 +90,32 @@ def _list_rules() -> int:
     return 0
 
 
+def _print_explanation(rule_id: str) -> None:
+    cls = REGISTRY[rule_id]
+    doc = textwrap.dedent("    " + (cls.__doc__ or "")).strip()
+    print(f"{rule_id} — {cls.name} ({cls.severity.value})")
+    print()
+    print(doc)
+    if cls.fix_hint:
+        print()
+        print(f"fix: {cls.fix_hint}")
+    print()
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         return _list_rules()
     select = _parse_ids(args.select)
+    explain_id: str | None = None
+    if args.explain:
+        explain_id = args.explain.strip().upper()
+        if explain_id not in REGISTRY:
+            raise SystemExit(
+                f"lint: unknown rule id {explain_id!r} "
+                f"(try --list-rules)"
+            )
+        _print_explanation(explain_id)
+        select = frozenset({explain_id})
     config = LintConfig(
         select=select or None,
         ignore=_parse_ids(args.ignore),
@@ -84,7 +128,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             raise SystemExit(f"cannot load baseline {args.baseline!r}: {exc}") from exc
     try:
-        result = lint_paths(list(args.paths), config, baseline)
+        result = lint_paths(
+            list(args.paths), config, baseline, cache_path=args.cache
+        )
     except (FileNotFoundError, ValueError) as exc:
         raise SystemExit(f"lint: {exc}") from exc
 
@@ -95,8 +141,14 @@ def cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(result))
+
     if args.fmt == "json":
         sys.stdout.write(render_json(result))
+    elif args.fmt == "sarif":
+        sys.stdout.write(render_sarif(result))
     else:
         sys.stdout.write(render_text(result, show_hints=not args.no_hints))
     return result.exit_code(args.strict)

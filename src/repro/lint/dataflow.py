@@ -1,0 +1,614 @@
+"""Intra-procedural taint analysis with composable function summaries.
+
+The MOSD allocation bomb was a 40-byte payload declaring four billion
+records: a length field decoded from attacker-controlled bytes reached
+``np.empty`` before anything compared it to a :class:`DecodeLimits`
+cap.  This module tracks exactly that flow:
+
+* **Sources** — values produced by ``struct.unpack``/``unpack_from``,
+  ``int.from_bytes``, and ``json.loads``/``json.load``: the only ways
+  trace bytes become Python integers in this codebase.
+* **Taint propagation** — through arithmetic, tuple unpacking,
+  subscripts, accessor method calls, container literals, and (via
+  summaries) through project function calls that return or forward
+  their arguments.
+* **Sanitizers** — a call whose name says *validator*
+  (``check_*``/``validate*``/``*_checked``, e.g.
+  ``check_declared_size`` and the ``_read_checked`` chokepoint) cleans
+  every name it is shown; a branch or ``assert`` that *tests* a tainted
+  name and can bail (``if n > limits.max_records: raise``) cleans it
+  too — the same visible-guard convention MOS005 uses.
+* **Sinks** — ``range(n)``, ``np.empty/zeros/ones/full``,
+  ``bytearray(n)``, and sequence-by-integer multiplication: the
+  attacker-sized allocations.  ``.read(n)`` is deliberately *not* a
+  sink here (MOS012 owns sized reads), and ``np.frombuffer``/``bytes``
+  slices are views bounded by the buffer they wrap.
+
+The engine runs a bounded fixpoint: every function is summarized
+(which params flow to the return value, which are sanitized, which
+reach a sink inside the callee), summaries are recomputed once so
+one-level chains stabilize, then a final pass replays each function
+with reporting enabled and emits full source→sink
+:class:`~repro.lint.findings.Step` traces.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .context import dotted_name
+from .findings import Step
+from .project import FunctionInfo, ProjectIndex
+
+__all__ = ["Value", "Summary", "TaintEngine", "TaintFinding"]
+
+#: Call terminals that mint tainted values from raw trace bytes.
+_SOURCE_TERMINALS = frozenset({"unpack", "unpack_from", "from_bytes"})
+_SOURCE_QUALIFIED = frozenset({"json.loads", "json.load"})
+
+#: A callee whose *name* promises validation sanitizes its arguments.
+_SANITIZER_RE = re.compile(r"^_?(check|validate)|_checked$|_validated$")
+
+#: Bounding builtins: ``min(n, cap)``/``np.clip`` produce capped values.
+_BOUNDING_TERMINALS = frozenset({"min", "clip"})
+
+#: Pure pass-through callables that preserve their argument's taint.
+_PASSTHROUGH_TERMINALS = frozenset(
+    {"int", "float", "abs", "round", "len", "sorted", "list", "tuple", "sum"}
+)
+
+#: Accessor methods: calling one on a tainted receiver yields taint
+#: (``doc.get("records")`` on a decoded JSON document).
+_ACCESSOR_TERMINALS = frozenset(
+    {"get", "decode", "strip", "split", "splitlines", "pop", "copy", "item"}
+)
+
+#: numpy allocators whose size argument must be validated.
+_NP_ALLOCATORS = frozenset({"empty", "zeros", "ones", "full"})
+
+
+@dataclass(slots=True, frozen=True)
+class Value:
+    """Abstract value: source-taint provenance + parameter membership."""
+
+    steps: tuple[Step, ...] = ()
+    params: frozenset[int] = frozenset()
+
+    @property
+    def tainted(self) -> bool:
+        return bool(self.steps)
+
+
+CLEAN = Value()
+
+
+def _join(a: Value, b: Value) -> Value:
+    if a == CLEAN:
+        return b
+    if b == CLEAN:
+        return a
+    return Value(
+        steps=a.steps if a.steps else b.steps, params=a.params | b.params
+    )
+
+
+@dataclass(slots=True)
+class Summary:
+    """What a caller needs to know about a callee."""
+
+    #: Source→return steps when the return value carries source taint.
+    returns_steps: tuple[Step, ...] = ()
+    #: Parameter indexes whose taint flows to the return value.
+    param_to_return: frozenset[int] = frozenset()
+    #: Parameter indexes this function validates (by guard or
+    #: validator call) — a caller's tainted argument comes back clean.
+    sanitizes: frozenset[int] = frozenset()
+    #: Parameter index → steps from function entry to an internal sink.
+    param_sinks: dict[int, tuple[Step, ...]] = field(default_factory=dict)
+
+
+@dataclass(slots=True, frozen=True)
+class TaintFinding:
+    """One source→sink flow, reported by MOS014."""
+
+    function: FunctionInfo
+    node: ast.AST
+    steps: tuple[Step, ...]
+    sink: str
+
+
+class TaintEngine:
+    """Two-iteration summary fixpoint + one reporting pass."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.summaries: dict[str, Summary] = {}
+
+    def solve(self) -> None:
+        for _ in range(2):
+            fresh = {
+                qualname: _FunctionAnalysis(self, fn).run()
+                for qualname, fn in self.index.functions.items()
+            }
+            self.summaries = fresh
+
+    def findings(self) -> list[TaintFinding]:
+        if not self.summaries:
+            self.solve()
+        out: list[TaintFinding] = []
+        for fn in self.index.functions.values():
+            analysis = _FunctionAnalysis(self, fn, sink=out.append)
+            analysis.run()
+        return out
+
+
+class _FunctionAnalysis:
+    """Abstract interpretation of one function body."""
+
+    def __init__(
+        self,
+        engine: TaintEngine,
+        fn: FunctionInfo,
+        sink: Callable[[TaintFinding], None] | None = None,
+    ):
+        self.engine = engine
+        self.fn = fn
+        self.report = sink
+        self.env: dict[str, Value] = {
+            name: Value(params=frozenset({i}))
+            for i, name in enumerate(fn.params)
+        }
+        self.summary = Summary()
+        self._sanitized_params: set[int] = set()
+        self._param_sinks: dict[int, tuple[Step, ...]] = {}
+        self._return_steps: tuple[Step, ...] = ()
+        self._return_params: set[int] = set()
+        self._ctx = engine.index.by_path[fn.path].ctx
+        self._callsites = {
+            id(cs.node): cs for cs in fn.calls
+        }
+
+    # -- public ---------------------------------------------------------
+    def run(self) -> Summary:
+        self._exec_body(self.fn.node.body)
+        return Summary(
+            returns_steps=self._return_steps,
+            param_to_return=frozenset(self._return_params),
+            sanitizes=frozenset(self._sanitized_params),
+            param_sinks=dict(self._param_sinks),
+        )
+
+    # -- statements -----------------------------------------------------
+    def _exec_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are analyzed as their own functions
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, CLEAN)
+                self.env[stmt.target.id] = _join(current, value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value = self._eval(stmt.value)
+                if value.tainted and not self._return_steps:
+                    self._return_steps = value.steps
+                self._return_params |= value.params
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ast.Assert):
+            self._sanitize_test(stmt.test)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_value = self._eval(stmt.iter)
+            self._bind(stmt.target, iter_value)
+            # Two rounds so a taint assigned late in the body reaches
+            # uses early in the body on the next iteration.
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._sanitize_test(stmt.test)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value)
+            self._exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_body(handler.body)
+            self._exec_body(stmt.orelse)
+            self._exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, (ast.Delete, ast.Pass, ast.Break, ast.Continue)):
+            pass
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal)):
+            pass
+        else:  # Match and friends: evaluate child expressions only.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        # A branch that *tests* a value is the visible-guard convention:
+        # `if n > limits.max_records: raise` validates n for every path
+        # that survives.  Names mentioned in the test are sanitized for
+        # the branches and the continuation (MOS005's leniency, made
+        # flow-aware by the fact that straight-line bombs have no test
+        # at all).
+        self._eval(stmt.test)
+        self._sanitize_test(stmt.test)
+        before = dict(self.env)
+        self._exec_body(stmt.body)
+        body_env = self.env
+        self.env = dict(before)
+        self._exec_body(stmt.orelse)
+        if not _terminates(stmt.body):
+            self._merge_env(body_env)
+        # A terminating body (`if bad: raise`) contributes nothing to
+        # the continuation: the surviving env is the orelse path.
+
+    def _merge_env(self, other: dict[str, Value]) -> None:
+        for name, value in other.items():
+            self.env[name] = _join(self.env.get(name, CLEAN), value)
+
+    # -- expressions ----------------------------------------------------
+    def _eval(self, node: ast.expr) -> Value:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, CLEAN)
+        if isinstance(node, ast.Constant):
+            return CLEAN
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            value = CLEAN
+            for operand in node.values:
+                value = _join(value, self._eval(operand))
+            return value
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return CLEAN
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice)
+            return self._eval(node.value)
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            value = CLEAN
+            for elt in node.elts:
+                value = _join(value, self._eval(elt))
+            return value
+        if isinstance(node, ast.Dict):
+            value = CLEAN
+            for v in node.values:
+                if v is not None:
+                    value = _join(value, self._eval(v))
+            return value
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            self._sanitize_test(node.test)
+            return _join(self._eval(node.body), self._eval(node.orelse))
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._bind(node.target, value)
+            return value
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp(node, node.elt)
+        if isinstance(node, ast.DictComp):
+            self._eval_comp(node, node.key)
+            return self._eval_comp(node, node.value)
+        if isinstance(node, ast.JoinedStr):
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    self._eval(part.value)
+            return CLEAN
+        if isinstance(node, (ast.Lambda, ast.Await, ast.Yield, ast.YieldFrom)):
+            inner = getattr(node, "value", None)
+            if isinstance(inner, ast.expr):
+                value = self._eval(inner)
+                if isinstance(node, (ast.Await, ast.Yield, ast.YieldFrom)):
+                    if value.tainted and not self._return_steps:
+                        self._return_steps = value.steps
+                    self._return_params |= value.params
+                return value
+            return CLEAN
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part)
+            return CLEAN
+        return CLEAN
+
+    def _eval_comp(
+        self,
+        node: ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp,
+        elt: ast.expr,
+    ) -> Value:
+        saved = dict(self.env)
+        for gen in node.generators:
+            self._bind(gen.target, self._eval(gen.iter))
+            for cond in gen.ifs:
+                self._eval(cond)
+                self._sanitize_test(cond)
+        value = self._eval(elt)
+        self.env = saved
+        return value
+
+    def _eval_binop(self, node: ast.BinOp) -> Value:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if isinstance(node.op, ast.Mult):
+            for size_val, seq in ((left, node.right), (right, node.left)):
+                if size_val.tainted and _is_sequence_literal(seq):
+                    self._hit_sink(
+                        node,
+                        size_val,
+                        "sequence-by-untrusted-integer multiplication",
+                    )
+        return _join(left, right)
+
+    # -- calls ----------------------------------------------------------
+    def _eval_call(self, node: ast.Call) -> Value:
+        arg_values = [self._eval(arg) for arg in node.args]
+        kw_values = {
+            kw.arg: self._eval(kw.value) for kw in node.keywords
+        }
+        dotted = dotted_name(node.func)
+        qualified = self._ctx.qualify_node(node.func) if dotted else None
+        terminal = dotted.rsplit(".", 1)[-1] if dotted else ""
+
+        # Sources: raw bytes become integers here.
+        if terminal in _SOURCE_TERMINALS or (
+            qualified in _SOURCE_QUALIFIED
+        ):
+            label = qualified or dotted or "decode"
+            return Value(
+                steps=(
+                    Step(
+                        path=self.fn.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        note=f"tainted: decoded from trace bytes by {label}()",
+                    ),
+                )
+            )
+
+        # Sanitizers and bounding calls clean what they are shown.
+        if terminal and _SANITIZER_RE.search(terminal):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                self._sanitize_expr(arg)
+            return CLEAN
+        if terminal in _BOUNDING_TERMINALS:
+            for arg in node.args:
+                self._sanitize_expr(arg)
+            return CLEAN
+
+        # Sinks: attacker-sized allocations.
+        sink_desc = self._sink_description(terminal, qualified)
+        if sink_desc is not None:
+            if terminal == "range":
+                # Any of range(stop) / range(start, stop[, step]) can
+                # be attacker-sized.
+                size_args = list(zip(node.args, arg_values))
+            else:
+                size_args = list(zip(node.args, arg_values))[:1]
+            if "shape" in kw_values:
+                shape_kw = next(k for k in node.keywords if k.arg == "shape")
+                size_args.append((shape_kw.value, kw_values["shape"]))
+            for arg_node, value in size_args:
+                self._check_sink(node, arg_node, value, sink_desc)
+
+        # Project-function composition through the callee's summary.
+        callsite = self._callsites.get(id(node))
+        resolved = callsite.resolved if callsite is not None else None
+        if resolved is not None:
+            return self._apply_summary(node, resolved, arg_values, terminal)
+
+        # Unresolved externals.
+        if terminal in _PASSTHROUGH_TERMINALS:
+            value = CLEAN
+            for v in arg_values:
+                value = _join(value, v)
+            return value
+        if (
+            terminal in _ACCESSOR_TERMINALS
+            and isinstance(node.func, ast.Attribute)
+        ):
+            receiver = self._eval(node.func.value)
+            if receiver.tainted or receiver.params:
+                return receiver
+        return CLEAN
+
+    def _apply_summary(
+        self,
+        node: ast.Call,
+        resolved: str,
+        arg_values: list[Value],
+        terminal: str,
+    ) -> Value:
+        summary = self.engine.summaries.get(resolved)
+        if summary is None:
+            return CLEAN
+        # Callee validates these positions: the caller's names come
+        # back clean (check_declared_size(n, ...) style).
+        for i in summary.sanitizes:
+            if i < len(node.args):
+                self._sanitize_expr(node.args[i])
+        # Callee forwards these positions to an internal sink.
+        for i, inner_steps in summary.param_sinks.items():
+            if i >= len(arg_values):
+                continue
+            value = arg_values[i]
+            hop = Step(
+                path=self.fn.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                note=f"passed to {terminal}() which allocates from it",
+            )
+            if value.tainted:
+                self._emit(node, value.steps + (hop,) + inner_steps)
+            for p in value.params:
+                self._param_sinks.setdefault(p, (hop,) + inner_steps)
+        # Return-value composition.
+        steps: tuple[Step, ...] = ()
+        params: frozenset[int] = frozenset()
+        if summary.returns_steps:
+            steps = summary.returns_steps + (
+                Step(
+                    path=self.fn.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    note=f"returned by {terminal}()",
+                ),
+            )
+        for i in summary.param_to_return:
+            if i < len(arg_values):
+                value = arg_values[i]
+                if value.tainted and not steps:
+                    steps = value.steps + (
+                        Step(
+                            path=self.fn.path,
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            note=f"flows through {terminal}()",
+                        ),
+                    )
+                params = params | value.params
+        return Value(steps=steps, params=params)
+
+    # -- sinks ----------------------------------------------------------
+    def _sink_description(
+        self, terminal: str, qualified: str | None
+    ) -> str | None:
+        if terminal == "range" and qualified == "range":
+            return "range()"
+        if terminal == "bytearray" and qualified == "bytearray":
+            return "bytearray()"
+        if (
+            terminal in _NP_ALLOCATORS
+            and qualified is not None
+            and qualified.startswith("numpy.")
+        ):
+            return f"np.{terminal}()"
+        return None
+
+    def _check_sink(
+        self, call: ast.Call, arg_node: ast.expr, value: Value, desc: str
+    ) -> None:
+        if value.tainted:
+            self._hit_sink(call, value, desc)
+        for p in value.params:
+            self._param_sinks.setdefault(
+                p,
+                (
+                    Step(
+                        path=self.fn.path,
+                        line=call.lineno,
+                        col=call.col_offset + 1,
+                        note=(
+                            f"parameter {self.fn.params[p]!r} sizes "
+                            f"{desc} here"
+                        ),
+                    ),
+                ),
+            )
+
+    def _hit_sink(self, node: ast.AST, value: Value, desc: str) -> None:
+        final = Step(
+            path=self.fn.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            note=f"reaches allocation sink {desc} without validation",
+        )
+        self._emit(node, value.steps + (final,), desc)
+
+    def _emit(
+        self,
+        node: ast.AST,
+        steps: tuple[Step, ...],
+        desc: str | None = None,
+    ) -> None:
+        if self.report is None:
+            return
+        self.report(
+            TaintFinding(
+                function=self.fn,
+                node=node,
+                steps=steps,
+                sink=desc or steps[-1].note,
+            )
+        )
+
+    # -- sanitization ---------------------------------------------------
+    def _sanitize_test(self, test: ast.expr) -> None:
+        for name_node in ast.walk(test):
+            if isinstance(name_node, ast.Name):
+                self._sanitize_name(name_node.id)
+
+    def _sanitize_expr(self, expr: ast.expr) -> None:
+        for name_node in ast.walk(expr):
+            if isinstance(name_node, ast.Name):
+                self._sanitize_name(name_node.id)
+
+    def _sanitize_name(self, name: str) -> None:
+        value = self.env.get(name)
+        if value is None or value is CLEAN:
+            return
+        for p in value.params:
+            self._sanitized_params.add(p)
+        self.env[name] = CLEAN
+
+    # -- binding --------------------------------------------------------
+    def _bind(self, target: ast.expr, value: Value) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, value)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, value)
+        # Attribute / subscript targets: out of the abstraction.
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    """True when a branch body unconditionally leaves the suite."""
+    return any(
+        isinstance(s, (ast.Raise, ast.Return, ast.Continue, ast.Break))
+        for s in body
+    )
+
+
+def _is_sequence_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (bytes, str)
+    )

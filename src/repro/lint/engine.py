@@ -2,10 +2,17 @@
 
 :func:`lint_paths` is the programmatic face of ``repro lint``: it
 expands the given files/directories, parses each module once, runs
-every selected rule through the single-pass :class:`~repro.lint.rules.Checker`,
-drops findings suppressed inline (``# mosaic: disable=MOS005``) or by a
-baseline, and returns a :class:`LintResult` the reporters and the CLI
-share.
+every selected per-module rule through the single-pass
+:class:`~repro.lint.rules.Checker`, builds one
+:class:`~repro.lint.project.ProjectIndex` over every parsed module and
+runs the whole-program rules (MOS014–MOS017) on it, drops findings
+suppressed inline (``# mosaic: disable=MOS005``) or by a baseline, and
+returns a :class:`LintResult` the reporters and the CLI share.
+
+Warm runs can skip both phases per file: pass ``cache_path`` and the
+engine keys module findings on each file's content hash and project
+findings on the hash of the whole indexed file set (see
+:mod:`repro.lint.cache`).
 """
 
 from __future__ import annotations
@@ -19,7 +26,8 @@ from dataclasses import dataclass, field
 from .baseline import Baseline
 from .context import ModuleContext
 from .findings import Finding, Severity
-from .rules import REGISTRY, Checker, Rule
+from .project import ProjectIndex, source_hash
+from .rules import REGISTRY, Checker, ProjectRule, Rule
 
 __all__ = ["LintConfig", "LintResult", "lint_paths", "check_source"]
 
@@ -43,10 +51,20 @@ class LintConfig:
 
     def active_rule_ids(self) -> list[str]:
         ids = sorted(self.select) if self.select is not None else sorted(REGISTRY)
-        unknown = set(ids) - set(REGISTRY)
+        unknown = (set(ids) | set(self.ignore)) - set(REGISTRY)
         if unknown:
             raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
         return [i for i in ids if i not in self.ignore]
+
+    def module_rule_ids(self) -> list[str]:
+        return [
+            i for i in self.active_rule_ids() if REGISTRY[i].scope == "module"
+        ]
+
+    def project_rule_ids(self) -> list[str]:
+        return [
+            i for i in self.active_rule_ids() if REGISTRY[i].scope == "project"
+        ]
 
 
 @dataclass(slots=True)
@@ -117,32 +135,60 @@ def _suppressions_for(source: str) -> dict[int, frozenset[str] | None]:
     return table
 
 
-def check_source(
-    path: str, source: str, config: LintConfig | None = None
-) -> tuple[list[Finding], int]:
-    """Lint one module's source; (findings, inline-suppressed count)."""
-    config = config or LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        finding = Finding(
-            rule_id=PARSE_ERROR_RULE,
-            path=path,
-            line=exc.lineno or 1,
-            col=(exc.offset or 0) + 1,
-            severity=Severity.ERROR,
-            message=f"cannot parse module: {exc.msg}",
-            fix_hint="fix the syntax error; unparseable files are unchecked",
-        )
-        return [finding], 0
-    ctx = ModuleContext.build(path, source, tree)
-    findings: list[Finding] = []
-    rules: list[Rule] = [
-        REGISTRY[rule_id](ctx, findings) for rule_id in config.active_rule_ids()
-    ]
-    Checker(ctx, rules).run()
+def _expand_suppression_spans(
+    tree: ast.Module, table: dict[int, frozenset[str] | None]
+) -> dict[int, frozenset[str] | None]:
+    """Widen suppressions to cover whole decorated statements.
 
-    suppressions = _suppressions_for(source)
+    A finding can anchor to a decorator line (MOS007 reporting the
+    ``@wraps`` line of a nested def) while the ``# mosaic: disable``
+    comment sits on the ``def`` line — or vice versa.  Any suppression
+    on any line of a decorated ``def``/``class`` statement (first
+    decorator through the end of the signature) covers the whole span.
+    """
+    if not table:
+        return table
+    expanded = dict(table)
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        start = min(d.lineno for d in node.decorator_list)
+        end = node.lineno
+        if node.body:
+            # Multi-line signatures: the statement runs up to the line
+            # before the first body statement (same line for one-liners).
+            end = max(end, node.body[0].lineno - 1)
+        span = range(start, end + 1)
+        merged: frozenset[str] | None = frozenset()
+        found = False
+        for line in span:
+            if line not in table:
+                continue
+            found = True
+            ids = table[line]
+            if ids is None or merged is None:
+                merged = None
+            else:
+                merged = merged | ids
+        if not found:
+            continue
+        for line in span:
+            existing = expanded.get(line, frozenset())
+            if merged is None or existing is None:
+                expanded[line] = None
+            else:
+                expanded[line] = existing | merged
+    return expanded
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    suppressions: dict[int, frozenset[str] | None],
+) -> tuple[list[Finding], int]:
     if not suppressions:
         return findings, 0
     kept: list[Finding] = []
@@ -156,22 +202,181 @@ def check_source(
     return kept, n_suppressed
 
 
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id=PARSE_ERROR_RULE,
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        severity=Severity.ERROR,
+        message=f"cannot parse module: {exc.msg}",
+        fix_hint="fix the syntax error; unparseable files are unchecked",
+    )
+
+
+def _run_module_rules(
+    ctx: ModuleContext, rule_ids: list[str]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    rules: list[Rule] = [REGISTRY[rule_id](ctx, findings) for rule_id in rule_ids]
+    Checker(ctx, rules).run()
+    return findings
+
+
+def _run_project_rules(
+    index: ProjectIndex, rule_ids: list[str]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule_id in rule_ids:
+        rule = REGISTRY[rule_id](findings)
+        assert isinstance(rule, ProjectRule)
+        rule.check(index)
+    return findings
+
+
+def check_source(
+    path: str, source: str, config: LintConfig | None = None
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; (findings, inline-suppressed count).
+
+    Runs the per-module rules plus the project rules over a
+    single-module index — interprocedural flows within the file are
+    still found, cross-file ones need :func:`lint_paths`.
+    """
+    config = config or LintConfig()
+    module_ids = config.module_rule_ids()
+    project_ids = config.project_rule_ids()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [_parse_error_finding(path, exc)], 0
+    ctx = ModuleContext.build(path, source, tree)
+    findings = _run_module_rules(ctx, module_ids)
+    if project_ids:
+        index = ProjectIndex.build([(path, source, tree, ctx)])
+        findings.extend(_run_project_rules(index, project_ids))
+    suppressions = _expand_suppression_spans(tree, _suppressions_for(source))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return _apply_suppressions(findings, suppressions)
+
+
 def lint_paths(
     paths: list[str],
     config: LintConfig | None = None,
     baseline: Baseline | None = None,
+    cache_path: str | None = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths``.
+
+    Phases: read + hash every file; run per-module rules (cache hits
+    skip this per file); build one ProjectIndex over every parseable
+    module and run the whole-program rules (a project-level cache hit —
+    same file set, same contents, same active rules — skips indexing
+    entirely); apply inline suppressions; apply the baseline.
+    """
+    from .cache import LintCache  # local import: cache is optional plumbing
+
     config = config or LintConfig()
+    module_ids = config.module_rule_ids()
+    project_ids = config.project_rule_ids()
+    cache = (
+        LintCache.load(cache_path, config.active_rule_ids())
+        if cache_path
+        else None
+    )
     result = LintResult()
-    all_findings: list[Finding] = []
-    for path in discover_files(paths):
+
+    sources: dict[str, str] = {}
+    hashes: dict[str, str] = {}
+    trees: dict[str, ast.Module] = {}
+    contexts: dict[str, ModuleContext] = {}
+    per_file: dict[str, tuple[list[Finding], int]] = {}
+
+    def ensure_parsed(path: str) -> bool:
+        """Parse ``path`` once; False (with a finding) on syntax error."""
+        if path in trees:
+            return True
+        try:
+            tree = ast.parse(sources[path], filename=path)
+        except SyntaxError:
+            return False
+        trees[path] = tree
+        contexts[path] = ModuleContext.build(path, sources[path], tree)
+        return True
+
+    files = discover_files(paths)
+    for path in files:
         with open(path, "r", encoding="utf-8") as fh:
-            source = fh.read()
-        findings, n_suppressed = check_source(path, source, config)
+            sources[path] = fh.read()
+        hashes[path] = source_hash(sources[path])
+        result.n_files += 1
+
+    # -- per-module phase ----------------------------------------------
+    for path in files:
+        if cache is not None:
+            hit = cache.file_hit(path, hashes[path])
+            if hit is not None:
+                per_file[path] = hit
+                continue
+        try:
+            tree = ast.parse(sources[path], filename=path)
+        except SyntaxError as exc:
+            per_file[path] = ([_parse_error_finding(path, exc)], 0)
+            continue
+        trees[path] = tree
+        contexts[path] = ModuleContext.build(path, sources[path], tree)
+        findings = _run_module_rules(contexts[path], module_ids)
+        suppressions = _expand_suppression_spans(
+            tree, _suppressions_for(sources[path])
+        )
+        per_file[path] = _apply_suppressions(findings, suppressions)
+        if cache is not None:
+            cache.store_file(path, hashes[path], *per_file[path])
+
+    all_findings: list[Finding] = []
+    for path in files:
+        findings, n_suppressed = per_file[path]
         all_findings.extend(findings)
         result.n_suppressed += n_suppressed
-        result.n_files += 1
+
+    # -- project phase -------------------------------------------------
+    if project_ids and files:
+        project_key = LintCache.project_key(
+            {path: hashes[path] for path in files}
+        )
+        cached_project = (
+            cache.project_hit(project_key) if cache is not None else None
+        )
+        if cached_project is not None:
+            project_findings, n_suppressed = cached_project
+        else:
+            entries = [
+                (path, sources[path], trees[path], contexts[path])
+                for path in files
+                if ensure_parsed(path)
+            ]
+            index = ProjectIndex.build(entries)
+            raw = _run_project_rules(index, project_ids)
+            project_findings = []
+            n_suppressed = 0
+            by_path: dict[str, list[Finding]] = {}
+            for finding in raw:
+                by_path.setdefault(finding.path, []).append(finding)
+            for path, path_findings in by_path.items():
+                suppressions = _expand_suppression_spans(
+                    trees[path], _suppressions_for(sources[path])
+                )
+                kept, n = _apply_suppressions(path_findings, suppressions)
+                project_findings.extend(kept)
+                n_suppressed += n
+            if cache is not None:
+                cache.store_project(project_key, project_findings, n_suppressed)
+        all_findings.extend(project_findings)
+        result.n_suppressed += n_suppressed
+
+    if cache is not None:
+        cache.save()
+
     if baseline is not None:
         all_findings, n_baselined = baseline.filter(all_findings)
         result.n_baselined = n_baselined

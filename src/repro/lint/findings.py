@@ -4,17 +4,46 @@ A :class:`Finding` pins one contract violation to a ``file:line:col``
 location, carries the human-facing message plus a fix hint, and derives
 a *fingerprint* — a line-number-free identity used by baseline files so
 that unrelated edits (which shift line numbers) do not resurrect
-already-adopted findings.
+already-adopted findings.  Flow-sensitive rules additionally attach a
+*trace*: the ordered :class:`Step` chain from a taint source (or handle
+creation site) to the sink, rendered by the text reporter, ``--explain``,
+and SARIF ``codeFlows``.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any
 
-__all__ = ["Severity", "Finding"]
+__all__ = ["Severity", "Step", "Finding", "normalize_path"]
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative POSIX form of a finding path.
+
+    Baselines travel between machines and CI runners; a fingerprint
+    derived from ``C:\\runner\\src\\x.py`` or ``/home/me/repo/src/x.py``
+    matches nothing anywhere else.  Absolute paths are re-expressed
+    relative to the working directory when they live under it, and
+    separators are normalized to ``/``.
+    """
+    p = path
+    if os.path.isabs(p):
+        try:
+            rel = os.path.relpath(p, os.getcwd())
+        except ValueError:  # pragma: no cover - Windows cross-drive
+            rel = p
+        if not rel.startswith(".."):
+            p = rel
+    p = p.replace(os.sep, "/")
+    if os.altsep:  # pragma: no cover - Windows
+        p = p.replace(os.altsep, "/")
+    while p.startswith("./"):
+        p = p[2:]
+    return p
 
 
 class Severity(str, Enum):
@@ -32,6 +61,36 @@ class Severity(str, Enum):
 
 
 @dataclass(slots=True, frozen=True)
+class Step:
+    """One hop on a source→sink flow path."""
+
+    path: str
+    line: int
+    col: int
+    note: str
+
+    def location(self) -> str:
+        return f"{normalize_path(self.path)}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": normalize_path(self.path),
+            "line": self.line,
+            "col": self.col,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Step":
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            note=str(data["note"]),
+        )
+
+
+@dataclass(slots=True, frozen=True)
 class Finding:
     """One rule violation at one source location."""
 
@@ -42,6 +101,7 @@ class Finding:
     severity: Severity
     message: str
     fix_hint: str = ""
+    trace: tuple[Step, ...] = field(default=(), compare=False)
 
     def fingerprint(self) -> str:
         """Stable identity for baselines: path + rule + message.
@@ -49,7 +109,19 @@ class Finding:
         Deliberately excludes line/column so reformatting does not
         invalidate a baseline; two identical violations in one file
         share a fingerprint and are counted (see
-        :class:`~repro.lint.baseline.Baseline`).
+        :class:`~repro.lint.baseline.Baseline`).  The path component is
+        normalized to repo-relative POSIX form so baselines written on
+        one machine hold on another (and in CI).
+        """
+        raw = f"{normalize_path(self.path)}::{self.rule_id}::{self.message}"
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def legacy_fingerprint(self) -> str:
+        """Pre-v2 fingerprint over the path exactly as reported.
+
+        Kept so version-1 baseline files written before path
+        normalization still match (the migration shim in
+        :meth:`~repro.lint.baseline.Baseline.filter`).
         """
         raw = f"{self.path}::{self.rule_id}::{self.message}"
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
@@ -58,7 +130,7 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}"
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
@@ -68,3 +140,20 @@ class Finding:
             "fix_hint": self.fix_hint,
             "fingerprint": self.fingerprint(),
         }
+        if self.trace:
+            doc["trace"] = [step.to_dict() for step in self.trace]
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the lint cache)."""
+        return cls(
+            rule_id=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            severity=Severity(data["severity"]),
+            message=str(data["message"]),
+            fix_hint=str(data.get("fix_hint", "")),
+            trace=tuple(Step.from_dict(s) for s in data.get("trace", ())),
+        )

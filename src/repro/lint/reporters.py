@@ -17,13 +17,18 @@ from .findings import Severity
 __all__ = ["render_text", "render_json"]
 
 
-def render_text(result: LintResult, show_hints: bool = True) -> str:
+def render_text(
+    result: LintResult, show_hints: bool = True, show_traces: bool = True
+) -> str:
     lines: list[str] = []
     for finding in result.findings:
         lines.append(
             f"{finding.location()}: {finding.rule_id} "
             f"{finding.severity.value}: {finding.message}"
         )
+        if show_traces and finding.trace:
+            for i, step in enumerate(finding.trace):
+                lines.append(f"    [{i + 1}] {step.location()}: {step.note}")
         if show_hints and finding.fix_hint:
             lines.append(f"    hint: {finding.fix_hint}")
     lines.append(_summary_line(result))

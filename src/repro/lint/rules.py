@@ -12,18 +12,33 @@ between callbacks.
 from __future__ import annotations
 
 import ast
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Union
 
 from .context import ModuleContext
-from .findings import Finding, Severity
+from .findings import Finding, Severity, Step
 
-__all__ = ["Rule", "Checker", "REGISTRY", "register", "all_rule_ids"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectIndex
 
-#: rule id → rule class, populated by :func:`register`.
-REGISTRY: dict[str, type["Rule"]] = {}
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "Checker",
+    "REGISTRY",
+    "register",
+    "all_rule_ids",
+]
+
+#: rule id → rule class, populated by :func:`register`.  Holds both
+#: per-module rules (``scope == "module"``, driven by the Checker) and
+#: whole-program rules (``scope == "project"``, driven by the engine
+#: after the :class:`~repro.lint.project.ProjectIndex` is built).
+REGISTRY: dict[str, Union[type["Rule"], type["ProjectRule"]]] = {}
 
 
-def register(cls: type["Rule"]) -> type["Rule"]:
+def register(
+    cls: Union[type["Rule"], type["ProjectRule"]],
+) -> Union[type["Rule"], type["ProjectRule"]]:
     """Class decorator adding a rule to the global registry."""
     if not cls.id:
         raise ValueError(f"rule {cls.__name__} has no id")
@@ -51,6 +66,9 @@ class Rule:
     description: str = ""
     severity: Severity = Severity.WARNING
     fix_hint: str = ""
+    #: "module" rules run per file through the Checker; "project" rules
+    #: (see :class:`ProjectRule`) run once over the whole ProjectIndex.
+    scope: str = "module"
 
     def __init__(self, ctx: ModuleContext, findings: list[Finding]):
         self.ctx = ctx
@@ -77,6 +95,52 @@ class Rule:
 
     def end_module(self) -> None:
         """Called once after the walk finishes."""
+
+
+class ProjectRule:
+    """One whole-program invariant check.
+
+    Where :class:`Rule` sees one module at a time, a ProjectRule's
+    :meth:`check` receives the :class:`~repro.lint.project.ProjectIndex`
+    — module graph, resolved call graph, per-function facts — and may
+    report findings in any indexed file, optionally carrying a
+    source→sink :class:`~repro.lint.findings.Step` trace.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.WARNING
+    fix_hint: str = ""
+    scope: str = "project"
+
+    def __init__(self, findings: list[Finding]):
+        self._findings = findings
+
+    def report(
+        self,
+        path: str,
+        node: ast.AST,
+        message: str,
+        *,
+        trace: tuple[Step, ...] = (),
+        fix_hint: str | None = None,
+    ) -> None:
+        self._findings.append(
+            Finding(
+                rule_id=self.id,
+                path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                severity=self.severity,
+                message=message,
+                fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+                trace=trace,
+            )
+        )
+
+    def check(self, index: "ProjectIndex") -> None:
+        raise NotImplementedError
 
 
 class Checker:

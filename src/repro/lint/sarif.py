@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 output for ``repro lint``.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+scanning UIs ingest — GitHub's security tab, VS Code SARIF viewers, CI
+annotation bots.  One run object carries the tool's rule catalogue
+(from the live registry, so descriptions never drift), one ``result``
+per finding, and — for the flow-sensitive rules — a ``codeFlows``
+thread walking the source→sink :class:`~repro.lint.findings.Step`
+chain.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import LintResult
+from .findings import Finding, Severity, normalize_path
+from .rules import REGISTRY
+
+__all__ = ["render_sarif"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _location(path: str, line: int, col: int, message: str | None = None) -> dict[str, Any]:
+    loc: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": normalize_path(path)},
+            "region": {"startLine": line, "startColumn": col},
+        }
+    }
+    if message is not None:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def _code_flow(finding: Finding) -> dict[str, Any]:
+    return {
+        "threadFlows": [
+            {
+                "locations": [
+                    {
+                        "location": _location(
+                            step.path, step.line, step.col, step.note
+                        )
+                    }
+                    for step in finding.trace
+                ]
+            }
+        ]
+    }
+
+
+def _result(finding: Finding) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "level": _level(finding.severity),
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+        "partialFingerprints": {"mosaicFingerprint/v2": finding.fingerprint()},
+    }
+    if finding.trace:
+        result["codeFlows"] = [_code_flow(finding)]
+    return result
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    cls = REGISTRY[rule_id]
+    descriptor: dict[str, Any] = {
+        "id": rule_id,
+        "name": cls.name,
+        "shortDescription": {"text": cls.description},
+        "defaultConfiguration": {"level": _level(cls.severity)},
+    }
+    if cls.fix_hint:
+        descriptor["help"] = {"text": cls.fix_hint}
+    return descriptor
+
+
+def render_sarif(result: LintResult, tool_version: str = "0") -> str:
+    doc = {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/mosaic-repro/docs/LINT.md"
+                        ),
+                        "version": tool_version,
+                        "rules": [
+                            _rule_descriptor(rule_id)
+                            for rule_id in sorted(REGISTRY)
+                        ],
+                    }
+                },
+                "results": [_result(f) for f in result.findings],
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,23 @@
+"""Fixture: untrusted decoded count reaches allocation sinks (MOS014).
+
+The record count is decoded straight out of trace bytes and flows —
+through a helper's return value — into ``np.empty`` and ``range``
+without ever being validated against a limit.
+"""
+
+import struct
+
+import numpy as np
+
+
+def _parse_count(blob: bytes) -> int:
+    (n_records,) = struct.unpack("<Q", blob[:8])
+    return n_records
+
+
+def _load(blob: bytes) -> np.ndarray:
+    n = _parse_count(blob)
+    values = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        values[i] = float(i)
+    return values

@@ -1,0 +1,27 @@
+"""Fixture: decoded count is validated before allocation (MOS014 clean).
+
+Same shape as the bad fixture, but the helper bounds the decoded count
+against a declared limit before returning it, so every downstream
+allocation is backed by a visible guard.
+"""
+
+import struct
+
+import numpy as np
+
+_MAX_RECORDS = 1 << 20
+
+
+def _parse_count(blob: bytes) -> int:
+    (n_records,) = struct.unpack("<Q", blob[:8])
+    if n_records > _MAX_RECORDS:
+        raise ValueError(f"implausible record count {n_records}")
+    return n_records
+
+
+def _load(blob: bytes) -> np.ndarray:
+    n = _parse_count(blob)
+    values = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        values[i] = float(i)
+    return values

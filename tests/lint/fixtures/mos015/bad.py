@@ -1,0 +1,22 @@
+"""Fixture: mmap handle captured by a pool worker (MOS015).
+
+The mmap is created in the parent process and bound into the worker
+partial; after fork/spawn each worker inherits (or fails to inherit) a
+kernel object that was never meant to cross the process boundary.
+"""
+
+import functools
+import mmap
+
+from repro.parallel.executor import parallel_imap
+
+
+def _worker(handle: mmap.mmap, row: int) -> int:
+    return handle[row]
+
+
+def _run(path: str, rows: list[int]) -> list[int]:
+    fh = open(path, "rb")
+    mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    fn = functools.partial(_worker, mm)
+    return list(parallel_imap(fn, rows, max_workers=4))

@@ -1,0 +1,23 @@
+"""Fixture: pipeline stage runs without consulting the governor (MOS016).
+
+``run_pipeline_demo`` enters a stage block and hands the batch to a
+worker that never looks at a ResourceBudget — nothing bounds its work
+if the trace is adversarial.
+"""
+
+import contextlib
+from typing import Iterator
+
+
+@contextlib.contextmanager
+def _stage(name: str) -> Iterator[None]:
+    yield
+
+
+def _categorize_batch(items: list[bytes]) -> list[int]:
+    return [len(item) for item in items]
+
+
+def run_pipeline_demo(items: list[bytes]) -> list[int]:
+    with _stage("categorize"):
+        return _categorize_batch(items)

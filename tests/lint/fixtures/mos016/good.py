@@ -1,0 +1,25 @@
+"""Fixture: every stage worker consults the governor (MOS016 clean).
+
+The stage worker takes the budget and checks the deadline before doing
+work, so the governor can degrade or abort it.
+"""
+
+import contextlib
+from typing import Iterator
+
+from repro.core.governor import ResourceBudget
+
+
+@contextlib.contextmanager
+def _stage(name: str) -> Iterator[None]:
+    yield
+
+
+def _categorize_batch(items: list[bytes], budget: ResourceBudget) -> list[int]:
+    budget.check_deadline()
+    return [len(item) for item in items]
+
+
+def run_pipeline_demo(items: list[bytes], budget: ResourceBudget) -> list[int]:
+    with _stage("categorize"):
+        return _categorize_batch(items, budget)

@@ -1,0 +1,21 @@
+"""Fixture: TraceFormatError escapes an unguarded call chain (MOS017).
+
+``_decode_record`` raises on truncated input, and ``_summarize`` calls
+it with no handler anywhere on the path — a single corrupt record
+aborts the whole batch instead of being routed to the dispatch
+boundary.
+"""
+
+
+class TraceFormatError(ValueError):
+    pass
+
+
+def _decode_record(blob: bytes) -> bytes:
+    if len(blob) < 8:
+        raise TraceFormatError("truncated record")
+    return blob[8:]
+
+
+def _summarize(blobs: list[bytes]) -> list[int]:
+    return [len(_decode_record(b)) for b in blobs]

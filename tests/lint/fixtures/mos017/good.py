@@ -1,0 +1,30 @@
+"""Fixture: format errors are caught and re-raised as typed errors
+(MOS017 clean).
+
+The caller wraps the decoding call in a handler and converts the
+format error into the layer's own exception, preserving the cause.
+"""
+
+
+class TraceFormatError(ValueError):
+    pass
+
+
+class _CorpusError(RuntimeError):
+    pass
+
+
+def _decode_record(blob: bytes) -> bytes:
+    if len(blob) < 8:
+        raise TraceFormatError("truncated record")
+    return blob[8:]
+
+
+def _summarize(blobs: list[bytes]) -> list[int]:
+    sizes: list[int] = []
+    for blob in blobs:
+        try:
+            sizes.append(len(_decode_record(blob)))
+        except TraceFormatError as exc:
+            raise _CorpusError("bad corpus record") from exc
+    return sizes

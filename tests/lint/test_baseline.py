@@ -1,13 +1,16 @@
-"""Baseline round-trip and filtering semantics."""
+"""Baseline round-trip, filtering, and portable-fingerprint semantics."""
 
 from __future__ import annotations
 
+import json
+import os
+
 from repro.lint import Baseline
-from repro.lint.findings import Finding, Severity
+from repro.lint.findings import Finding, Severity, normalize_path
 
 
-def _finding(msg: str, line: int = 1) -> Finding:
-    return Finding("MOS005", "mod.py", line, 1, Severity.WARNING, msg)
+def _finding(msg: str, line: int = 1, path: str = "mod.py") -> Finding:
+    return Finding("MOS005", path, line, 1, Severity.WARNING, msg)
 
 
 def test_round_trip(tmp_path):
@@ -45,6 +48,58 @@ def test_empty_baseline_filters_nothing():
     kept, suppressed = Baseline().filter([_finding("a")])
     assert suppressed == 0
     assert len(kept) == 1
+
+
+def test_fingerprint_is_machine_portable():
+    # A run from the repo root reporting absolute paths and a CI run
+    # reporting relative ones must agree on the fingerprint.
+    absolute = _finding("a", path=os.path.join(os.getcwd(), "src", "m.py"))
+    relative = _finding("a", path=os.path.join("src", "m.py"))
+    dotted = _finding("a", path="./src/m.py")
+    assert absolute.fingerprint() == relative.fingerprint()
+    assert dotted.fingerprint() == relative.fingerprint()
+
+
+def test_normalize_path_leaves_foreign_absolute_paths():
+    assert normalize_path("/somewhere/else/m.py") == "/somewhere/else/m.py"
+
+
+def test_saved_baseline_is_version_two(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    Baseline.from_findings([_finding("a")]).save(path)
+    data = json.loads(open(path).read())
+    assert data["version"] == 2
+
+
+def test_legacy_v1_baseline_matches_through_old_fingerprint(tmp_path):
+    # A version-1 file, written before path normalization, carries
+    # fingerprints hashed over the raw (possibly absolute) path.
+    finding = _finding("a", path=os.path.join(os.getcwd(), "mod.py"))
+    assert finding.fingerprint() != finding.legacy_fingerprint()
+    path = tmp_path / "v1.json"
+    path.write_text(
+        json.dumps(
+            {"version": 1, "fingerprints": {finding.legacy_fingerprint(): 1}}
+        )
+    )
+    loaded = Baseline.load(str(path))
+    assert loaded.legacy
+    kept, suppressed = loaded.filter([finding])
+    assert suppressed == 1 and kept == []
+
+
+def test_v2_baseline_does_not_probe_legacy_fingerprints(tmp_path):
+    finding = _finding("a", path=os.path.join(os.getcwd(), "mod.py"))
+    path = tmp_path / "v2.json"
+    path.write_text(
+        json.dumps(
+            {"version": 2, "fingerprints": {finding.legacy_fingerprint(): 1}}
+        )
+    )
+    loaded = Baseline.load(str(path))
+    assert not loaded.legacy
+    kept, suppressed = loaded.filter([finding])
+    assert suppressed == 0 and len(kept) == 1
 
 
 def test_load_rejects_wrong_version(tmp_path):

@@ -67,5 +67,50 @@ def test_lint_missing_path_aborts():
 def test_lint_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for n in range(1, 11):
+    for n in range(1, 18):
         assert f"MOS{n:03d}" in out
+
+
+def test_lint_sarif_format(capsys):
+    assert main(["lint", BAD, "--format", "sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    assert [r["ruleId"] for r in run["results"]] == ["MOS005"]
+
+
+def test_lint_sarif_file_alongside_text(tmp_path, capsys):
+    sarif = str(tmp_path / "lint.sarif")
+    assert main(["lint", BAD, "--sarif", sarif]) == 0
+    assert "MOS005" in capsys.readouterr().out  # text still on stdout
+    doc = json.loads(open(sarif).read())
+    assert doc["runs"][0]["results"]
+
+
+def test_lint_explain_prints_contract_and_isolates_rule(capsys):
+    assert main(["lint", GOOD, "--explain", "mos014"]) == 0
+    out = capsys.readouterr().out
+    assert "MOS014 — tainted-allocation" in out
+    assert "MOS014:" in out  # the docstring contract
+    assert "fix:" in out
+
+
+def test_lint_explain_unknown_rule_aborts():
+    with pytest.raises(SystemExit):
+        main(["lint", GOOD, "--explain", "MOS999"])
+
+
+def test_lint_explain_shows_trace(capsys):
+    bad14 = os.path.join(FIXTURES, "mos014", "bad.py")
+    assert main(["lint", bad14, "--explain", "MOS014"]) == 1
+    out = capsys.readouterr().out
+    assert "[1]" in out and "struct.unpack" in out
+
+
+def test_lint_cache_flag_round_trip(tmp_path, capsys):
+    cache = str(tmp_path / "cache.json")
+    assert main(["lint", BAD, "--cache", cache]) == 0
+    first = capsys.readouterr().out
+    assert os.path.exists(cache)
+    assert main(["lint", BAD, "--cache", cache]) == 0
+    assert capsys.readouterr().out == first

@@ -1,0 +1,203 @@
+"""Taint engine unit tests: sources, sanitizers, sinks, summaries."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.context import ModuleContext
+from repro.lint.dataflow import TaintEngine
+from repro.lint.project import ProjectIndex
+
+
+def _findings(tmp_path, **modules: str):
+    entries = []
+    for name, src in modules.items():
+        src = textwrap.dedent(src)
+        path = tmp_path / f"{name}.py"
+        path.write_text(src)
+        tree = ast.parse(src)
+        ctx = ModuleContext.build(str(path), src, tree)
+        entries.append((str(path), src, tree, ctx))
+    engine = TaintEngine(ProjectIndex.build(entries))
+    engine.solve()
+    return engine.findings()
+
+
+def test_same_function_source_to_sink(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def load(blob: bytes) -> list[int]:
+            (n,) = struct.unpack("<I", blob[:4])
+            return [i for i in range(n)]
+        """,
+    )
+    assert len(found) == 1
+    taint = found[0]
+    assert taint.sink == "range()"
+    assert "struct.unpack" in taint.steps[0].note
+    assert "allocation sink" in taint.steps[-1].note
+
+
+def test_bailing_guard_sanitizes(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def load(blob: bytes) -> list[int]:
+            (n,) = struct.unpack("<I", blob[:4])
+            if n > 1024:
+                raise ValueError("too many")
+            return [i for i in range(n)]
+        """,
+    )
+    assert found == []
+
+
+def test_validator_call_sanitizes(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def check_count(n: int) -> None: ...
+
+        def load(blob: bytes) -> list[int]:
+            (n,) = struct.unpack("<I", blob[:4])
+            check_count(n)
+            return [i for i in range(n)]
+        """,
+    )
+    assert found == []
+
+
+def test_bounding_min_sanitizes(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def load(blob: bytes) -> list[int]:
+            (n,) = struct.unpack("<I", blob[:4])
+            n = min(n, 1024)
+            return [i for i in range(n)]
+        """,
+    )
+    assert found == []
+
+
+def test_cross_function_flow_through_return(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        import numpy as np
+
+        def _count(blob: bytes) -> int:
+            (n,) = struct.unpack("<I", blob[:4])
+            return n
+
+        def load(blob: bytes):
+            n = _count(blob)
+            return np.empty(n)
+        """,
+    )
+    assert len(found) == 1
+    taint = found[0]
+    assert taint.sink == "np.empty()"
+    notes = [s.note for s in taint.steps]
+    assert any("struct.unpack" in n for n in notes)
+    assert any("returned by _count()" in n for n in notes)
+    assert len(taint.steps) >= 3
+
+
+def test_callee_side_sink_reported_at_caller(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def _alloc(n: int) -> bytearray:
+            return bytearray(n)
+
+        def load(blob: bytes) -> bytearray:
+            (n,) = struct.unpack("<I", blob[:4])
+            return _alloc(n)
+        """,
+    )
+    assert len(found) == 1
+    taint = found[0]
+    assert taint.function.qualname == "mod.load"
+    notes = [s.note for s in taint.steps]
+    assert any("_alloc()" in n for n in notes)
+
+
+def test_callee_validation_sanitizes_caller_argument(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def _check(n: int) -> None:
+            if n > 1024:
+                raise ValueError("bomb")
+
+        def load(blob: bytes) -> list[int]:
+            (n,) = struct.unpack("<I", blob[:4])
+            _check(n)
+            return [i for i in range(n)]
+        """,
+    )
+    assert found == []
+
+
+def test_cross_module_flow(tmp_path):
+    found = _findings(
+        tmp_path,
+        decoder="""
+        import struct
+
+        def declared_count(blob: bytes) -> int:
+            (n,) = struct.unpack("<Q", blob[:8])
+            return n
+        """,
+        loader="""
+        from decoder import declared_count
+
+        def load(blob: bytes) -> list[int]:
+            return [0] * declared_count(blob)
+        """,
+    )
+    assert len(found) == 1
+    assert "multiplication" in found[0].sink
+
+
+def test_sequence_multiplication_sink(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        import struct
+
+        def load(blob: bytes) -> bytes:
+            (n,) = struct.unpack("<I", blob[:4])
+            return b"\\x00" * n
+        """,
+    )
+    assert len(found) == 1
+    assert "multiplication" in found[0].sink
+
+
+def test_clean_arithmetic_not_flagged(tmp_path):
+    found = _findings(
+        tmp_path,
+        mod="""
+        def load(count: int) -> list[int]:
+            return [i for i in range(count * 2)]
+        """,
+    )
+    assert found == []

@@ -3,8 +3,10 @@ exit-code semantics, and self-hosting over the repository's own src/."""
 
 from __future__ import annotations
 
+import ast
 import os
 import textwrap
+import time
 
 import pytest
 
@@ -13,6 +15,7 @@ from repro.lint.engine import (
     PARSE_ERROR_RULE,
     LintConfig,
     LintResult,
+    _expand_suppression_spans,
     check_source,
     discover_files,
 )
@@ -57,6 +60,52 @@ def test_inline_suppression_other_rule_does_not_apply():
     )
     findings, _ = check_source("mod.py", src)
     assert [f.rule_id for f in findings] == ["MOS005"]
+
+
+def test_suppression_on_decorator_line_covers_decorated_def():
+    src = textwrap.dedent(
+        """
+        import functools
+
+
+        @functools.cache  # mosaic: disable=MOS010
+        def run(items):
+            return items
+        """
+    )
+    findings, n_suppressed = check_source("mod.py", src)
+    assert [f.rule_id for f in findings] == []
+    assert n_suppressed == 1
+
+
+def test_suppression_on_def_line_covers_decorator_span():
+    # The span works in both directions: a comment on the signature
+    # silences findings anchored to a decorator line of the same
+    # statement (and everything else inside the span).
+    src = "@deco\n@other\ndef f(\n    x,\n):\n    return x\n"
+    table = _expand_suppression_spans(
+        ast.parse(src), {3: frozenset({"MOS010"})}
+    )
+    # Span = first decorator (1) .. last signature line (5).
+    for line in range(1, 5):
+        assert table[line] == frozenset({"MOS010"})
+    assert 6 not in table
+
+
+def test_expanded_span_merges_ids_and_blanket_wins():
+    src = "@deco\ndef f(x):\n    return x\n"
+    table = _expand_suppression_spans(
+        ast.parse(src), {1: frozenset({"MOS007"}), 2: None}
+    )
+    assert table[1] is None and table[2] is None
+
+
+def test_undecorated_def_span_not_expanded():
+    src = "def f(x):\n    return x\n"
+    table = _expand_suppression_spans(
+        ast.parse(src), {1: frozenset({"MOS010"})}
+    )
+    assert table == {1: frozenset({"MOS010"})}
 
 
 def test_suppression_marker_inside_string_is_inert():
@@ -109,10 +158,28 @@ def test_exit_code_semantics():
     assert clean.exit_code(strict=True) == 0
 
 
+def test_unknown_rule_id_in_ignore_rejected():
+    # Regression: a typo'd --ignore used to be silently inert, leaving
+    # the misspelled rule enabled while the user believed it off.
+    config = LintConfig(ignore=frozenset({"MOS999"}))
+    with pytest.raises(ValueError, match="MOS999"):
+        config.active_rule_ids()
+
+
+def test_unknown_rule_id_in_select_rejected():
+    config = LintConfig(select=frozenset({"MOSNOPE"}))
+    with pytest.raises(ValueError, match="MOSNOPE"):
+        config.active_rule_ids()
+
+
 def test_self_hosting_src_is_strict_clean():
-    """The acceptance gate: the repository lints itself clean."""
+    """The acceptance gate: the repository lints itself clean — and
+    fast enough to gate every CI run (well under the 60s budget)."""
     src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    started = time.monotonic()
     result = lint_paths([os.path.normpath(src)], LintConfig(strict=True))
+    elapsed = time.monotonic() - started
     assert result.findings == [], [
         f"{f.location()}: {f.rule_id} {f.message}" for f in result.findings
     ]
+    assert elapsed < 60.0, f"self-host lint took {elapsed:.1f}s (budget 60s)"

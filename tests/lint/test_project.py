@@ -1,0 +1,197 @@
+"""ProjectIndex: declaration, call resolution, guards, stage blocks."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.context import ModuleContext
+from repro.lint.project import ProjectIndex, source_hash
+
+
+def _build(tmp_path, **modules: str) -> ProjectIndex:
+    """Index named modules (``name="source"``); files land in tmp_path."""
+    entries = []
+    for name, src in modules.items():
+        src = textwrap.dedent(src)
+        path = tmp_path / (name.replace(".", "/") + ".py")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(src)
+    # __init__.py chains must exist before ModuleContext derives names.
+    for name, src in modules.items():
+        src = textwrap.dedent(src)
+        path = str(tmp_path / (name.replace(".", "/") + ".py"))
+        tree = ast.parse(src)
+        ctx = ModuleContext.build(path, src, tree)
+        entries.append((path, src, tree, ctx))
+    return ProjectIndex.build(entries)
+
+
+def test_functions_declared_with_qualified_names(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        def top() -> None: ...
+
+        class Box:
+            def method(self) -> None: ...
+        """,
+    )
+    assert "mod.top" in index.functions
+    assert "mod.Box.method" in index.functions
+    assert "mod.Box" in index.classes
+
+
+def test_same_module_call_resolved(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        def helper() -> int:
+            return 1
+
+        def caller() -> int:
+            return helper()
+        """,
+    )
+    calls = index.functions["mod.caller"].calls
+    assert [c.resolved for c in calls] == ["mod.helper"]
+    assert index.callers["mod.helper"] == {"mod.caller"}
+
+
+def test_cross_module_call_resolved_through_import(tmp_path):
+    index = _build(
+        tmp_path,
+        lib="""
+        def decode(blob: bytes) -> int:
+            return len(blob)
+        """,
+        app="""
+        from lib import decode
+
+        def run(blob: bytes) -> int:
+            return decode(blob)
+        """,
+    )
+    calls = index.functions["app.run"].calls
+    assert [c.resolved for c in calls] == ["lib.decode"]
+
+
+def test_class_call_resolves_to_init(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        class Reader:
+            def __init__(self, path: str) -> None:
+                self.path = path
+
+        def make(path: str) -> Reader:
+            return Reader(path)
+        """,
+    )
+    calls = index.functions["mod.make"].calls
+    assert [c.resolved for c in calls] == ["mod.Reader.__init__"]
+
+
+def test_self_method_call_resolved(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        class Reader:
+            def _decode(self) -> int:
+                return 0
+
+            def read(self) -> int:
+                return self._decode()
+        """,
+    )
+    calls = index.functions["mod.Reader.read"].calls
+    assert [c.resolved for c in calls] == ["mod.Reader._decode"]
+
+
+def test_nested_def_resolved_and_excluded_from_parent_body(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        def outer() -> int:
+            def inner() -> int:
+                return probe()
+            return inner()
+
+        def probe() -> int:
+            return 1
+        """,
+    )
+    outer = index.functions["mod.outer"]
+    assert [c.resolved for c in outer.calls] == ["mod.outer.inner"]
+    inner = index.functions["mod.outer.inner"]
+    assert [c.resolved for c in inner.calls] == ["mod.probe"]
+
+
+def test_guarded_by_records_enclosing_handlers(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        def risky() -> None: ...
+
+        def caller() -> None:
+            try:
+                risky()
+            except (ValueError, KeyError):
+                pass
+            risky()
+        """,
+    )
+    guarded, unguarded = index.functions["mod.caller"].calls
+    assert guarded.guarded_by == frozenset({"ValueError", "KeyError"})
+    assert unguarded.guarded_by == frozenset()
+
+
+def test_stage_block_membership(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        def work() -> None: ...
+
+        def run(ctx) -> None:
+            with ctx.stage("compute"):
+                work()
+            work()
+        """,
+    )
+    work_calls = [
+        c for c in index.functions["mod.run"].calls if c.resolved == "mod.work"
+    ]
+    inside, outside = work_calls
+    assert inside.in_stage_block
+    assert not outside.in_stage_block
+
+
+def test_raises_includes_bare_reraise(tmp_path):
+    index = _build(
+        tmp_path,
+        mod="""
+        def direct() -> None:
+            raise ValueError("x")
+
+        def reraiser() -> None:
+            try:
+                direct()
+            except KeyError:
+                raise
+        """,
+    )
+    assert index.functions["mod.direct"].raises == {"ValueError"}
+    assert "KeyError" in index.functions["mod.reraiser"].raises
+
+
+def test_project_hash_tracks_content(tmp_path):
+    a = _build(tmp_path, mod="x = 1\n")
+    b = _build(tmp_path, mod="x = 2\n")
+    c = _build(tmp_path, mod="x = 1\n")
+    assert a.project_hash() != b.project_hash()
+    assert a.project_hash() == c.project_hash()
+
+
+def test_source_hash_is_content_only():
+    assert source_hash("x = 1\n") == source_hash("x = 1\n")
+    assert source_hash("x = 1\n") != source_hash("x = 2\n")

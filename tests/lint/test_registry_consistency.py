@@ -1,0 +1,61 @@
+"""Registry hygiene: ids are dense, docstrings lead with their id, and
+every rule is documented in docs/LINT.md."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lint import REGISTRY, all_rule_ids
+
+_DOCS = os.path.join(
+    os.path.dirname(__file__), "..", "..", "docs", "LINT.md"
+)
+
+
+def _docs_text() -> str:
+    with open(os.path.normpath(_DOCS), "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def test_rule_ids_are_dense_and_unique():
+    ids = all_rule_ids()
+    assert ids == sorted(set(ids)), "duplicate or unsorted rule ids"
+    expected = [f"MOS{n:03d}" for n in range(1, len(ids) + 1)]
+    assert ids == expected, "rule ids must be dense starting at MOS001"
+
+
+@pytest.mark.parametrize("rule_id", sorted(REGISTRY))
+def test_docstring_header_matches_id(rule_id):
+    cls = REGISTRY[rule_id]
+    doc = (cls.__doc__ or "").lstrip()
+    assert doc.startswith(f"{rule_id}: "), (
+        f"{cls.__name__} docstring must start with {rule_id!r}"
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(REGISTRY))
+def test_rule_metadata_complete(rule_id):
+    cls = REGISTRY[rule_id]
+    assert cls.name, f"{rule_id} has no name"
+    assert cls.description, f"{rule_id} has no description"
+    assert cls.fix_hint, f"{rule_id} has no fix hint"
+    assert cls.scope in ("module", "project")
+
+
+@pytest.mark.parametrize("rule_id", sorted(REGISTRY))
+def test_every_rule_documented(rule_id):
+    docs = _docs_text()
+    assert f"| {rule_id} |" in docs, f"{rule_id} missing from rules table"
+    assert f"### {rule_id} " in docs, f"{rule_id} has no docs section"
+
+
+def test_docs_mention_no_unknown_rules():
+    import re
+
+    docs = _docs_text()
+    documented = set(re.findall(r"### (MOS\d{3})", docs))
+    assert documented == set(REGISTRY), (
+        f"docs sections out of sync: {documented ^ set(REGISTRY)}"
+    )

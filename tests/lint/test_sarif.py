@@ -1,0 +1,77 @@
+"""SARIF 2.1.0 output: schema shape, rule catalogue, codeFlows."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import REGISTRY, render_sarif
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding, Severity, Step
+
+
+def _finding(trace: tuple[Step, ...] = ()) -> Finding:
+    return Finding(
+        rule_id="MOS014",
+        path="src/mod.py",
+        line=10,
+        col=5,
+        severity=Severity.ERROR,
+        message="untrusted decoded value reaches range() unvalidated",
+        fix_hint="validate it",
+        trace=trace,
+    )
+
+
+def _run(doc: str) -> dict:
+    parsed = json.loads(doc)
+    assert parsed["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in parsed["$schema"]
+    (run,) = parsed["runs"]
+    return run
+
+
+def test_empty_result_still_carries_rule_catalogue():
+    run = _run(render_sarif(LintResult()))
+    assert run["results"] == []
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == sorted(REGISTRY)
+    for rule in rules:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_result_shape_and_fingerprint():
+    run = _run(render_sarif(LintResult(findings=[_finding()])))
+    (res,) = run["results"]
+    assert res["ruleId"] == "MOS014"
+    assert res["level"] == "error"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/mod.py"
+    assert loc["region"] == {"startLine": 10, "startColumn": 5}
+    assert res["partialFingerprints"]["mosaicFingerprint/v2"] == (
+        _finding().fingerprint()
+    )
+    assert "codeFlows" not in res
+
+
+def test_trace_renders_as_code_flow():
+    trace = (
+        Step("src/a.py", 3, 1, "tainted: decoded from trace bytes"),
+        Step("src/b.py", 9, 5, "reaches allocation sink range()"),
+    )
+    run = _run(render_sarif(LintResult(findings=[_finding(trace)])))
+    (res,) = run["results"]
+    (flow,) = res["codeFlows"]
+    locations = flow["threadFlows"][0]["locations"]
+    assert len(locations) == 2
+    first = locations[0]["location"]
+    assert first["physicalLocation"]["artifactLocation"]["uri"] == "src/a.py"
+    assert first["message"]["text"].startswith("tainted")
+
+
+def test_warning_maps_to_warning_level():
+    finding = Finding(
+        "MOS005", "m.py", 1, 1, Severity.WARNING, "unguarded division"
+    )
+    run = _run(render_sarif(LintResult(findings=[finding])))
+    assert run["results"][0]["level"] == "warning"
