@@ -8,6 +8,10 @@ Subcommands mirror the paper's workflow:
 ``mosaic compile``
     Compile a trace directory into a columnar corpus store (``.mosc``),
     enabling the zero-copy batched fast path (docs/COLUMNAR.md).
+``mosaic verify``
+    Audit a compiled store's integrity (header, section and per-trace
+    CRCs, index bounds); ``--repair`` salvages every intact trace from
+    a damaged store into a new file and reports exactly what was lost.
 ``mosaic categorize``
     Run the full MOSAIC pipeline over a trace directory — or a compiled
     store via ``--store`` — and save per-trace JSON results (workflow
@@ -52,6 +56,7 @@ from ..analysis import (
     temporality_table,
 )
 from ..core import run_pipeline_stream, save_results_jsonl
+from ..io import StorageError, atomic_write_text
 from ..core.governor import ResourceBudget
 from ..core.pipeline import PipelineContext, PipelineResult
 from ..core.thresholds import DEFAULT_CONFIG, MosaicConfig
@@ -102,6 +107,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--repair", action="store_true",
         help="bake conservative repair into the compiled traces "
         "(a store is compiled with or without repair, once)",
+    )
+
+    ver = sub.add_parser(
+        "verify",
+        help="audit a compiled store's integrity (header, section and "
+        "per-trace CRCs, index bounds); --repair salvages every intact "
+        "trace from a damaged store into a new file",
+    )
+    ver.add_argument("store", help="compiled .mosc store to audit")
+    ver.add_argument(
+        "--repair",
+        action="store_true",
+        help="salvage intact traces into a new store (see --out)",
+    )
+    ver.add_argument(
+        "--out",
+        help="salvaged store path (default: STORE.repaired.mosc)",
+    )
+    ver.add_argument(
+        "--json",
+        dest="json_out",
+        help="also write the verify/salvage report as JSON to this path",
     )
 
     cat = sub.add_parser("categorize", help="categorize a trace directory")
@@ -328,8 +355,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         "cohorts": {k: list(v) for k, v in fleet.manifest.items()},
         "truth": {str(j): t.to_dict() for j, t in fleet.truth.items()},
     }
-    with open(os.path.join(args.out, "manifest.json"), "w", encoding="utf-8") as fh:
-        json.dump(manifest, fh)
+    atomic_write_text(
+        os.path.join(args.out, "manifest.json"), json.dumps(manifest)
+    )
     print(
         f"wrote {fleet.n_input} traces ({fleet.n_valid} valid, "
         f"{fleet.n_corrupted} corrupted) to {args.out}"
@@ -433,6 +461,46 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from ..columnar import salvage_store, verify_store
+
+    report = verify_store(args.store)
+    payload: dict[str, Any] = report.to_dict()
+    if report.clean:
+        print(
+            f"{args.store}: clean (version {report.version}, "
+            f"{report.n_traces} traces, per-trace CRCs "
+            f"{'verified' if report.version >= 2 else 'absent: v1 store'})"
+        )
+    else:
+        print(f"{args.store}: {len(report.findings)} integrity finding(s)")
+        for f in report.findings:
+            locus = (
+                f" [row {f.row}]"
+                if f.row >= 0
+                else (f" [{f.section}]" if f.section else "")
+            )
+            print(f"  {f.kind}{locus}: {f.detail}")
+        if args.repair and not report.fatal:
+            out = args.out or (args.store + ".repaired.mosc")
+            try:
+                salvage = salvage_store(args.store, out)
+            except TraceFormatError as exc:
+                raise SystemExit(f"repair failed: {exc}") from exc
+            payload = salvage.to_dict()
+            print(
+                f"salvaged {salvage.n_recovered}/{salvage.n_rows} traces "
+                f"into {out} ({salvage.n_lost} lost: rows "
+                f"{list(salvage.lost_rows)}; job ids "
+                f"{list(salvage.lost_job_ids)} where recoverable)"
+            )
+        elif args.repair:
+            print("repair impossible: header/geometry damage is fatal")
+    if args.json_out:
+        atomic_write_text(args.json_out, json.dumps(payload, indent=2) + "\n")
+    return 0 if report.clean else 1
+
+
 def _run_pipeline(args: argparse.Namespace, **kwargs: Any) -> PipelineResult:
     """Dispatch on --store vs --traces: batched fast path or streaming."""
     journal, resume = _journal_args(args)
@@ -468,11 +536,12 @@ def _cmd_categorize(args: argparse.Namespace) -> int:
     result = _run_pipeline(args)
     n = save_results_jsonl(result.results, args.out)
     weights_path = args.out + ".weights.json"
-    with open(weights_path, "w", encoding="utf-8") as fh:
-        json.dump(
-            {str(r.job_id): w for r, w in zip(result.results, result.run_weights())},
-            fh,
-        )
+    atomic_write_text(
+        weights_path,
+        json.dumps(
+            {str(r.job_id): w for r, w in zip(result.results, result.run_weights())}
+        ),
+    )
     pre = result.preprocess
     print(
         f"categorized {n} unique applications out of {pre.n_input} traces "
@@ -647,6 +716,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "compile": _cmd_compile,
+    "verify": _cmd_verify,
     "generate": _cmd_generate,
     "categorize": _cmd_categorize,
     "report": _cmd_report,
@@ -667,6 +737,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"aborted: {exc}\n(raise --task-timeout / max_pool_rebuilds, or "
             "quarantine the offending traces and --resume from the journal)"
         ) from exc
+    except StorageError as exc:
+        # Exit 3: a durable artifact could not be persisted.  The write
+        # was atomic, so whatever was at the target path is still intact.
+        print(f"storage error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,10 @@ hot path with a compiled artifact (``.mosc``):
   descriptors, reattach via :func:`attach`, and categorize whole slices
   through the segmented kernels of :mod:`repro.kernels.batched`
   (:mod:`repro.columnar.batch`).
+* :func:`verify_store` / :func:`salvage_store` — ``mosaic verify
+  [--repair]``: per-section and per-trace CRC audit with row-level
+  damage localization, and recovery of every intact trace from a
+  partially corrupted store (:mod:`repro.columnar.verify`).
 
 See docs/COLUMNAR.md for the file layout and the equivalence argument.
 """
@@ -26,19 +30,31 @@ from .compile import CompileReport, compile_corpus
 from .format import MAGIC, VERSION
 from .scan import StoreSource, scan_store
 from .store import CorpusStore, StoreSlice, attach, detach_all
+from .verify import (
+    SalvageReport,
+    VerifyFinding,
+    VerifyReport,
+    salvage_store,
+    verify_store,
+)
 
 __all__ = [
     "MAGIC",
     "VERSION",
     "CompileReport",
     "CorpusStore",
+    "SalvageReport",
     "StoreSlice",
     "StoreSource",
+    "VerifyFinding",
+    "VerifyReport",
     "DEFAULT_SLICE_OPS",
     "attach",
     "categorize_slice",
     "compile_corpus",
     "detach_all",
     "plan_slices",
+    "salvage_store",
     "scan_store",
+    "verify_store",
 ]

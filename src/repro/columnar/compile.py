@@ -30,14 +30,17 @@ from ..darshan.errors import TraceFormatError
 from ..darshan.source import TraceSource
 from ..darshan.trace import Trace
 from ..darshan.validate import ValidationReport, validate_trace
+from ..io import atomic_write_bytes
 from .format import (
     ALIGN,
     FLAG_REPAIRED,
     HEADER_SIZE,
     RECORD_DTYPE,
     SECTION_NAMES,
+    TRACE_CRC_DTYPE,
     TRACE_DTYPE,
     pack_header,
+    trace_crc32,
     violation_bit,
 )
 
@@ -93,13 +96,24 @@ def compile_corpus(
     out_path: str | os.PathLike[str],
     *,
     repair: bool = False,
+    mark_repaired: bool = False,
+    extra_unreadable: int = 0,
 ) -> CompileReport:
     """Compile every trace of ``source`` into a columnar store.
 
     Traces are stored in ``source.refs()`` order.  Undecodable payloads
     are counted, not stored; invalid-but-decodable traces are stored
     with their violation bitmask so the scan funnel can evict them
-    without decoding anything.
+    without decoding anything.  The store is published atomically
+    (:func:`repro.io.atomic_write_bytes`): a killed compile never leaves
+    a half-visible ``.mosc`` at ``out_path``.
+
+    ``mark_repaired`` sets :data:`FLAG_REPAIRED` in the header without
+    re-running the repair heuristics — used by salvage to preserve the
+    flag of the store it recovered from.  ``extra_unreadable`` is added
+    to the header's unreadable count, letting salvage carry forward the
+    original store's unreadables plus the traces corruption destroyed,
+    so the store-backed funnel's input accounting stays honest.
     """
     t0 = time.perf_counter()
     heap = _Heap()
@@ -110,7 +124,7 @@ def compile_corpus(
     ops_volumes: list[np.ndarray] = []
     n_records = 0
     n_ops = 0
-    n_unreadable = 0
+    n_unreadable = extra_unreadable
 
     for ref in source.refs():
         try:
@@ -156,15 +170,26 @@ def compile_corpus(
         else np.empty(0, dtype=RECORD_DTYPE)
     )
     empty = np.empty(0, dtype=np.float64)
+    starts = np.concatenate(ops_starts) if ops_starts else empty
+    ends = np.concatenate(ops_ends) if ops_ends else empty
+    volumes = np.concatenate(ops_volumes) if ops_volumes else empty
+    heap_bytes = heap.payload()
+    trace_crcs = np.fromiter(
+        (
+            trace_crc32(index, records, starts, ends, volumes, heap_bytes, row)
+            for row in range(len(index))
+        ),
+        dtype=TRACE_CRC_DTYPE,
+        count=len(index),
+    )
     sections = {
         "index": index.tobytes(),
         "records": records.tobytes(),
-        "ops_starts": (np.concatenate(ops_starts) if ops_starts else empty).tobytes(),
-        "ops_ends": (np.concatenate(ops_ends) if ops_ends else empty).tobytes(),
-        "ops_volumes": (
-            np.concatenate(ops_volumes) if ops_volumes else empty
-        ).tobytes(),
-        "heap": heap.payload(),
+        "ops_starts": starts.tobytes(),
+        "ops_ends": ends.tobytes(),
+        "ops_volumes": volumes.tobytes(),
+        "heap": heap_bytes,
+        "trace_crcs": trace_crcs.tobytes(),
     }
 
     table: list[tuple[int, int, int]] = []
@@ -175,7 +200,7 @@ def compile_corpus(
         cursor = _align(cursor + len(payload))
 
     header = pack_header(
-        flags=FLAG_REPAIRED if repair else 0,
+        flags=FLAG_REPAIRED if (repair or mark_repaired) else 0,
         n_traces=len(index),
         n_records=n_records,
         n_ops=n_ops,
@@ -184,23 +209,16 @@ def compile_corpus(
         sections=table,
     )
 
+    # Assemble the full image (alignment gaps zero-filled) and publish
+    # it atomically: temp + fsync + rename + parent-dir fsync, so a
+    # crash or ENOSPC at any instant leaves the old store or none.
+    n_bytes = table[-1][0] + table[-1][1]
+    image = bytearray(n_bytes)
+    image[: len(header)] = header
+    for (offset, nbytes, _crc), name in zip(table, SECTION_NAMES):
+        image[offset : offset + nbytes] = sections[name]
     out = os.fspath(out_path)
-    tmp = out + ".tmp"
-    with open(tmp, "wb") as fh:
-        fh.write(header)
-        for (offset, _nbytes, _crc), name in zip(table, SECTION_NAMES):
-            fh.seek(offset)
-            fh.write(sections[name])
-        # An empty tail section (e.g. a corpus with zero decodable
-        # traces) seeks past EOF without extending the file; pad to the
-        # declared extent or the reader's geometry check rejects it.
-        # (tell() reports the seek position, not the on-disk size, so
-        # truncate unconditionally — it can only pad, never cut data.)
-        n_bytes = table[-1][0] + table[-1][1]
-        fh.truncate(n_bytes)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, out)
+    atomic_write_bytes(out, bytes(image))
 
     return CompileReport(
         path=out,

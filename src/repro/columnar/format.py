@@ -30,11 +30,20 @@ CRC32, so truncation and bit rot are detectable *before* any section is
 interpreted — the same hostile-input posture as the MOSD trace codec
 (:mod:`repro.darshan.io_binary`), enforced against
 :class:`~repro.darshan.limits.DecodeLimits` by the reader.
+
+Version 2 adds a ``trace_crcs`` section: one CRC32 per trace, chained
+over the trace's index row, record slab, operation slabs, and every heap
+string it references (:func:`trace_crc32`).  Section CRCs detect *that*
+a store is damaged; per-trace CRCs localize *which traces* the damage
+hits, which is what lets ``mosaic verify --repair`` salvage everything
+else.  Version-1 stores still open read-only (no per-trace CRCs, so
+verification degrades to the section-level audit).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -48,15 +57,22 @@ __all__ = [
     "SECTION_NAMES",
     "TRACE_DTYPE",
     "RECORD_DTYPE",
+    "TRACE_CRC_DTYPE",
     "FLAG_REPAIRED",
+    "header_size",
+    "section_names",
     "violation_bit",
     "violations_from_mask",
     "pack_header",
     "unpack_header",
+    "trace_crc32",
 ]
 
 MAGIC = b"MOSC"
-VERSION = 1
+VERSION = 2
+
+#: Versions :func:`unpack_header` still parses (v1: no ``trace_crcs``).
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Header flag: the corpus was compiled with repair heuristics applied.
 FLAG_REPAIRED = 1 << 0
@@ -68,7 +84,7 @@ _FIXED = struct.Struct("<4sHHQQQQQ")
 _SECTION = struct.Struct("<QQI")
 _HEADER_CRC = struct.Struct("<I")
 
-SECTION_NAMES = (
+_SECTION_NAMES_V1 = (
     "index",
     "records",
     "ops_starts",
@@ -77,10 +93,35 @@ SECTION_NAMES = (
     "heap",
 )
 
-HEADER_SIZE = _FIXED.size + len(SECTION_NAMES) * _SECTION.size + _HEADER_CRC.size
+#: Current (version-2) section order; ``trace_crcs`` rides last so the
+#: v1 prefix layout is unchanged.
+SECTION_NAMES = _SECTION_NAMES_V1 + ("trace_crcs",)
+
+
+def section_names(version: int = VERSION) -> tuple[str, ...]:
+    """Section order for a given format version."""
+    return _SECTION_NAMES_V1 if version == 1 else SECTION_NAMES
+
+
+def header_size(version: int = VERSION) -> int:
+    """Exact header byte length for a given format version."""
+    return (
+        _FIXED.size
+        + len(section_names(version)) * _SECTION.size
+        + _HEADER_CRC.size
+    )
+
+
+HEADER_SIZE = header_size(VERSION)
+
+#: The smallest header any supported version can have (v1's).
+MIN_HEADER_SIZE = header_size(1)
 
 #: Section payload alignment (keeps mmap'd float64 columns aligned).
 ALIGN = 64
+
+#: One CRC32 per trace (version 2+), see :func:`trace_crc32`.
+TRACE_CRC_DTYPE = np.dtype("<u4")
 
 TRACE_DTYPE = np.dtype(
     [
@@ -161,9 +202,7 @@ def pack_header(
     n_unreadable: int,
     sections: list[tuple[int, int, int]],
 ) -> bytes:
-    """Serialize the fixed header (appends its own CRC32)."""
-    import zlib
-
+    """Serialize the current-version header (appends its own CRC32)."""
     if len(sections) != len(SECTION_NAMES):
         raise ValueError("one section entry per SECTION_NAMES required")
     body = _FIXED.pack(
@@ -182,22 +221,20 @@ def pack_header(
 
 
 def unpack_header(raw: bytes) -> dict:
-    """Parse and CRC-check a header buffer of :data:`HEADER_SIZE` bytes.
+    """Parse and CRC-check a header buffer.
 
-    Returns the parsed fields; raises ``ValueError`` on any structural
-    problem (the reader converts that to ``TraceFormatError``).
+    ``raw`` must hold at least the header of the version it declares
+    (pass the file's first :data:`HEADER_SIZE` bytes; extra trailing
+    bytes are ignored, which is how the version-1 shim works — a v1
+    header is shorter than v2's).  Returns the parsed fields, including
+    ``"version"``; raises ``ValueError`` on any structural problem (the
+    reader converts that to ``TraceFormatError``).
     """
-    import zlib
-
-    if len(raw) != HEADER_SIZE:
+    if len(raw) < _FIXED.size:
         raise ValueError(
-            f"header is {len(raw)} bytes, expected {HEADER_SIZE}"
+            f"header is {len(raw)} bytes, smaller than the "
+            f"{_FIXED.size}-byte fixed prefix"
         )
-    body, (crc,) = raw[: -_HEADER_CRC.size], _HEADER_CRC.unpack(
-        raw[-_HEADER_CRC.size :]
-    )
-    if zlib.crc32(body) != crc:
-        raise ValueError("header CRC mismatch (truncated or bit-rotted)")
     (
         magic,
         version,
@@ -207,20 +244,34 @@ def unpack_header(raw: bytes) -> dict:
         n_ops,
         heap_len,
         n_unreadable,
-    ) = _FIXED.unpack_from(body, 0)
+    ) = _FIXED.unpack_from(raw, 0)
     if magic != MAGIC:
         raise ValueError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported store version {version} (expected {VERSION})"
+            f"unsupported store version {version} "
+            f"(supported: {sorted(SUPPORTED_VERSIONS)})"
         )
+    expected = header_size(version)
+    if len(raw) < expected:
+        raise ValueError(
+            f"header is {len(raw)} bytes, expected {expected} for "
+            f"version {version}"
+        )
+    raw = raw[:expected]
+    body, (crc,) = raw[: -_HEADER_CRC.size], _HEADER_CRC.unpack(
+        raw[-_HEADER_CRC.size :]
+    )
+    if zlib.crc32(body) != crc:
+        raise ValueError("header CRC mismatch (truncated or bit-rotted)")
     sections: dict[str, tuple[int, int, int]] = {}
     base = _FIXED.size
-    for i, name in enumerate(SECTION_NAMES):
+    for i, name in enumerate(section_names(version)):
         sections[name] = _SECTION.unpack_from(
             body, base + i * _SECTION.size
         )
     return {
+        "version": version,
         "flags": flags,
         "n_traces": n_traces,
         "n_records": n_records,
@@ -229,3 +280,40 @@ def unpack_header(raw: bytes) -> dict:
         "n_unreadable": n_unreadable,
         "sections": sections,
     }
+
+
+def trace_crc32(
+    index: np.ndarray,
+    records: np.ndarray,
+    ops_starts: np.ndarray,
+    ops_ends: np.ndarray,
+    ops_volumes: np.ndarray,
+    heap: bytes,
+    row: int,
+) -> int:
+    """CRC32 of everything one trace owns in the store.
+
+    Chained over the trace's index row, its record slab, its three
+    operation slabs, and every heap string it references (exe, machine,
+    partition, then each record's file name, in slab order).  Computed
+    identically at compile time and by ``mosaic verify``, so any flipped
+    bit in any byte a trace depends on changes exactly that trace's CRC.
+    The caller is responsible for bounds (the reader validates the index
+    before CRCs are consulted).
+    """
+    r = index[row]
+    crc = zlib.crc32(index[row : row + 1].tobytes())
+    lo = int(r["rec_off"])
+    hi = lo + int(r["n_records"])
+    rec = records[lo:hi]
+    crc = zlib.crc32(rec.tobytes(), crc)
+    olo = int(r["ops_off"])
+    ohi = olo + int(r["n_read_ops"]) + int(r["n_write_ops"])
+    for arr in (ops_starts, ops_ends, ops_volumes):
+        crc = zlib.crc32(np.ascontiguousarray(arr[olo:ohi]).tobytes(), crc)
+    for field in ("exe", "machine", "partition"):
+        off = int(r[f"{field}_off"])
+        crc = zlib.crc32(heap[off : off + int(r[f"{field}_len"])], crc)
+    for off, length in zip(rec["name_off"], rec["name_len"]):
+        crc = zlib.crc32(heap[int(off) : int(off) + int(length)], crc)
+    return crc & 0xFFFFFFFF

@@ -16,6 +16,14 @@ interpreted; ``verify=True`` additionally CRC-checks the section
 payloads.  Any failure raises
 :class:`~repro.darshan.errors.TraceFormatError`, never an OOM or an
 out-of-bounds view.
+
+SIGBUS safety: a store truncated *after* it was mapped (an operator
+``truncate``, a filesystem losing tail blocks) would turn any read of
+the vanished pages into a process-killing ``SIGBUS``.  Every accessor
+therefore calls :meth:`CorpusStore.guard` first — an ``fstat`` on a
+dup'd descriptor of the mapped file comparing the *current* size
+against the mapped extent — converting truncation-under-mmap into an
+ordinary :class:`TraceFormatError` the pipeline quarantines per trace.
 """
 
 from __future__ import annotations
@@ -37,9 +45,12 @@ from .format import (
     ALIGN,
     FLAG_REPAIRED,
     HEADER_SIZE,
+    MIN_HEADER_SIZE,
     RECORD_DTYPE,
-    SECTION_NAMES,
+    TRACE_CRC_DTYPE,
     TRACE_DTYPE,
+    header_size,
+    section_names,
     unpack_header,
     violations_from_mask,
 )
@@ -63,7 +74,7 @@ class StoreSlice:
 
 
 def _expected_nbytes(header: dict) -> dict[str, int]:
-    return {
+    expected = {
         "index": header["n_traces"] * TRACE_DTYPE.itemsize,
         "records": header["n_records"] * RECORD_DTYPE.itemsize,
         "ops_starts": header["n_ops"] * 8,
@@ -71,6 +82,9 @@ def _expected_nbytes(header: dict) -> dict[str, int]:
         "ops_volumes": header["n_ops"] * 8,
         "heap": header["heap_len"],
     }
+    if header["version"] >= 2:
+        expected["trace_crcs"] = header["n_traces"] * TRACE_CRC_DTYPE.itemsize
+    return expected
 
 
 class CorpusStore:
@@ -82,22 +96,32 @@ class CorpusStore:
         *,
         limits: DecodeLimits = DEFAULT_LIMITS,
         verify: bool = True,
+        strict: bool = True,
     ) -> None:
         self.path = os.fspath(path)
         self._limits = limits
+        self._fd = -1
+        #: Rows whose index entry points outside its sections (tolerant
+        #: mode only; always empty when ``strict=True`` succeeded).
+        self.bad_rows: frozenset[int] = frozenset()
         size = os.path.getsize(self.path)
-        if size < HEADER_SIZE:
+        if size < MIN_HEADER_SIZE:
             raise TraceFormatError(
                 f"store {self.path!r} is {size} bytes — smaller than the "
-                f"{HEADER_SIZE}-byte header"
+                f"{MIN_HEADER_SIZE}-byte minimum header"
             )
         check_declared_size(
             size, size, "corpus store", limits.max_payload_bytes
         )
         with open(self.path, "rb") as fh:
             self._mmap = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            # Keep a descriptor of the *mapped* file (not its path, which
+            # may be atomically replaced later) so guard() can detect
+            # truncation of these very pages before a read hits SIGBUS.
+            self._fd = os.dup(fh.fileno())
+        self._mapped_size = size
         try:
-            header = unpack_header(bytes(self._mmap[:HEADER_SIZE]))
+            header = unpack_header(bytes(self._mmap[: min(size, HEADER_SIZE)]))
         except ValueError as exc:
             self.close()
             raise TraceFormatError(f"store {self.path!r}: {exc}") from None
@@ -106,10 +130,11 @@ class CorpusStore:
             self._load_sections(header)
             if verify:
                 self._verify_crcs(header)
-            self._validate_index()
+            self._validate_index(strict=strict)
         except TraceFormatError:
             self.close()
             raise
+        self.version: int = header["version"]
         self.flags: int = header["flags"]
         self.n_unreadable: int = header["n_unreadable"]
 
@@ -133,7 +158,8 @@ class CorpusStore:
                 f"over the decode limit {limits.max_string_bytes}"
             )
         expected = _expected_nbytes(header)
-        for name in SECTION_NAMES:
+        hsize = header_size(header["version"])
+        for name in section_names(header["version"]):
             offset, nbytes, _crc = header["sections"][name]
             if nbytes != expected[name]:
                 raise TraceFormatError(
@@ -141,7 +167,7 @@ class CorpusStore:
                     f"the header counts imply {expected[name]} (truncated or "
                     f"bit-rotted header)"
                 )
-            if offset < HEADER_SIZE or offset % ALIGN:
+            if offset < hsize or offset % ALIGN:
                 raise TraceFormatError(
                     f"store {self.path!r} section {name!r} is misplaced "
                     f"(offset {offset})"
@@ -165,9 +191,16 @@ class CorpusStore:
         self.ops_volumes = view("ops_volumes", f8, header["n_ops"])
         heap_off, heap_len, _ = header["sections"]["heap"]
         self.heap = bytes(self._mmap[heap_off : heap_off + heap_len])
+        #: Per-trace CRCs (version 2+; ``None`` for legacy v1 stores).
+        self.trace_crcs: np.ndarray | None = (
+            view("trace_crcs", TRACE_CRC_DTYPE, header["n_traces"])
+            if header["version"] >= 2
+            else None
+        )
 
     def _verify_crcs(self, header: dict) -> None:
-        for name in SECTION_NAMES:
+        self.guard()
+        for name in section_names(header["version"]):
             offset, nbytes, crc = header["sections"][name]
             actual = zlib.crc32(self._mmap[offset : offset + nbytes])
             if actual != crc:
@@ -176,39 +209,79 @@ class CorpusStore:
                     f"(bit-rotted payload)"
                 )
 
-    def _validate_index(self) -> None:
+    def _validate_index(self, *, strict: bool = True) -> None:
         """Bound every index offset/length so a corrupt index can never
-        produce an out-of-bounds view, even with ``verify=False``."""
+        produce an out-of-bounds view, even with ``verify=False``.
+
+        With ``strict=False`` (the salvage path), out-of-bounds rows are
+        collected into :attr:`bad_rows` instead of failing the open —
+        accessors must not be used on those rows.
+        """
         idx = self.index
         if len(idx) == 0:
             return
+        bad = np.zeros(len(idx), dtype=bool)
 
-        def bounded(off: np.ndarray, n: np.ndarray, total: int, what: str) -> None:
-            hi = off.astype(np.int64) + n.astype(np.int64)
-            if int(hi.max(initial=0)) > total or int(off.min(initial=0)) < 0:
-                raise TraceFormatError(
-                    f"store {self.path!r} index points outside the "
-                    f"{what} section (bit-rotted index)"
-                )
+        def mark(off: np.ndarray, n: np.ndarray, total: int) -> np.ndarray:
+            off64 = off.astype(np.int64)
+            return (off64 + n.astype(np.int64) > total) | (off64 < 0)
 
-        bounded(idx["rec_off"], idx["n_records"], len(self.records), "records")
-        bounded(
+        bad |= mark(idx["rec_off"], idx["n_records"], len(self.records))
+        bad |= mark(
             idx["ops_off"],
             idx["n_read_ops"].astype(np.int64) + idx["n_write_ops"],
             len(self.ops_starts),
-            "ops",
         )
         heap_len = len(self.heap)
         for field in ("exe", "machine", "partition"):
-            bounded(
-                idx[f"{field}_off"], idx[f"{field}_len"], heap_len, "heap"
-            )
-        bounded(
-            self.records["name_off"],
-            self.records["name_len"],
-            heap_len,
-            "heap",
+            bad |= mark(idx[f"{field}_off"], idx[f"{field}_len"], heap_len)
+        # A record whose name points outside the heap taints the row(s)
+        # whose slab contains it.
+        rec_bad = mark(
+            self.records["name_off"], self.records["name_len"], heap_len
         )
+        if rec_bad.any():
+            bad_recs = np.flatnonzero(rec_bad)
+            lo = idx["rec_off"].astype(np.int64)
+            hi = lo + idx["n_records"].astype(np.int64)
+            # Only rows already bounds-valid can be probed against slabs.
+            for row in np.flatnonzero(~bad):
+                if ((bad_recs >= lo[row]) & (bad_recs < hi[row])).any():
+                    bad[row] = True
+        if bad.any():
+            if strict:
+                raise TraceFormatError(
+                    f"store {self.path!r} index points outside its "
+                    f"sections (bit-rotted index)"
+                )
+            self.bad_rows = frozenset(int(r) for r in np.flatnonzero(bad))
+
+    # -- SIGBUS guard ---------------------------------------------------
+    def guard(self) -> None:
+        """Refuse to read pages that may no longer be backed by the file.
+
+        An ``mmap`` read past the mapped file's *current* end delivers
+        ``SIGBUS`` and kills the process — no Python exception, no
+        quarantine, no journal entry.  This re-stats the dup'd
+        descriptor of the mapped inode and raises
+        :class:`TraceFormatError` if the file has shrunk below the
+        mapped extent, so truncation-under-mmap degrades into an
+        ordinary per-trace failure.  Cost is one ``fstat`` (~1 µs),
+        paid at every accessor entry, not per element.
+        """
+        if self._fd < 0:
+            raise TraceFormatError(f"store {self.path!r} is closed")
+        try:
+            current = os.fstat(self._fd).st_size
+        except OSError as exc:
+            raise TraceFormatError(
+                f"store {self.path!r} became unreadable: {exc}"
+            ) from exc
+        if current < self._mapped_size:
+            raise TraceFormatError(
+                f"store {self.path!r} was truncated under its mapping "
+                f"({current} bytes on disk, {self._mapped_size} mapped)"
+            )
 
     # -- basic accessors ------------------------------------------------
     def __len__(self) -> int:
@@ -227,12 +300,14 @@ class CorpusStore:
 
     def violations(self, row: int) -> set[Violation]:
         """Validation categories recorded at compile time (empty = valid)."""
+        self.guard()
         return violations_from_mask(int(self.index[row]["violations"]))
 
     def is_valid(self, row: int) -> bool:
         return int(self.index[row]["violations"]) == 0
 
     def app_key(self, row: int) -> tuple[int, str]:
+        self.guard()
         r = self.index[row]
         return (
             int(r["uid"]),
@@ -254,6 +329,7 @@ class CorpusStore:
     def operations(self, row: int, direction: str) -> OperationArray:
         """The trace's raw operation array, identical to
         ``decode_trace(row).operations(direction)``."""
+        self.guard()
         lo, hi = self.ops_bounds(row, direction)
         if lo == hi:
             return OperationArray.empty()
@@ -414,6 +490,7 @@ class CorpusStore:
         in slab order) is reproduced exactly before the final stable
         argsort, so ties land identically.
         """
+        self.guard()
         prep = self._metadata_prep(row)
         if prep is None:
             z = np.empty(0, dtype=np.float64)
@@ -439,6 +516,7 @@ class CorpusStore:
         flat shape is exactly what the segmented binning kernel
         (:func:`repro.kernels.batched.bin_events_segmented`) consumes.
         """
+        self.guard()
         preps = [self._metadata_prep(row) for row in rows]
         offsets = np.zeros(len(rows) + 1, dtype=np.int64)
         for j, prep in enumerate(preps):
@@ -465,6 +543,7 @@ class CorpusStore:
 
     # -- full decode ----------------------------------------------------
     def job_meta(self, row: int) -> JobMeta:
+        self.guard()
         r = self.index[row]
         return JobMeta(
             job_id=int(r["job_id"]),
@@ -481,6 +560,7 @@ class CorpusStore:
 
     def decode_trace(self, row: int) -> Trace:
         """Materialize one trace, bit-for-bit equal to the compiled input."""
+        self.guard()
         r = self.index[row]
         lo = int(r["rec_off"])
         hi = lo + int(r["n_records"])
@@ -515,6 +595,9 @@ class CorpusStore:
         return Trace(meta=self.job_meta(row), records=records)
 
     def close(self) -> None:
+        if getattr(self, "_fd", -1) >= 0:
+            os.close(self._fd)
+            self._fd = -1
         mm = getattr(self, "_mmap", None)
         if mm is not None and not mm.closed:
             # Views into the mmap must be released first; drop them.
@@ -524,8 +607,9 @@ class CorpusStore:
                 "ops_starts",
                 "ops_ends",
                 "ops_volumes",
+                "trace_crcs",
             ):
-                if hasattr(self, name):
+                if getattr(self, name, None) is not None:
                     delattr(self, name)
             try:
                 mm.close()
@@ -574,7 +658,15 @@ def attach(
     """
     key = os.path.abspath(os.fspath(path))
     pid = os.getpid()
-    st = os.stat(key)
+    try:
+        st = os.stat(key)
+    except OSError as exc:
+        # The store vanished (or its directory did): a cached mapping,
+        # if any, must not be served for a file that no longer exists.
+        _ATTACHED.pop(key, None)
+        raise TraceFormatError(
+            f"store {key!r} is not readable: {exc}"
+        ) from exc
     ident = (st.st_ino, st.st_mtime_ns, st.st_size)
     hit = _ATTACHED.get(key)
     if (
@@ -583,6 +675,14 @@ def attach(
         and hit[1] == ident
         and (hit[2] or not verify)
     ):
+        # Same path identity is necessary but not sufficient: the mapped
+        # inode itself may have been truncated in place since the hit
+        # was cached.  guard() re-validates before the store is reused.
+        try:
+            hit[3].guard()
+        except TraceFormatError:
+            _ATTACHED.pop(key, None)
+            raise
         return hit[3]
     store = CorpusStore(key, limits=limits, verify=verify)
     _ATTACHED[key] = (pid, ident, verify, store)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
 from ..darshan.trace import Direction
+from ..io import atomic_write
 from .categories import Category, parse_categories
 from .governor import DegradationLevel
 from .metadata import MetadataDetection
@@ -187,9 +188,11 @@ class CategorizationResult:
 def save_results_jsonl(
     results: Iterable[CategorizationResult], path: str | os.PathLike[str]
 ) -> int:
-    """Write results as JSON-lines; returns the number written."""
+    """Atomically write results as JSON-lines; returns the number
+    written.  A crash mid-save leaves the previous file (or nothing),
+    never a truncated result set."""
     n = 0
-    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+    with atomic_write(path, "w") as fh:
         for r in results:
             fh.write(json.dumps(r.to_dict()) + "\n")
             n += 1

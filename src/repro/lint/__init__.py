@@ -8,7 +8,7 @@ materialize whole traces), exhaustive handling of the
 tolerance-based timestamp comparison, guarded divisions over durations
 and byte counts, and thresholds sourced from
 :mod:`repro.core.thresholds` rather than inlined.  This package turns
-those contracts into machine-checked rules (``MOS001``-``MOS017``) run
+those contracts into machine-checked rules (``MOS001``-``MOS018``) run
 by a self-contained static-analysis engine:
 
 * :mod:`repro.lint.findings` — the findings model (rule, location,

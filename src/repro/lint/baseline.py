@@ -25,6 +25,7 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 
+from ..io import atomic_write_text
 from .findings import Finding
 
 __all__ = ["Baseline"]
@@ -68,9 +69,9 @@ class Baseline:
             "version": _VERSION,
             "fingerprints": dict(sorted(self.counts.items())),
         }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
     def filter(self, findings: list[Finding]) -> tuple[list[Finding], int]:
         """(new findings, number suppressed by this baseline).

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from typing import Any
 
+from ..io import atomic_write_text
 from .findings import Finding, normalize_path
 
 __all__ = ["LintCache"]
@@ -88,18 +88,13 @@ class LintCache:
             "files": self.files,
             "project": self.project,
         }
-        tmp = f"{self.path}.tmp.{os.getpid()}"
         try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, self.path)
+            atomic_write_text(self.path, json.dumps(payload, sort_keys=True))
         except OSError:
             # A cache that cannot be written is a performance loss, not
-            # a correctness problem.
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            # a correctness problem (StorageError is an OSError, and
+            # atomic_write cleans up its own temp file).
+            pass
 
     # -- per-file -------------------------------------------------------
     def file_hit(

@@ -11,6 +11,7 @@ import argparse
 import sys
 import textwrap
 
+from ..io import atomic_write_text
 from .baseline import Baseline
 from .engine import LintConfig, lint_paths
 from .reporters import render_json, render_text
@@ -23,7 +24,7 @@ __all__ = ["add_lint_subparser", "cmd_lint"]
 def add_lint_subparser(sub: "argparse._SubParsersAction") -> None:
     lint = sub.add_parser(
         "lint",
-        help="check Mosaic pipeline contracts (MOS001-MOS017)",
+        help="check Mosaic pipeline contracts (MOS001-MOS018)",
         description="AST-based invariant analysis: streaming discipline, "
         "exhaustive Violation handling, tolerance-based timestamp "
         "comparison, guarded divisions, named thresholds, plus "
@@ -142,8 +143,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     if args.sarif:
-        with open(args.sarif, "w", encoding="utf-8") as fh:
-            fh.write(render_sarif(result))
+        atomic_write_text(args.sarif, render_sarif(result))
 
     if args.fmt == "json":
         sys.stdout.write(render_json(result))

@@ -1,4 +1,4 @@
-"""The Mosaic contract rules (MOS001-MOS013).
+"""The Mosaic contract rules (MOS001-MOS013, MOS018).
 
 Each rule encodes one invariant the paper states but Python cannot
 enforce; the registry in :mod:`repro.lint.rules` exposes them to the
@@ -1110,3 +1110,95 @@ class StoreBoundedIORule(Rule):
                 "geometry or CRC validation; check its size against a "
                 "DecodeLimits cap first",
             )
+
+
+# ======================================================================
+@register
+class DurableWriteRule(Rule):
+    """MOS018: persistence modules write through :mod:`repro.io` only.
+
+    Every durable artifact — compiled stores, journals, caches,
+    baselines, exports, results — must go through the VFS seam
+    (``atomic_write*`` / ``durable_append`` / ``get_io()``), which is
+    what makes the crash-consistency guarantees of docs/ROBUSTNESS.md
+    ("Storage fault model") enforceable and chaos-testable.  A direct
+    ``open(..., "w")`` or ``os.rename``/``os.replace`` in a persistence
+    module is a write the storage-chaos suite cannot reach and a crash
+    window the atomicity argument does not cover.
+
+    Scope: ``repro.columnar``, ``repro.parallel``, ``repro.lint``,
+    ``repro.viz``, ``repro.core``, ``repro.cli``.  The seam itself
+    (``repro.io``), the chaos injector (``repro.testing``), the trace
+    codecs (``repro.darshan`` writes synthetic fixtures, not durable
+    state), and the fuzzer's reproducer dumps (``repro.fuzz``) are out
+    of scope.
+    """
+
+    id = "MOS018"
+    name = "durable-write"
+    description = (
+        "direct open(w)/os.rename in a persistence module bypasses the "
+        "repro.io durability seam"
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "write through repro.io: atomic_write*/durable_append, or the "
+        "active FaultableIO from get_io()"
+    )
+
+    #: Module prefixes whose writes are durable artifacts.
+    _PERSISTENCE_PREFIXES = (
+        "repro.columnar",
+        "repro.parallel",
+        "repro.lint",
+        "repro.viz",
+        "repro.core",
+        "repro.cli",
+    )
+    _RENAME_FUNCS = frozenset({"os.rename", "os.replace"})
+
+    def _applies(self) -> bool:
+        mod = self.ctx.module
+        if mod.startswith("repro."):
+            return mod.startswith(self._PERSISTENCE_PREFIXES)
+        return True  # standalone modules (the fixture corpus) are checked
+
+    @staticmethod
+    def _write_mode(node: ast.Call) -> str | None:
+        """The constant mode string when it requests writing, else None."""
+        mode: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+        if not isinstance(mode, ast.Constant) or not isinstance(
+            mode.value, str
+        ):
+            return None
+        if any(flag in mode.value for flag in ("w", "a", "x", "+")):
+            return mode.value
+        return None
+
+    def on_Call(self, node: ast.Call) -> None:
+        if not self._applies():
+            return
+        name = dotted_name(node.func)
+        if name in self._RENAME_FUNCS:
+            self.report(
+                node,
+                f"{name}() publishes an artifact outside the repro.io "
+                "seam; use atomic_write* (rename + dir fsync) or the "
+                "active FaultableIO",
+            )
+            return
+        if name in ("open", "io.open", "gzip.open"):
+            mode = self._write_mode(node)
+            if mode is not None:
+                self.report(
+                    node,
+                    f"open(..., {mode!r}) writes durable state directly; "
+                    "route it through repro.io (atomic_write*/"
+                    "durable_append) so chaos tests cover it",
+                )

@@ -17,8 +17,10 @@ Format (one JSON object per line):
 * ``{"kind": "failure", "job_id": J, "failure_kind": "poison", ...}`` —
   one failed trace with its taxonomy kind, error class, and source key.
 
-The file is crash-tolerant by construction: a process killed mid-write
-leaves at most one partial trailing line, which the loader ignores.
+The file is crash-tolerant by construction: lines are flushed as
+written and fsynced at checkpoint boundaries (every line by default),
+so a killed process — or a power cut — leaves at most one partial
+trailing line, which the loader ignores.
 Quarantined outcomes (TIMEOUT/POISON) are skipped on resume — a hung
 decode does not get to hang every resumed run — while plain EXCEPTION
 failures are re-attempted, since they may have been environmental.
@@ -33,7 +35,9 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, IO
+from typing import Any
+
+from ..io import DurableAppender, atomic_write_text
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -126,26 +130,35 @@ class JournalState:
 
 
 class JournalWriter:
-    """Append-only writer; one flushed JSON line per outcome.
+    """Append-only writer; one flushed, fsynced JSON line per outcome.
 
     Opened in truncate mode for a fresh run and append mode for a
-    resumed one.  Lines are flushed immediately so a ``kill -9``'d run
-    loses at most the outcome being written.
+    resumed one.  Writes go through :class:`repro.io.DurableAppender`:
+    every line is flushed as written and the file is fsynced every
+    ``sync_interval`` lines (default 1), so a power cut — not just a
+    ``kill -9`` — loses at most the outcomes since the last checkpoint.
+    Storage failures surface as :class:`repro.io.StorageError` naming
+    the journal path.
     """
 
-    def __init__(self, path: str | os.PathLike[str], *, append: bool = False):
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        append: bool = False,
+        sync_interval: int = 1,
+    ):
         self.path = os.fspath(path)
-        self._fh: IO[str] | None = open(
-            self.path, "a" if append else "w", encoding="utf-8"
+        self._appender: DurableAppender | None = DurableAppender(
+            self.path, append=append, sync_interval=sync_interval
         )
         self.n_written = 0
 
     # ------------------------------------------------------------------
     def _write(self, entry: dict[str, Any]) -> None:
-        if self._fh is None:
+        if self._appender is None:
             raise ValueError(f"journal {self.path!r} is closed")
-        self._fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
-        self._fh.flush()
+        self._appender.append_line(json.dumps(entry, separators=(",", ":")))
         self.n_written += 1
 
     def write_header(self, *, n_selected: int) -> None:
@@ -182,10 +195,15 @@ class JournalWriter:
             }
         )
 
+    def checkpoint(self) -> None:
+        """Force-fsync everything journaled so far."""
+        if self._appender is not None:
+            self._appender.checkpoint()
+
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
 
     def __enter__(self) -> "JournalWriter":
         return self
@@ -212,7 +230,5 @@ def write_quarantine_manifest(
         "n_quarantined": len(entries),
         "quarantined": sorted(entries, key=lambda e: e.get("job_id", 0)),
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
     return path

@@ -1,6 +1,7 @@
 """Test-support utilities shipped with the package: deterministic fault
-injection for chaos-testing the resilient execution layer, and the
-differential-testing oracle that holds the kernel backends equivalent."""
+injection for chaos-testing the resilient execution layer, storage-fault
+injection for the durability layer, and the differential-testing oracle
+that holds the kernel backends equivalent."""
 
 from .differential import (
     DifferentialReport,
@@ -9,12 +10,24 @@ from .differential import (
     run_differential,
 )
 from .faults import ChaosInjector, item_key
+from .storage import (
+    FAULT_POWER_CUT,
+    FAULT_SHORT_WRITE,
+    PowerCut,
+    StorageChaos,
+    op_census,
+)
 
 __all__ = [
     "ChaosInjector",
     "item_key",
     "DifferentialReport",
     "Divergence",
+    "FAULT_POWER_CUT",
+    "FAULT_SHORT_WRITE",
+    "PowerCut",
+    "StorageChaos",
+    "op_census",
     "run_all",
     "run_differential",
 ]

@@ -1,0 +1,301 @@
+"""Deterministic storage-fault injection: chaos for the durability layer.
+
+Where :class:`~repro.testing.faults.ChaosInjector` kills *processes*,
+:class:`StorageChaos` breaks *storage*: it is a
+:class:`~repro.io.vfs.FaultableIO` whose every primitive can be scripted
+to fail with a chosen errno, write short, or simulate a power cut — on
+an exact call index or at a seeded rate — so the atomicity and
+durability claims of :mod:`repro.io` are testable, not aspirational.
+
+Determinism is the whole design: the same script/seed against the same
+code path produces the same fault at the same byte, which is what lets
+the acceptance suite enumerate *every* write/fsync/rename a persistence
+site performs (:func:`op_census`) and then prove the invariant holds
+with a fault injected at each one.
+
+Power-cut model
+---------------
+``StorageChaos`` keeps a *durable state* per touched path under
+``root``: what would survive a power loss right now.
+
+* writes and flushes change the real file but not its durable state
+  (they may still sit in the page cache);
+* ``fsync`` of a file makes its current content durable;
+* ``replace`` takes real effect immediately but stays volatile until
+  the parent directory is fsynced (``fsync_dir``) — the classic torn
+  rename;
+* :meth:`power_cut` restores every touched path to its durable state,
+  exactly as if the machine had lost power and rebooted.
+
+This is a file-granular simplification of real crash semantics
+(journaling filesystems differ in the details), but it is strictly
+*harsher* than ext4's ordered mode for the sequences we use, so code
+that survives it survives the real thing.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import hashlib
+import os
+from collections import Counter
+from typing import IO, Any, Callable, Mapping
+
+from ..io.vfs import FaultableIO
+
+__all__ = [
+    "FAULT_SHORT_WRITE",
+    "FAULT_POWER_CUT",
+    "PowerCut",
+    "StorageChaos",
+    "op_census",
+]
+
+#: Script value: write half the payload, then fail with EIO — the flaky
+#: parallel-filesystem partial write (transient, so retry paths run).
+FAULT_SHORT_WRITE = "short-write"
+#: Script value: simulate instantaneous power loss at this call.
+FAULT_POWER_CUT = "power-cut"
+
+#: Ops a script/rate may target (one counter per op).
+_OPS = ("open", "write", "flush", "fsync", "replace", "unlink", "fsync_dir")
+
+#: Modes whose open() mutates the file (tracked for power-cut restore).
+_WRITE_MODES = ("w", "a", "x", "+")
+
+
+class PowerCut(BaseException):
+    """The simulated instant of power loss.
+
+    Derives from ``BaseException`` so no ``except OSError``/``except
+    Exception`` recovery path can swallow it — a real power cut gives
+    the process no chance to recover either.  Tests catch it, call
+    :meth:`StorageChaos.power_cut` to roll the filesystem back to its
+    durable state, and then assert the crash-consistency invariants.
+    """
+
+
+def _roll(seed: int, key: str) -> float:
+    """Deterministic uniform draw in [0, 1) for (seed, key)."""
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class StorageChaos(FaultableIO):
+    """Scripted-fault VFS with a power-cut-restorable durable model.
+
+    Parameters
+    ----------
+    root:
+        Only paths under this directory are tracked (and restorable);
+        everything else passes through untouched.
+    script:
+        ``{(op, call_index): fault}`` — fault is an errno ``int``,
+        :data:`FAULT_SHORT_WRITE`, or :data:`FAULT_POWER_CUT`.  Call
+        indexes are per-op, 0-based, and count every call including
+        retries (so a transient EIO at index ``i`` is naturally one-shot:
+        the retry arrives at index ``i+1``).
+    seed / *_rate:
+        Seeded background fault rates for fleet-style chaos; explicit
+        script entries take precedence at their index.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        script: Mapping[tuple[str, int], int | str] | None = None,
+        seed: int = 0,
+        enospc_rate: float = 0.0,
+        eio_rate: float = 0.0,
+        eintr_rate: float = 0.0,
+    ) -> None:
+        self.root = os.path.abspath(os.fspath(root))
+        self.script = dict(script or {})
+        for (op, index), fault in self.script.items():
+            if op not in _OPS:
+                raise ValueError(f"unknown op {op!r} (expected one of {_OPS})")
+            if index < 0:
+                raise ValueError(f"negative call index for {op!r}")
+            if not isinstance(fault, int) and fault not in (
+                FAULT_SHORT_WRITE,
+                FAULT_POWER_CUT,
+            ):
+                raise ValueError(f"unknown fault {fault!r} for ({op}, {index})")
+        for name, rate in (
+            ("enospc_rate", enospc_rate),
+            ("eio_rate", eio_rate),
+            ("eintr_rate", eintr_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        self.seed = seed
+        self.enospc_rate = enospc_rate
+        self.eio_rate = eio_rate
+        self.eintr_rate = eintr_rate
+        #: per-op call counters (index of the *next* call).
+        self.counts: Counter[str] = Counter()
+        #: chronological (op, path) census of every primitive call.
+        self.ops_log: list[tuple[str, str]] = []
+        #: faults actually injected: (op, index, fault).
+        self.injected: list[tuple[str, int, int | str]] = []
+        #: path -> durable content (bytes) or None (durably absent).
+        self._durable: dict[str, bytes | None] = {}
+
+    # -- durable model --------------------------------------------------
+    def _tracked(self, path: str) -> str | None:
+        p = os.path.abspath(path)
+        if p == self.root or p.startswith(self.root + os.sep):
+            return p
+        return None
+
+    def _read_raw(self, path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as fh:  # raw os layer, not the seam
+                return fh.read()
+        except OSError:
+            return None
+
+    def _track(self, path: str) -> None:
+        """Record the pre-mutation durable baseline of ``path``."""
+        p = self._tracked(path)
+        if p is not None and p not in self._durable:
+            self._durable[p] = self._read_raw(p)
+
+    def _mark_durable(self, path: str) -> None:
+        p = self._tracked(path)
+        if p is not None:
+            self._durable[p] = self._read_raw(p)
+
+    def power_cut(self) -> None:
+        """Roll every tracked path back to its durable state — the disk
+        as a reboot would find it."""
+        for path, state in self._durable.items():
+            if state is None:
+                if os.path.exists(path):
+                    os.unlink(path)
+            else:
+                with open(path, "wb") as fh:  # raw restore, not the seam
+                    fh.write(state)
+
+    def durable_content(self, path: str | os.PathLike[str]) -> bytes | None:
+        """What ``path`` would hold after a power cut (None = absent).
+        Untracked paths report their current on-disk content."""
+        p = os.path.abspath(os.fspath(path))
+        if p in self._durable:
+            return self._durable[p]
+        return self._read_raw(p)
+
+    # -- fault engine ---------------------------------------------------
+    def _next_index(self, op: str, path: str) -> int:
+        index = self.counts[op]
+        self.counts[op] = index + 1
+        self.ops_log.append((op, path))
+        return index
+
+    def _fault_for(self, op: str, index: int) -> int | str | None:
+        fault = self.script.get((op, index))
+        if fault is not None:
+            return fault
+        if self.enospc_rate or self.eio_rate or self.eintr_rate:
+            u = _roll(self.seed, f"{op}:{index}")
+            if u < self.enospc_rate:
+                return _errno.ENOSPC
+            if u < self.enospc_rate + self.eio_rate:
+                return _errno.EIO
+            if u < self.enospc_rate + self.eio_rate + self.eintr_rate:
+                return _errno.EINTR
+        return None
+
+    def _check(self, op: str, path: str) -> int | str | None:
+        """Count the call; raise its scripted fault (short-write faults
+        are returned for the caller to act out)."""
+        index = self._next_index(op, path)
+        fault = self._fault_for(op, index)
+        if fault is None:
+            return None
+        self.injected.append((op, index, fault))
+        if fault == FAULT_POWER_CUT:
+            raise PowerCut(f"power cut at {op}#{index} on {path!r}")
+        if fault == FAULT_SHORT_WRITE:
+            return fault
+        raise OSError(fault, os.strerror(fault), path)
+
+    # -- FaultableIO primitives ----------------------------------------
+    def open(
+        self,
+        path: str,
+        mode: str = "rb",
+        *,
+        encoding: str | None = None,
+        newline: str | None = None,
+    ) -> IO[Any]:
+        if any(flag in mode for flag in _WRITE_MODES):
+            self._track(path)
+            self._check("open", path)
+        return open(path, mode, encoding=encoding, newline=newline)
+
+    def write(self, fh: IO[Any], data: Any) -> int:
+        path = getattr(fh, "name", "<fh>")
+        fault = self._check("write", str(path))
+        if fault == FAULT_SHORT_WRITE:
+            fh.write(data[: max(1, len(data) // 2)])
+            raise OSError(
+                _errno.EIO, "short write: " + os.strerror(_errno.EIO), path
+            )
+        return int(fh.write(data))
+
+    def flush(self, fh: IO[Any]) -> None:
+        self._check("flush", str(getattr(fh, "name", "<fh>")))
+        fh.flush()
+
+    def fsync(self, fh: IO[Any]) -> None:
+        path = str(getattr(fh, "name", "<fh>"))
+        self._check("fsync", path)
+        fh.flush()
+        os.fsync(fh.fileno())
+        self._mark_durable(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        self._track(src)
+        self._track(dst)
+        self._check("replace", dst)
+        # Real effect now; durable state of dst unchanged until the
+        # parent directory is fsynced (the torn-rename window).
+        os.replace(src, dst)
+
+    def unlink(self, path: str) -> None:
+        self._track(path)
+        self._check("unlink", path)
+        os.unlink(path)
+
+    def fsync_dir(self, path: str) -> None:
+        self._check("fsync_dir", path)
+        super().fsync_dir(path)
+        # Entry changes in this directory are now durable: snapshot the
+        # current state of every tracked path directly inside it.
+        target = os.path.abspath(path)
+        for tracked in list(self._durable):
+            if os.path.dirname(tracked) == target:
+                self._durable[tracked] = self._read_raw(tracked)
+
+    def sleep(self, seconds: float) -> None:
+        """Backoff is a no-op under chaos: schedules are index-driven,
+        and tests should not spend wall-clock on rehearsed waiting."""
+
+
+def op_census(
+    root: str | os.PathLike[str], action: Callable[[FaultableIO], Any]
+) -> list[tuple[str, str]]:
+    """Enumerate every VFS primitive ``action`` performs, fault-free.
+
+    Runs ``action`` under a scripted-fault-free :class:`StorageChaos`
+    and returns its chronological ``(op, path)`` log — the injection
+    plan for an exhaustive per-op fault sweep.  ``action`` receives the
+    chaos object but the active VFS is *not* swapped globally; callers
+    that exercise code using :func:`repro.io.get_io` should wrap the
+    call in :func:`repro.io.scoped_io` themselves.
+    """
+    chaos = StorageChaos(root)
+    action(chaos)
+    return list(chaos.ops_log)

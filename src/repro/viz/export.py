@@ -13,6 +13,8 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..io import atomic_write_text
+
 __all__ = [
     "shares_to_csv",
     "matrix_to_csv",
@@ -89,6 +91,7 @@ def summary_to_csv(pipeline) -> str:
 
 
 def write_csv(text: str, path: str | os.PathLike[str]) -> None:
-    """Write CSV text to ``path`` (parent directory must exist)."""
-    with open(os.fspath(path), "w", encoding="utf-8", newline="") as fh:
-        fh.write(text)
+    """Atomically write CSV text to ``path`` (parent directory must
+    exist).  Raises :class:`repro.io.StorageError` on storage faults —
+    a silently truncated table is worse than no table."""
+    atomic_write_text(path, text)

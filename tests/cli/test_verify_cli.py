@@ -1,0 +1,93 @@
+"""CLI tests for ``mosaic verify [--repair]`` and the storage exit code.
+
+Exit code contract (documented in the CLI module docstring): 0 = store
+is clean, 1 = integrity findings, 3 = a durable artifact could not be
+persisted (:class:`StorageError` caught at the top level).
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.columnar import compile_corpus, verify_store
+from repro.columnar.format import HEADER_SIZE, unpack_header
+from repro.darshan.source import InMemorySource
+from repro.io import scoped_io
+from repro.synth import FleetConfig, generate_fleet
+from repro.testing import StorageChaos
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    fleet = generate_fleet(FleetConfig(n_apps=24, mean_runs=1.5, seed=21))
+    path = str(tmp_path / "corpus.mosc")
+    compile_corpus(InMemorySource(fleet.traces), path)
+    return path
+
+
+def _flip_records_byte(path):
+    with open(path, "rb") as fh:
+        header = unpack_header(fh.read(HEADER_SIZE))
+    offset, _nbytes, _crc = header["sections"]["records"]
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestVerifyCommand:
+    def test_clean_store_exits_zero(self, store_path, capsys):
+        assert main(["verify", store_path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_damaged_store_exits_one_with_findings(self, store_path, capsys):
+        _flip_records_byte(store_path)
+        assert main(["verify", store_path]) == 1
+        out = capsys.readouterr().out
+        assert "section-crc" in out
+        assert "trace-crc" in out
+
+    def test_repair_salvages_and_reports_losses(
+        self, store_path, tmp_path, capsys
+    ):
+        _flip_records_byte(store_path)
+        out_path = str(tmp_path / "fixed.mosc")
+        report_path = str(tmp_path / "report.json")
+        rc = main(
+            ["verify", store_path, "--repair", "--out", out_path,
+             "--json", report_path]
+        )
+        assert rc == 1  # the *source* store is damaged
+        assert "salvaged" in capsys.readouterr().out
+        assert verify_store(out_path).clean
+        payload = json.loads(open(report_path).read())
+        assert payload["n_lost"] >= 1
+        assert payload["n_recovered"] == payload["n_rows"] - payload["n_lost"]
+        assert payload["verify"]["findings"]
+
+    def test_repair_default_output_path(self, store_path, capsys):
+        _flip_records_byte(store_path)
+        assert main(["verify", store_path, "--repair"]) == 1
+        assert verify_store(store_path + ".repaired.mosc").clean
+
+    def test_fatal_damage_reports_repair_impossible(self, store_path, capsys):
+        with open(store_path, "r+b") as fh:
+            fh.write(b"XXXX")  # smash the magic
+        assert main(["verify", store_path, "--repair"]) == 1
+        assert "repair impossible" in capsys.readouterr().out
+
+
+class TestStorageExitCode:
+    def test_enospc_during_generate_exits_three(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        chaos = StorageChaos(tmp_path, script={("write", 0): errno.ENOSPC})
+        with scoped_io(chaos):
+            rc = main(
+                ["generate", "--out", str(out_dir), "--n-apps", "20",
+                 "--mean-runs", "1", "--seed", "2"]
+            )
+        assert rc == 3
+        assert "storage error" in capsys.readouterr().err

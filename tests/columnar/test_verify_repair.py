@@ -1,0 +1,237 @@
+"""``mosaic verify [--repair]``: CRC audit, damage localization, salvage.
+
+The promise under test (docs/COLUMNAR.md, "Integrity and repair"): a
+flipped bit anywhere in a version-2 store is localized to the exact
+traces it touches, and every *other* trace is recoverable into a fresh
+store whose funnel accounting still adds up.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.columnar import (
+    CorpusStore,
+    compile_corpus,
+    salvage_store,
+    verify_store,
+)
+from repro.columnar import format as fmt
+from repro.darshan.errors import TraceFormatError
+from repro.darshan.source import InMemorySource
+from repro.io import StorageError
+from repro.synth import FleetConfig, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(FleetConfig(n_apps=24, mean_runs=1.5, seed=9)).traces
+
+
+@pytest.fixture()
+def store_path(tmp_path, fleet):
+    path = str(tmp_path / "corpus.mosc")
+    compile_corpus(InMemorySource(fleet), path)
+    return path
+
+
+def _flip_byte(path, offset):
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def _section(path, name):
+    with open(path, "rb") as fh:
+        header = fmt.unpack_header(fh.read(fmt.HEADER_SIZE))
+    return header, header["sections"][name]
+
+
+def _downgrade_to_v1(path):
+    """Rewrite the header as version 1 (six sections, same offsets).
+
+    The ``trace_crcs`` payload stays in the file as ignored trailing
+    bytes — exactly what a reader sees when an old tool wrote the store.
+    """
+    header, _ = _section(path, "index")
+    body = struct.pack(
+        "<4sHHQQQQQ",
+        fmt.MAGIC,
+        1,
+        header["flags"],
+        header["n_traces"],
+        header["n_records"],
+        header["n_ops"],
+        header["heap_len"],
+        header["n_unreadable"],
+    )
+    for name in fmt.section_names(1):
+        body += struct.pack("<QQI", *header["sections"][name])
+    raw = body + struct.pack("<I", zlib.crc32(body))
+    assert len(raw) == fmt.header_size(1)
+    with open(path, "r+b") as fh:
+        fh.write(raw.ljust(fmt.header_size(2), b"\x00"))
+
+
+class TestCleanStore:
+    def test_verify_reports_clean(self, store_path, fleet):
+        report = verify_store(store_path)
+        assert report.clean and not report.fatal
+        assert report.version == 2
+        assert report.n_traces == len(fleet)
+        assert report.bad_rows == ()
+
+    def test_missing_file_is_a_storage_error(self, tmp_path):
+        with pytest.raises(StorageError) as exc_info:
+            verify_store(str(tmp_path / "absent.mosc"))
+        assert exc_info.value.op == "verify"
+
+
+class TestLocalization:
+    def test_record_bit_flip_names_the_owning_trace(self, store_path):
+        _header, (offset, _nbytes, _crc) = _section(store_path, "records")
+        _flip_byte(store_path, offset)
+        report = verify_store(store_path)
+        assert not report.clean and not report.fatal
+        kinds = {f.kind for f in report.findings}
+        assert kinds == {"section-crc", "trace-crc"}
+        sections = {f.section for f in report.findings if f.kind == "section-crc"}
+        assert sections == {"records"}
+        # one flipped record byte belongs to exactly one trace
+        assert len(report.bad_rows) == 1
+
+    def test_heap_damage_taints_every_referencing_trace(self, store_path):
+        # the heap is deduplicated: one flipped string byte can belong
+        # to several traces, and each must be named
+        _header, (offset, _n, _c) = _section(store_path, "heap")
+        _flip_byte(store_path, offset)
+        report = verify_store(store_path)
+        assert not report.fatal
+        assert len(report.bad_rows) >= 1
+
+    def test_header_damage_is_fatal(self, store_path):
+        _flip_byte(store_path, 0)  # magic
+        report = verify_store(store_path)
+        assert report.fatal
+        assert [f.kind for f in report.findings] == ["header"]
+
+    def test_index_bounds_damage_is_row_localized(self, store_path):
+        header, (offset, _n, _c) = _section(store_path, "index")
+        # point row 2's record slab far outside the section
+        row_off = offset + 2 * fmt.TRACE_DTYPE.itemsize
+        rec_off_field = fmt.TRACE_DTYPE.fields["rec_off"][1]
+        with open(store_path, "r+b") as fh:
+            fh.seek(row_off + rec_off_field)
+            fh.write(struct.pack("<Q", 1 << 40))
+        # strict open refuses outright
+        with pytest.raises(TraceFormatError, match="bit-rotted index"):
+            CorpusStore(store_path, verify=False)
+        report = verify_store(store_path)
+        assert not report.fatal
+        assert any(
+            f.kind == "index-bounds" and f.row == 2 for f in report.findings
+        )
+
+
+class TestSalvage:
+    def test_salvage_recovers_everything_outside_the_damage(
+        self, store_path, fleet, tmp_path
+    ):
+        _header, (offset, nbytes, _crc) = _section(store_path, "records")
+        _flip_byte(store_path, offset + nbytes // 2)
+        out = str(tmp_path / "repaired.mosc")
+        salvage = salvage_store(store_path, out)
+        assert salvage.n_rows == len(fleet)
+        assert salvage.n_lost >= 1
+        assert salvage.n_recovered == len(fleet) - salvage.n_lost
+        assert set(salvage.lost_rows).isdisjoint(salvage.recovered_rows)
+        # identity of the lost rows is readable from the intact index
+        assert len(salvage.lost_job_ids) == salvage.n_lost
+
+        # the salvaged store re-verifies clean and carries the loss in
+        # its unreadable count, so the funnel still adds up
+        assert verify_store(out).clean
+        store = CorpusStore(out)
+        try:
+            assert len(store) == salvage.n_recovered
+            assert store.n_unreadable == salvage.n_unreadable_carried
+            recovered_ids = {
+                int(store.index[r]["job_id"]) for r in range(len(store))
+            }
+            assert recovered_ids.isdisjoint(salvage.lost_job_ids)
+        finally:
+            store.close()
+
+    def test_salvaged_traces_decode_identically(self, store_path, fleet, tmp_path):
+        _header, (offset, _n, _c) = _section(store_path, "records")
+        _flip_byte(store_path, offset)
+        out = str(tmp_path / "repaired.mosc")
+        salvage = salvage_store(store_path, out)
+        by_job = {t.meta.job_id: t for t in fleet}
+        store = CorpusStore(out)
+        try:
+            for row in range(len(store)):
+                decoded = store.decode_trace(row)
+                assert decoded.records == by_job[decoded.meta.job_id].records
+        finally:
+            store.close()
+        assert salvage.n_recovered >= 1
+
+    def test_fatal_damage_refuses_salvage(self, store_path, tmp_path):
+        _flip_byte(store_path, 0)
+        with pytest.raises(TraceFormatError, match="cannot be salvaged"):
+            salvage_store(store_path, str(tmp_path / "out.mosc"))
+
+    def test_index_damaged_rows_lose_identity_but_not_neighbors(
+        self, store_path, fleet, tmp_path
+    ):
+        _header, (offset, _n, _c) = _section(store_path, "index")
+        rec_off_field = fmt.TRACE_DTYPE.fields["rec_off"][1]
+        with open(store_path, "r+b") as fh:
+            fh.seek(offset + 3 * fmt.TRACE_DTYPE.itemsize + rec_off_field)
+            fh.write(struct.pack("<Q", 1 << 40))
+        salvage = salvage_store(store_path, str(tmp_path / "out.mosc"))
+        assert 3 in salvage.lost_rows
+        # a bounds-damaged index row cannot vouch for its own job id
+        assert salvage.n_recovered == len(fleet) - salvage.n_lost
+
+
+class TestLegacyV1:
+    def test_v1_store_opens_and_decodes(self, store_path, fleet):
+        _downgrade_to_v1(store_path)
+        store = CorpusStore(store_path)
+        try:
+            assert store.version == 1
+            assert store.trace_crcs is None
+            assert len(store) == len(fleet)
+            store.decode_trace(0)
+        finally:
+            store.close()
+
+    def test_v1_clean_verify(self, store_path):
+        _downgrade_to_v1(store_path)
+        report = verify_store(store_path)
+        assert report.clean
+        assert report.version == 1
+
+    def test_v1_damage_cannot_be_row_localized(self, store_path):
+        _downgrade_to_v1(store_path)
+        _header, (offset, _n, _c) = _section(store_path, "records")
+        _flip_byte(store_path, offset)
+        report = verify_store(store_path)
+        assert not report.clean and not report.fatal
+        kinds = {f.kind for f in report.findings}
+        assert "section-crc" in kinds
+        assert "legacy" in kinds  # advises recompiling to v2
+        assert report.bad_rows == ()  # no per-trace CRCs to consult
+
+    def test_v1_salvage_recompiles_to_v2(self, store_path, tmp_path):
+        _downgrade_to_v1(store_path)
+        out = str(tmp_path / "upgraded.mosc")
+        salvage = salvage_store(store_path, out)
+        assert salvage.n_lost == 0
+        report = verify_store(out)
+        assert report.clean and report.version == 2

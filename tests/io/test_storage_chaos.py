@@ -1,0 +1,178 @@
+"""Unit tests for the StorageChaos fault model itself.
+
+The chaos injector is test infrastructure, but its durable model *is*
+the crash-consistency oracle for every suite built on it — so its
+semantics (what survives a power cut, when faults fire, determinism of
+seeded rates) are pinned here first.
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.testing import (
+    FAULT_POWER_CUT,
+    FAULT_SHORT_WRITE,
+    PowerCut,
+    StorageChaos,
+    op_census,
+)
+
+
+class TestScriptValidation:
+    def test_unknown_op_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown op"):
+            StorageChaos(tmp_path, script={("chmod", 0): errno.EIO})
+
+    def test_negative_index_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="negative call index"):
+            StorageChaos(tmp_path, script={("write", -1): errno.EIO})
+
+    def test_unknown_fault_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fault"):
+            StorageChaos(tmp_path, script={("write", 0): "gamma-ray"})
+
+    def test_rate_bounds(self, tmp_path):
+        with pytest.raises(ValueError, match="enospc_rate"):
+            StorageChaos(tmp_path, enospc_rate=1.5)
+        with pytest.raises(ValueError, match="eio_rate"):
+            StorageChaos(tmp_path, eio_rate=-0.1)
+
+
+class TestDurableModel:
+    def test_write_without_fsync_is_volatile(self, tmp_path):
+        chaos = StorageChaos(tmp_path)
+        p = str(tmp_path / "f")
+        fh = chaos.open(p, "w", encoding="utf-8")
+        chaos.write(fh, "volatile")
+        chaos.flush(fh)
+        fh.close()
+        chaos.power_cut()
+        # creation itself was never made durable: the file vanishes
+        assert not os.path.exists(p)
+
+    def test_fsync_makes_content_durable(self, tmp_path):
+        chaos = StorageChaos(tmp_path)
+        p = str(tmp_path / "f")
+        fh = chaos.open(p, "w", encoding="utf-8")
+        chaos.write(fh, "settled")
+        chaos.fsync(fh)
+        chaos.write(fh, " volatile-tail")
+        chaos.flush(fh)
+        fh.close()
+        assert chaos.durable_content(p) == b"settled"
+        chaos.power_cut()
+        assert open(p).read() == "settled"
+
+    def test_replace_is_volatile_until_dir_fsync(self, tmp_path):
+        chaos = StorageChaos(tmp_path)
+        old, new = str(tmp_path / "out"), str(tmp_path / "out.tmp")
+        with open(old, "w") as fh:
+            fh.write("old")
+        with open(new, "w") as fh:
+            fh.write("new")
+        chaos._track(old)  # baseline before mutation, as the seam would
+        chaos.replace(new, old)
+        assert open(old).read() == "new"  # real effect now
+        assert chaos.durable_content(old) == b"old"  # not durable yet
+        chaos.fsync_dir(str(tmp_path))
+        assert chaos.durable_content(old) == b"new"
+        chaos.power_cut()
+        assert open(old).read() == "new"
+
+    def test_untracked_paths_pass_through(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("chaos-root")
+        outside = tmp_path_factory.mktemp("outside") / "f"
+        chaos = StorageChaos(root, script={("write", 0): errno.EIO})
+        outside.write_text("content")
+        # untracked: durable_content reports current on-disk state,
+        # power_cut leaves it alone
+        assert chaos.durable_content(outside) == b"content"
+        chaos.power_cut()
+        assert outside.read_text() == "content"
+
+
+class TestFaultEngine:
+    def test_scripted_errno_fires_at_exact_index(self, tmp_path):
+        chaos = StorageChaos(tmp_path, script={("write", 1): errno.ENOSPC})
+        fh = chaos.open(str(tmp_path / "f"), "wb")
+        chaos.write(fh, b"first")  # index 0: clean
+        with pytest.raises(OSError) as exc_info:
+            chaos.write(fh, b"second")  # index 1: fault
+        fh.close()
+        assert exc_info.value.errno == errno.ENOSPC
+        assert chaos.injected == [("write", 1, errno.ENOSPC)]
+
+    def test_short_write_leaves_half_and_raises_eio(self, tmp_path):
+        chaos = StorageChaos(tmp_path, script={("write", 0): FAULT_SHORT_WRITE})
+        p = str(tmp_path / "f")
+        fh = chaos.open(p, "wb")
+        with pytest.raises(OSError) as exc_info:
+            chaos.write(fh, b"0123456789")
+        fh.close()
+        assert exc_info.value.errno == errno.EIO  # transient: retryable
+        assert open(p, "rb").read() == b"01234"
+
+    def test_power_cut_is_not_an_exception(self, tmp_path):
+        chaos = StorageChaos(tmp_path, script={("write", 0): FAULT_POWER_CUT})
+        fh = chaos.open(str(tmp_path / "f"), "wb")
+        # PowerCut derives from BaseException: except Exception cannot
+        # swallow the simulated loss of power.
+        with pytest.raises(BaseException) as exc_info:
+            try:
+                chaos.write(fh, b"x")
+            except Exception:  # pragma: no cover - must not trigger
+                pytest.fail("PowerCut was swallowed by `except Exception`")
+        fh.close()
+        assert isinstance(exc_info.value, PowerCut)
+        assert not issubclass(PowerCut, Exception)
+
+    def test_read_mode_open_is_not_counted(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_text("x")
+        chaos = StorageChaos(tmp_path, script={("open", 0): errno.EIO})
+        chaos.open(str(p), "r", encoding="utf-8").close()  # reads pass
+        assert chaos.counts["open"] == 0
+        with pytest.raises(OSError):
+            chaos.open(str(p), "a", encoding="utf-8")
+
+    def test_seeded_rates_are_deterministic(self, tmp_path):
+        def run(seed):
+            chaos = StorageChaos(tmp_path, seed=seed, eio_rate=0.3)
+            fh = open(str(tmp_path / "f"), "wb")  # the writes draw faults
+            fired = []
+            for i in range(40):
+                try:
+                    chaos.write(fh, b"x")
+                except OSError:
+                    fired.append(i)
+            fh.close()
+            return fired
+
+        a, b = run(seed=11), run(seed=11)
+        assert a == b and a  # same seed, same faults; some fired
+        assert run(seed=12) != a  # another seed, another schedule
+
+    def test_sleep_is_a_noop(self, tmp_path):
+        StorageChaos(tmp_path).sleep(3600)  # returns immediately
+
+
+class TestOpCensus:
+    def test_census_is_chronological_and_complete(self, tmp_path):
+        def action(io):
+            fh = io.open(str(tmp_path / "f"), "wb")
+            io.write(fh, b"x")
+            io.fsync(fh)
+            fh.close()
+            io.replace(str(tmp_path / "f"), str(tmp_path / "g"))
+            io.fsync_dir(str(tmp_path))
+
+        census = op_census(tmp_path, action)
+        assert [op for op, _path in census] == [
+            "open",
+            "write",
+            "fsync",
+            "replace",
+            "fsync_dir",
+        ]

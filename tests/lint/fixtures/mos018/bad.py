@@ -1,0 +1,25 @@
+"""Fixture: durable writes outside the repro.io seam (MOS018)."""
+
+import json
+import os
+
+
+def save_cache(path: str, payload: dict) -> None:
+    # direct truncate-mode open: a crash mid-dump leaves a torn file
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def append_journal(path: str, line: str) -> None:
+    # append without flush/fsync discipline: settled entries can vanish
+    with open(path, mode="a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+
+
+def publish(tmp: str, out: str) -> None:
+    # rename without temp-file fsync or parent-dir fsync: torn rename
+    os.replace(tmp, out)
+
+
+def publish_legacy(tmp: str, out: str) -> None:
+    os.rename(tmp, out)

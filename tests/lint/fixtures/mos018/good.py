@@ -1,0 +1,29 @@
+"""Fixture: durable writes routed through the repro.io seam (MOS018)."""
+
+import json
+
+
+def load_cache(path: str) -> dict:
+    # reads are out of scope: only mutation needs the durability seam
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def peek(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read(16)
+
+
+def save_cache(atomic_write_text: object, path: str, payload: dict) -> None:
+    # the sanctioned road: temp + fsync + rename + parent-dir fsync
+    atomic_write_text(path, json.dumps(payload))
+
+
+def append_journal(durable_append: object, path: str, line: str) -> None:
+    with durable_append(path) as appender:
+        appender.append_line(line)
+
+
+def open_via_seam(io: object, path: str, mode: str) -> object:
+    # a *variable* mode is the seam's business, not the caller's
+    return io.open(path, mode)

@@ -67,7 +67,7 @@ def test_lint_missing_path_aborts():
 def test_lint_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for n in range(1, 18):
+    for n in range(1, 19):
         assert f"MOS{n:03d}" in out
 
 
