@@ -22,6 +22,10 @@ Subcommands mirror the paper's workflow:
     Jaccard pairs (Fig. 5) and §IV-D correlations.
 ``mosaic anatomy``
     Render the Fig. 2-style processing view of one synthetic trace.
+``mosaic serve``
+    Run the pipeline as a long-lived HTTP service: submit corpora over
+    HTTP, poll or stream (SSE) results, with a content-addressed result
+    cache and journal-resumable jobs (docs/SERVICE.md).
 ``mosaic lint``
     Statically check the codebase against the pipeline's contracts
     (MOS001-MOS011, see ``docs/LINT.md``).  Also installed as ``repro``,
@@ -216,6 +220,42 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--save-findings", metavar="DIR",
                     help="write minimized reproducers for any findings "
                     "under DIR (one file per finding)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the categorization service: accept job submissions "
+        "over HTTP, journal every outcome for crash-safe resume, and "
+        "serve cached results for already-seen traces (docs/SERVICE.md)",
+    )
+    srv.add_argument(
+        "--data-dir", required=True,
+        help="service state root (job registry, journals, result cache)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8377,
+        help="listen port (0 = ephemeral; the bound port is published "
+        "in <data-dir>/server.json either way)",
+    )
+    srv.add_argument("--workers", type=int, default=0,
+                     help="process-pool workers per job (0 = serial)")
+    srv.add_argument(
+        "--shards", type=int, default=8,
+        help="application-catalog shard count",
+    )
+    srv.add_argument(
+        "--budget-max-ops", type=int, metavar="N",
+        help="per-trace operation budget applied to every job "
+        "(see `mosaic categorize`)",
+    )
+    srv.add_argument(
+        "--budget-max-bytes", type=int, metavar="BYTES",
+        help="per-trace working-set budget applied to every job",
+    )
+    srv.add_argument(
+        "--stage-deadline", type=float, metavar="SECONDS",
+        help="soft per-stage deadline applied to every job",
+    )
 
     add_lint_subparser(sub)
     return parser
@@ -714,6 +754,28 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service import MosaicServer
+
+    server = MosaicServer(
+        args.data_dir,
+        config=_effective_config(args),
+        workers=args.workers,
+        n_shards=args.shards,
+        host=args.host,
+        port=args.port,
+    )
+    print(
+        f"mosaic service: data-dir {args.data_dir}, "
+        f"{args.shards} catalog shards, "
+        f"{args.workers or 'serial'} workers per job"
+    )
+    print(f"listening on {args.host}:{args.port or '<ephemeral>'} "
+          f"(endpoint published in {os.path.join(args.data_dir, 'server.json')})")
+    server.serve_forever()
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "verify": _cmd_verify,
@@ -724,6 +786,7 @@ _COMMANDS = {
     "accuracy": _cmd_accuracy,
     "discover": _cmd_discover,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
     "lint": cmd_lint,
 }
 

@@ -47,11 +47,7 @@ from ..parallel.executor import (
     TaskFailure,
     parallel_map,
 )
-from ..parallel.journal import (
-    JournalState,
-    JournalWriter,
-    write_quarantine_manifest,
-)
+from ..parallel.jobstore import JobStore
 from ..parallel.resilient import resilient_imap
 from ..parallel.retry import FailureKind, RetryPolicy, backoff_delay
 from .categorizer import categorize_trace
@@ -110,6 +106,20 @@ class PipelineContext:
     #: peak_inflight_traces, dedup_state_size, failures, n_retries,
     #: n_pool_rebuilds, n_timeouts, n_poisoned, n_quarantined, ...
     counters: dict[str, int] = field(default_factory=dict)
+    #: Optional content-addressed result cache (duck-typed to keep core
+    #: independent of :mod:`repro.service`; see
+    #: :class:`repro.service.cache.ResultCache`): ``trace_key(crc)``
+    #: derives the cache key from a store row's CRC chain, ``get(key)``
+    #: returns a saved result payload or ``None``, ``put(key, payload)``
+    #: stores one.  Consulted by :func:`run_pipeline_store` only — the
+    #: per-trace CRC that addresses it exists only in ``.mosc`` v2.
+    result_cache: Any | None = None
+    #: Optional settle hook passed to the journal-backed
+    #: :class:`~repro.parallel.jobstore.JobStore`: called as
+    #: ``(kind, job_id, record)`` after every durably-journaled outcome
+    #: (``kind`` is ``"result"`` or ``"failure"``).  The service's SSE
+    #: live stream; no effect without ``journal_path``.
+    on_settle: Any | None = None
 
     def __post_init__(self) -> None:
         if self.error_policy not in ("collect", "raise"):
@@ -286,6 +296,59 @@ def _failure_from_record(record: dict[str, Any], index: int) -> TaskFailure:
     )
 
 
+def _open_jobstore(
+    journal_path: str | os.PathLike[str],
+    resume: bool,
+    n_selected: int,
+    ctx: PipelineContext,
+) -> tuple[
+    JobStore, dict[int, CategorizationResult], dict[int, TaskFailure]
+]:
+    """Open the journal-backed job store and rehydrate resumed state.
+
+    The core-layer shim over :class:`~repro.parallel.jobstore.JobStore`:
+    the parallel layer traffics in plain dicts, so converting journaled
+    payloads back into :class:`CategorizationResult`/:class:`TaskFailure`
+    happens here, once, for both pipeline paths.
+    """
+    jobstore = JobStore(journal_path, resume=resume, on_settle=ctx.on_settle)
+    state = jobstore.open(n_selected=n_selected)
+    resumed_results: dict[int, CategorizationResult] = {}
+    resumed_failures: dict[int, TaskFailure] = {}
+    if jobstore.resuming:
+        resumed_results = {
+            job_id: CategorizationResult.from_dict(payload)
+            for job_id, payload in state.completed.items()
+        }
+        resumed_failures = {
+            job_id: _failure_from_record(record, index=-1)
+            for job_id, record in state.quarantined.items()
+        }
+        ctx.count("n_journal_malformed", state.n_malformed)
+    return jobstore, resumed_results, resumed_failures
+
+
+def _settle_failure(
+    jobstore: JobStore | None,
+    ctx: PipelineContext,
+    job_id: int,
+    outcome: TaskFailure,
+    trace_key: str,
+) -> None:
+    """Count (and, when journaled, durably record) one failed trace."""
+    if outcome.kind in (FailureKind.TIMEOUT, FailureKind.POISON):
+        ctx.count("n_quarantined")
+    if jobstore is not None:
+        jobstore.settle_failure(
+            job_id,
+            failure_kind=outcome.kind.value,
+            error_type=outcome.error_type,
+            message=outcome.message,
+            trace_key=trace_key,
+            attempts=outcome.attempts,
+        )
+
+
 def run_pipeline_stream(
     source: TraceSource,
     config: MosaicConfig = DEFAULT_CONFIG,
@@ -321,38 +384,14 @@ def run_pipeline_stream(
     plan = _scan_stage(source, ctx)
     policy = ctx.retry_policy()
 
-    # -- journal / resume bookkeeping ----------------------------------
-    journal: JournalWriter | None = None
+    # -- journal / resume bookkeeping (shared JobStore contract) -------
+    jobstore: JobStore | None = None
     resumed_results: dict[int, CategorizationResult] = {}
     resumed_failures: dict[int, TaskFailure] = {}
-    quarantine_records: list[dict[str, Any]] = []
     if journal_path is not None:
-        jpath = os.fspath(journal_path)
-        appending = resume and os.path.exists(jpath)
-        if appending:
-            state = JournalState.load(jpath)
-            if (
-                state.n_selected is not None
-                and state.n_selected != plan.n_selected
-            ):
-                raise ValueError(
-                    f"journal {jpath!r} was written for a corpus with "
-                    f"{state.n_selected} selected traces; this corpus "
-                    f"selects {plan.n_selected} — refusing to resume"
-                )
-            resumed_results = {
-                job_id: CategorizationResult.from_dict(payload)
-                for job_id, payload in state.completed.items()
-            }
-            resumed_failures = {
-                job_id: _failure_from_record(record, index=-1)
-                for job_id, record in state.quarantined.items()
-            }
-            quarantine_records.extend(state.quarantined.values())
-            ctx.count("n_journal_malformed", state.n_malformed)
-        journal = JournalWriter(jpath, append=appending)
-        if not appending:
-            journal.write_header(n_selected=plan.n_selected)
+        jobstore, resumed_results, resumed_failures = _open_jobstore(
+            journal_path, resume, plan.n_selected, ctx
+        )
 
     bytes_before = source.bytes_read
     failures: list[TaskFailure] = []
@@ -399,34 +438,16 @@ def run_pipeline_stream(
                     if ctx.error_policy == "raise":
                         raise RuntimeError(f"categorization failed: {outcome}")
                     failures.append(outcome)
-                    record = {
-                        "job_id": entry.job_id,
-                        "failure_kind": outcome.kind.value,
-                        "error_type": outcome.error_type,
-                        "message": outcome.message,
-                        "trace_key": str(entry.ref.key),
-                        "attempts": outcome.attempts,
-                    }
-                    if outcome.kind in (FailureKind.TIMEOUT, FailureKind.POISON):
-                        quarantine_records.append(record)
-                        ctx.count("n_quarantined")
-                    if journal is not None:
-                        journal.record_failure(
-                            entry.job_id,
-                            failure_kind=outcome.kind.value,
-                            error_type=outcome.error_type,
-                            message=outcome.message,
-                            trace_key=str(entry.ref.key),
-                            attempts=outcome.attempts,
-                        )
+                    _settle_failure(  # mosaic: disable=MOS016 (bookkeeping, not analysis)
+                        jobstore, ctx, entry.job_id, outcome, str(entry.ref.key)
+                    )
                 else:
                     slots[slot] = outcome
-                    if journal is not None:
-                        journal.record_result(entry.job_id, outcome.to_dict())
+                    if jobstore is not None:
+                        jobstore.settle_result(entry.job_id, outcome.to_dict())
     finally:
-        if journal is not None:
-            journal.close()
-            write_quarantine_manifest(journal.path, quarantine_records)
+        if jobstore is not None:
+            jobstore.close()
 
     results = [r for r in slots if r is not None]
     failures.sort(key=lambda f: f.index)
@@ -510,37 +531,13 @@ def run_pipeline_store(
 
     # -- journal / resume bookkeeping (same contract as the stream
     # path; records stay per trace even though work ships per slice)
-    journal: JournalWriter | None = None
+    jobstore: JobStore | None = None
     resumed_results: dict[int, CategorizationResult] = {}
     resumed_failures: dict[int, TaskFailure] = {}
-    quarantine_records: list[dict[str, Any]] = []
     if journal_path is not None:
-        jpath = os.fspath(journal_path)
-        appending = resume and os.path.exists(jpath)
-        if appending:
-            state = JournalState.load(jpath)
-            if (
-                state.n_selected is not None
-                and state.n_selected != plan.n_selected
-            ):
-                raise ValueError(
-                    f"journal {jpath!r} was written for a corpus with "
-                    f"{state.n_selected} selected traces; this corpus "
-                    f"selects {plan.n_selected} — refusing to resume"
-                )
-            resumed_results = {
-                job_id: CategorizationResult.from_dict(payload)
-                for job_id, payload in state.completed.items()
-            }
-            resumed_failures = {
-                job_id: _failure_from_record(record, index=-1)
-                for job_id, record in state.quarantined.items()
-            }
-            quarantine_records.extend(state.quarantined.values())
-            ctx.count("n_journal_malformed", state.n_malformed)
-        journal = JournalWriter(jpath, append=appending)
-        if not appending:
-            journal.write_header(n_selected=plan.n_selected)
+        jobstore, resumed_results, resumed_failures = _open_jobstore(
+            journal_path, resume, plan.n_selected, ctx
+        )
 
     failures: list[TaskFailure] = []
     slots: list[CategorizationResult | None] = [None] * len(plan.selected)
@@ -555,6 +552,33 @@ def run_pipeline_store(
                 else:
                     pending.append((slot, entry))
             ctx.count("n_resumed", len(plan.selected) - len(pending))
+
+            # -- content-addressed result cache: a trace whose CRC chain
+            # (plus config/repair namespace, baked into the cache) was
+            # categorized before is served its saved payload without
+            # re-running any kernel.  Hits are still journaled, so
+            # resume and byte-identity hold regardless of cache state.
+            cache = ctx.result_cache
+            trace_crcs = getattr(store, "trace_crcs", None)
+            cache_keys: dict[int, str] = {}
+            if cache is not None and trace_crcs is not None:
+                uncached: list[tuple[int, SelectedRef]] = []
+                for slot, entry in pending:
+                    row = int(entry.ref.key)
+                    key = cache.trace_key(int(trace_crcs[row]))
+                    cache_keys[row] = key
+                    payload = cache.get(key)
+                    if payload is None:
+                        ctx.count("n_cache_misses")
+                        uncached.append((slot, entry))
+                        continue
+                    ctx.count("n_cache_hits")
+                    slots[slot] = CategorizationResult.from_dict(  # mosaic: disable=MOS016 (rehydration of an already-governed result)
+                        payload
+                    )
+                    if jobstore is not None:
+                        jobstore.settle_result(entry.job_id, payload)
+                pending = uncached
 
             by_row = {
                 int(entry.ref.key): (slot, entry)
@@ -608,41 +632,25 @@ def run_pipeline_store(
                     for row in task.rows:
                         _slot, entry = by_row[row]
                         failures.append(outcome)
-                        record = {
-                            "job_id": entry.job_id,
-                            "failure_kind": outcome.kind.value,
-                            "error_type": outcome.error_type,
-                            "message": outcome.message,
-                            "trace_key": f"{store.path}#{row}",
-                            "attempts": outcome.attempts,
-                        }
-                        if outcome.kind in (
-                            FailureKind.TIMEOUT,
-                            FailureKind.POISON,
-                        ):
-                            quarantine_records.append(record)
-                            ctx.count("n_quarantined")
-                        if journal is not None:
-                            journal.record_failure(
-                                entry.job_id,
-                                failure_kind=outcome.kind.value,
-                                error_type=outcome.error_type,
-                                message=outcome.message,
-                                trace_key=f"{store.path}#{row}",
-                                attempts=outcome.attempts,
-                            )
+                        _settle_failure(  # mosaic: disable=MOS016 (bookkeeping, not analysis)
+                            jobstore,
+                            ctx,
+                            entry.job_id,
+                            outcome,
+                            f"{store.path}#{row}",
+                        )
                 else:
                     for row, result in zip(task.rows, outcome):
                         slot, entry = by_row[row]
                         slots[slot] = result
-                        if journal is not None:
-                            journal.record_result(
-                                entry.job_id, result.to_dict()
-                            )
+                        payload = result.to_dict()
+                        if jobstore is not None:
+                            jobstore.settle_result(entry.job_id, payload)
+                        if cache is not None and row in cache_keys:
+                            cache.put(cache_keys[row], payload)
     finally:
-        if journal is not None:
-            journal.close()
-            write_quarantine_manifest(journal.path, quarantine_records)
+        if jobstore is not None:
+            jobstore.close()
 
     results = [r for r in slots if r is not None]
     failures.sort(key=lambda f: f.index)

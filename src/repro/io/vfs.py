@@ -93,6 +93,21 @@ class FaultableIO:
     ) -> IO[Any]:
         return open(path, mode, encoding=encoding, newline=newline)
 
+    def open_exclusive(self, path: str) -> IO[bytes]:
+        """Create ``path`` exclusively (``O_CREAT | O_EXCL``).
+
+        The mutual-exclusion primitive behind lock sidecars: exactly one
+        process can win the create; everyone else gets
+        ``FileExistsError``.  Returned open for binary write so the
+        winner can record its identity (pid) inside.
+        """
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            return os.fdopen(fd, "wb")
+        except Exception:  # pragma: no cover - fdopen failure is exotic
+            os.close(fd)
+            raise
+
     def write(self, fh: IO[Any], data: Any) -> int:
         return int(fh.write(data))
 

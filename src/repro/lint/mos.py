@@ -1,4 +1,4 @@
-"""The Mosaic contract rules (MOS001-MOS013, MOS018).
+"""The Mosaic contract rules (MOS001-MOS013, MOS018-MOS019).
 
 Each rule encodes one invariant the paper states but Python cannot
 enforce; the registry in :mod:`repro.lint.rules` exposes them to the
@@ -1202,3 +1202,114 @@ class DurableWriteRule(Rule):
                     "route it through repro.io (atomic_write*/"
                     "durable_append) so chaos tests cover it",
                 )
+
+
+# ======================================================================
+@register
+class AsyncBlockingIORule(Rule):
+    """MOS019: no blocking I/O in ``repro.service`` coroutines.
+
+    The categorization server runs one asyncio event loop; a single
+    blocking call inside a coroutine — a file ``open``, a ``time.sleep``,
+    a pipeline run, a durable append — stalls *every* connected client
+    for its duration, which is how an async server quietly becomes a
+    serial one.  The service's contract is that all blocking work
+    crosses the loop boundary through ``run_in_executor`` (passing the
+    blocking callable by reference, which this rule does not flag);
+    coroutines themselves only await.
+
+    Scope: ``repro.service`` modules (and the standalone fixture
+    corpus).  Only calls whose innermost enclosing function is an
+    ``async def`` are findings — synchronous helpers in the same module
+    are executor-side by construction.
+    """
+
+    id = "MOS019"
+    name = "async-blocking-io"
+    description = (
+        "blocking I/O call inside an async def in repro.service stalls "
+        "the event loop"
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "move the blocking call into a sync helper and await "
+        "loop.run_in_executor(None, helper, ...)"
+    )
+
+    #: Exact qualified callables that block (after import resolution).
+    _BLOCKING_EXACT = frozenset(
+        {
+            "open",
+            "io.open",
+            "gzip.open",
+            "time.sleep",
+            "os.open",
+            "os.fdopen",
+            "os.makedirs",
+            "os.mkdir",
+            "os.replace",
+            "os.rename",
+            "os.unlink",
+            "os.remove",
+            "os.rmdir",
+            "os.stat",
+            "os.listdir",
+            "os.scandir",
+            "os.fsync",
+            "os.utime",
+            "os.truncate",
+            "os.path.exists",
+            "os.path.isfile",
+            "os.path.isdir",
+            "os.path.getsize",
+            "os.path.getmtime",
+        }
+    )
+    #: Qualified prefixes that are blocking wholesale.
+    _BLOCKING_PREFIXES = ("shutil.", "subprocess.", "repro.io.")
+    #: Terminal names of repro APIs that are always blocking, wherever
+    #: they were imported from (covers method spellings like
+    #: ``self._registry.append_line``).
+    _BLOCKING_TERMINALS = frozenset(
+        {
+            "run_pipeline",
+            "run_pipeline_store",
+            "run_pipeline_stream",
+            "compile_corpus",
+            "save_results_jsonl",
+            "atomic_write",
+            "atomic_write_text",
+            "atomic_write_bytes",
+            "durable_append",
+            "append_line",
+        }
+    )
+
+    def _applies(self) -> bool:
+        mod = self.ctx.module
+        if mod.startswith("repro."):
+            return mod.startswith("repro.service")
+        return True  # standalone modules (the fixture corpus) are checked
+
+    def _in_async_function(self) -> bool:
+        """True when the innermost function scope is an ``async def``."""
+        fn = self.ctx.enclosing_function()
+        return isinstance(fn, ast.AsyncFunctionDef)
+
+    def on_Call(self, node: ast.Call) -> None:
+        if not self._applies() or not self._in_async_function():
+            return
+        name = self.ctx.qualify_node(node.func)
+        if name is None or name.startswith("asyncio."):
+            return
+        blocking = (
+            name in self._BLOCKING_EXACT
+            or name.startswith(self._BLOCKING_PREFIXES)
+            or _terminal(name) in self._BLOCKING_TERMINALS
+        )
+        if blocking:
+            self.report(
+                node,
+                f"{name}() blocks the event loop from inside a "
+                "coroutine: every connected client waits while it runs",
+            )

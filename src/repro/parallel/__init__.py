@@ -10,8 +10,10 @@ from .executor import (
     parallel_imap,
     parallel_map,
 )
+from .jobstore import QUARANTINE_KINDS, JobStore
 from .journal import (
     JOURNAL_VERSION,
+    JournalLockHeld,
     JournalState,
     JournalWriter,
     write_quarantine_manifest,
@@ -33,8 +35,11 @@ __all__ = [
     "parallel_map",
     "parallel_imap",
     "JOURNAL_VERSION",
+    "JobStore",
+    "JournalLockHeld",
     "JournalState",
     "JournalWriter",
+    "QUARANTINE_KINDS",
     "write_quarantine_manifest",
     "PoolRebuildLimit",
     "resilient_imap",

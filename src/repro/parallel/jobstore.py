@@ -1,0 +1,189 @@
+"""JobStore: the submit → settle → resume contract over one journal.
+
+Both batch pipelines (:func:`~repro.core.pipeline.run_pipeline_stream`,
+:func:`~repro.core.pipeline.run_pipeline_store`) and the categorization
+service (:mod:`repro.service`) need the same bookkeeping around a
+checkpoint journal: load prior state when resuming, refuse a journal
+written for a different corpus, open the writer (taking the exclusive
+lock sidecar), journal every per-trace outcome as it settles, track
+which failures are quarantined, and publish the quarantine manifest on
+close.  Before this module each caller re-implemented that dance;
+:class:`JobStore` is the one shared implementation, so a job started by
+the CLI can be resumed by the server (and vice versa) byte-identically.
+
+Like :mod:`repro.parallel.journal` underneath it, this layer traffics in
+plain dicts — never :class:`~repro.core.result.CategorizationResult` —
+so the parallel package stays independent of the core package.
+
+Lifecycle::
+
+    store = JobStore(path, resume=True)
+    state = store.open(n_selected=plan.n_selected)  # lock + header
+    ...                                             # state.completed /
+    store.settle_result(job_id, payload)            # state.quarantined
+    store.settle_failure(job_id, failure_kind=..., ...)
+    store.close()                                   # manifest + unlock
+
+``on_settle`` (optional) is invoked after every durably-journaled
+outcome — the service's live-stream hook.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable
+
+from .journal import (
+    JournalState,
+    JournalWriter,
+    write_quarantine_manifest,
+)
+
+__all__ = ["QUARANTINE_KINDS", "JobStore"]
+
+#: Failure kinds that stay settled (skipped) across resumes.
+QUARANTINE_KINDS = frozenset({"timeout", "poison"})
+
+#: Settle callback signature: (kind, job_id, record) with kind one of
+#: ``"result"`` / ``"failure"``.
+SettleFn = Callable[[str, int, dict[str, Any]], None]
+
+
+class JobStore:
+    """Journal-backed outcome store for one categorization job.
+
+    ``resume=True`` only takes effect when a journal already exists at
+    ``path`` (a fresh path degrades to a fresh run, matching the CLI's
+    ``--resume`` ergonomics).  :attr:`resuming` reports which mode was
+    actually taken.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        *,
+        resume: bool = False,
+        sync_interval: int = 1,
+        on_settle: SettleFn | None = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.resuming = resume and os.path.exists(self.path)
+        self.sync_interval = sync_interval
+        self.on_settle = on_settle
+        self._writer: JournalWriter | None = None
+        #: Failure records quarantined this run *or* inherited from the
+        #: resumed journal — the manifest content.
+        self.quarantine_records: list[dict[str, Any]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def open(self, *, n_selected: int) -> JournalState:
+        """Load prior state, take the lock, write the header if fresh.
+
+        Raises :class:`ValueError` when a resumed journal was written
+        for a corpus with a different selected-trace count, and
+        :class:`~repro.io.StorageError` (via the writer) when the
+        journal is locked by a live process or cannot be opened.
+        """
+        if self._writer is not None:
+            raise ValueError(f"job store {self.path!r} is already open")
+        state = JournalState()
+        if self.resuming:
+            state = JournalState.load(self.path)
+            if (
+                state.n_selected is not None
+                and state.n_selected != n_selected
+            ):
+                raise ValueError(
+                    f"journal {self.path!r} was written for a corpus with "
+                    f"{state.n_selected} selected traces; this corpus "
+                    f"selects {n_selected} — refusing to resume"
+                )
+            self.quarantine_records.extend(state.quarantined.values())
+        self._writer = JournalWriter(
+            self.path,
+            append=self.resuming,
+            sync_interval=self.sync_interval,
+        )
+        if not self.resuming:
+            self._writer.write_header(n_selected=n_selected)
+        return state
+
+    def _require_writer(self) -> JournalWriter:
+        if self._writer is None:
+            raise ValueError(
+                f"job store {self.path!r} is not open (call open() first)"
+            )
+        return self._writer
+
+    # ------------------------------------------------------------------
+    def settle_result(self, job_id: int, payload: dict[str, Any]) -> None:
+        """Durably record one completed categorization."""
+        self._require_writer().record_result(job_id, payload)
+        if self.on_settle is not None:
+            self.on_settle("result", job_id, payload)
+
+    def settle_failure(
+        self,
+        job_id: int,
+        *,
+        failure_kind: str,
+        error_type: str,
+        message: str,
+        trace_key: str = "",
+        attempts: int = 1,
+    ) -> bool:
+        """Durably record one failure; True when it was quarantined."""
+        record = {
+            "job_id": job_id,
+            "failure_kind": failure_kind,
+            "error_type": error_type,
+            "message": message,
+            "trace_key": trace_key,
+            "attempts": attempts,
+        }
+        quarantined = failure_kind in QUARANTINE_KINDS
+        if quarantined:
+            self.quarantine_records.append(record)
+        self._require_writer().record_failure(
+            job_id,
+            failure_kind=failure_kind,
+            error_type=error_type,
+            message=message,
+            trace_key=trace_key,
+            attempts=attempts,
+        )
+        if self.on_settle is not None:
+            self.on_settle("failure", job_id, record)
+        return quarantined
+
+    def checkpoint(self) -> None:
+        """Force-fsync everything settled so far."""
+        self._require_writer().checkpoint()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the journal lock and publish the quarantine manifest.
+
+        Idempotent.  The manifest is written even when nothing was
+        quarantined (its absence must always mean "no journaled run")
+        — but only if the store actually opened, so a failed ``open``
+        leaves no half-artifacts behind.
+        """
+        if self._closed:
+            return
+        writer, self._writer = self._writer, None
+        if writer is None:
+            self._closed = True
+            return
+        try:
+            writer.close()
+        finally:
+            self._closed = True
+            write_quarantine_manifest(self.path, self.quarantine_records)
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -32,17 +32,21 @@ never imports the core package.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..io import DurableAppender, atomic_write_text
+from ..io import DurableAppender, StorageError, atomic_write_text, get_io
 
 __all__ = [
     "JOURNAL_VERSION",
+    "JournalLockHeld",
     "JournalState",
     "JournalWriter",
+    "acquire_journal_lock",
+    "release_journal_lock",
     "write_quarantine_manifest",
 ]
 
@@ -129,6 +133,114 @@ class JournalState:
         return state
 
 
+class JournalLockHeld(StorageError):
+    """The journal is already locked by a *live* process.
+
+    Two writers interleaving JSONL appends corrupt resume state, so the
+    second opener fails fast instead of silently sharing the file.  A
+    typed :class:`~repro.io.StorageError` subclass: the CLI's storage
+    exit path (exit code 3) and the service's HTTP mapping both apply.
+    """
+
+
+def _pid_alive(pid: int) -> bool:
+    """Liveness probe behind stale-lock detection (signal 0)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return True
+    return True
+
+
+def _lock_holder(lock_path: str) -> int | None:
+    """Pid recorded in a lock sidecar, or ``None`` when unreadable.
+
+    An empty/garbled sidecar means the creating process died between
+    the exclusive create and the pid write — stale by definition.
+    """
+    try:
+        with open(lock_path, "rb") as fh:  # read path: not the seam
+            return int(fh.read().strip() or b"-1")
+    except (OSError, ValueError):
+        return None
+
+
+def acquire_journal_lock(path: str | os.PathLike[str]) -> str:
+    """Take the ``<path>.lock`` sidecar exclusively; return its path.
+
+    The sidecar is created with ``O_CREAT | O_EXCL`` (through the VFS
+    seam, so chaos can script the create) and records the owner's pid.
+    An existing sidecar naming a live process raises
+    :class:`JournalLockHeld`; one naming a dead pid — the ``kill -9``
+    leftover — is broken and re-acquired.
+    """
+    lock_path = os.fspath(path) + ".lock"
+    io = get_io()
+    for _attempt in range(8):
+        try:
+            fh = io.open_exclusive(lock_path)
+        except FileExistsError:
+            holder = _lock_holder(lock_path)
+            if holder is not None and _pid_alive(holder):
+                raise JournalLockHeld(
+                    f"journal {os.fspath(path)!r} is locked by live "
+                    f"process {holder} (lock sidecar {lock_path!r}); "
+                    "two writers would interleave appends and corrupt "
+                    "resume state",
+                    op="lock",
+                    path=lock_path,
+                ) from None
+            # Stale: the recorded owner is gone.  Break the sidecar and
+            # race for the create again — losing the race means someone
+            # live took it in the meantime.
+            with contextlib.suppress(OSError):
+                os.unlink(lock_path)
+            continue
+        except OSError as exc:
+            raise StorageError(
+                f"could not create journal lock {lock_path!r}: {exc}",
+                op="lock",
+                path=lock_path,
+                errno_value=exc.errno,
+            ) from exc
+        try:
+            io.write(fh, str(os.getpid()).encode("ascii"))
+            io.flush(fh)
+        except StorageError:
+            release_journal_lock(lock_path)
+            raise
+        except OSError as exc:
+            # A sidecar without a readable pid would read as stale to
+            # every other process: remove it rather than leave it.
+            release_journal_lock(lock_path)
+            raise StorageError(
+                f"could not record pid in journal lock {lock_path!r}: {exc}",
+                op="lock",
+                path=lock_path,
+                errno_value=exc.errno,
+            ) from exc
+        finally:
+            fh.close()
+        return lock_path
+    raise StorageError(  # pragma: no cover - pathological contention
+        f"could not acquire journal lock {lock_path!r} after retries",
+        op="lock",
+        path=lock_path,
+    )
+
+
+def release_journal_lock(lock_path: str) -> None:
+    """Remove a lock sidecar (best-effort; absence is success)."""
+    with contextlib.suppress(OSError):
+        os.unlink(lock_path)
+
+
 class JournalWriter:
     """Append-only writer; one flushed, fsynced JSON line per outcome.
 
@@ -139,6 +251,13 @@ class JournalWriter:
     ``kill -9`` — loses at most the outcomes since the last checkpoint.
     Storage failures surface as :class:`repro.io.StorageError` naming
     the journal path.
+
+    Construction takes the ``<path>.lock`` sidecar exclusively
+    (:func:`acquire_journal_lock`) and :meth:`close` releases it, so two
+    processes pointed at the same ``--journal`` path cannot interleave
+    appends: the second opener fails fast with :class:`JournalLockHeld`.
+    A lock left by a killed process is detected by pid liveness and
+    broken.
     """
 
     def __init__(
@@ -149,10 +268,20 @@ class JournalWriter:
         sync_interval: int = 1,
     ):
         self.path = os.fspath(path)
-        self._appender: DurableAppender | None = DurableAppender(
-            self.path, append=append, sync_interval=sync_interval
-        )
+        self._lock_path: str | None = acquire_journal_lock(self.path)
+        try:
+            self._appender: DurableAppender | None = DurableAppender(
+                self.path, append=append, sync_interval=sync_interval
+            )
+        except BaseException:
+            self._release_lock()
+            raise
         self.n_written = 0
+
+    def _release_lock(self) -> None:
+        if self._lock_path is not None:
+            release_journal_lock(self._lock_path)
+            self._lock_path = None
 
     # ------------------------------------------------------------------
     def _write(self, entry: dict[str, Any]) -> None:
@@ -201,9 +330,12 @@ class JournalWriter:
             self._appender.checkpoint()
 
     def close(self) -> None:
-        if self._appender is not None:
-            self._appender.close()
-            self._appender = None
+        try:
+            if self._appender is not None:
+                self._appender.close()
+                self._appender = None
+        finally:
+            self._release_lock()
 
     def __enter__(self) -> "JournalWriter":
         return self

@@ -127,7 +127,10 @@ def _serial_resilient(
             if failure is None:
                 yield (index, result)  # type: ignore[misc]
                 break
-            if is_transient(failure.error_type) and attempts <= policy.max_retries:
+            if (
+                is_transient(failure.qualname or failure.error_type)
+                and attempts <= policy.max_retries
+            ):
                 count("n_retries", 1)
                 delay = backoff_delay(attempts, policy, key=index)
                 if delay > 0:
@@ -216,7 +219,10 @@ def resilient_imap(
         """Outcome pair to yield, or None when the item was re-queued."""
         if failure is None:
             return (info.index, result)
-        if is_transient(failure.error_type) and info.attempts <= pol.max_retries:
+        if (
+            is_transient(failure.qualname or failure.error_type)
+            and info.attempts <= pol.max_retries
+        ):
             count("n_retries", 1)
             info.attempts += 1
             ready = time.monotonic() + backoff_delay(

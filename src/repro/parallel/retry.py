@@ -10,7 +10,10 @@ retried corpus run is reproducible down to its sleep schedule.
 
 Transience is classified by exception type name (:func:`is_transient`)
 rather than by instance, because failures cross the process boundary as
-captured strings, never as live exception objects.
+captured strings, never as live exception objects.  Matching is exact:
+builtins by bare name, repro-internal classes by module-qualified name —
+a third-party exception merely *named* ``ConnectionError`` or
+``TraceReadError`` is not silently retried.
 """
 
 from __future__ import annotations
@@ -22,7 +25,9 @@ from enum import Enum
 __all__ = [
     "FailureKind",
     "RetryPolicy",
+    "TRANSIENT_BUILTIN_TYPES",
     "TRANSIENT_ERROR_TYPES",
+    "TRANSIENT_QUALIFIED_TYPES",
     "backoff_delay",
     "is_transient",
 ]
@@ -48,13 +53,12 @@ class FailureKind(Enum):
     POISON = "poison"
 
 
-#: Exception type names considered transient: worth re-executing after a
-#: backoff because the failure is plausibly environmental (I/O hiccup,
-#: file mid-rewrite, interrupted syscall) rather than deterministic.
-#: ``TraceFormatError``/``TraceReadError`` are here for the re-read
-#: path: a trace that *scanned* clean but fails on reload is being
-#: touched by something external, not structurally corrupt.
-TRANSIENT_ERROR_TYPES = frozenset(
+#: Builtin exception names considered transient: worth re-executing
+#: after a backoff because the failure is plausibly environmental (I/O
+#: hiccup, interrupted syscall) rather than deterministic.  Builtins are
+#: the only names matched bare — :func:`_exc_qualname
+#: <repro.parallel.executor._exc_qualname>` leaves them unqualified.
+TRANSIENT_BUILTIN_TYPES = frozenset(
     {
         "OSError",
         "IOError",
@@ -65,19 +69,48 @@ TRANSIENT_ERROR_TYPES = frozenset(
         "BrokenPipeError",
         "BlockingIOError",
         "InterruptedError",
-        "TraceFormatError",
-        "TraceReadError",
     }
 )
+
+#: Repro-internal transient classes, matched *only* by module-qualified
+#: name so a third-party class that merely shares the bare name is not
+#: silently retried.  ``TraceFormatError``/``TraceReadError`` are here
+#: for the re-read path: a trace that *scanned* clean but fails on
+#: reload is being touched by something external, not structurally
+#: corrupt.
+TRANSIENT_QUALIFIED_TYPES = frozenset(
+    {
+        "repro.darshan.errors.TraceFormatError",
+        "repro.darshan.errors.TraceReadError",
+    }
+)
+
+#: Every transient name, for introspection/docs (the union the old
+#: single suffix-matched table used to hold).
+TRANSIENT_ERROR_TYPES = TRANSIENT_BUILTIN_TYPES | TRANSIENT_QUALIFIED_TYPES
 
 
 def is_transient(error_type: str) -> bool:
     """True when an exception type name names a retryable failure class.
 
-    Accepts bare (``OSError``) or module-qualified
-    (``repro.darshan.errors.TraceReadError``) names.
+    Callers should pass the module-qualified name when they have one
+    (:attr:`TaskFailure.qualname <repro.parallel.executor.TaskFailure>`),
+    falling back to the bare ``error_type``.  Matching is deliberately
+    exact, not suffix-based:
+
+    * a qualified name matches only :data:`TRANSIENT_QUALIFIED_TYPES`
+      (plus a ``builtins.``-qualified spelling of a builtin);
+    * a bare name matches only :data:`TRANSIENT_BUILTIN_TYPES` — so
+      ``somepkg.errors.ConnectionError`` or a user-defined
+      ``TraceReadError`` never borrows the transient treatment of the
+      class it shadows.
     """
-    return error_type.rpartition(".")[2] in TRANSIENT_ERROR_TYPES
+    if error_type in TRANSIENT_QUALIFIED_TYPES:
+        return True
+    prefix, _, name = error_type.rpartition(".")
+    if prefix and prefix != "builtins":
+        return False
+    return name in TRANSIENT_BUILTIN_TYPES
 
 
 @dataclass(slots=True, frozen=True)

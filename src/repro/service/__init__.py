@@ -1,0 +1,27 @@
+"""Mosaic-as-a-service: async categorization server plus its storage.
+
+The service layer packages the batch pipeline for long-lived operation
+(``mosaic serve``): an asyncio HTTP front end (:mod:`.server`) over the
+shared journal-backed :class:`~repro.parallel.jobstore.JobStore`, a
+content-addressed result cache (:mod:`.cache`) keyed on ``.mosc`` v2
+per-trace CRC chains, and an application catalog sharded by app-key
+hash (:mod:`.shards`) for concurrent scheduler queries.
+
+Coroutines in this package must never block the event loop — every
+filesystem or pipeline call goes through ``run_in_executor``.  The
+contract is enforced statically by lint rule MOS019.
+"""
+
+from .cache import ResultCache, config_namespace
+from .server import JobRecord, MosaicServer, result_weight
+from .shards import ShardedCatalog, shard_of
+
+__all__ = [
+    "JobRecord",
+    "MosaicServer",
+    "ResultCache",
+    "ShardedCatalog",
+    "config_namespace",
+    "result_weight",
+    "shard_of",
+]

@@ -1,0 +1,780 @@
+"""Mosaic-as-a-service: the async categorization server.
+
+``mosaic serve`` turns the batch pipeline into a long-lived daemon
+co-located with the trace drop-box: clients POST jobs naming a
+server-visible compiled store (``.mosc``) or trace directory, receive a
+job id immediately, and either poll ``/jobs/<id>`` or stream settle
+events over SSE.  Results are the byte-identical JSONL the batch CLI
+writes — the server *is* :func:`~repro.core.pipeline.run_pipeline_store`
+behind HTTP, not a reimplementation.
+
+Stdlib only: one asyncio accept loop speaking minimal HTTP/1.1
+(``Connection: close`` per request), with every blocking step —
+registry appends, pipeline runs, result-file reads — pushed through
+``loop.run_in_executor`` so the event loop never touches disk.  That
+contract is linted (MOS019: no blocking I/O in ``repro.service``
+coroutines).
+
+Durability is delegated to layers that already earn it:
+
+* the **job registry** (``<data>/jobs.jsonl``) is a
+  :class:`~repro.io.DurableAppender` log of ``submitted``/``finished``
+  events, replayed at startup (torn tail tolerated).  A job submitted
+  but never finished is re-queued with ``resume=True``;
+* each job's per-trace outcomes live in its own
+  :class:`~repro.parallel.jobstore.JobStore` journal
+  (``<data>/jobs/<id>/journal.jsonl``), so a ``kill -9`` mid-job
+  resumes exactly where it died — the journal lock's stale-pid
+  detection clears the dead server's sidecar;
+* results already categorized anywhere (this server, a previous
+  incarnation, the batch CLI sharing the cache dir) are served from the
+  content-addressed :class:`~repro.service.cache.ResultCache`.
+
+Routes::
+
+    GET  /healthz             liveness
+    GET  /metrics             queue depth, cache hit rate, shard sizes,
+                              aggregated pipeline counters
+    POST /jobs                {"store": path} | {"traces": path}
+                              [+ "repair", "budget"] -> 202 {job_id}
+    GET  /jobs                all jobs (registry order)
+    GET  /jobs/<id>           one job's status
+    GET  /jobs/<id>/results   JSONL (chunked) | 202 pending | 404 |
+                              500 failed | 507 storage-failed
+    GET  /jobs/<id>/events    SSE settle stream until terminal
+    GET  /catalog             sharded application catalog snapshot
+
+A job that dies with :class:`~repro.io.StorageError` (disk full, torn
+device) is reported as HTTP 507 Insufficient Storage, matching the
+batch CLI's dedicated exit code 3.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.governor import ResourceBudget
+from ..core.pipeline import (
+    PipelineContext,
+    PipelineResult,
+    run_pipeline_store,
+    run_pipeline_stream,
+)
+from ..core.result import save_results_jsonl
+from ..core.thresholds import DEFAULT_CONFIG, MosaicConfig
+from ..darshan.errors import TraceFormatError
+from ..darshan.source import DirectorySource
+from ..io import DurableAppender, StorageError, atomic_write_text
+from ..parallel.executor import ParallelConfig
+from .cache import ResultCache, config_namespace
+from .shards import ShardedCatalog
+
+__all__ = ["JobRecord", "MosaicServer", "result_weight"]
+
+#: Largest request body accepted (submissions are tiny JSON documents).
+MAX_BODY_BYTES = 1 << 20
+
+#: Job states.  queued/running are non-terminal; the rest are terminal.
+_TERMINAL = frozenset({"done", "failed", "storage-failed"})
+
+#: Seconds an idle SSE subscriber waits between keepalive comments.
+_SSE_KEEPALIVE_S = 15.0
+
+
+def result_weight(result: Any) -> float:
+    """Catalog keep-heaviest weight of one categorization result.
+
+    Approximates :meth:`~repro.darshan.trace.Trace.io_weight`
+    (``total_bytes + total_metadata_ops``) from what the result retains:
+    significant directions' chunk volumes plus metadata requests.
+    """
+    total = float(result.metadata_total)
+    for vols in result.chunk_volumes.values():
+        if vols:
+            total += float(sum(vols))
+    return total
+
+
+class _SlowWorker:
+    """Test-only worker wrapper: stretch each task by a fixed delay.
+
+    Enabled via ``MOSAIC_SERVE_TEST_DELAY_S`` so crash tests can land a
+    ``kill -9`` mid-journal deterministically.  Module-level and
+    state-free, hence picklable for pool workers.
+    """
+
+    def __init__(self, fn: Any, delay_s: float) -> None:
+        self.fn = fn
+        self.delay_s = delay_s
+
+    def __call__(self, item: Any) -> Any:
+        time.sleep(self.delay_s)
+        return self.fn(item)
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One submitted categorization job."""
+
+    job_id: str
+    kind: str  # "store" | "traces"
+    path: str
+    repair: bool = False
+    budget: dict[str, Any] | None = None
+    status: str = "queued"
+    error: str = ""
+    n_results: int = -1
+    n_failures: int = -1
+    metrics: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "path": self.path,
+            "repair": self.repair,
+            "status": self.status,
+        }
+        if self.budget:
+            out["budget"] = self.budget
+        if self.error:
+            out["error"] = self.error
+        if self.n_results >= 0:
+            out["n_results"] = self.n_results
+            out["n_failures"] = self.n_failures
+            out["metrics"] = self.metrics
+        return out
+
+
+class MosaicServer:
+    """The service: job queue, registry, cache, catalog, HTTP front."""
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike[str],
+        *,
+        config: MosaicConfig = DEFAULT_CONFIG,
+        workers: int = 0,
+        n_shards: int = 8,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+    ) -> None:
+        self.data_dir = os.fspath(data_dir)
+        self.config = config
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.jobs_dir = os.path.join(self.data_dir, "jobs")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.catalog = ShardedCatalog(n_shards, config=config)
+        self._caches: dict[str, ResultCache] = {}
+        self.jobs: dict[str, JobRecord] = {}
+        self._order: list[str] = []
+        self._seq = 0
+        #: Aggregated PipelineResult.metrics across finished jobs.
+        self.pipeline_metrics: dict[str, int] = {}
+        self._metrics_lock = threading.Lock()
+        self._registry_path = os.path.join(self.data_dir, "jobs.jsonl")
+        resumed = self._replay_registry()
+        self._registry = DurableAppender(
+            self._registry_path,
+            append=os.path.exists(self._registry_path),
+        )
+        self._queue: asyncio.Queue[JobRecord] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        #: job_id -> SSE subscriber queues.
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._resumed_at_start = resumed
+        delay = os.environ.get("MOSAIC_SERVE_TEST_DELAY_S")
+        self._test_delay_s = float(delay) if delay else 0.0
+
+    # -- registry ------------------------------------------------------
+    def _replay_registry(self) -> list[JobRecord]:
+        """Rebuild job state from the append-only registry.
+
+        Returns the non-terminal jobs (submitted, never finished) — the
+        ones a previous incarnation died holding, to be re-queued.
+        """
+        try:
+            with open(self._registry_path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crashed append
+            if event.get("event") == "submitted":
+                job = JobRecord(
+                    job_id=str(event["job_id"]),
+                    kind=str(event["kind"]),
+                    path=str(event["path"]),
+                    repair=bool(event.get("repair", False)),
+                    budget=event.get("budget"),
+                )
+                self.jobs[job.job_id] = job
+                self._order.append(job.job_id)
+                num = job.job_id.rsplit("-", 1)[-1]
+                if num.isdigit():
+                    self._seq = max(self._seq, int(num))
+            elif event.get("event") == "finished":
+                job = self.jobs.get(str(event.get("job_id", "")))
+                if job is not None:
+                    job.status = str(event.get("status", "failed"))
+                    job.error = str(event.get("error", ""))
+                    job.n_results = int(event.get("n_results", -1))
+                    job.n_failures = int(event.get("n_failures", -1))
+        return [j for j in self.jobs.values() if j.status not in _TERMINAL]
+
+    def _register(self, event: dict[str, Any]) -> None:
+        """Durably append one registry event (executor thread only)."""
+        self._registry.append_line(json.dumps(event, separators=(",", ":")))
+
+    # -- jobs ----------------------------------------------------------
+    def cache_for(self, repair: bool) -> ResultCache:
+        """The (config, repair)-namespaced result cache, memoized so hit
+        counters survive across jobs."""
+        ns = config_namespace(self.config, repair)
+        if ns not in self._caches:
+            self._caches[ns] = ResultCache(
+                os.path.join(self.data_dir, "cache"), namespace=ns
+            )
+        return self._caches[ns]
+
+    def _job_dir(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, job_id)
+
+    def _job_config(self, job: JobRecord) -> MosaicConfig:
+        if not job.budget:
+            return self.config
+        budget = ResourceBudget(**job.budget)
+        return self.config.with_overrides(budget=budget)
+
+    def _execute(self, job: JobRecord) -> PipelineResult:
+        """Run one job's pipeline to completion (executor thread).
+
+        The journal makes this restartable: when a journal already
+        exists at the job's path, a previous incarnation died mid-job
+        and the run resumes from its settled outcomes.
+        """
+        job_dir = self._job_dir(job.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        journal = os.path.join(job_dir, "journal.jsonl")
+        resume = os.path.exists(journal)
+        config = self._job_config(job)
+
+        def on_settle(kind: str, trace_job_id: int, record: dict[str, Any]) -> None:
+            self._publish(
+                job.job_id, {"event": kind, "trace_job_id": trace_job_id}
+            )
+
+        ctx = PipelineContext(
+            config=config,
+            parallel=ParallelConfig(max_workers=self.workers),
+            repair=job.repair,
+            result_cache=self.cache_for(job.repair) if job.kind == "store" else None,
+            on_settle=on_settle,
+        )
+        if self._test_delay_s > 0:
+            delay = self._test_delay_s
+            ctx.wrap_worker = lambda fn: _SlowWorker(fn, delay)
+        try:
+            if job.kind == "store":
+                result = run_pipeline_store(
+                    job.path,
+                    context=ctx,
+                    journal_path=journal,
+                    resume=resume,
+                )
+            else:
+                result = run_pipeline_stream(
+                    DirectorySource(job.path),
+                    context=ctx,
+                    journal_path=journal,
+                    resume=resume,
+                )
+        except TraceFormatError as exc:
+            # an unreadable/corrupt submission is this job's failure,
+            # re-raised as the typed error the job worker reports
+            raise ValueError(f"unreadable {job.kind}: {exc}") from exc
+        for r in result.results:
+            self.catalog.fold_result(r, weight=result_weight(r))
+        save_results_jsonl(
+            result.results, os.path.join(job_dir, "results.jsonl")
+        )
+        job.n_results = result.n_categorized
+        job.n_failures = result.n_failures
+        job.metrics = dict(result.metrics)
+        with self._metrics_lock:
+            for key, value in result.metrics.items():
+                self.pipeline_metrics[key] = (
+                    self.pipeline_metrics.get(key, 0) + value
+                )
+        return result
+
+    # -- SSE plumbing --------------------------------------------------
+    def _publish(self, job_id: str, event: dict[str, Any]) -> None:
+        """Push one event to a job's SSE subscribers (any thread)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(self._publish_on_loop, job_id, event)
+
+    def _publish_on_loop(self, job_id: str, event: dict[str, Any]) -> None:
+        for queue in self._subscribers.get(job_id, []):
+            queue.put_nowait(event)
+
+    # -- async job machinery -------------------------------------------
+    async def _submit(self, job: JobRecord) -> None:
+        """Register and enqueue one job (event-loop side)."""
+        assert self._loop is not None and self._queue is not None
+        self.jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        await self._loop.run_in_executor(
+            None,
+            self._register,
+            {
+                "event": "submitted",
+                "job_id": job.job_id,
+                "kind": job.kind,
+                "path": job.path,
+                "repair": job.repair,
+                **({"budget": job.budget} if job.budget else {}),
+            },
+        )
+        await self._queue.put(job)
+
+    async def _job_worker(self) -> None:
+        """Drain the queue: one pipeline at a time per worker task."""
+        assert self._loop is not None and self._queue is not None
+        while True:
+            job = await self._queue.get()
+            job.status = "running"
+            self._publish(job.job_id, {"event": "running"})
+            try:
+                await self._loop.run_in_executor(None, self._execute, job)
+                job.status = "done"
+            except StorageError as exc:
+                job.status = "storage-failed"
+                job.error = str(exc)
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                job.status = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            await self._loop.run_in_executor(
+                None,
+                self._register,
+                {
+                    "event": "finished",
+                    "job_id": job.job_id,
+                    "status": job.status,
+                    "error": job.error,
+                    "n_results": job.n_results,
+                    "n_failures": job.n_failures,
+                },
+            )
+            self._publish(
+                job.job_id, {"event": "finished", "status": job.status}
+            )
+            self._queue.task_done()
+
+    # -- metrics -------------------------------------------------------
+    def queue_depth(self) -> int:
+        return sum(
+            1 for j in self.jobs.values() if j.status in ("queued", "running")
+        )
+
+    def metrics(self) -> dict[str, Any]:
+        by_status: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        caches = [c.stats() for c in self._caches.values()]
+        hits = sum(c["hits"] for c in caches)
+        misses = sum(c["misses"] for c in caches)
+        with self._metrics_lock:
+            pipeline = dict(self.pipeline_metrics)
+        return {
+            "queue_depth": self.queue_depth(),
+            "jobs": by_status,
+            "cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / (hits + misses), 4)
+                if hits + misses
+                else 0.0,
+                "namespaces": caches,
+            },
+            "catalog": self.catalog.stats(),
+            "pipeline": pipeline,
+        }
+
+    # -- HTTP ----------------------------------------------------------
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes | None] | None:
+        """Parse one request; ``body=None`` signals an oversized body."""
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        if length > MAX_BODY_BYTES:
+            return method, target, None
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    @staticmethod
+    def _response(
+        status: int,
+        reason: str,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> bytes:
+        return (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1") + body
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        reason: str,
+        payload: dict[str, Any],
+    ) -> None:
+        body = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        writer.write(self._response(status, reason, body))
+        await writer.drain()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(
+                self._read_request(reader), timeout=30.0
+            )
+            if request is None:
+                return
+            method, target, body = request
+            if body is None:
+                await self._send_json(
+                    writer,
+                    413,
+                    "Payload Too Large",
+                    {"error": f"body exceeds {MAX_BODY_BYTES} bytes"},
+                )
+                return
+            await self._route(method, target, body, writer)
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            await self._send_json(writer, 200, "OK", {"status": "ok"})
+        elif method == "GET" and path == "/metrics":
+            await self._send_json(writer, 200, "OK", self.metrics())
+        elif method == "GET" and path == "/catalog":
+            await self._send_json(writer, 200, "OK", self._catalog_payload())
+        elif method == "POST" and path == "/jobs":
+            await self._handle_submit(body, writer)
+        elif method == "GET" and path == "/jobs":
+            await self._send_json(
+                writer,
+                200,
+                "OK",
+                {"jobs": [self.jobs[j].to_dict() for j in self._order]},
+            )
+        elif method == "GET" and path.startswith("/jobs/"):
+            rest = path[len("/jobs/") :]
+            if rest.endswith("/results"):
+                await self._handle_results(rest[: -len("/results")], writer)
+            elif rest.endswith("/events"):
+                await self._handle_events(rest[: -len("/events")], writer)
+            else:
+                job = self.jobs.get(rest)
+                if job is None:
+                    await self._send_json(
+                        writer, 404, "Not Found", {"error": f"no job {rest!r}"}
+                    )
+                elif job.status == "storage-failed":
+                    await self._send_json(
+                        writer, 507, "Insufficient Storage", job.to_dict()
+                    )
+                else:
+                    await self._send_json(writer, 200, "OK", job.to_dict())
+        else:
+            await self._send_json(
+                writer,
+                404,
+                "Not Found",
+                {"error": f"no route {method} {path}"},
+            )
+
+    def _catalog_payload(self) -> dict[str, Any]:
+        entries = self.catalog.entries()
+        return {
+            "n_apps": len(entries),
+            "shard_sizes": self.catalog.shard_sizes(),
+            "apps": [
+                {
+                    "uid": e.result.uid,
+                    "exe": e.result.exe,
+                    "categories": sorted(c.value for c in e.result.categories),
+                    "n_runs": e.n_runs,
+                    "stability": round(e.stability, 4),
+                }
+                for e in entries
+            ],
+        }
+
+    async def _handle_submit(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            await self._send_json(
+                writer, 400, "Bad Request", {"error": "body is not JSON"}
+            )
+            return
+        store = payload.get("store")
+        traces = payload.get("traces")
+        if bool(store) == bool(traces):
+            await self._send_json(
+                writer,
+                400,
+                "Bad Request",
+                {"error": "exactly one of 'store' or 'traces' is required"},
+            )
+            return
+        assert self._loop is not None
+        kind = "store" if store else "traces"
+        source = str(store or traces)
+        probe = os.path.isfile if kind == "store" else os.path.isdir
+        exists = await self._loop.run_in_executor(None, probe, source)
+        if not exists:
+            await self._send_json(
+                writer,
+                400,
+                "Bad Request",
+                {"error": f"no {kind} at {source!r} on the server"},
+            )
+            return
+        budget = payload.get("budget")
+        if budget is not None:
+            try:
+                ResourceBudget(**budget)
+            except (TypeError, ValueError) as exc:
+                await self._send_json(
+                    writer, 400, "Bad Request", {"error": f"bad budget: {exc}"}
+                )
+                return
+        self._seq += 1
+        job = JobRecord(
+            job_id=f"job-{self._seq:06d}",
+            kind=kind,
+            path=source,
+            repair=bool(payload.get("repair", False)),
+            budget=budget,
+        )
+        await self._submit(job)
+        await self._send_json(
+            writer, 202, "Accepted", {"job_id": job.job_id, "status": "queued"}
+        )
+
+    async def _handle_results(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._loop is not None
+        job = self.jobs.get(job_id)
+        if job is None:
+            await self._send_json(
+                writer, 404, "Not Found", {"error": f"no job {job_id!r}"}
+            )
+            return
+        if job.status in ("queued", "running"):
+            await self._send_json(writer, 202, "Accepted", job.to_dict())
+            return
+        if job.status == "storage-failed":
+            await self._send_json(
+                writer, 507, "Insufficient Storage", job.to_dict()
+            )
+            return
+        if job.status == "failed":
+            await self._send_json(
+                writer, 500, "Internal Server Error", job.to_dict()
+            )
+            return
+        results_path = os.path.join(self._job_dir(job_id), "results.jsonl")
+        data = await self._loop.run_in_executor(
+            None, self._read_results, results_path
+        )
+        if data is None:
+            await self._send_json(
+                writer,
+                500,
+                "Internal Server Error",
+                {"error": f"results for {job_id!r} are missing on disk"},
+            )
+            return
+        # Chunked JSONL: clients see lines as they are flushed.
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/jsonl\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        for start in range(0, len(data), 64 * 1024):
+            chunk = data[start : start + 64 * 1024]
+            writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    @staticmethod
+    def _read_results(path: str) -> bytes | None:
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    async def _handle_events(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            await self._send_json(
+                writer, 404, "Not Found", {"error": f"no job {job_id!r}"}
+            )
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+
+        def sse(event: dict[str, Any]) -> bytes:
+            return f"data: {json.dumps(event, separators=(',', ':'))}\n\n".encode()
+
+        if job.status in _TERMINAL:
+            writer.write(sse({"event": "finished", "status": job.status}))
+            await writer.drain()
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        try:
+            writer.write(sse({"event": "subscribed", "status": job.status}))
+            await writer.drain()
+            while True:
+                try:
+                    event = await asyncio.wait_for(
+                        queue.get(), timeout=_SSE_KEEPALIVE_S
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                writer.write(sse(event))
+                await writer.drain()
+                if event.get("event") == "finished":
+                    return
+        finally:
+            self._subscribers[job_id].remove(queue)
+            if not self._subscribers[job_id]:
+                del self._subscribers[job_id]
+
+    # -- lifecycle -----------------------------------------------------
+    def _write_endpoint_file(self, host: str, port: int) -> None:
+        """Publish the bound endpoint (``--port 0`` discovery)."""
+        atomic_write_text(
+            os.path.join(self.data_dir, "server.json"),
+            json.dumps({"host": host, "port": port, "pid": os.getpid()}) + "\n",
+        )
+
+    def request_stop(self) -> None:
+        if self._stop is not None:
+            self._stop.set()
+
+    async def run(self) -> None:
+        """Serve until :meth:`request_stop` (or a signal handler) fires."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        for job in self._resumed_at_start:
+            job.status = "queued"
+            await self._queue.put(job)
+        worker = asyncio.ensure_future(self._job_worker())
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        host, port = server.sockets[0].getsockname()[:2]
+        await self._loop.run_in_executor(
+            None, self._write_endpoint_file, host, port
+        )
+        async with server:
+            await self._stop.wait()
+        worker.cancel()
+        await asyncio.gather(worker, return_exceptions=True)
+        await self._loop.run_in_executor(None, self._registry.close)
+
+    def serve_forever(self) -> None:
+        """Blocking entry point used by ``mosaic serve``."""
+        import signal
+
+        async def _main() -> None:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(sig, self.request_stop)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    # no signal support here (non-main thread, exotic
+                    # loop): Ctrl-C still lands as KeyboardInterrupt
+
+                    pass
+            await self.run()
+
+        asyncio.run(_main())

@@ -1,0 +1,195 @@
+"""Application catalog sharded by application-key hash.
+
+The online :class:`~repro.core.stream.ApplicationCatalog` is a single
+mutable dict guarded by nothing — fine for the one-consumer streaming
+mode it was built for, hostile to a server where every in-flight job
+folds results concurrently.  One big lock would serialize all of them.
+
+:class:`ShardedCatalog` splits the key space into ``n_shards``
+independent catalogs, each with its own lock, routed by a *stable* hash
+(CRC-32 of ``uid:exe`` — not :func:`hash`, which is salted per process
+and would re-shuffle applications across server restarts).  Traces for
+different applications land on different shards and fold in parallel;
+traces for the same application serialize on one shard, which is
+exactly the ordering the keep-heaviest fold needs.
+
+Aggregate views (``entries``, ``results``, counters) merge across
+shards in application-key order, so a sharded catalog is observably
+identical to one flat catalog fed the same traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import TYPE_CHECKING, Any
+
+from ..core.stream import AppEntry, ApplicationCatalog
+from ..core.thresholds import DEFAULT_CONFIG, MosaicConfig
+from ..darshan.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..columnar.store import CorpusStore
+
+__all__ = ["ShardedCatalog", "shard_of"]
+
+DEFAULT_SHARDS = 8
+
+
+def shard_of(uid: int, exe: str, n_shards: int) -> int:
+    """Stable shard index of one application key."""
+    return zlib.crc32(f"{uid}:{exe}".encode()) % max(n_shards, 1)
+
+
+class ShardedCatalog:
+    """N independent catalogs behind one catalog-shaped facade."""
+
+    def __init__(
+        self,
+        n_shards: int = DEFAULT_SHARDS,
+        *,
+        config: MosaicConfig = DEFAULT_CONFIG,
+        min_weight_gain: float = 1.0,
+        max_app_failures: int = 2,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.config = config
+        self._shards = [
+            ApplicationCatalog(
+                config=config,
+                min_weight_gain=min_weight_gain,
+                max_app_failures=max_app_failures,
+            )
+            for _ in range(n_shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(n_shards)]
+
+    # -- routing -------------------------------------------------------
+    def shard_index(self, uid: int, exe: str) -> int:
+        return shard_of(uid, exe, self.n_shards)
+
+    # -- ingest --------------------------------------------------------
+    def ingest(self, trace: Trace) -> AppEntry | None:
+        """Fold one trace into its application's shard (thread-safe)."""
+        uid, exe = trace.meta.app_key
+        shard = self.shard_index(uid, exe)
+        with self._locks[shard]:
+            return self._shards[shard].ingest(trace)
+
+    def ingest_store(
+        self, store: "CorpusStore", rows: list[int] | None = None
+    ) -> int:
+        """Bulk-ingest a compiled store, one batched pass per shard.
+
+        Rows are partitioned by application shard and fed to each
+        shard's :meth:`~repro.core.stream.ApplicationCatalog.ingest_store`
+        — same fold semantics, per-shard locking.
+        """
+        if rows is None:
+            rows = list(range(store.n_traces))
+        by_shard: list[list[int]] = [[] for _ in range(self.n_shards)]
+        for row in rows:
+            uid, exe = store.app_key(row)
+            by_shard[self.shard_index(uid, exe)].append(row)
+        n_folded = 0
+        for shard, shard_rows in enumerate(by_shard):
+            if not shard_rows:
+                continue
+            with self._locks[shard]:
+                n_folded += self._shards[shard].ingest_store(store, shard_rows)
+        return n_folded
+
+    def fold_result(self, result: Any, *, weight: float) -> AppEntry:
+        """Fold one already-computed categorization into its shard.
+
+        The server path: pipeline jobs produce
+        :class:`~repro.core.result.CategorizationResult` objects without
+        retaining their traces, so the catalog folds the result directly
+        — same keep-heaviest and agreement bookkeeping as
+        :meth:`~repro.core.stream.ApplicationCatalog.ingest`, minus the
+        (already-done) validation and categorization.
+        """
+        uid, exe = result.app_key
+        shard = self.shard_index(uid, exe)
+        with self._locks[shard]:
+            catalog = self._shards[shard]
+            catalog.n_ingested += 1
+            entry = catalog._entries.get((uid, exe))
+            if entry is not None:
+                entry.n_runs += 1
+            return catalog._fold((uid, exe), weight, result, entry=entry)
+
+    # -- queries -------------------------------------------------------
+    def lookup(self, uid: int, exe: str) -> AppEntry | None:
+        shard = self.shard_index(uid, exe)
+        with self._locks[shard]:
+            return self._shards[shard].lookup(uid, exe)
+
+    def entries(self) -> list[AppEntry]:
+        """All entries across shards, in application-key order."""
+        keyed: list[tuple[tuple[int, str], AppEntry]] = []
+        for shard, catalog in enumerate(self._shards):
+            with self._locks[shard]:
+                keyed.extend(sorted(catalog._entries.items()))
+        keyed.sort(key=lambda kv: kv[0])
+        return [entry for _key, entry in keyed]
+
+    def results(self) -> list:
+        return [e.result for e in self.entries()]
+
+    def quarantined_apps(self) -> list[tuple[int, str]]:
+        out: list[tuple[int, str]] = []
+        for shard, catalog in enumerate(self._shards):
+            with self._locks[shard]:
+                out.extend(catalog.quarantined_apps())
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return sum(self.shard_sizes())
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(c, attr) for c in self._shards)
+
+    @property
+    def n_ingested(self) -> int:
+        return self._sum("n_ingested")
+
+    @property
+    def n_rejected(self) -> int:
+        return self._sum("n_rejected")
+
+    @property
+    def n_failed(self) -> int:
+        return self._sum("n_failed")
+
+    @property
+    def n_degraded(self) -> int:
+        return self._sum("n_degraded")
+
+    @property
+    def n_quarantined(self) -> int:
+        return self._sum("n_quarantined")
+
+    # -- observability -------------------------------------------------
+    def shard_sizes(self) -> list[int]:
+        """Applications per shard (index ``i`` = shard ``i``)."""
+        sizes = []
+        for shard, catalog in enumerate(self._shards):
+            with self._locks[shard]:
+                sizes.append(len(catalog))
+        return sizes
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot for ``/metrics``."""
+        return {
+            "n_shards": self.n_shards,
+            "shard_sizes": self.shard_sizes(),
+            "n_apps": len(self),
+            "n_ingested": self.n_ingested,
+            "n_rejected": self.n_rejected,
+            "n_failed": self.n_failed,
+            "n_degraded": self.n_degraded,
+            "n_quarantined": self.n_quarantined,
+        }

@@ -58,7 +58,16 @@ FAULT_SHORT_WRITE = "short-write"
 FAULT_POWER_CUT = "power-cut"
 
 #: Ops a script/rate may target (one counter per op).
-_OPS = ("open", "write", "flush", "fsync", "replace", "unlink", "fsync_dir")
+_OPS = (
+    "open",
+    "open_exclusive",
+    "write",
+    "flush",
+    "fsync",
+    "replace",
+    "unlink",
+    "fsync_dir",
+)
 
 #: Modes whose open() mutates the file (tracked for power-cut restore).
 _WRITE_MODES = ("w", "a", "x", "+")
@@ -234,6 +243,11 @@ class StorageChaos(FaultableIO):
             self._track(path)
             self._check("open", path)
         return open(path, mode, encoding=encoding, newline=newline)
+
+    def open_exclusive(self, path: str) -> IO[Any]:
+        self._track(path)
+        self._check("open_exclusive", path)
+        return super().open_exclusive(path)
 
     def write(self, fh: IO[Any], data: Any) -> int:
         path = getattr(fh, "name", "<fh>")

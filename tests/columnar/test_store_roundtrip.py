@@ -8,13 +8,16 @@ fleet and whatever decodable payloads survive the adversarial fuzz
 corpus under ``tests/fuzz/corpus/``.
 """
 
+import os
 import pathlib
 import shutil
+import struct
 
 import numpy as np
 import pytest
 
 from repro.columnar import attach, compile_corpus
+from repro.columnar.format import header_size, unpack_header
 from repro.darshan import DirectorySource, save_binary
 from repro.darshan.errors import TraceFormatError
 from repro.synth import FleetConfig, generate_fleet
@@ -59,6 +62,49 @@ class TestSyntheticRoundtrip:
     def test_reattach_hits_process_cache(self, fleet_store):
         _source, path, _report = fleet_store
         assert attach(path, verify=True) is attach(path, verify=True)
+
+    def test_in_place_rewrite_same_second_invalidates_cache(self, tmp_path):
+        """Regression: the attach cache must key on ``st_mtime_ns``.
+
+        A same-size in-place rewrite landing within one wall-clock
+        second of the original leaves inode, size, and whole-second
+        ``st_mtime`` unchanged — only the nanosecond field moves.  A
+        cache keyed on whole seconds serves the warm worker a stale
+        mapping; the ns key must miss and reattach.
+        """
+        fleet = generate_fleet(FleetConfig(n_apps=24, mean_runs=1.0, seed=11))
+        trace_dir = tmp_path / "traces"
+        trace_dir.mkdir()
+        for trace in fleet.traces:
+            save_binary(trace, trace_dir / f"job{trace.meta.job_id:08d}.mosd")
+        path = str(tmp_path / "corpus.mosc")
+        compile_corpus(DirectorySource(trace_dir), path)
+
+        # Pin a known whole-second timestamp, then warm the cache.
+        base_ns = 1_700_000_000 * 10**9
+        os.utime(path, ns=(base_ns, base_ns))
+        store = attach(path, verify=False)
+        assert attach(path, verify=False) is store  # cache is warm
+
+        # Rewrite one ops_volumes float in place: same inode, same size.
+        with open(path, "rb") as fh:
+            header = unpack_header(fh.read(header_size()))
+        vol_off, vol_nbytes, _crc = header["sections"]["ops_volumes"]
+        assert vol_nbytes >= 8, "fleet store must contain operations"
+        with open(path, "r+b") as fh:
+            fh.seek(vol_off)
+            (old_vol,) = struct.unpack("<d", fh.read(8))
+            fh.seek(vol_off)
+            fh.write(struct.pack("<d", old_vol + 1.0))
+        # Same whole second as the original mtime, one nanosecond later:
+        # exactly the window a seconds-granular key cannot see.
+        os.utime(path, ns=(base_ns, base_ns + 1))
+        st = os.stat(path)
+        assert int(st.st_mtime) == base_ns // 10**9
+
+        fresh = attach(path, verify=False)
+        assert fresh is not store, "stale mapping served after rewrite"
+        assert float(fresh.ops_volumes[0]) == old_vol + 1.0
 
     def test_decode_bit_for_bit(self, fleet_store):
         source, path, _report = fleet_store

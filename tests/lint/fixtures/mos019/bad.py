@@ -1,0 +1,22 @@
+"""Fixture: blocking I/O inside service coroutines (MOS019)."""
+
+import json
+import time
+
+
+async def handle_results(writer: object) -> None:
+    # a file open inside a coroutine stalls every connected client
+    with open("/var/lib/mosaic/results.jsonl", "r", encoding="utf-8") as fh:
+        payload = fh.read(4096)
+    writer.write(payload.encode())
+
+
+async def throttle() -> None:
+    # time.sleep blocks the loop; asyncio.sleep is the awaitable form
+    time.sleep(0.25)
+
+
+async def run_job(run_pipeline_store: object, store_path: str) -> dict:
+    # the whole pipeline runs on the event loop: the server serializes
+    result = run_pipeline_store(store_path)
+    return json.loads(json.dumps(result.metrics))

@@ -1,0 +1,28 @@
+"""Fixture: blocking work pushed through the executor (MOS019)."""
+
+import asyncio
+import json
+
+
+def _read_results(path: str) -> str:
+    # sync helper: runs on an executor thread, never on the loop
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read(4096)
+
+
+async def handle_results(writer: object, path: str) -> None:
+    loop = asyncio.get_running_loop()
+    # the blocking callable crosses the loop boundary by reference
+    payload = await loop.run_in_executor(None, _read_results, path)
+    writer.write(payload.encode())
+    await writer.drain()
+
+
+async def throttle() -> None:
+    await asyncio.sleep(0.25)
+
+
+async def run_job(run_pipeline_store: object, store_path: str) -> dict:
+    loop = asyncio.get_running_loop()
+    result = await loop.run_in_executor(None, run_pipeline_store, store_path)
+    return json.loads(json.dumps(result.metrics))

@@ -1,11 +1,16 @@
 """Unit tests for the append-only run journal and quarantine manifest."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
+from repro.io import StorageError
 from repro.parallel.journal import (
     JOURNAL_VERSION,
+    JournalLockHeld,
     JournalState,
     JournalWriter,
     write_quarantine_manifest,
@@ -119,3 +124,82 @@ class TestQuarantineManifest:
         path = write_quarantine_manifest(journal, [])
         with open(path, encoding="utf-8") as fh:
             assert json.load(fh)["n_quarantined"] == 0
+
+
+class TestJournalLock:
+    """The O_EXCL lock sidecar: one live writer per journal path."""
+
+    def test_sidecar_exists_while_open_and_is_released_on_close(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "run.jsonl")
+        writer = JournalWriter(path)
+        lock = path + ".lock"
+        assert os.path.exists(lock)
+        with open(lock, "rb") as fh:
+            assert int(fh.read()) == os.getpid()
+        writer.close()
+        assert not os.path.exists(lock)
+
+    def test_second_writer_fails_fast_with_typed_error(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JournalWriter(path):
+            with pytest.raises(JournalLockHeld):
+                JournalWriter(path)
+            # typed: the CLI's StorageError exit path applies
+            with pytest.raises(StorageError):
+                JournalWriter(path, append=True)
+        # released: a later run proceeds normally
+        JournalWriter(path, append=True).close()
+
+    def test_contention_does_not_corrupt_the_journal(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JournalWriter(path) as journal:
+            journal.write_header(n_selected=2)
+            journal.record_result(0, {"job_id": 0})
+            with pytest.raises(JournalLockHeld):
+                JournalWriter(path)
+            journal.record_result(1, {"job_id": 1})
+        state = JournalState.load(path)
+        assert sorted(state.completed) == [0, 1]
+        assert state.n_malformed == 0
+
+    def test_lock_held_by_live_foreign_process(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        # pid 1 is alive and not ours; os.kill(1, 0) raises
+        # PermissionError, which must read as "live", not "stale"
+        with open(path + ".lock", "wb") as fh:
+            fh.write(b"1")
+        with pytest.raises(JournalLockHeld) as exc_info:
+            JournalWriter(path)
+        assert exc_info.value.path == path + ".lock"
+
+    def test_stale_lock_of_dead_pid_is_broken(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        # Spawn-and-reap a real process so the pid is guaranteed dead.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        with open(path + ".lock", "wb") as fh:
+            fh.write(str(proc.pid).encode())
+        with JournalWriter(path) as journal:
+            journal.write_header(n_selected=0)
+            with open(path + ".lock", "rb") as fh:
+                assert int(fh.read()) == os.getpid()
+
+    def test_garbled_lock_sidecar_counts_as_stale(self, tmp_path):
+        # The previous owner died between the exclusive create and the
+        # pid write: an empty/garbled sidecar must not wedge the path.
+        path = str(tmp_path / "run.jsonl")
+        with open(path + ".lock", "wb") as fh:
+            fh.write(b"not-a-pid")
+        JournalWriter(path).close()
+        assert not os.path.exists(path + ".lock")
+
+    def test_lock_released_when_appender_open_fails(self, tmp_path):
+        # Journal path is a directory: DurableAppender cannot open it,
+        # and the half-constructed writer must not leak the lock.
+        path = str(tmp_path / "run.jsonl")
+        os.mkdir(path)
+        with pytest.raises(StorageError):
+            JournalWriter(path)
+        assert not os.path.exists(path + ".lock")

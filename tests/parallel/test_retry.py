@@ -2,8 +2,13 @@
 
 import pytest
 
+from repro.darshan.errors import TraceReadError
+from repro.parallel.executor import ParallelConfig, TaskFailure
+from repro.parallel.resilient import resilient_imap
 from repro.parallel.retry import (
+    TRANSIENT_BUILTIN_TYPES,
     TRANSIENT_ERROR_TYPES,
+    TRANSIENT_QUALIFIED_TYPES,
     FailureKind,
     RetryPolicy,
     backoff_delay,
@@ -27,23 +32,110 @@ class TestFailureKind:
 
 class TestIsTransient:
     @pytest.mark.parametrize(
-        "name", ["OSError", "TimeoutError", "BrokenPipeError", "TraceFormatError", "TraceReadError"]
+        "name",
+        ["OSError", "TimeoutError", "BrokenPipeError", "builtins.OSError"],
     )
-    def test_transient_classes(self, name):
+    def test_transient_builtins_match_bare(self, name):
         assert is_transient(name)
 
     @pytest.mark.parametrize(
-        "name", ["ValueError", "KeyError", "TraceUnavailableError", "RuntimeError", ""]
+        "name",
+        [
+            "repro.darshan.errors.TraceFormatError",
+            "repro.darshan.errors.TraceReadError",
+        ],
+    )
+    def test_repro_internals_match_by_qualified_name(self, name):
+        assert is_transient(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["ValueError", "KeyError", "TraceUnavailableError", "RuntimeError", ""],
     )
     def test_permanent_classes(self, name):
         assert not is_transient(name)
 
-    def test_module_qualified_names_match_on_terminal(self):
-        assert is_transient("repro.darshan.errors.TraceFormatError")
+    def test_qualified_names_do_not_suffix_match(self):
         assert not is_transient("repro.darshan.errors.TraceUnavailableError")
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            # a third-party class shadowing a transient builtin name
+            "somepkg.errors.ConnectionError",
+            "somepkg.errors.OSError",
+            # a third-party class shadowing a repro-internal name
+            "somepkg.errors.TraceReadError",
+            # bare repro-internal names are untrusted: only the
+            # module-qualified spelling proves it is *our* class
+            "TraceFormatError",
+            "TraceReadError",
+        ],
+    )
+    def test_shadowed_names_are_not_transient(self, name):
+        assert not is_transient(name)
 
     def test_table_is_names_not_classes(self):
         assert all(isinstance(t, str) for t in TRANSIENT_ERROR_TYPES)
+
+    def test_table_is_the_union_of_the_two_match_sets(self):
+        assert (
+            TRANSIENT_ERROR_TYPES
+            == TRANSIENT_BUILTIN_TYPES | TRANSIENT_QUALIFIED_TYPES
+        )
+
+
+class _ShadowTraceReadError(Exception):
+    """A class merely *named* like the transient repro error."""
+
+
+_ShadowTraceReadError.__name__ = "TraceReadError"
+_ShadowTraceReadError.__qualname__ = "TraceReadError"
+
+
+_CALLS: dict[str, int] = {}
+
+
+def _raise_shadow(item):
+    _CALLS["shadow"] = _CALLS.get("shadow", 0) + 1
+    raise _ShadowTraceReadError("pretends to be transient")
+
+
+def _raise_genuine(item):
+    _CALLS["genuine"] = _CALLS.get("genuine", 0) + 1
+    raise TraceReadError("environmental hiccup")
+
+
+class TestShadowedNameRetryBehaviour:
+    """End-to-end: the executor classifies on the qualified name."""
+
+    def _run_one(self, fn):
+        policy = RetryPolicy(max_retries=2, backoff_base_s=0.0)
+        pairs = list(
+            resilient_imap(
+                fn, [object()], ParallelConfig(max_workers=0), policy=policy
+            )
+        )
+        assert len(pairs) == 1
+        failure = pairs[0][1]
+        assert isinstance(failure, TaskFailure)
+        return failure
+
+    def test_shadowed_class_fails_immediately(self):
+        _CALLS.clear()
+        failure = self._run_one(_raise_shadow)
+        assert failure.error_type == "TraceReadError"
+        assert failure.qualname.endswith(".TraceReadError")
+        assert "." in failure.qualname  # module-qualified, not bare
+        assert _CALLS["shadow"] == 1  # never retried
+        assert failure.attempts == 1
+
+    def test_genuine_class_is_retried(self):
+        _CALLS.clear()
+        failure = self._run_one(_raise_genuine)
+        assert failure.qualname == "repro.darshan.errors.TraceReadError"
+        assert _CALLS["genuine"] == 3  # initial + max_retries
+        assert failure.attempts == 3
 
 
 class TestRetryPolicy:

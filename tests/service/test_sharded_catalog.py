@@ -1,0 +1,117 @@
+"""Unit tests for the sharded application catalog.
+
+A sharded catalog must be observably identical to one flat
+:class:`~repro.core.stream.ApplicationCatalog` fed the same traces —
+sharding buys lock granularity, never different answers.  Routing must
+also be stable across processes (CRC, not salted ``hash``), or a
+restarted server would re-shuffle applications between shards.
+"""
+
+import zlib
+
+import pytest
+
+from repro.core import run_pipeline, save_results_jsonl
+from repro.core.stream import ApplicationCatalog
+from repro.service import ShardedCatalog, result_weight, shard_of
+from repro.synth import FleetConfig, generate_fleet
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_fleet(FleetConfig(n_apps=24, mean_runs=2.0, seed=7))
+
+
+class TestRouting:
+    def test_stable_crc_routing(self):
+        assert shard_of(100, "app.exe", 8) == (
+            zlib.crc32(b"100:app.exe") % 8
+        )
+
+    def test_in_range(self):
+        for uid in range(50):
+            assert 0 <= shard_of(uid, "x.exe", 5) < 5
+
+    def test_single_shard_degenerate(self):
+        assert shard_of(1, "a", 1) == 0
+
+    def test_instances_agree(self):
+        a = ShardedCatalog(4)
+        b = ShardedCatalog(4)
+        assert a.shard_index(7, "ior") == b.shard_index(7, "ior")
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedCatalog(0)
+
+
+class TestFlatEquivalence:
+    def test_ingest_matches_flat_catalog(self, fleet, tmp_path):
+        flat = ApplicationCatalog()
+        sharded = ShardedCatalog(4)
+        for trace in fleet.traces:
+            flat.ingest(trace)
+            sharded.ingest(trace)
+        assert len(sharded) == len(flat)
+        assert sharded.n_ingested == flat.n_ingested
+        assert sharded.n_rejected == flat.n_rejected
+        assert sharded.n_failed == flat.n_failed
+        flat_entries = flat.entries()
+        shard_entries = sharded.entries()
+        assert [e.n_runs for e in shard_entries] == [e.n_runs for e in flat_entries]
+        assert [e.stability for e in shard_entries] == [
+            e.stability for e in flat_entries
+        ]
+        save_results_jsonl(flat.results(), str(tmp_path / "flat.jsonl"))
+        save_results_jsonl(sharded.results(), str(tmp_path / "sharded.jsonl"))
+        assert (tmp_path / "flat.jsonl").read_bytes() == (
+            tmp_path / "sharded.jsonl"
+        ).read_bytes()
+
+    def test_shard_sizes_partition_the_catalog(self, fleet):
+        sharded = ShardedCatalog(8)
+        for trace in fleet.traces:
+            sharded.ingest(trace)
+        sizes = sharded.shard_sizes()
+        assert len(sizes) == 8
+        assert sum(sizes) == len(sharded)
+        for (uid, exe) in {t.meta.app_key for t in fleet.traces}:
+            entry = sharded.lookup(uid, exe)
+            if entry is not None:
+                assert sharded._shards[sharded.shard_index(uid, exe)].lookup(
+                    uid, exe
+                ) is entry
+
+
+class TestFoldResult:
+    def test_fold_already_computed_results(self, fleet):
+        pipeline = run_pipeline(fleet.traces[:6])
+        sharded = ShardedCatalog(4)
+        for result in pipeline.results:
+            sharded.fold_result(result, weight=result_weight(result))
+        assert sharded.n_ingested == len(pipeline.results)
+        for result in pipeline.results:
+            uid, exe = result.app_key
+            entry = sharded.lookup(uid, exe)
+            assert entry is not None
+
+    def test_refold_increments_runs(self, fleet):
+        pipeline = run_pipeline(fleet.traces[:2])
+        result = pipeline.results[0]
+        sharded = ShardedCatalog(4)
+        sharded.fold_result(result, weight=10.0)
+        entry = sharded.fold_result(result, weight=10.0)
+        assert entry.n_runs == 2
+        assert entry.stability == 1.0
+
+    def test_stats_snapshot_keys(self, fleet):
+        sharded = ShardedCatalog(2)
+        for trace in fleet.traces[:4]:
+            sharded.ingest(trace)
+        stats = sharded.stats()
+        assert stats["n_shards"] == 2
+        assert stats["n_apps"] == len(sharded)
+        assert sum(stats["shard_sizes"]) == stats["n_apps"]
+        for key in ("n_ingested", "n_rejected", "n_failed", "n_degraded",
+                    "n_quarantined"):
+            assert key in stats
