@@ -25,7 +25,15 @@ Subcommands mirror the paper's workflow:
 ``mosaic serve``
     Run the pipeline as a long-lived HTTP service: submit corpora over
     HTTP, poll or stream (SSE) results, with a content-addressed result
-    cache and journal-resumable jobs (docs/SERVICE.md).
+    cache, journal-resumable jobs, bounded admission (429/503 +
+    Retry-After under overload), and SIGTERM graceful drain
+    (docs/SERVICE.md).
+``mosaic submit`` / ``mosaic watch``
+    The resilient client side of ``mosaic serve``: submit a corpus with
+    a content-derived idempotency key (safe resubmission), and follow a
+    job's settle stream over SSE with deterministic retry, a circuit
+    breaker, and ``Last-Event-ID`` resume across severed connections
+    and server restarts.
 ``mosaic lint``
     Statically check the codebase against the pipeline's contracts
     (MOS001-MOS011, see ``docs/LINT.md``).  Also installed as ``repro``,
@@ -256,9 +264,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--stage-deadline", type=float, metavar="SECONDS",
         help="soft per-stage deadline applied to every job",
     )
+    srv.add_argument(
+        "--max-queue-depth", type=int, metavar="N",
+        help="pending jobs beyond which submissions shed 429 "
+        "(default: 64)",
+    )
+    srv.add_argument(
+        "--max-inflight", type=int, metavar="N",
+        help="concurrent HTTP requests beyond which connections shed "
+        "503 (default: 128)",
+    )
+    srv.add_argument(
+        "--drain-timeout", type=float, metavar="SECONDS",
+        help="graceful-drain budget after SIGTERM before escalating to "
+        "the journal-resume path (default: 30)",
+    )
+    srv.add_argument(
+        "--sse-keepalive", type=float, metavar="SECONDS",
+        help="SSE heartbeat-comment interval (default: 15)",
+    )
+
+    smt = sub.add_parser(
+        "submit",
+        help="submit a corpus to a running mosaic serve instance, with "
+        "an idempotency key derived from the .mosc CRC chain so "
+        "retried submissions never double-run (docs/SERVICE.md)",
+    )
+    smt.add_argument("--store", metavar="PATH",
+                     help="server-visible compiled .mosc store")
+    smt.add_argument("--traces", metavar="PATH",
+                     help="server-visible trace directory")
+    smt.add_argument("--repair", action="store_true",
+                     help="ask the server to apply repair heuristics")
+    smt.add_argument(
+        "--watch", action="store_true",
+        help="follow the job's SSE settle stream to completion "
+        "(reconnects with Last-Event-ID across failures)",
+    )
+    smt.add_argument(
+        "--output", metavar="PATH",
+        help="with --watch: save the finished job's results JSONL here",
+    )
+    _add_client_flags(smt)
+
+    wch = sub.add_parser(
+        "watch",
+        help="follow an existing job's SSE settle stream to completion",
+    )
+    wch.add_argument("job_id", help="job id returned by mosaic submit")
+    wch.add_argument(
+        "--output", metavar="PATH",
+        help="save the finished job's results JSONL here",
+    )
+    _add_client_flags(wch)
 
     add_lint_subparser(sub)
     return parser
+
+
+def _add_client_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8377)
+    sub.add_argument(
+        "--data-dir", metavar="PATH",
+        help="discover the endpoint from <data-dir>/server.json instead "
+        "of --host/--port (what mosaic serve published)",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="overall deadline for the job to reach a terminal state",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=5, metavar="N",
+        help="attempts per request (deterministic exponential backoff)",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-settle event lines",
+    )
 
 
 def _add_resilience_flags(sub: argparse.ArgumentParser) -> None:
@@ -756,7 +839,19 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from ..service import MosaicServer
+    from ..service.admission import AdmissionLimits
 
+    limit_overrides: dict[str, Any] = {}
+    if args.max_queue_depth:
+        limit_overrides["max_queue_depth"] = args.max_queue_depth
+    if args.max_inflight:
+        limit_overrides["max_inflight_requests"] = args.max_inflight
+    if args.drain_timeout:
+        limit_overrides["drain_timeout_s"] = args.drain_timeout
+    try:
+        limits = AdmissionLimits(**limit_overrides)
+    except ValueError as exc:
+        raise SystemExit(f"bad admission limits: {exc}") from exc
     server = MosaicServer(
         args.data_dir,
         config=_effective_config(args),
@@ -764,6 +859,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_shards=args.shards,
         host=args.host,
         port=args.port,
+        limits=limits,
+        sse_keepalive_s=args.sse_keepalive or 15.0,
     )
     print(
         f"mosaic service: data-dir {args.data_dir}, "
@@ -774,6 +871,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(endpoint published in {os.path.join(args.data_dir, 'server.json')})")
     server.serve_forever()
     return 0
+
+
+def _client_endpoint(args: argparse.Namespace) -> tuple[str, int]:
+    """Resolve the service endpoint: server.json beats --host/--port."""
+    if getattr(args, "data_dir", None):
+        endpoint_path = os.path.join(args.data_dir, "server.json")
+        try:
+            with open(endpoint_path, "r", encoding="utf-8") as fh:
+                endpoint = json.load(fh)
+            return str(endpoint["host"]), int(endpoint["port"])
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"cannot discover endpoint from {endpoint_path!r}: {exc} "
+                "(is mosaic serve running with that --data-dir?)"
+            ) from exc
+    return args.host, args.port
+
+
+def _make_client(args: argparse.Namespace):
+    from ..service.client import ClientRetryPolicy, MosaicClient
+
+    host, port = _client_endpoint(args)
+    return MosaicClient(
+        host, port, retry=ClientRetryPolicy(max_attempts=args.retries)
+    )
+
+
+_JOB_STATUS_EXIT = {"done": 0, "failed": 1, "storage-failed": 3}
+
+
+def _watch_to_exit(client, job_id: str, args: argparse.Namespace) -> int:
+    """Follow one job to a terminal state; map its status to an exit
+    code (matching the batch CLI: storage failures exit 3)."""
+    from ..service.client import MosaicClientError
+
+    def on_event(event: dict) -> None:
+        if not args.quiet:
+            print(f"  event: {json.dumps(event, separators=(',', ':'))}")
+
+    try:
+        job = client.watch(job_id, timeout_s=args.timeout, on_event=on_event)
+    except MosaicClientError as exc:
+        raise SystemExit(f"watch failed: {exc}") from exc
+    status = job.get("status", "failed")
+    print(f"{job_id}: {status}"
+          + (f" ({job.get('error', '')})" if job.get("error") else ""))
+    if status == "done" and getattr(args, "output", None):
+        from ..io import atomic_write_bytes
+
+        data = client.results(job_id)
+        atomic_write_bytes(args.output, data)
+        print(f"results -> {args.output} ({len(data)} bytes)")
+    return _JOB_STATUS_EXIT.get(status, 1)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..service.client import MosaicClientError
+
+    if bool(args.store) == bool(args.traces):
+        raise SystemExit("exactly one of --store or --traces is required")
+    client = _make_client(args)
+    try:
+        submitted = client.submit(
+            store=args.store, traces=args.traces, repair=args.repair
+        )
+    except MosaicClientError as exc:
+        raise SystemExit(f"submission failed: {exc}") from exc
+    job_id = submitted["job_id"]
+    dedup = " (deduplicated: already submitted)" if submitted.get(
+        "deduplicated"
+    ) else ""
+    print(f"submitted {job_id}: {submitted.get('status', 'queued')}{dedup}")
+    if not args.watch:
+        return 0
+    return _watch_to_exit(client, job_id, args)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return _watch_to_exit(_make_client(args), args.job_id, args)
 
 
 _COMMANDS = {
@@ -787,6 +963,8 @@ _COMMANDS = {
     "discover": _cmd_discover,
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "watch": _cmd_watch,
     "lint": cmd_lint,
 }
 

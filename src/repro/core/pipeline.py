@@ -116,9 +116,11 @@ class PipelineContext:
     result_cache: Any | None = None
     #: Optional settle hook passed to the journal-backed
     #: :class:`~repro.parallel.jobstore.JobStore`: called as
-    #: ``(kind, job_id, record)`` after every durably-journaled outcome
-    #: (``kind`` is ``"result"`` or ``"failure"``).  The service's SSE
-    #: live stream; no effect without ``journal_path``.
+    #: ``(kind, job_id, record, seq)`` after every durably-journaled
+    #: outcome (``kind`` is ``"result"`` or ``"failure"``; ``seq`` is
+    #: the journal settle-event sequence number, stable across
+    #: resumes).  The service's SSE live stream; no effect without
+    #: ``journal_path``.
     on_settle: Any | None = None
 
     def __post_init__(self) -> None:

@@ -1,4 +1,4 @@
-"""The Mosaic contract rules (MOS001-MOS013, MOS018-MOS019).
+"""The Mosaic contract rules (MOS001-MOS013, MOS018-MOS020).
 
 Each rule encodes one invariant the paper states but Python cannot
 enforce; the registry in :mod:`repro.lint.rules` exposes them to the
@@ -1313,3 +1313,77 @@ class AsyncBlockingIORule(Rule):
                 f"{name}() blocks the event loop from inside a "
                 "coroutine: every connected client waits while it runs",
             )
+
+
+# ======================================================================
+@register
+class UnboundedStreamReadRule(Rule):
+    """MOS020: every awaited stream read in ``repro.service`` carries a
+    deadline.
+
+    A bare ``await reader.readline()`` (or ``read`` / ``readexactly`` /
+    ``readuntil``) waits as long as the peer cares to stall it — the
+    slow-loris posture: one client trickling a byte a minute pins a
+    coroutine, and enough of them pin the server.  The service's
+    admission contract gives every socket read a budget, so each such
+    await must be bounded: wrapped in ``asyncio.wait_for(...)`` (which
+    makes the read an argument, not a bare await) or executed under an
+    ``async with asyncio.timeout(...)`` block.
+
+    Scope: ``repro.service`` modules (and the standalone fixture
+    corpus), same as MOS019 — client-side ``http.client`` reads are
+    synchronous and socket-timeout-bounded, not this rule's concern.
+    """
+
+    id = "MOS020"
+    name = "unbounded-stream-read"
+    description = (
+        "awaited stream read without a deadline in repro.service lets "
+        "a slow-loris peer pin the coroutine"
+    )
+    severity = Severity.ERROR
+    fix_hint = (
+        "bound the read: await asyncio.wait_for(reader.read...(...), "
+        "timeout) or run it under async with asyncio.timeout(...)"
+    )
+
+    #: Awaited method names that read from a peer-paced stream.
+    _READ_METHODS = frozenset({"read", "readline", "readexactly", "readuntil"})
+
+    def _applies(self) -> bool:
+        mod = self.ctx.module
+        if mod.startswith("repro."):
+            return mod.startswith("repro.service")
+        return True  # standalone modules (the fixture corpus) are checked
+
+    def _under_timeout_block(self) -> bool:
+        """True inside ``async with asyncio.timeout(...)/timeout_at(...)``."""
+        for ancestor in self.ctx.parents():
+            if not isinstance(ancestor, ast.AsyncWith):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                if not isinstance(expr, ast.Call):
+                    continue
+                name = self.ctx.qualify_node(expr.func)
+                if name in ("asyncio.timeout", "asyncio.timeout_at"):
+                    return True
+        return False
+
+    def on_Await(self, node: ast.Await) -> None:
+        if not self._applies():
+            return
+        call = node.value
+        if not isinstance(call, ast.Call) or not isinstance(
+            call.func, ast.Attribute
+        ):
+            return
+        if call.func.attr not in self._READ_METHODS:
+            return
+        if self._under_timeout_block():
+            return
+        self.report(
+            node,
+            f"await ...{call.func.attr}() has no deadline: a stalled "
+            "peer holds this coroutine (and its admission slot) forever",
+        )

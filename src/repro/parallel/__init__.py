@@ -10,7 +10,7 @@ from .executor import (
     parallel_imap,
     parallel_map,
 )
-from .jobstore import QUARANTINE_KINDS, JobStore
+from .jobstore import QUARANTINE_KINDS, JobStore, replay_settles
 from .journal import (
     JOURNAL_VERSION,
     JournalLockHeld,
@@ -36,6 +36,7 @@ __all__ = [
     "parallel_imap",
     "JOURNAL_VERSION",
     "JobStore",
+    "replay_settles",
     "JournalLockHeld",
     "JournalState",
     "JournalWriter",

@@ -25,7 +25,12 @@ Lifecycle::
     store.close()                                   # manifest + unlock
 
 ``on_settle`` (optional) is invoked after every durably-journaled
-outcome — the service's live-stream hook.
+outcome — the service's live-stream hook.  Every settle carries a
+1-based sequence number (:attr:`JobStore.seq`) that counts journal
+settle lines, so a resumed store continues exactly where the dead
+incarnation's numbering stopped; :func:`replay_settles` re-reads a
+journal and reproduces the same ``(seq, event)`` stream, which is what
+backs SSE ``Last-Event-ID`` resume on the server.
 """
 
 from __future__ import annotations
@@ -36,17 +41,40 @@ from typing import Any, Callable
 from .journal import (
     JournalState,
     JournalWriter,
+    iter_settle_events,
     write_quarantine_manifest,
 )
 
-__all__ = ["QUARANTINE_KINDS", "JobStore"]
+__all__ = ["QUARANTINE_KINDS", "JobStore", "replay_settles"]
 
 #: Failure kinds that stay settled (skipped) across resumes.
 QUARANTINE_KINDS = frozenset({"timeout", "poison"})
 
-#: Settle callback signature: (kind, job_id, record) with kind one of
-#: ``"result"`` / ``"failure"``.
-SettleFn = Callable[[str, int, dict[str, Any]], None]
+#: Settle callback signature: (kind, job_id, record, seq) with kind one
+#: of ``"result"`` / ``"failure"`` and ``seq`` the 1-based journal
+#: settle-event sequence number (stable across resumes).
+SettleFn = Callable[[str, int, dict[str, Any], int], None]
+
+
+def replay_settles(
+    path: str | os.PathLike[str], *, after: int = 0
+) -> list[tuple[int, str, dict[str, Any]]]:
+    """Settle events journaled at ``path`` with sequence number > ``after``.
+
+    Returns ``(seq, kind, record)`` triples in journal order, where
+    ``record`` is the journal entry (``result`` lines carry the payload
+    under ``"result"``; ``failure`` lines are the failure record).  A
+    missing or unreadable journal replays as empty — the caller treats
+    that as "nothing settled yet", the same answer a fresh job gives.
+    """
+    try:
+        return [
+            (seq, kind, entry)
+            for seq, kind, entry in iter_settle_events(path)
+            if seq > after
+        ]
+    except OSError:
+        return []
 
 
 class JobStore:
@@ -74,6 +102,11 @@ class JobStore:
         #: Failure records quarantined this run *or* inherited from the
         #: resumed journal — the manifest content.
         self.quarantine_records: list[dict[str, Any]] = []
+        #: Settle-event cursor: the sequence number of the last settled
+        #: outcome.  Initialized from the resumed journal's settle-line
+        #: count in :meth:`open`, so event numbering is stable across
+        #: kill/restart cycles.
+        self.seq = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -100,6 +133,7 @@ class JobStore:
                     f"selects {n_selected} — refusing to resume"
                 )
             self.quarantine_records.extend(state.quarantined.values())
+            self.seq = state.n_settle_events
         self._writer = JournalWriter(
             self.path,
             append=self.resuming,
@@ -120,8 +154,9 @@ class JobStore:
     def settle_result(self, job_id: int, payload: dict[str, Any]) -> None:
         """Durably record one completed categorization."""
         self._require_writer().record_result(job_id, payload)
+        self.seq += 1
         if self.on_settle is not None:
-            self.on_settle("result", job_id, payload)
+            self.on_settle("result", job_id, payload, self.seq)
 
     def settle_failure(
         self,
@@ -153,8 +188,9 @@ class JobStore:
             trace_key=trace_key,
             attempts=attempts,
         )
+        self.seq += 1
         if self.on_settle is not None:
-            self.on_settle("failure", job_id, record)
+            self.on_settle("failure", job_id, record, self.seq)
         return quarantined
 
     def checkpoint(self) -> None:

@@ -36,7 +36,7 @@ import contextlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from ..io import DurableAppender, StorageError, atomic_write_text, get_io
 
@@ -46,6 +46,7 @@ __all__ = [
     "JournalState",
     "JournalWriter",
     "acquire_journal_lock",
+    "iter_settle_events",
     "release_journal_lock",
     "write_quarantine_manifest",
 ]
@@ -71,6 +72,10 @@ class JournalState:
     transient_failures: list[dict[str, Any]] = field(default_factory=list)
     #: Unparseable lines skipped (normally 0 or 1: a torn final write).
     n_malformed: int = 0
+    #: Parseable settle lines (result *and* failure, duplicates counted)
+    #: in journal order — the event-sequence cursor a resumed writer
+    #: continues from, so SSE event ids stay stable across restarts.
+    n_settle_events: int = 0
 
     @property
     def n_completed(self) -> int:
@@ -118,12 +123,15 @@ class JournalState:
                         state.completed[int(entry["job_id"])] = entry["result"]
                     except (KeyError, TypeError, ValueError):
                         state.n_malformed += 1
+                        continue
+                    state.n_settle_events += 1
                 elif kind == "failure":
                     try:
                         job_id = int(entry["job_id"])
                     except (KeyError, TypeError, ValueError):
                         state.n_malformed += 1
                         continue
+                    state.n_settle_events += 1
                     if entry.get("failure_kind") in _QUARANTINE_KINDS:
                         state.quarantined[job_id] = entry
                     else:
@@ -131,6 +139,43 @@ class JournalState:
                 else:
                     state.n_malformed += 1
         return state
+
+
+def iter_settle_events(
+    path: str | os.PathLike[str],
+) -> "Iterator[tuple[int, str, dict[str, Any]]]":
+    """Yield ``(seq, kind, entry)`` for every settle line, in order.
+
+    ``seq`` is 1-based and counts every parseable ``result``/``failure``
+    line (duplicates from resumed transient failures included), matching
+    the cursor :class:`JournalState` tracks in ``n_settle_events`` and
+    the one a live :class:`~repro.parallel.jobstore.JobStore` advances —
+    the three views of "event number N" always agree, which is what
+    makes SSE ``Last-Event-ID`` replay sound.  Malformed lines (the torn
+    tail of a crashed append) are skipped without consuming a sequence
+    number, exactly as :meth:`JournalState.load` skips them.
+    """
+    seq = 0
+    with open(os.fspath(path), "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict):
+                continue
+            kind = entry.get("kind")
+            if kind not in ("result", "failure"):
+                continue
+            try:
+                int(entry["job_id"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            seq += 1
+            yield seq, str(kind), entry
 
 
 class JournalLockHeld(StorageError):

@@ -12,16 +12,31 @@ filesystem or pipeline call goes through ``run_in_executor``.  The
 contract is enforced statically by lint rule MOS019.
 """
 
+from .admission import AdmissionControl, AdmissionLimits
 from .cache import ResultCache, config_namespace
+from .client import (
+    CircuitBreaker,
+    ClientRetryPolicy,
+    MosaicClient,
+    MosaicClientError,
+    idempotency_key_for,
+)
 from .server import JobRecord, MosaicServer, result_weight
 from .shards import ShardedCatalog, shard_of
 
 __all__ = [
+    "AdmissionControl",
+    "AdmissionLimits",
+    "CircuitBreaker",
+    "ClientRetryPolicy",
     "JobRecord",
+    "MosaicClient",
+    "MosaicClientError",
     "MosaicServer",
     "ResultCache",
     "ShardedCatalog",
     "config_namespace",
+    "idempotency_key_for",
     "result_weight",
     "shard_of",
 ]

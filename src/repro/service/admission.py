@@ -1,0 +1,191 @@
+"""Admission control: the server's overload contract.
+
+A categorization server in front of a fleet-scale trace drop-box sees
+three distinct kinds of overload, and each one needs a different
+refusal:
+
+* **too many jobs** — pipeline runs are minutes long; an unbounded job
+  queue is an unbounded promise.  Beyond :attr:`AdmissionLimits.max_queue_depth`
+  pending jobs, submissions are shed with ``429 Too Many Requests`` and
+  a ``Retry-After`` hint.  Already-accepted work is never dropped.
+* **too many sockets** — every accepted connection pins a coroutine and
+  its buffers.  Beyond :attr:`AdmissionLimits.max_inflight_requests`
+  concurrent requests, new ones get an immediate ``503`` without their
+  request even being read.
+* **too many bytes** — request bodies are buffered while parsed, so the
+  *sum* of in-flight body bytes is bounded
+  (:attr:`AdmissionLimits.max_inflight_body_bytes`); a burst of maximal
+  bodies degrades to ``503`` instead of an OOM kill.
+
+Per-request reads additionally carry deadlines
+(:attr:`AdmissionLimits.header_timeout_s`,
+:attr:`AdmissionLimits.body_timeout_s`) so a slow-loris client
+trickling one header byte per second cannot pin a coroutine forever —
+the read is abandoned and the slot freed.  Oversized header sections
+are rejected with ``431`` before they are buffered
+(:attr:`AdmissionLimits.max_header_bytes`).
+
+Every refusal increments a named counter in :class:`AdmissionControl`;
+``/metrics`` exposes the lot, so "how much did we shed and why" is one
+GET — the degrade-don't-die ladder's observability rule, applied to the
+front door.  All mutation happens on the event loop, so plain ints
+suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["AdmissionControl", "AdmissionLimits"]
+
+
+@dataclass(slots=True, frozen=True)
+class AdmissionLimits:
+    """Bounds and deadlines the server enforces at its front door.
+
+    The zero-cost defaults suit a single-operator deployment; a fleet
+    front-end tightens them per capacity.  All values are validated at
+    construction so a bad flag fails at startup, not mid-overload.
+    """
+
+    #: Pending jobs (queued + running) beyond which submissions shed 429.
+    max_queue_depth: int = 64
+    #: Concurrent in-flight HTTP requests beyond which connections shed 503.
+    max_inflight_requests: int = 128
+    #: Summed Content-Length of bodies currently buffered; beyond it 503.
+    max_inflight_body_bytes: int = 8 << 20
+    #: Single-request body bound (413 beyond; submissions are tiny JSON).
+    max_body_bytes: int = 1 << 20
+    #: Request-line + header section bound (431 beyond).
+    max_header_bytes: int = 16 << 10
+    #: Wall-clock budget for reading the request line and headers.
+    header_timeout_s: float = 10.0
+    #: Wall-clock budget for reading the request body.
+    body_timeout_s: float = 30.0
+    #: Retry-After hint (seconds) sent with every 429/503 shed.
+    retry_after_s: int = 1
+    #: Graceful-drain budget: seconds the server waits for the running
+    #: job to finish after SIGTERM before escalating to the
+    #: kill-9-safe journal-resume path.
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_queue_depth",
+            "max_inflight_requests",
+            "max_inflight_body_bytes",
+            "max_body_bytes",
+            "max_header_bytes",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        for name in ("header_timeout_s", "body_timeout_s", "drain_timeout_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.retry_after_s < 1:
+            raise ValueError("retry_after_s must be >= 1")
+
+
+class AdmissionControl:
+    """Counters and slot accounting behind the limits.
+
+    One instance per server, mutated only from the event loop.  The
+    ``shed_*`` counters are the acceptance signal: every refused
+    request increments exactly one of them, so the sum of sheds equals
+    the number of non-2xx refusals the server issued under load.
+    """
+
+    def __init__(self, limits: AdmissionLimits | None = None) -> None:
+        self.limits = limits or AdmissionLimits()
+        self.inflight_requests = 0
+        self.inflight_body_bytes = 0
+        #: Peak concurrency observed, for capacity planning.
+        self.peak_inflight_requests = 0
+        self.accepted_requests = 0
+        # -- sheds, one counter per refusal class ----------------------
+        self.shed_jobs = 0  # 429: job queue full
+        self.shed_connections = 0  # 503: too many in-flight requests
+        self.shed_body_bytes = 0  # 503: in-flight body budget exhausted
+        self.shed_oversized_headers = 0  # 431
+        self.shed_oversized_body = 0  # 413
+        self.shed_draining = 0  # 503: submission during drain
+        self.header_timeouts = 0  # slow-loris header reads abandoned
+        self.body_timeouts = 0  # slow-loris body reads abandoned
+
+    # -- connection slots ----------------------------------------------
+    def try_acquire_request(self) -> bool:
+        """Claim an in-flight request slot; ``False`` sheds the request."""
+        if self.inflight_requests >= self.limits.max_inflight_requests:
+            self.shed_connections += 1
+            return False
+        self.inflight_requests += 1
+        self.peak_inflight_requests = max(
+            self.peak_inflight_requests, self.inflight_requests
+        )
+        self.accepted_requests += 1
+        return True
+
+    def release_request(self) -> None:
+        self.inflight_requests = max(0, self.inflight_requests - 1)
+
+    # -- body budget ----------------------------------------------------
+    def try_reserve_body(self, n_bytes: int) -> bool:
+        """Reserve buffer budget for one request body."""
+        if (
+            self.inflight_body_bytes + n_bytes
+            > self.limits.max_inflight_body_bytes
+        ):
+            self.shed_body_bytes += 1
+            return False
+        self.inflight_body_bytes += n_bytes
+        return True
+
+    def release_body(self, n_bytes: int) -> None:
+        self.inflight_body_bytes = max(0, self.inflight_body_bytes - n_bytes)
+
+    # -- job queue -------------------------------------------------------
+    def admit_job(self, queue_depth: int) -> bool:
+        """True when a new job fits under the queue bound."""
+        if queue_depth >= self.limits.max_queue_depth:
+            self.shed_jobs += 1
+            return False
+        return True
+
+    # -- observability ---------------------------------------------------
+    def total_shed(self) -> int:
+        return (
+            self.shed_jobs
+            + self.shed_connections
+            + self.shed_body_bytes
+            + self.shed_oversized_headers
+            + self.shed_oversized_body
+            + self.shed_draining
+        )
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``/metrics`` admission section."""
+        return {
+            "limits": {
+                "max_queue_depth": self.limits.max_queue_depth,
+                "max_inflight_requests": self.limits.max_inflight_requests,
+                "max_inflight_body_bytes": self.limits.max_inflight_body_bytes,
+                "max_body_bytes": self.limits.max_body_bytes,
+                "max_header_bytes": self.limits.max_header_bytes,
+            },
+            "inflight_requests": self.inflight_requests,
+            "peak_inflight_requests": self.peak_inflight_requests,
+            "inflight_body_bytes": self.inflight_body_bytes,
+            "accepted_requests": self.accepted_requests,
+            "shed": {
+                "jobs_429": self.shed_jobs,
+                "connections_503": self.shed_connections,
+                "body_budget_503": self.shed_body_bytes,
+                "draining_503": self.shed_draining,
+                "oversized_headers_431": self.shed_oversized_headers,
+                "oversized_body_413": self.shed_oversized_body,
+                "total": self.total_shed(),
+            },
+            "header_timeouts": self.header_timeouts,
+            "body_timeouts": self.body_timeouts,
+        }

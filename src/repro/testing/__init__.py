@@ -1,6 +1,7 @@
 """Test-support utilities shipped with the package: deterministic fault
 injection for chaos-testing the resilient execution layer, storage-fault
-injection for the durability layer, and the differential-testing oracle
+injection for the durability layer, a scripted TCP fault proxy for the
+service's client/server resilience, and the differential-testing oracle
 that holds the kernel backends equivalent."""
 
 from .differential import (
@@ -10,6 +11,11 @@ from .differential import (
     run_differential,
 )
 from .faults import ChaosInjector, item_key
+from .netchaos import (
+    ConnectionScript,
+    NetChaosProxy,
+    NetChaosSchedule,
+)
 from .storage import (
     FAULT_POWER_CUT,
     FAULT_SHORT_WRITE,
@@ -20,6 +26,9 @@ from .storage import (
 
 __all__ = [
     "ChaosInjector",
+    "ConnectionScript",
+    "NetChaosProxy",
+    "NetChaosSchedule",
     "item_key",
     "DifferentialReport",
     "Divergence",

@@ -1,0 +1,171 @@
+"""Network-chaos acceptance: the resilient client converges through a
+scripted hostile network.
+
+A real ``MosaicServer`` sits behind a :class:`NetChaosProxy`; a
+:class:`MosaicClient` submits, watches, and fetches results through it,
+round after round, under fresh seeded fault schedules.  The acceptance
+bar (ISSUE): at least ``MOSAIC_NETCHAOS_CASES`` scripted per-connection
+fault decisions (default 500), every round converging to results
+byte-identical to a direct, un-proxied read — chaos may change how long
+convergence takes, never whether or what bytes arrive.
+
+On any failure the full chaos script is dumped as JSON (path printed),
+which CI uploads as an artifact; feeding it back through
+``NetChaosSchedule(scripts=...)`` replays the failing run exactly.
+"""
+
+import json
+import os
+import threading
+import time
+
+import asyncio
+
+import pytest
+
+from repro.columnar import compile_corpus
+from repro.darshan import DirectorySource, save_binary
+from repro.service import MosaicServer
+from repro.service.client import (
+    CircuitBreaker,
+    ClientRetryPolicy,
+    MosaicClient,
+)
+from repro.synth import FleetConfig, generate_fleet
+from repro.testing.netchaos import NetChaosProxy, NetChaosSchedule
+
+#: The acceptance bar: scripted fault decisions to accumulate.  CI's
+#: smoke job reduces it; the default is the ISSUE's floor.
+TARGET_CASES = int(os.environ.get("MOSAIC_NETCHAOS_CASES", "500"))
+
+#: Every round must finish inside this envelope or the run counts as a
+#: hang — the other half of the acceptance criterion.
+ROUND_DEADLINE_S = 120.0
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    base = tmp_path_factory.mktemp("netchaos-corpus")
+    fleet = generate_fleet(FleetConfig(n_apps=24, mean_runs=1.0, seed=51))
+    trace_dir = base / "traces"
+    trace_dir.mkdir()
+    for trace in fleet.traces:
+        save_binary(trace, trace_dir / f"job{trace.meta.job_id:08d}.mosd")
+    store_path = base / "corpus.mosc"
+    compile_corpus(DirectorySource(trace_dir), store_path)
+    return str(store_path)
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    server = MosaicServer(tmp_path_factory.mktemp("netchaos-srv"), port=0)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.run()), daemon=True
+    )
+    thread.start()
+    endpoint_path = os.path.join(server.data_dir, "server.json")
+    deadline = time.monotonic() + 30
+    endpoint = None
+    while time.monotonic() < deadline:
+        try:
+            with open(endpoint_path, encoding="utf-8") as fh:
+                candidate = json.load(fh)
+            if candidate.get("pid") == os.getpid():
+                endpoint = candidate
+                break
+        except (OSError, json.JSONDecodeError):
+            pass
+        time.sleep(0.02)
+    assert endpoint is not None, "server never published server.json"
+    yield server, endpoint
+    loop = server._loop
+    if loop is not None and not loop.is_closed():
+        loop.call_soon_threadsafe(server.request_stop)
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def _chaos_client(proxy):
+    """Aggressive-but-bounded client so chaotic rounds stay fast."""
+    return MosaicClient(
+        proxy.host,
+        proxy.port,
+        retry=ClientRetryPolicy(
+            max_attempts=10, backoff_base_s=0.01, backoff_cap_s=0.25
+        ),
+        # the breaker is covered by its own unit tests; here it must
+        # never fail-fast a round the retry ladder would have saved
+        breaker=CircuitBreaker(failure_threshold=10_000),
+        timeout_s=10.0,
+    )
+
+
+def _direct_client(endpoint):
+    return MosaicClient(endpoint["host"], endpoint["port"], timeout_s=30.0)
+
+
+def test_client_converges_through_scripted_network_chaos(
+    live, store, tmp_path
+):
+    _server, endpoint = live
+    direct = _direct_client(endpoint)
+    # CI sets MOSAIC_NETCHAOS_ARTIFACT to a workspace path it uploads
+    artifact_path = os.environ.get(
+        "MOSAIC_NETCHAOS_ARTIFACT", str(tmp_path / "netchaos-script.json")
+    )
+
+    cases = 0
+    rounds = 0
+    totals = {"faulted": 0, "clean": 0}
+    while cases < TARGET_CASES:
+        schedule = NetChaosSchedule(
+            seed=1000 + rounds, fault_rate=0.6, clean_every=3, stall_s=0.2
+        )
+        proxy = NetChaosProxy(
+            endpoint["host"], endpoint["port"], schedule=schedule
+        )
+        with proxy:
+            client = _chaos_client(proxy)
+            started = time.monotonic()
+            try:
+                # every 20th round forces a fresh execution (unique
+                # key); the rest resubmit identical work and must dedup
+                key = f"netchaos-round-{rounds}" if rounds % 20 == 0 else None
+                submitted = client.submit(store=store, idempotency_key=key)
+                job_id = submitted["job_id"]
+                final = client.watch(job_id, timeout_s=ROUND_DEADLINE_S)
+                assert final["status"] == "done", final
+                chaotic_bytes = client.results(job_id)
+                oracle = direct.results(job_id)
+                assert chaotic_bytes == oracle, (
+                    f"round {rounds}: results diverged through chaos "
+                    f"({len(chaotic_bytes)} vs {len(oracle)} bytes)"
+                )
+                assert chaotic_bytes.count(b"\n") == (
+                    final["n_results"] + final["n_failures"]
+                )
+            except BaseException:
+                with open(artifact_path, "w", encoding="utf-8") as fh:
+                    fh.write(proxy.dump_script())
+                print(f"chaos script saved to {artifact_path}")
+                raise
+            elapsed = time.monotonic() - started
+            assert elapsed < ROUND_DEADLINE_S, (
+                f"round {rounds} took {elapsed:.1f}s — that is a hang, "
+                f"not convergence"
+            )
+            for decision in proxy.applied:
+                totals[
+                    "clean" if decision["kind"] == "none" else "faulted"
+                ] += 1
+            cases += len(proxy.applied)
+        rounds += 1
+
+    assert cases >= TARGET_CASES
+    # the schedule actually exercised faults — a proxy that went clean
+    # 500 times proves nothing
+    assert totals["faulted"] >= TARGET_CASES // 10, totals
+    print(
+        f"netchaos: {cases} connection cases over {rounds} rounds "
+        f"({totals['faulted']} faulted, {totals['clean']} clean)"
+    )

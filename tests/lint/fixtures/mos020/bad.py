@@ -1,0 +1,18 @@
+"""Fixture: awaited stream reads with no deadline (MOS020)."""
+
+
+async def read_request(reader: object) -> bytes:
+    # a bare awaited readline waits as long as the peer stalls it
+    request_line = await reader.readline()
+    return request_line
+
+
+async def read_body(reader: object, length: int) -> bytes:
+    # slow-loris body: one byte a minute pins this coroutine
+    body = await reader.readexactly(length)
+    return body
+
+
+async def drain_stream(reader: object) -> bytes:
+    chunk = await reader.read(65536)
+    return chunk

@@ -1,0 +1,21 @@
+"""Fixture: every awaited stream read carries a deadline (MOS020)."""
+
+import asyncio
+
+
+async def read_request(reader: object) -> bytes:
+    # bounded form: the read is an argument of wait_for, not a bare await
+    request_line = await asyncio.wait_for(reader.readline(), 10.0)
+    return request_line
+
+
+async def read_body(reader: object, length: int) -> bytes:
+    async with asyncio.timeout(30.0):
+        # bounded form: the enclosing block enforces the deadline
+        body = await reader.readexactly(length)
+    return body
+
+
+async def drain_stream(reader: object) -> bytes:
+    chunk = await asyncio.wait_for(reader.read(65536), 5.0)
+    return chunk

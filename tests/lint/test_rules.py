@@ -13,7 +13,7 @@ from repro.lint.engine import LintConfig
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
 
-RULE_IDS = [f"MOS{n:03d}" for n in range(1, 20)]
+RULE_IDS = [f"MOS{n:03d}" for n in range(1, 21)]
 
 
 def _fixture_files(rule_id: str, kind: str) -> list[str]:
@@ -23,7 +23,7 @@ def _fixture_files(rule_id: str, kind: str) -> list[str]:
     return files
 
 
-def test_registry_holds_all_nineteen_rules():
+def test_registry_holds_all_twenty_rules():
     assert all_rule_ids() == RULE_IDS
 
 
@@ -56,7 +56,7 @@ def test_ignore_drops_a_rule():
     result = lint_paths([FIXTURES], config)
     fired = {f.rule_id for f in result.findings}
     assert "MOS001" not in fired
-    assert len(fired) == 18
+    assert len(fired) == 19
 
 
 def test_unknown_rule_id_rejected():

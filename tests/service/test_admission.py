@@ -1,0 +1,309 @@
+"""Admission control: the server sheds load instead of dying of it.
+
+Every refusal class is driven over real HTTP — queue-full 429,
+connection-slot 503, body-budget 503, oversized-header 431, slow-loris
+408 — and every one must land in exactly one ``/metrics`` shed counter:
+the acceptance criterion is that the server accounts for everything it
+refused.
+"""
+
+import http.client
+import json
+import os
+import socket
+import threading
+import time
+
+import asyncio
+
+import pytest
+
+from repro.columnar import compile_corpus
+from repro.darshan import DirectorySource, save_binary
+from repro.service import MosaicServer
+from repro.service.admission import AdmissionControl, AdmissionLimits
+from repro.synth import FleetConfig, generate_fleet
+
+
+# -- unit layer --------------------------------------------------------
+class TestLimitsValidation:
+    def test_defaults_are_valid(self):
+        AdmissionLimits()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("max_queue_depth", 0),
+            ("max_inflight_requests", 0),
+            ("max_inflight_body_bytes", 0),
+            ("max_body_bytes", -1),
+            ("max_header_bytes", 0),
+            ("header_timeout_s", 0.0),
+            ("body_timeout_s", -2.0),
+            ("drain_timeout_s", 0.0),
+            ("retry_after_s", 0),
+        ],
+    )
+    def test_bad_value_rejected_at_construction(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            AdmissionLimits(**{field: value})
+
+
+class TestAdmissionControlCounters:
+    def test_request_slots_bound_and_account(self):
+        ctl = AdmissionControl(AdmissionLimits(max_inflight_requests=2))
+        assert ctl.try_acquire_request() and ctl.try_acquire_request()
+        assert not ctl.try_acquire_request()
+        assert ctl.shed_connections == 1
+        ctl.release_request()
+        assert ctl.try_acquire_request()
+        assert ctl.peak_inflight_requests == 2
+        assert ctl.accepted_requests == 3
+
+    def test_body_budget_is_a_sum_not_a_max(self):
+        ctl = AdmissionControl(AdmissionLimits(max_inflight_body_bytes=100))
+        assert ctl.try_reserve_body(60)
+        assert not ctl.try_reserve_body(60)
+        assert ctl.shed_body_bytes == 1
+        ctl.release_body(60)
+        assert ctl.try_reserve_body(60)
+
+    def test_every_shed_counter_feeds_the_total(self):
+        ctl = AdmissionControl(
+            AdmissionLimits(max_inflight_requests=1, max_queue_depth=1)
+        )
+        ctl.try_acquire_request()
+        ctl.try_acquire_request()  # shed: connections
+        ctl.admit_job(queue_depth=5)  # shed: jobs
+        ctl.shed_oversized_headers += 1
+        ctl.shed_oversized_body += 1
+        ctl.shed_draining += 1
+        ctl.try_reserve_body(10**12)  # shed: body budget
+        snap = ctl.snapshot()
+        assert snap["shed"]["total"] == 6
+        assert sum(
+            v for k, v in snap["shed"].items() if k != "total"
+        ) == snap["shed"]["total"]
+
+
+# -- HTTP layer --------------------------------------------------------
+def _start(server):
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.run()), daemon=True
+    )
+    thread.start()
+    endpoint_path = os.path.join(server.data_dir, "server.json")
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            with open(endpoint_path, encoding="utf-8") as fh:
+                endpoint = json.load(fh)
+            if endpoint.get("pid") == os.getpid():
+                return thread, endpoint
+        except (OSError, json.JSONDecodeError):
+            pass
+        time.sleep(0.02)
+    raise RuntimeError("server never published server.json")
+
+
+def _shutdown(server, thread):
+    loop = server._loop
+    if loop is not None and not loop.is_closed():
+        loop.call_soon_threadsafe(server.request_stop)
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "server thread failed to stop"
+
+
+def _request(endpoint, method, path, payload=None, headers=None):
+    conn = http.client.HTTPConnection(
+        endpoint["host"], endpoint["port"], timeout=30
+    )
+    body = json.dumps(payload).encode() if payload is not None else None
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+def _metrics(endpoint):
+    _status, _headers, data = _request(endpoint, "GET", "/metrics")
+    return json.loads(data)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    base = tmp_path_factory.mktemp("admission-corpus")
+    fleet = generate_fleet(FleetConfig(n_apps=24, mean_runs=1.0, seed=41))
+    trace_dir = base / "traces"
+    trace_dir.mkdir()
+    for trace in fleet.traces:
+        save_binary(trace, trace_dir / f"job{trace.meta.job_id:08d}.mosd")
+    store_path = base / "corpus.mosc"
+    compile_corpus(DirectorySource(trace_dir), store_path)
+    return str(store_path)
+
+
+class _GatedExecute:
+    """Replaces ``server._execute``: blocks until released, then
+    settles the job empty — jobs stay 'running' for as long as the test
+    wants the queue pinned."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def __call__(self, job):
+        self.started.set()
+        assert self.gate.wait(timeout=60), "gated job never released"
+        job.n_results = 0
+        job.n_failures = 0
+        job.metrics = {}
+
+
+@pytest.fixture
+def tight_server(tmp_path):
+    """A server with one-deep bounds so every shed path is reachable."""
+    server = MosaicServer(
+        tmp_path / "data",
+        port=0,
+        limits=AdmissionLimits(
+            max_queue_depth=1,
+            max_inflight_body_bytes=4096,
+            max_header_bytes=2048,
+            header_timeout_s=0.5,
+        ),
+    )
+    gated = _GatedExecute()
+    server._execute = gated
+    thread, endpoint = _start(server)
+    yield server, endpoint, gated
+    gated.gate.set()
+    _shutdown(server, thread)
+
+
+class TestOverloadSheds:
+    def test_queue_full_sheds_429_with_retry_after(
+        self, tight_server, store
+    ):
+        server, endpoint, gated = tight_server
+        status, _h, data = _request(
+            endpoint, "POST", "/jobs", {"store": store}
+        )
+        assert status == 202, data
+        assert gated.started.wait(timeout=10)
+        # depth is now 1 (the running job): the bound is hit
+        status, headers, data = _request(
+            endpoint, "POST", "/jobs", {"store": store}
+        )
+        assert status == 429
+        assert headers.get("Retry-After") == "1"
+        assert "queue is full" in json.loads(data)["error"]
+        metrics = _metrics(endpoint)
+        assert metrics["admission"]["shed"]["jobs_429"] == 1
+
+    def test_sustained_overcapacity_sheds_and_accounts_everything(
+        self, tight_server, store
+    ):
+        """Fire a burst way past capacity: exactly one job is accepted,
+        every other submission is shed 429, and /metrics agrees with
+        what the clients observed."""
+        server, endpoint, gated = tight_server
+        statuses = []
+        lock = threading.Lock()
+
+        def submit():
+            status, headers, _data = _request(
+                endpoint, "POST", "/jobs", {"store": store}
+            )
+            with lock:
+                statuses.append((status, headers.get("Retry-After")))
+
+        threads = [threading.Thread(target=submit) for _ in range(24)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        accepted = [s for s, _ in statuses if s == 202]
+        shed = [(s, ra) for s, ra in statuses if s == 429]
+        assert len(accepted) == 1
+        assert len(shed) == 23
+        assert all(ra == "1" for _s, ra in shed)
+        metrics = _metrics(endpoint)
+        assert metrics["admission"]["shed"]["jobs_429"] == 23
+        assert metrics["admission"]["shed"]["total"] == 23
+        gated.gate.set()
+
+    def test_body_budget_exhaustion_sheds_503(self, tight_server):
+        _server, endpoint, _gated = tight_server
+        # one request whose declared body alone exceeds the 4 KiB
+        # in-flight budget (but not the per-request 1 MiB bound)
+        status, headers, data = _request(
+            endpoint, "POST", "/jobs", {"pad": "x" * 8192}
+        )
+        assert status == 503
+        assert headers.get("Retry-After") == "1"
+        assert "budget" in json.loads(data)["error"]
+        metrics = _metrics(endpoint)
+        assert metrics["admission"]["shed"]["body_budget_503"] >= 1
+
+    def test_oversized_header_section_sheds_431(self, tight_server):
+        _server, endpoint, _gated = tight_server
+        status, _headers, _data = _request(
+            endpoint, "GET", "/healthz",
+            headers={"X-Filler": "f" * 4096},
+        )
+        assert status == 431
+        metrics = _metrics(endpoint)
+        assert metrics["admission"]["shed"]["oversized_headers_431"] >= 1
+
+    def test_slow_loris_header_is_abandoned(self, tight_server):
+        server, endpoint, _gated = tight_server
+        before = server.admission.header_timeouts
+        with socket.create_connection(
+            (endpoint["host"], endpoint["port"]), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nX-Slow: tri")
+            # never finish the header; the server must cut us loose
+            deadline = time.monotonic() + 10
+            data = b""
+            while time.monotonic() < deadline:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+        assert b"408" in data or data == b""
+        assert server.admission.header_timeouts == before + 1
+
+    def test_shed_requests_never_leak_slots_or_body_budget(
+        self, tight_server
+    ):
+        server, endpoint, _gated = tight_server
+        for _ in range(3):
+            _request(endpoint, "POST", "/jobs", {"pad": "x" * 8192})
+        # the client sees the response a beat before the handler's
+        # finally releases its slot: poll, don't snapshot
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if (
+                server.admission.inflight_requests == 0
+                and server.admission.inflight_body_bytes == 0
+            ):
+                break
+            time.sleep(0.02)
+        assert server.admission.inflight_requests == 0
+        assert server.admission.inflight_body_bytes == 0
+
+    def test_readyz_reports_ready_when_healthy(self, tight_server):
+        _server, endpoint, _gated = tight_server
+        status, _headers, data = _request(endpoint, "GET", "/readyz")
+        assert status == 200
+        assert json.loads(data) == {"status": "ready"}
+
+    def test_metrics_exposes_limits_and_gauges(self, tight_server):
+        _server, endpoint, _gated = tight_server
+        admission = _metrics(endpoint)["admission"]
+        assert admission["limits"]["max_queue_depth"] == 1
+        assert admission["inflight_requests"] >= 0
+        assert admission["accepted_requests"] > 0

@@ -1,0 +1,408 @@
+"""The resilient client: retries, breaker, idempotent resubmission, SSE resume.
+
+Unit layer exercises the deterministic pieces (backoff ladder, circuit
+transitions under a fake clock, SSE parsing, content-derived keys)
+without a server; the HTTP layer drives a real ``MosaicServer`` to
+prove dedup, watch-to-terminal, byte-stable results, and journal-backed
+``Last-Event-ID`` replay.
+"""
+
+import http.client
+import json
+import os
+import socket
+import threading
+import time
+
+import asyncio
+
+import pytest
+
+from repro.columnar import compile_corpus
+from repro.darshan import DirectorySource, save_binary
+from repro.service import MosaicServer
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientRetryPolicy,
+    MosaicClient,
+    MosaicClientError,
+    ServerUnavailable,
+    _parse_sse,
+    idempotency_key_for,
+)
+from repro.synth import FleetConfig, generate_fleet
+
+
+# -- unit: retry policy ------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_capped(self):
+        policy = ClientRetryPolicy(backoff_base_s=0.05, backoff_cap_s=2.0)
+        ladder = [policy.backoff_s(a) for a in range(8)]
+        assert ladder == [policy.backoff_s(a) for a in range(8)]
+        assert ladder[:4] == [0.05, 0.1, 0.2, 0.4]
+        assert ladder[-1] == 2.0
+        assert all(b <= 2.0 for b in ladder)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"max_attempts": 0}, {"backoff_base_s": -1.0}, {"backoff_cap_s": -0.1}],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClientRetryPolicy(**kwargs)
+
+
+# -- unit: circuit breaker ---------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(3, reset_timeout_s=5.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.n_opens == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(1, reset_timeout_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 5.0
+        assert breaker.allow()  # the half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.failures == 0
+
+    def test_half_open_probe_reopens_on_failure(self):
+        clock = _FakeClock()
+        breaker = CircuitBreaker(2, reset_timeout_s=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed: straight back open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.n_opens == 2
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(3, clock=_FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+# -- unit: SSE parsing -------------------------------------------------
+class TestParseSse:
+    def test_id_framing_and_keepalive_comments(self):
+        stream = [
+            b"data: {\"event\": \"subscribed\"}\n",
+            b"\n",
+            b": keepalive\n",
+            b"\n",
+            b"id: 3\n",
+            b"data: {\"event\": \"result\", \"seq\": 3}\n",
+            b"\n",
+            b"data: {\"event\": \"finished\"}\n",
+            b"\n",
+        ]
+        events = list(_parse_sse(iter(stream)))
+        assert events == [
+            (None, {"event": "subscribed"}),
+            ("3", {"event": "result", "seq": 3}),
+            (None, {"event": "finished"}),
+        ]
+
+    def test_garbage_data_lines_are_skipped(self):
+        stream = [b"data: not-json\n", b"data: {\"ok\": 1}\n"]
+        assert list(_parse_sse(iter(stream))) == [(None, {"ok": 1})]
+
+
+# -- unit: idempotency keys --------------------------------------------
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    base = tmp_path_factory.mktemp("client-corpus")
+    fleet = generate_fleet(FleetConfig(n_apps=24, mean_runs=1.0, seed=43))
+    trace_dir = base / "traces"
+    trace_dir.mkdir()
+    for trace in fleet.traces:
+        save_binary(trace, trace_dir / f"job{trace.meta.job_id:08d}.mosd")
+    store_path = base / "corpus.mosc"
+    compile_corpus(DirectorySource(trace_dir), store_path)
+    return {"store": str(store_path), "traces": str(trace_dir)}
+
+
+class TestIdempotencyKey:
+    def test_stable_across_calls(self, corpus):
+        a = idempotency_key_for("store", corpus["store"])
+        b = idempotency_key_for("store", corpus["store"])
+        assert a == b
+        assert len(a) == 40 and set(a) <= set("0123456789abcdef")
+
+    def test_repair_and_budget_change_the_key(self, corpus):
+        base = idempotency_key_for("store", corpus["store"])
+        assert idempotency_key_for("store", corpus["store"], repair=True) != base
+        assert (
+            idempotency_key_for(
+                "store", corpus["store"], budget={"max_ops": 5000}
+            )
+            != base
+        )
+
+    def test_trace_dir_key_tracks_the_listing(self, corpus, tmp_path):
+        base = idempotency_key_for("traces", corpus["traces"])
+        assert base == idempotency_key_for("traces", corpus["traces"])
+        other = tmp_path / "other"
+        other.mkdir()
+        (other / "a.mosd").write_bytes(b"xx")
+        assert idempotency_key_for("traces", other) != base
+
+    def test_changed_corpus_changes_the_key(self, corpus, tmp_path):
+        fleet = generate_fleet(FleetConfig(n_apps=24, mean_runs=1.0, seed=44))
+        trace_dir = tmp_path / "traces2"
+        trace_dir.mkdir()
+        for trace in fleet.traces:
+            save_binary(trace, trace_dir / f"job{trace.meta.job_id:08d}.mosd")
+        store2 = tmp_path / "corpus2.mosc"
+        compile_corpus(DirectorySource(trace_dir), store2)
+        assert idempotency_key_for("store", store2) != idempotency_key_for(
+            "store", corpus["store"]
+        )
+
+
+# -- HTTP layer --------------------------------------------------------
+def _start(server):
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.run()), daemon=True
+    )
+    thread.start()
+    endpoint_path = os.path.join(server.data_dir, "server.json")
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            with open(endpoint_path, encoding="utf-8") as fh:
+                endpoint = json.load(fh)
+            if endpoint.get("pid") == os.getpid():
+                return thread, endpoint
+        except (OSError, json.JSONDecodeError):
+            pass
+        time.sleep(0.02)
+    raise RuntimeError("server never published server.json")
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    server = MosaicServer(tmp_path_factory.mktemp("client-srv"), port=0)
+    thread, endpoint = _start(server)
+    yield server, endpoint
+    loop = server._loop
+    if loop is not None and not loop.is_closed():
+        loop.call_soon_threadsafe(server.request_stop)
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def _client(endpoint, **kwargs):
+    kwargs.setdefault(
+        "retry", ClientRetryPolicy(max_attempts=3, backoff_base_s=0.01)
+    )
+    return MosaicClient(endpoint["host"], endpoint["port"], **kwargs)
+
+
+class TestClientAgainstServer:
+    def test_submit_watch_results_roundtrip(self, live, corpus):
+        _server, endpoint = live
+        client = _client(endpoint)
+        submitted = client.submit(store=corpus["store"])
+        assert submitted["status"] in {"queued", "running", "done"}
+        events = []
+        final = client.watch(
+            submitted["job_id"], timeout_s=120, on_event=events.append
+        )
+        assert final["status"] == "done"
+        assert final["n_results"] > 0
+        names = {e.get("event") for e in events}
+        assert "finished" in names or final["status"] == "done"
+        # results are immutable and byte-stable across reads
+        first = client.results(submitted["job_id"])
+        assert first
+        assert first == client.results(submitted["job_id"])
+        assert first.count(b"\n") == final["n_results"] + final["n_failures"]
+
+    def test_resubmission_dedups_on_the_idempotency_key(self, live, corpus):
+        _server, endpoint = live
+        client = _client(endpoint)
+        first = client.submit(store=corpus["store"])
+        client.wait(first["job_id"], timeout_s=120)
+        again = client.submit(store=corpus["store"])
+        assert again["job_id"] == first["job_id"]
+        assert again.get("deduplicated") is True
+        # a different budget is different work: new key, new job
+        other = client.submit(
+            store=corpus["store"], budget={"max_ops": 9000}
+        )
+        assert other["job_id"] != first["job_id"]
+
+    def test_wait_reaches_terminal(self, live, corpus):
+        _server, endpoint = live
+        client = _client(endpoint)
+        job = client.submit(store=corpus["store"])
+        final = client.wait(job["job_id"], timeout_s=120)
+        assert final["status"] == "done"
+
+    def test_unknown_job_raises(self, live):
+        _server, endpoint = live
+        client = _client(endpoint)
+        with pytest.raises(MosaicClientError, match="no job"):
+            client.job("job-does-not-exist")
+
+    def test_last_event_id_replay_over_raw_http(self, live, corpus):
+        """The server's wire contract, without the client's smoothing:
+        id:-numbered settle frames, filtered to seq > Last-Event-ID."""
+        _server, endpoint = live
+        client = _client(endpoint)
+        job_id = client.submit(store=corpus["store"])["job_id"]
+        final = client.wait(job_id, timeout_s=120)
+        total = final["n_results"] + final["n_failures"]
+        assert total >= 2
+
+        def frames(last_event_id=None):
+            conn = http.client.HTTPConnection(
+                endpoint["host"], endpoint["port"], timeout=30
+            )
+            headers = (
+                {"Last-Event-ID": str(last_event_id)}
+                if last_event_id is not None
+                else {}
+            )
+            try:
+                conn.request("GET", f"/jobs/{job_id}/events", headers=headers)
+                resp = conn.getresponse()
+                assert resp.status == 200
+                return list(_parse_sse(iter(resp.readline, b"")))
+            finally:
+                conn.close()
+
+        # no resume cursor: the terminal event alone, nothing replayed
+        assert frames() == [(None, {"event": "finished", "status": "done"})]
+        # cursor 0: the whole journal replays, every settle id-numbered
+        replayed = frames(last_event_id=0)
+        assert [int(i) for i, _e in replayed[:-1]] == list(
+            range(1, total + 1)
+        )
+        assert all(e["seq"] == int(i) for i, e in replayed[:-1])
+        assert replayed[-1] == (None, {"event": "finished", "status": "done"})
+        # mid-stream cursor: strictly after it, no duplicates
+        tail = frames(last_event_id=total - 1)
+        assert [e for _i, e in tail[:-1]] == [
+            e for _i, e in replayed[:-1]
+        ][total - 1:]
+
+    def test_server_down_raises_after_retries(self, corpus):
+        sleeps = []
+        client = MosaicClient(
+            "127.0.0.1",
+            _free_port(),
+            retry=ClientRetryPolicy(max_attempts=3, backoff_base_s=0.01),
+            breaker=CircuitBreaker(10),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServerUnavailable, match="after 3 attempts"):
+            client.request("GET", "/healthz")
+        assert client.n_retries == 2
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_breaker_opens_and_fails_fast(self):
+        client = MosaicClient(
+            "127.0.0.1",
+            _free_port(),
+            retry=ClientRetryPolicy(max_attempts=5, backoff_base_s=0.0),
+            breaker=CircuitBreaker(2, reset_timeout_s=60.0),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises(CircuitOpenError):
+            client.request("GET", "/healthz")
+        assert client.breaker.state == "open"
+        # and the next call never touches the socket
+        with pytest.raises(CircuitOpenError):
+            client.request("GET", "/healthz")
+
+    def test_shed_responses_honor_retry_after(self):
+        """429s are retried, each sleep at least the Retry-After hint,
+        and the eventual 202 comes back normally."""
+        sleeps = []
+        client = MosaicClient(
+            "127.0.0.1",
+            1,
+            retry=ClientRetryPolicy(max_attempts=4, backoff_base_s=0.001),
+            breaker=CircuitBreaker(50),
+            sleep=sleeps.append,
+        )
+        body = b'{"job_id": "j1", "status": "queued"}'
+        responses = [
+            (429, {"retry-after": "1"}, b'{"error": "queue full"}'),
+            (429, {"retry-after": "1"}, b'{"error": "queue full"}'),
+            (202, {"content-length": str(len(body))}, body),
+        ]
+        client._one_request = lambda *_a, **_k: responses.pop(0)
+        status, data = client.request("POST", "/jobs", payload={})
+        assert status == 202
+        assert json.loads(data)["job_id"] == "j1"
+        assert client.n_shed_responses == 2
+        assert sleeps == [1.0, 1.0]  # hint (1s) beats the tiny backoff
+
+    def test_shed_past_max_attempts_raises(self):
+        client = MosaicClient(
+            "127.0.0.1",
+            1,
+            retry=ClientRetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            breaker=CircuitBreaker(50),
+            sleep=lambda _s: None,
+        )
+        client._one_request = lambda *_a, **_k: (503, {}, b"draining")
+        with pytest.raises(ServerUnavailable, match="HTTP 503"):
+            client.request("GET", "/metrics")
+
+    def test_success_without_framing_headers_is_retried(self):
+        """A response severed inside its header section parses as a
+        framing-less 200 with an empty body — it must retry, not be
+        handed to json.loads."""
+        client = MosaicClient(
+            "127.0.0.1",
+            1,
+            retry=ClientRetryPolicy(max_attempts=3, backoff_base_s=0.0),
+            breaker=CircuitBreaker(50),
+            sleep=lambda _s: None,
+        )
+        responses = [
+            (200, {}, b""),  # truncated mid-header: no framing, no body
+            (200, {"content-length": "7"}, b'{"a": 1}'),
+        ]
+        client._one_request = lambda *_a, **_k: responses.pop(0)
+        status, data = client.request("GET", "/jobs/x")
+        assert status == 200 and json.loads(data) == {"a": 1}
+
+        client._one_request = lambda *_a, **_k: (200, {}, b"")
+        with pytest.raises(ServerUnavailable, match="without framing"):
+            client.request("GET", "/jobs/x")

@@ -1,0 +1,259 @@
+"""The chaos proxy itself: seeded determinism, replay, and each fault's
+observable effect on a real TCP peer.
+
+The upstream here is a trivial fixed-payload server — the point is the
+proxy's wire behavior, not Mosaic's; the service-level convergence
+claim lives in ``tests/integration/test_netchaos_acceptance.py``.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.testing.netchaos import (
+    FAULT_KINDS,
+    ConnectionScript,
+    NetChaosProxy,
+    NetChaosSchedule,
+)
+
+PAYLOAD = b"B" * 2000
+
+
+class _Upstream:
+    """Accepts, reads one newline-terminated request, sends PAYLOAD."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(16)
+        self.host, self.port = self.sock.getsockname()
+        self._stop = False
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while not self._stop:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._one, args=(conn,), daemon=True
+            ).start()
+
+    def _one(self, conn):
+        try:
+            conn.settimeout(10)
+            buf = b""
+            while b"\n" not in buf:
+                chunk = conn.recv(4096)
+                if not chunk:
+                    return
+                buf += chunk
+            conn.sendall(PAYLOAD)
+        except OSError:
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        self._stop = True
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture(scope="module")
+def upstream():
+    server = _Upstream()
+    yield server
+    server.close()
+
+
+def _fetch(endpoint, timeout=10.0):
+    """One request through the proxy; returns (bytes, error-or-None)."""
+    got = b""
+    try:
+        with socket.create_connection(endpoint, timeout=timeout) as sock:
+            sock.sendall(b"GET\n")
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    return got, None
+                got += chunk
+    except OSError as exc:
+        return got, exc
+
+
+def _proxy(upstream, **kwargs):
+    return NetChaosProxy(
+        upstream.host, upstream.port, schedule=NetChaosSchedule(**kwargs)
+    )
+
+
+# -- schedule ----------------------------------------------------------
+class TestSchedule:
+    def test_same_seed_same_scripts(self):
+        a = NetChaosSchedule(7)
+        b = NetChaosSchedule(7)
+        assert [a.script_for(i) for i in range(64)] == [
+            b.script_for(i) for i in range(64)
+        ]
+
+    def test_different_seed_differs_somewhere(self):
+        a = [NetChaosSchedule(7).script_for(i) for i in range(64)]
+        b = [NetChaosSchedule(8).script_for(i) for i in range(64)]
+        assert a != b
+
+    def test_clean_every_guarantee_holds_at_full_fault_rate(self):
+        schedule = NetChaosSchedule(3, fault_rate=1.0, clean_every=3)
+        for i in range(2, 300, 3):
+            assert schedule.script_for(i).kind == "none"
+        # and the rest are not all clean — chaos actually happens
+        kinds = {schedule.script_for(i).kind for i in range(300)}
+        assert len(kinds) > 1
+
+    def test_scripts_mode_replays_then_goes_clean(self):
+        scripts = [
+            ConnectionScript(kind="reset", after_bytes=9),
+            ConnectionScript(kind="trickle", chunk_size=5, delay_s=0.001),
+        ]
+        schedule = NetChaosSchedule(scripts=scripts)
+        assert schedule.script_for(0) is scripts[0]
+        assert schedule.script_for(1) is scripts[1]
+        assert schedule.script_for(2).kind == "none"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "gremlin"},
+            {"direction": "sideways"},
+            {"after_bytes": -1},
+            {"chunk_size": 0},
+        ],
+    )
+    def test_bad_script_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ConnectionScript(**kwargs)
+
+    def test_bad_schedule_rejected(self):
+        with pytest.raises(ValueError, match="fault_rate"):
+            NetChaosSchedule(fault_rate=1.5)
+        with pytest.raises(ValueError, match="clean_every"):
+            NetChaosSchedule(clean_every=1)
+
+    def test_fault_kind_list_is_closed(self):
+        assert set(FAULT_KINDS) == {
+            "none", "reset", "stall", "truncate", "trickle", "refuse",
+        }
+
+
+# -- proxy wire behavior -----------------------------------------------
+class TestProxyFaults:
+    def test_clean_passthrough(self, upstream):
+        with _proxy(upstream, fault_rate=0.0) as proxy:
+            got, err = _fetch(proxy.endpoint)
+        assert err is None
+        assert got == PAYLOAD
+        assert proxy.applied[0]["kind"] == "none"
+
+    def test_reset_delivers_econnreset_mid_body(self, upstream):
+        scripts = [ConnectionScript(kind="reset", after_bytes=100)]
+        proxy = NetChaosProxy(
+            upstream.host,
+            upstream.port,
+            schedule=NetChaosSchedule(scripts=scripts),
+        )
+        with proxy:
+            got, err = _fetch(proxy.endpoint)
+        assert len(got) <= 100
+        assert isinstance(err, ConnectionError)
+
+    def test_truncate_fins_after_exactly_n_bytes(self, upstream):
+        scripts = [ConnectionScript(kind="truncate", after_bytes=128)]
+        proxy = NetChaosProxy(
+            upstream.host,
+            upstream.port,
+            schedule=NetChaosSchedule(scripts=scripts),
+        )
+        with proxy:
+            got, err = _fetch(proxy.endpoint)
+        assert err is None
+        assert got == PAYLOAD[:128]
+
+    def test_stall_delays_but_delivers_everything(self, upstream):
+        scripts = [
+            ConnectionScript(kind="stall", after_bytes=64, stall_s=0.3)
+        ]
+        proxy = NetChaosProxy(
+            upstream.host,
+            upstream.port,
+            schedule=NetChaosSchedule(scripts=scripts),
+        )
+        with proxy:
+            start = time.monotonic()
+            got, err = _fetch(proxy.endpoint)
+            elapsed = time.monotonic() - start
+        assert err is None
+        assert got == PAYLOAD
+        assert elapsed >= 0.3
+
+    def test_trickle_delivers_everything_slowly(self, upstream):
+        scripts = [
+            ConnectionScript(
+                kind="trickle", after_bytes=0, chunk_size=200, delay_s=0.001
+            )
+        ]
+        proxy = NetChaosProxy(
+            upstream.host,
+            upstream.port,
+            schedule=NetChaosSchedule(scripts=scripts),
+        )
+        with proxy:
+            got, err = _fetch(proxy.endpoint)
+        assert err is None
+        assert got == PAYLOAD
+
+    def test_refuse_kills_the_connection_on_accept(self, upstream):
+        scripts = [ConnectionScript(kind="refuse")]
+        proxy = NetChaosProxy(
+            upstream.host,
+            upstream.port,
+            schedule=NetChaosSchedule(scripts=scripts),
+        )
+        with proxy:
+            got, err = _fetch(proxy.endpoint)
+        assert got == b""
+        # RST on read, or (rarely) a clean EOF if the FIN races the RST
+        assert err is None or isinstance(err, ConnectionError)
+
+    def test_dump_script_replays_identically(self, upstream):
+        with _proxy(upstream, seed=11, fault_rate=0.5) as proxy:
+            for _ in range(6):
+                _fetch(proxy.endpoint)
+            artifact = proxy.dump_script()
+        decisions = json.loads(artifact)
+        assert decisions["seed"] == 11
+        assert [d["connection"] for d in decisions["connections"]] == list(
+            range(6)
+        )
+        scripts = [
+            ConnectionScript(
+                **{k: v for k, v in d.items() if k != "connection"}
+            )
+            for d in decisions["connections"]
+        ]
+        replay = NetChaosSchedule(scripts=scripts)
+        for i, d in enumerate(decisions["connections"]):
+            assert replay.script_for(i).to_dict() == {
+                k: v for k, v in d.items() if k != "connection"
+            }
